@@ -1,0 +1,43 @@
+// Figure 14: F1 score vs daily budget k.
+//
+// Paper shape: every method except Bayes peaks around k ~ 15; SimGraph's
+// peak is ~4x GraphJet's and ~2x Bayes'/CF's.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Figure 14: F1 score");
+
+  const auto& sweeps = EvalSweeps();
+  TableWriter table(
+      "Figure 14: F1 per k (paper: SimGraph ~4x GraphJet, ~2x Bayes/CF; "
+      "peaks near k=15)");
+  std::vector<std::string> header = {"k"};
+  for (const MethodSweep& m : sweeps) header.push_back(m.method);
+  table.SetHeader(header);
+  const auto grid = KGrid();
+  for (size_t g = 0; g < grid.size(); ++g) {
+    std::vector<std::string> row = {TableWriter::Cell(int64_t{grid[g]})};
+    for (const MethodSweep& m : sweeps) {
+      row.push_back(TableWriter::Cell(m.per_k[g].f1));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Report each method's best k.
+  for (const MethodSweep& m : sweeps) {
+    size_t best = 0;
+    for (size_t g = 1; g < m.per_k.size(); ++g) {
+      if (m.per_k[g].f1 > m.per_k[best].f1) best = g;
+    }
+    std::cout << m.method << ": best F1 = "
+              << TableWriter::Cell(m.per_k[best].f1) << " at k = "
+              << m.per_k[best].k << "\n";
+  }
+  return 0;
+}

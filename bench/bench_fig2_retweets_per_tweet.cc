@@ -1,0 +1,37 @@
+// Figure 2: distribution of the number of retweets per tweet.
+//
+// Paper shape: ~90% of tweets never retweeted, ~2% with 2-5 retweets,
+// > 50 retweets rarer than 0.005%.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Figure 2: retweets per tweet");
+
+  const Dataset& d = BenchDataset();
+  TableWriter table("Figure 2 buckets (paper: 0 ~ 90%, 500+ < 0.005%)");
+  table.SetHeader({"number of retweets", "number of tweets", "fraction"});
+  for (const Bucket& b : RetweetsPerTweetBuckets(d)) {
+    table.AddRow({b.label, TableWriter::Cell(b.count),
+                  TableWriter::Cell(static_cast<double>(b.count) /
+                                    static_cast<double>(d.num_tweets()))});
+  }
+  table.Print(std::cout);
+  // Power-law fit over the retweeted tail.
+  std::vector<int64_t> counts;
+  for (int32_t c : d.RetweetCountPerTweet()) {
+    if (c > 0) counts.push_back(c);
+  }
+  const PowerLawFit fit = FitPowerLawAuto(counts);
+  std::cout << "power-law fit of the retweeted tail: alpha="
+            << TableWriter::Cell(fit.alpha) << " (x_min=" << fit.x_min
+            << ", KS=" << TableWriter::Cell(fit.ks_distance) << ")\n";
+  std::cout << "fraction never retweeted: "
+            << TableWriter::Cell(FractionNeverRetweeted(d))
+            << " (paper: ~0.90)\n";
+  return 0;
+}

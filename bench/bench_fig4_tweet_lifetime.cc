@@ -1,0 +1,44 @@
+// Figure 4: lifetime of a tweet (publication -> last retweet), for tweets
+// retweeted at least once.
+//
+// Paper shape: ~40% die before one hour, ~90% before 72 hours; the paper
+// concludes recommenders can drop tweets older than 72h.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Figure 4: lifetime of a tweet");
+
+  const Dataset& d = BenchDataset();
+  const Histogram lifetimes = TweetLifetimesHours(d);
+  if (lifetimes.count() == 0) {
+    std::cout << "no retweeted tweets in the trace\n";
+    return 0;
+  }
+
+  BucketedCounter buckets({1, 10, 24, 72, 168, 500});
+  for (double h : lifetimes.samples()) {
+    buckets.Add(static_cast<int64_t>(h));
+  }
+  TableWriter table("Figure 4 buckets (hours)");
+  table.SetHeader({"lifetime (h)", "number of messages"});
+  for (const Bucket& b : buckets.buckets()) {
+    table.AddRow({b.label, TableWriter::Cell(b.count)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "dead within 1h:  "
+            << TableWriter::Cell(FractionDeadWithinHours(d, 1.0))
+            << " (paper: ~0.40)\n"
+            << "dead within 72h: "
+            << TableWriter::Cell(FractionDeadWithinHours(d, 72.0))
+            << " (paper: ~0.90)\n"
+            << "median lifetime: " << TableWriter::Cell(lifetimes.Median())
+            << "h, p90: " << TableWriter::Cell(lifetimes.Percentile(90))
+            << "h\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark): the hot kernels of the system.
+//
+//   BM_Bfs*            - follow-graph traversal used by the 2-hop explorer
+//   BM_Similarity*     - Definition 3.1 on profile pairs / batched
+//   BM_SimGraphBuild*  - full SimGraph construction, both candidate modes
+//                        (the DESIGN.md ablation 3 cost comparison)
+//   BM_Propagation     - Algorithm 1 on a live SimGraph
+//   BM_Solver*         - Jacobi / Gauss-Seidel / SOR on a propagation system
+
+#include <benchmark/benchmark.h>
+
+#include "simgraph/simgraph.h"
+
+namespace simgraph {
+namespace {
+
+DatasetConfig MicroConfig() {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 2000;
+  c.num_tweets = 16000;
+  c.horizon_days = 60;
+  c.base_retweet_prob = 0.8;
+  return c;
+}
+
+const Dataset& MicroDataset() {
+  static const Dataset* d = new Dataset(GenerateDataset(MicroConfig()));
+  return *d;
+}
+
+const ProfileStore& MicroProfiles() {
+  static const ProfileStore* p =
+      new ProfileStore(MicroDataset(), MicroDataset().num_retweets());
+  return *p;
+}
+
+const SimGraph& MicroSimGraph() {
+  static const SimGraph* sg = [] {
+    SimGraphOptions opts;
+    opts.tau = 0.002;
+    return new SimGraph(
+        BuildSimGraph(MicroDataset().follow_graph, MicroProfiles(), opts));
+  }();
+  return *sg;
+}
+
+void BM_BfsFullGraph(benchmark::State& state) {
+  const Digraph& g = MicroDataset().follow_graph;
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BfsDistances(g, src, TraversalDirection::kOut));
+    src = (src + 97) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_BfsFullGraph);
+
+void BM_TwoHopNeighborhood(benchmark::State& state) {
+  const Digraph& g = MicroDataset().follow_graph;
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KHopNeighborhood(g, src, 2, TraversalDirection::kOut));
+    src = (src + 97) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_TwoHopNeighborhood);
+
+void BM_SimilarityPair(benchmark::State& state) {
+  const ProfileStore& p = MicroProfiles();
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Similarity(u, (u + 13) % p.num_users()));
+    u = (u + 7) % p.num_users();
+  }
+}
+BENCHMARK(BM_SimilarityPair);
+
+void BM_SimilarityBatch(benchmark::State& state) {
+  const ProfileStore& p = MicroProfiles();
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.SimilaritiesOf(u));
+    u = (u + 7) % p.num_users();
+  }
+}
+BENCHMARK(BM_SimilarityBatch);
+
+void BM_SimGraphBuild(benchmark::State& state) {
+  SimGraphOptions opts;
+  opts.tau = 0.002;
+  opts.mode = state.range(0) == 0 ? CandidateMode::kTwoHopBfs
+                                  : CandidateMode::kInvertedIndex;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildSimGraph(MicroDataset().follow_graph, MicroProfiles(), opts));
+  }
+  state.SetLabel(state.range(0) == 0 ? "two-hop-bfs" : "inverted-index");
+}
+BENCHMARK(BM_SimGraphBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Propagation(benchmark::State& state) {
+  const SimGraph& sg = MicroSimGraph();
+  Propagator propagator(sg);
+  // Seeds: a few present users.
+  std::vector<UserId> seeds;
+  for (NodeId u = 0; u < sg.graph.num_nodes() && seeds.size() < 5; ++u) {
+    if (sg.graph.InDegree(u) > 0) seeds.push_back(u);
+  }
+  PropagationOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        propagator.Propagate(seeds, static_cast<int64_t>(seeds.size()), opts));
+  }
+}
+BENCHMARK(BM_Propagation);
+
+void BM_Solver(benchmark::State& state) {
+  const SimGraph& sg = MicroSimGraph();
+  std::vector<UserId> seeds;
+  for (NodeId u = 0; u < sg.graph.num_nodes() && seeds.size() < 5; ++u) {
+    if (sg.graph.InDegree(u) > 0) seeds.push_back(u);
+  }
+  std::vector<UserId> users;
+  std::vector<double> b;
+  const SparseMatrix a = BuildPropagationSystem(sg, seeds, &users, &b);
+  SolverOptions opts;
+  opts.method = static_cast<SolverMethod>(state.range(0));
+  opts.tolerance = 1e-10;
+  opts.max_iterations = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAllowDivergence(a, b, opts));
+  }
+  state.SetLabel(std::string(SolverMethodName(opts.method)));
+}
+BENCHMARK(BM_Solver)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CandidateStoreTopK(benchmark::State& state) {
+  const Dataset& d = MicroDataset();
+  std::vector<Timestamp> times;
+  for (const Tweet& t : d.tweets) times.push_back(t.time);
+  CandidateStore store(d.num_users(), std::move(times),
+                       72 * kSecondsPerHour);
+  Rng rng(3);
+  const Timestamp now = d.EndTime();
+  for (int i = 0; i < 20000; ++i) {
+    store.Deposit(static_cast<UserId>(rng.NextBounded(
+                      static_cast<uint64_t>(d.num_users()))),
+                  static_cast<TweetId>(rng.NextBounded(
+                      static_cast<uint64_t>(d.num_tweets()))),
+                  rng.NextDouble());
+  }
+  UserId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.TopK(u, now, 30));
+    u = (u + 1) % d.num_users();
+  }
+}
+BENCHMARK(BM_CandidateStoreTopK);
+
+}  // namespace
+}  // namespace simgraph
+
+BENCHMARK_MAIN();

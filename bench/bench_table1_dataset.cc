@@ -1,0 +1,49 @@
+// Table 1: main features of the (synthetic) Twitter dataset.
+//
+// The paper crawled 2.2M users / 325.5M edges / 3002M tweets; we print the
+// same rows for the generated trace, alongside the paper's values for
+// reference. The shape to check: heavy-tailed degrees with max >> mean,
+// small diameter (~15) and a short average path (~3.7).
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Table 1: main features of the dataset");
+
+  const Dataset& d = BenchDataset();
+  PathStatsOptions popts;
+  popts.num_sources = 64;
+  popts.num_sweeps = 8;
+  const GraphSummary s = Summarize(d.follow_graph, popts);
+
+  TableWriter table("Table 1 (paper values for the 2015 crawl in brackets)");
+  table.SetHeader({"feature", "measured", "paper"});
+  table.AddRow({"# nodes", TableWriter::Cell(s.num_nodes), "2.2M"});
+  table.AddRow({"# edges", TableWriter::Cell(s.num_edges), "325.5M"});
+  table.AddRow({"# tweets", TableWriter::Cell(d.num_tweets()), "3,002M"});
+  table.AddRow({"avg. out-deg.", TableWriter::Cell(s.avg_out_degree), "57.8"});
+  table.AddRow({"avg. in-deg.", TableWriter::Cell(s.avg_in_degree), "69.4"});
+  table.AddRow({"max out-deg.", TableWriter::Cell(s.max_out_degree), "349K"});
+  table.AddRow({"max in-deg.", TableWriter::Cell(s.max_in_degree), "185K"});
+  table.AddRow({"diameter", TableWriter::Cell(int64_t{s.diameter_estimate}),
+                "15"});
+  table.AddRow({"avg. path length", TableWriter::Cell(s.avg_path_length),
+                "3.7"});
+  table.AddRow({"largest WCC", TableWriter::Cell(s.largest_wcc), "(connected)"});
+  table.Print(std::cout);
+
+  Rng rng(3);
+  std::cout << "clustering coefficient (sampled): "
+            << TableWriter::Cell(
+                   SampledClusteringCoefficient(d.follow_graph, 512, rng))
+            << " (small world: high clustering + short paths)\n";
+  std::cout << "avg tweets per user: "
+            << TableWriter::Cell(static_cast<double>(d.num_tweets()) /
+                                 static_cast<double>(d.num_users()))
+            << " (paper: 1375)\n";
+  return 0;
+}

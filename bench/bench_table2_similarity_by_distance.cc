@@ -1,0 +1,39 @@
+// Table 2: evolution of the similarity score with network distance.
+//
+// Paper shape: direct neighbours (distance 1) are the most similar pairs
+// (0.0056 vs overall 0.0019) but only ~6% of positive pairs; distance 2
+// still beats the average; distance 3+ falls below it.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Table 2: similarity score by network distance");
+
+  const Dataset& d = BenchDataset();
+  ProfileStore profiles(d, d.num_retweets());
+  HomophilyStudyOptions opts;
+  opts.num_probe_users = 500;
+  opts.min_retweets = 5;
+  const HomophilyStudy study = RunHomophilyStudy(d, profiles, opts);
+
+  TableWriter table(
+      "Table 2 (paper: d1 5.96%/0.0056, d2 37.9%/0.0021, d3 51.8%/0.0017, "
+      "overall 0.0019)");
+  table.SetHeader({"distance", "nb of pairs", "perc.", "avg similarity"});
+  for (const SimilarityByDistanceRow& row : study.similarity_by_distance) {
+    table.AddRow({row.distance < 0 ? "Impossible"
+                                   : TableWriter::Cell(int64_t{row.distance}),
+                  TableWriter::Cell(row.num_pairs),
+                  TableWriter::Cell(row.percentage) + "%",
+                  TableWriter::Cell(row.mean_similarity)});
+  }
+  table.Print(std::cout);
+  std::cout << "overall mean similarity of positive pairs: "
+            << TableWriter::Cell(study.overall_mean_similarity)
+            << " (paper: 0.0019)\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 3: link between the rank in the Top-5 most-similar users and
+// network distance.
+//
+// Paper shape: the #1 most similar user is a direct neighbour 53% of the
+// time; average distance grows from 1.65 (rank 1) to 1.99 (rank 5);
+// distance <= 2 captures 70-80% of the Top-5.
+
+#include <iostream>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace simgraph;
+  using namespace simgraph::bench;
+  PrintPreamble("Table 3: Top-N rank vs network distance");
+
+  const Dataset& d = BenchDataset();
+  ProfileStore profiles(d, d.num_retweets());
+  HomophilyStudyOptions opts;
+  opts.num_probe_users = 500;
+  opts.min_retweets = 5;
+  const HomophilyStudy study = RunHomophilyStudy(d, profiles, opts);
+
+  TableWriter table(
+      "Table 3 (paper: rank1 avg 1.65 with 53.3%@d1; rank5 avg 1.99 with "
+      "32.0%@d1)");
+  table.SetHeader({"rank", "avg distance", "%d1", "%d2", "%d3", "%d4"});
+  for (const TopRankDistanceRow& row : study.top_rank_distance) {
+    table.AddRow({TableWriter::Cell(int64_t{row.rank}),
+                  TableWriter::Cell(row.avg_distance),
+                  TableWriter::Cell(row.distance_percent[0]),
+                  TableWriter::Cell(row.distance_percent[1]),
+                  TableWriter::Cell(row.distance_percent[2]),
+                  TableWriter::Cell(row.distance_percent[3])});
+  }
+  table.Print(std::cout);
+  std::cout << "Top-5 users within 2 hops: "
+            << TableWriter::Cell(100.0 * study.top_n_within_two_hops)
+            << "% (paper: 70-80%)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef SIMGRAPH_BENCH_COMMON_H_
+#define SIMGRAPH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "simgraph/simgraph.h"
+
+namespace simgraph {
+namespace bench {
+
+/// The shared experiment configuration. Scaled for a single-core box;
+/// override with environment variables:
+///   SIMGRAPH_BENCH_USERS   (default 6000)
+///   SIMGRAPH_BENCH_TWEETS  (default 8x users)
+///   SIMGRAPH_BENCH_SEED    (default 42)
+///   SIMGRAPH_BENCH_CACHE   (default /tmp/simgraph_bench; empty disables)
+DatasetConfig BenchConfig();
+
+/// SimGraph construction parameters used across the evaluation benches.
+SimGraphOptions BenchSimGraphOptions();
+
+/// Panel options matching the paper's 3 x 500 protocol, scaled.
+ProtocolOptions BenchProtocolOptions();
+
+/// The daily-budget grid of Figures 7-15.
+std::vector<int32_t> KGrid();
+
+/// Lazily generated dataset shared by every experiment in this process.
+const Dataset& BenchDataset();
+
+/// The evaluation split/panel for BenchDataset().
+const EvalProtocol& BenchProtocol();
+
+/// One method's k-sweep.
+struct MethodSweep {
+  std::string method;
+  std::vector<EvalResult> per_k;
+};
+
+/// Sweeps all four methods over KGrid(), caching results on disk (keyed by
+/// the configuration) so the six figure binaries share one run.
+const std::vector<MethodSweep>& EvalSweeps();
+
+/// Prints a standard experiment preamble (dataset shape, split, panel).
+void PrintPreamble(const std::string& experiment);
+
+}  // namespace bench
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_BENCH_COMMON_H_

@@ -1,0 +1,153 @@
+#include "analysis/distribution_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+// Empirical vs fitted CDF distance on the tail x >= x_min.
+double KsDistance(const std::vector<int64_t>& tail, double alpha,
+                  int64_t x_min) {
+  // tail is sorted ascending. Fitted model: a continuous power law on
+  // [x_min, inf) floored to integers, so P(X <= x) = 1 - ((x+1)/x_min)^(1-a)
+  // — the discrete-correct counterpart of the CSN continuous CDF.
+  const double n = static_cast<double>(tail.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < tail.size(); ++i) {
+    // Skip runs of equal values except the last occurrence.
+    if (i + 1 < tail.size() && tail[i + 1] == tail[i]) continue;
+    const double empirical_cdf = static_cast<double>(i + 1) / n;
+    const double fitted_cdf =
+        1.0 - std::pow(static_cast<double>(tail[i] + 1) /
+                           static_cast<double>(x_min),
+                       1.0 - alpha);
+    worst = std::max(worst, std::abs(empirical_cdf - fitted_cdf));
+  }
+  return worst;
+}
+
+}  // namespace
+
+PowerLawFit FitPowerLaw(const std::vector<int64_t>& samples, int64_t x_min) {
+  SIMGRAPH_CHECK_GE(x_min, 1);
+  PowerLawFit fit;
+  fit.x_min = x_min;
+  std::vector<int64_t> tail;
+  for (int64_t x : samples) {
+    if (x >= x_min) tail.push_back(x);
+  }
+  if (tail.size() < 2) return fit;  // alpha 0, ks 1: no usable tail
+  std::sort(tail.begin(), tail.end());
+
+  // Exact MLE under the floored-continuous model:
+  //   P(X = x) = (x^(1-a) - (x+1)^(1-a)) / x_min^(1-a),
+  // maximised over alpha by golden-section search (the log-likelihood is
+  // unimodal in alpha).
+  const auto log_likelihood = [&](double a) {
+    const double one_minus_a = 1.0 - a;
+    double ll = 0.0;
+    for (int64_t x : tail) {
+      const double p = std::pow(static_cast<double>(x), one_minus_a) -
+                       std::pow(static_cast<double>(x) + 1.0, one_minus_a);
+      ll += std::log(std::max(p, 1e-300));
+    }
+    ll -= static_cast<double>(tail.size()) * one_minus_a *
+          std::log(static_cast<double>(x_min));
+    return ll;
+  };
+  double lo = 1.0001;
+  double hi = 8.0;
+  constexpr double kGolden = 0.6180339887498949;
+  double a = hi - kGolden * (hi - lo);
+  double b = lo + kGolden * (hi - lo);
+  double fa = log_likelihood(a);
+  double fb = log_likelihood(b);
+  for (int iter = 0; iter < 80 && hi - lo > 1e-7; ++iter) {
+    if (fa > fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - kGolden * (hi - lo);
+      fa = log_likelihood(a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + kGolden * (hi - lo);
+      fb = log_likelihood(b);
+    }
+  }
+  fit.alpha = (lo + hi) / 2.0;
+  fit.tail_size = static_cast<int64_t>(tail.size());
+  fit.ks_distance = KsDistance(tail, fit.alpha, x_min);
+  return fit;
+}
+
+PowerLawFit FitPowerLawAuto(const std::vector<int64_t>& samples) {
+  // Candidate x_min values: distinct sample values, capped at 50 distinct
+  // candidates for cost (CSN scan).
+  std::vector<int64_t> candidates;
+  {
+    std::unordered_set<int64_t> seen;
+    for (int64_t x : samples) {
+      if (x >= 1) seen.insert(x);
+    }
+    candidates.assign(seen.begin(), seen.end());
+    std::sort(candidates.begin(), candidates.end());
+    if (candidates.size() > 50) candidates.resize(50);
+  }
+  PowerLawFit best;
+  for (int64_t x_min : candidates) {
+    const PowerLawFit fit = FitPowerLaw(samples, x_min);
+    if (fit.tail_size >= 10 && fit.ks_distance < best.ks_distance) {
+      best = fit;
+    }
+  }
+  if (best.tail_size == 0 && !candidates.empty()) {
+    best = FitPowerLaw(samples, candidates.front());
+  }
+  return best;
+}
+
+double SampledClusteringCoefficient(const Digraph& g, int32_t num_samples,
+                                    Rng& rng) {
+  if (g.num_nodes() == 0) return 0.0;
+  // When the budget covers the graph, evaluate every node exactly;
+  // otherwise sample uniformly.
+  const bool exhaustive = num_samples >= g.num_nodes();
+  const int32_t n = exhaustive ? g.num_nodes() : num_samples;
+  double total = 0.0;
+  for (int32_t s = 0; s < n; ++s) {
+    const NodeId u =
+        exhaustive ? static_cast<NodeId>(s)
+                   : static_cast<NodeId>(rng.NextBounded(
+                         static_cast<uint64_t>(g.num_nodes())));
+    // Undirected neighbourhood of u.
+    std::vector<NodeId> nbrs;
+    nbrs.insert(nbrs.end(), g.OutNeighbors(u).begin(),
+                g.OutNeighbors(u).end());
+    nbrs.insert(nbrs.end(), g.InNeighbors(u).begin(), g.InNeighbors(u).end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    if (nbrs.size() < 2) continue;
+    // Count undirected links among neighbours.
+    int64_t links = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j]) || g.HasEdge(nbrs[j], nbrs[i])) {
+          ++links;
+        }
+      }
+    }
+    const double possible = static_cast<double>(nbrs.size()) *
+                            static_cast<double>(nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(links) / possible;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace simgraph

@@ -1,0 +1,47 @@
+#ifndef SIMGRAPH_ANALYSIS_DISTRIBUTION_FIT_H_
+#define SIMGRAPH_ANALYSIS_DISTRIBUTION_FIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Result of fitting a discrete power law P(x) ~ x^(-alpha) for x >= x_min
+/// to integer samples (Clauset-Shalizi-Newman style: continuous MLE
+/// approximation for alpha plus a Kolmogorov-Smirnov distance).
+struct PowerLawFit {
+  double alpha = 0.0;
+  int64_t x_min = 1;
+  /// KS distance between the empirical and fitted CDFs on the tail
+  /// x >= x_min; small values (< ~0.1 on decent sample sizes) indicate a
+  /// plausible power law.
+  double ks_distance = 1.0;
+  /// Number of samples in the fitted tail.
+  int64_t tail_size = 0;
+};
+
+/// Fits alpha by maximum likelihood for the given x_min under the
+/// floored-continuous model (each integer sample stands for a continuous
+/// value in [x, x+1), so P(X = x) proportional to x^(1-a) - (x+1)^(1-a)),
+/// solved numerically by golden-section search on the log-likelihood.
+/// Samples below x_min are ignored. Requires at least 2 tail samples.
+PowerLawFit FitPowerLaw(const std::vector<int64_t>& samples, int64_t x_min);
+
+/// Scans x_min over the distinct sample values (capped for cost) and
+/// returns the fit minimising the KS distance — the CSN recipe.
+PowerLawFit FitPowerLawAuto(const std::vector<int64_t>& samples);
+
+/// Average local clustering coefficient over `num_samples` random nodes
+/// of the undirected view of `g` (Watts-Strogatz). Degree-0/1 nodes
+/// contribute 0. Used with the path length to characterise the
+/// small-world property the paper cites (Schnettler 2009): a small world
+/// couples short paths with clustering far above the random-graph level.
+double SampledClusteringCoefficient(const Digraph& g, int32_t num_samples,
+                                    Rng& rng);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_ANALYSIS_DISTRIBUTION_FIT_H_

@@ -1,0 +1,66 @@
+#ifndef SIMGRAPH_ANALYSIS_HOMOPHILY_H_
+#define SIMGRAPH_ANALYSIS_HOMOPHILY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/similarity.h"
+#include "dataset/dataset.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Parameters of the Section 3.2 homophily study.
+struct HomophilyStudyOptions {
+  /// Number of probe users sampled (the paper uses 2000).
+  int32_t num_probe_users = 500;
+  /// Probe users must have retweeted at least this many posts.
+  int32_t min_retweets = 5;
+  /// Top-N size for the rank-vs-distance table (the paper uses 5).
+  int32_t top_n = 5;
+  /// Distances above this are folded into the last row.
+  int32_t max_distance = 6;
+  uint64_t seed = 7;
+};
+
+/// One row of Table 2: users-pairs with sim > 0 at a given distance.
+struct SimilarityByDistanceRow {
+  /// Hop distance in the follow graph; -1 encodes "Impossible"
+  /// (similar but unreachable).
+  int32_t distance = 0;
+  int64_t num_pairs = 0;
+  double percentage = 0.0;
+  double mean_similarity = 0.0;
+};
+
+/// One row of Table 3: where the rank-r most similar user sits in the
+/// network.
+struct TopRankDistanceRow {
+  int32_t rank = 0;  // 1-based
+  double avg_distance = 0.0;
+  /// distribution[d-1] = % of rank-r users at distance d (d = 1..4);
+  /// unreachable users are excluded from the distribution.
+  std::vector<double> distance_percent;
+};
+
+/// Results of the homophily study.
+struct HomophilyStudy {
+  std::vector<SimilarityByDistanceRow> similarity_by_distance;  // Table 2
+  std::vector<TopRankDistanceRow> top_rank_distance;            // Table 3
+  /// Mean similarity over all positive pairs (the paper's 0.0019 baseline).
+  double overall_mean_similarity = 0.0;
+  /// Fraction of the Top-N most-similar users found within distance <= 2.
+  double top_n_within_two_hops = 0.0;
+};
+
+/// Runs the study: samples active probe users, computes their similarity
+/// to every co-retweeting user, and cross-tabulates similarity against
+/// follow-graph hop distance (out-direction BFS, like "followees of
+/// followees").
+HomophilyStudy RunHomophilyStudy(const Dataset& dataset,
+                                 const ProfileStore& profiles,
+                                 const HomophilyStudyOptions& options);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_ANALYSIS_HOMOPHILY_H_

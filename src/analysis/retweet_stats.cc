@@ -1,0 +1,75 @@
+#include "analysis/retweet_stats.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+std::vector<Bucket> RetweetsPerTweetBuckets(const Dataset& dataset) {
+  BucketedCounter counter({0, 1, 5, 50, 200, 500});
+  for (int32_t c : dataset.RetweetCountPerTweet()) counter.Add(c);
+  return counter.buckets();
+}
+
+double FractionNeverRetweeted(const Dataset& dataset) {
+  if (dataset.num_tweets() == 0) return 0.0;
+  int64_t zero = 0;
+  for (int32_t c : dataset.RetweetCountPerTweet()) {
+    if (c == 0) ++zero;
+  }
+  return static_cast<double>(zero) /
+         static_cast<double>(dataset.num_tweets());
+}
+
+RetweetsPerUserStats ComputeRetweetsPerUser(const Dataset& dataset) {
+  RetweetsPerUserStats stats;
+  const std::vector<int32_t> counts = dataset.RetweetCountPerUser();
+  Histogram active;
+  LogBinnedCounter bins;
+  int64_t zero = 0;
+  for (int32_t c : counts) {
+    if (c == 0) {
+      ++zero;
+      continue;
+    }
+    active.Add(static_cast<double>(c));
+    bins.Add(c);
+  }
+  stats.log_bins = bins.bins();
+  stats.mean = active.Mean();
+  stats.median = active.count() > 0 ? active.Median() : 0.0;
+  stats.never_retweeted_fraction =
+      counts.empty() ? 0.0
+                     : static_cast<double>(zero) /
+                           static_cast<double>(counts.size());
+  return stats;
+}
+
+Histogram TweetLifetimesHours(const Dataset& dataset) {
+  std::vector<Timestamp> last_retweet(dataset.tweets.size(), -1);
+  for (const RetweetEvent& e : dataset.retweets) {
+    last_retweet[static_cast<size_t>(e.tweet)] =
+        std::max(last_retweet[static_cast<size_t>(e.tweet)], e.time);
+  }
+  Histogram lifetimes;
+  for (const Tweet& t : dataset.tweets) {
+    const Timestamp last = last_retweet[static_cast<size_t>(t.id)];
+    if (last < 0) continue;  // never retweeted
+    lifetimes.Add(static_cast<double>(last - t.time) /
+                  static_cast<double>(kSecondsPerHour));
+  }
+  return lifetimes;
+}
+
+double FractionDeadWithinHours(const Dataset& dataset, double hours) {
+  const Histogram lifetimes = TweetLifetimesHours(dataset);
+  if (lifetimes.count() == 0) return 0.0;
+  int64_t below = 0;
+  for (double h : lifetimes.samples()) {
+    if (h < hours) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(lifetimes.count());
+}
+
+}  // namespace simgraph

@@ -1,0 +1,39 @@
+#ifndef SIMGRAPH_ANALYSIS_RETWEET_STATS_H_
+#define SIMGRAPH_ANALYSIS_RETWEET_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/histogram.h"
+
+namespace simgraph {
+
+/// Figure 2: tweets bucketed by how often they were retweeted
+/// (0, 1, 2-5, 6-50, 51-200, 201-500, 500+).
+std::vector<Bucket> RetweetsPerTweetBuckets(const Dataset& dataset);
+
+/// Fraction of tweets never retweeted (the paper reports ~90%).
+double FractionNeverRetweeted(const Dataset& dataset);
+
+/// Figure 3 data: for users with >= 1 retweet, a log-binned histogram of
+/// their retweet counts, plus mean and median in `mean`/`median`.
+struct RetweetsPerUserStats {
+  std::vector<std::pair<int64_t, int64_t>> log_bins;
+  double mean = 0.0;
+  double median = 0.0;
+  /// Fraction of users with zero retweets (~ a quarter in the paper).
+  double never_retweeted_fraction = 0.0;
+};
+RetweetsPerUserStats ComputeRetweetsPerUser(const Dataset& dataset);
+
+/// Figure 4: lifetime of each tweet with >= 1 retweet, measured as the
+/// span between publication and the last retweet, in hours.
+Histogram TweetLifetimesHours(const Dataset& dataset);
+
+/// Fraction of retweeted tweets whose lifetime is below `hours`.
+double FractionDeadWithinHours(const Dataset& dataset, double hours);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_ANALYSIS_RETWEET_STATS_H_

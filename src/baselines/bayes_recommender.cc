@@ -1,0 +1,98 @@
+#include "baselines/bayes_recommender.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+BayesRecommender::BayesRecommender(BayesOptions options) : options_(options) {}
+
+Status BayesRecommender::Train(const Dataset& dataset, int64_t train_end) {
+  if (train_end < 0 || train_end > dataset.num_retweets()) {
+    return Status::InvalidArgument("train_end out of range");
+  }
+  follow_graph_ = &dataset.follow_graph;
+
+  std::vector<Timestamp> tweet_times;
+  tweet_times.reserve(dataset.tweets.size());
+  tweet_author_.clear();
+  tweet_time_.clear();
+  for (const Tweet& t : dataset.tweets) {
+    tweet_times.push_back(t.time);
+    tweet_author_.push_back(t.author);
+    tweet_time_.push_back(t.time);
+  }
+  candidates_ = std::make_unique<CandidateStore>(
+      dataset.num_users(), std::move(tweet_times), options_.freshness_window);
+  for (int64_t i = 0; i < train_end; ++i) {
+    const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
+    candidates_->MarkConsumed(e.user, e.tweet);
+  }
+  belief_.clear();
+  observed_ = 0;
+  return Status::Ok();
+}
+
+void BayesRecommender::Observe(const RetweetEvent& event) {
+  SIMGRAPH_CHECK(follow_graph_ != nullptr) << "Train must be called first";
+  candidates_->MarkConsumed(event.user, event.tweet);
+  candidates_->MarkConsumed(tweet_author_[static_cast<size_t>(event.tweet)],
+                            event.tweet);
+
+  auto& belief = belief_[event.tweet];
+  belief[event.user] = 1.0;
+
+  // Noisy-OR posterior refresh, breadth-first from the new sharer while
+  // the gain stays above the propagation threshold.
+  std::deque<UserId> frontier{event.user};
+  while (!frontier.empty()) {
+    const UserId v = frontier.front();
+    frontier.pop_front();
+    // v's belief changed; every follower of v re-evaluates.
+    for (UserId f : follow_graph_->InNeighbors(v)) {
+      // Recompute P(f likes t) from all of f's followees with evidence.
+      double not_liking = 1.0;
+      for (UserId g : follow_graph_->OutNeighbors(f)) {
+        const auto it = belief.find(g);
+        if (it != belief.end()) {
+          not_liking *= 1.0 - options_.evidence_weight * it->second;
+        }
+      }
+      const double p_new = 1.0 - not_liking;
+      double& p_old = belief[f];
+      if (p_old >= 1.0) continue;  // f already shared it
+      const double gain = p_new - p_old;
+      if (gain <= 0.0) continue;
+      p_old = p_new;
+      if (p_new >= options_.min_belief) {
+        candidates_->Deposit(f, event.tweet, p_new);
+      }
+      if (gain >= options_.propagation_threshold) frontier.push_back(f);
+    }
+  }
+
+  if (++observed_ % 20000 == 0) {
+    candidates_->EvictStale(event.time);
+    // Drop belief state of stale tweets.
+    for (auto it = belief_.begin(); it != belief_.end();) {
+      if (tweet_time_[static_cast<size_t>(it->first)] +
+              options_.freshness_window <
+          event.time) {
+        it = belief_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<ScoredTweet> BayesRecommender::Recommend(UserId user,
+                                                     Timestamp now,
+                                                     int32_t k) {
+  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  return candidates_->TopK(user, now, k);
+}
+
+}  // namespace simgraph

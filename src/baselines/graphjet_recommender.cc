@@ -1,0 +1,184 @@
+#include "baselines/graphjet_recommender.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+GraphJetRecommender::GraphJetRecommender(GraphJetOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Status GraphJetRecommender::Train(const Dataset& dataset, int64_t train_end) {
+  if (train_end < 0 || train_end > dataset.num_retweets()) {
+    return Status::InvalidArgument("train_end out of range");
+  }
+  tweet_time_.clear();
+  tweet_author_.clear();
+  for (const Tweet& t : dataset.tweets) {
+    tweet_time_.push_back(t.time);
+    tweet_author_.push_back(t.author);
+  }
+  consumed_.assign(static_cast<size_t>(dataset.num_users()), {});
+  segments_.clear();
+
+  // GraphJet has no model to fit; "training" just replays the tail of the
+  // training stream that falls inside the interaction window (older
+  // segments would have been expired anyway).
+  const Timestamp split_time =
+      train_end > 0 ? dataset.retweets[static_cast<size_t>(train_end - 1)].time
+                    : 0;
+  const Timestamp window_start = split_time - options_.window;
+  // Authored tweets inside the window are interactions too.
+  for (const Tweet& t : dataset.tweets) {
+    if (t.time >= window_start && t.time <= split_time) {
+      Ingest(t.author, t.id, t.time);
+    }
+  }
+  for (int64_t i = 0; i < train_end; ++i) {
+    const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
+    consumed_[static_cast<size_t>(e.user)].insert(e.tweet);
+    if (e.time >= window_start) Ingest(e.user, e.tweet, e.time);
+  }
+  return Status::Ok();
+}
+
+void GraphJetRecommender::Ingest(UserId user, TweetId tweet, Timestamp time) {
+  Rotate(time);
+  Segment& seg = segments_.back();
+  seg.by_user[user].push_back(tweet);
+  seg.by_tweet[tweet].push_back(user);
+  ++seg.num_edges;
+}
+
+void GraphJetRecommender::Rotate(Timestamp now) {
+  if (segments_.empty()) {
+    Segment seg;
+    seg.start = now - now % options_.segment_span;
+    segments_.push_back(std::move(seg));
+  }
+  while (now >= segments_.back().start + options_.segment_span) {
+    Segment seg;
+    seg.start = segments_.back().start + options_.segment_span;
+    segments_.push_back(std::move(seg));
+  }
+  while (!segments_.empty() &&
+         segments_.front().start + options_.segment_span <
+             now - options_.window) {
+    segments_.pop_front();
+  }
+}
+
+void GraphJetRecommender::Observe(const RetweetEvent& event) {
+  SIMGRAPH_CHECK(!tweet_time_.empty() || tweet_author_.empty())
+      << "Train must be called first";
+  consumed_[static_cast<size_t>(event.user)].insert(event.tweet);
+  Ingest(event.user, event.tweet, event.time);
+}
+
+std::vector<ScoredTweet> GraphJetRecommender::Recommend(UserId user,
+                                                        Timestamp now,
+                                                        int32_t k) {
+  Rotate(now);
+
+  // Collect u's live interactions as walk starting points.
+  std::vector<TweetId> start_tweets;
+  for (const Segment& seg : segments_) {
+    const auto it = seg.by_user.find(user);
+    if (it != seg.by_user.end()) {
+      start_tweets.insert(start_tweets.end(), it->second.begin(),
+                          it->second.end());
+    }
+  }
+  if (start_tweets.empty()) return {};  // cold user: no walk can start
+
+  // Uniform pick over a tweet's interactors across all segments.
+  auto random_interactor = [&](TweetId t) -> UserId {
+    int64_t total = 0;
+    for (const Segment& seg : segments_) {
+      const auto it = seg.by_tweet.find(t);
+      if (it != seg.by_tweet.end()) {
+        total += static_cast<int64_t>(it->second.size());
+      }
+    }
+    if (total == 0) return kInvalidNode;
+    int64_t pick =
+        static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(total)));
+    for (const Segment& seg : segments_) {
+      const auto it = seg.by_tweet.find(t);
+      if (it == seg.by_tweet.end()) continue;
+      if (pick < static_cast<int64_t>(it->second.size())) {
+        return it->second[static_cast<size_t>(pick)];
+      }
+      pick -= static_cast<int64_t>(it->second.size());
+    }
+    return kInvalidNode;
+  };
+  auto random_tweet_of = [&](UserId v) -> TweetId {
+    int64_t total = 0;
+    for (const Segment& seg : segments_) {
+      const auto it = seg.by_user.find(v);
+      if (it != seg.by_user.end()) {
+        total += static_cast<int64_t>(it->second.size());
+      }
+    }
+    if (total == 0) return kInvalidTweet;
+    int64_t pick =
+        static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(total)));
+    for (const Segment& seg : segments_) {
+      const auto it = seg.by_user.find(v);
+      if (it == seg.by_user.end()) continue;
+      if (pick < static_cast<int64_t>(it->second.size())) {
+        return it->second[static_cast<size_t>(pick)];
+      }
+      pick -= static_cast<int64_t>(it->second.size());
+    }
+    return kInvalidTweet;
+  };
+
+  std::unordered_map<TweetId, int64_t> visits;
+  const auto& consumed = consumed_[static_cast<size_t>(user)];
+  for (int32_t w = 0; w < options_.num_walks; ++w) {
+    TweetId t = start_tweets[rng_.NextBounded(start_tweets.size())];
+    for (int32_t d = 0; d < options_.walk_depth; ++d) {
+      const UserId v = random_interactor(t);
+      if (v == kInvalidNode) break;
+      t = random_tweet_of(v);
+      if (t == kInvalidTweet) break;
+      const bool fresh =
+          tweet_time_[static_cast<size_t>(t)] + options_.freshness_window >=
+              now &&
+          tweet_time_[static_cast<size_t>(t)] <= now;
+      if (fresh && !consumed.contains(t) &&
+          tweet_author_[static_cast<size_t>(t)] != user) {
+        ++visits[t];
+      }
+    }
+  }
+
+  std::vector<ScoredTweet> scored;
+  scored.reserve(visits.size());
+  for (const auto& [t, count] : visits) {
+    scored.push_back(ScoredTweet{t, static_cast<double>(count)});
+  }
+  const auto better = [](const ScoredTweet& a, const ScoredTweet& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tweet < b.tweet;
+  };
+  if (static_cast<int64_t>(scored.size()) > k) {
+    std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                      better);
+    scored.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(scored.begin(), scored.end(), better);
+  }
+  return scored;
+}
+
+int64_t GraphJetRecommender::num_live_interactions() const {
+  int64_t total = 0;
+  for (const Segment& seg : segments_) total += seg.num_edges;
+  return total;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,143 @@
+#include "core/bubbles.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+std::vector<int64_t> BubbleAssignment::BubbleSizes() const {
+  std::vector<int64_t> sizes(static_cast<size_t>(num_bubbles), 0);
+  for (int32_t b : bubble_of) ++sizes[static_cast<size_t>(b)];
+  return sizes;
+}
+
+int64_t BubbleAssignment::LargestBubble() const {
+  const std::vector<int64_t> sizes = BubbleSizes();
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+BubbleAssignment DetectBubbles(const Digraph& graph,
+                               const BubbleOptions& options) {
+  const NodeId n = graph.num_nodes();
+  std::vector<int32_t> label(static_cast<size_t>(n));
+  for (NodeId u = 0; u < n; ++u) label[static_cast<size_t>(u)] = u;
+
+  Rng rng(options.seed);
+  // Visit nodes in a shuffled order each sweep (standard label
+  // propagation; the shuffle breaks ties between equally strong labels).
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  for (NodeId u = 0; u < n; ++u) order[static_cast<size_t>(u)] = u;
+
+  std::unordered_map<int32_t, double> votes;
+  for (int32_t it = 0; it < options.max_iterations; ++it) {
+    // Fisher-Yates shuffle.
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    bool changed = false;
+    for (NodeId u : order) {
+      votes.clear();
+      const auto out = graph.OutNeighbors(u);
+      for (size_t i = 0; i < out.size(); ++i) {
+        const double w = options.use_weights && graph.has_weights()
+                             ? graph.OutWeights(u)[i]
+                             : 1.0;
+        votes[label[static_cast<size_t>(out[i])]] += w;
+      }
+      for (NodeId v : graph.InNeighbors(u)) {
+        const double w = options.use_weights && graph.has_weights()
+                             ? graph.EdgeWeight(v, u)
+                             : 1.0;
+        votes[label[static_cast<size_t>(v)]] += w;
+      }
+      if (votes.empty()) continue;  // isolated node keeps its own label
+      int32_t best_label = label[static_cast<size_t>(u)];
+      double best_votes = -1.0;
+      for (const auto& [lbl, weight] : votes) {
+        if (weight > best_votes ||
+            (weight == best_votes && lbl < best_label)) {
+          best_votes = weight;
+          best_label = lbl;
+        }
+      }
+      if (best_label != label[static_cast<size_t>(u)]) {
+        label[static_cast<size_t>(u)] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Compact labels to [0, num_bubbles).
+  BubbleAssignment out;
+  out.bubble_of.resize(static_cast<size_t>(n));
+  std::unordered_map<int32_t, int32_t> compact;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto [it, inserted] = compact.emplace(
+        label[static_cast<size_t>(u)], static_cast<int32_t>(compact.size()));
+    out.bubble_of[static_cast<size_t>(u)] = it->second;
+  }
+  out.num_bubbles = static_cast<int32_t>(compact.size());
+  return out;
+}
+
+double IntraBubbleEdgeFraction(const Digraph& graph,
+                               const BubbleAssignment& bubbles) {
+  if (graph.num_edges() == 0) return 0.0;
+  int64_t intra = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (bubbles.bubble_of[static_cast<size_t>(u)] ==
+          bubbles.bubble_of[static_cast<size_t>(v)]) {
+        ++intra;
+      }
+    }
+  }
+  return static_cast<double>(intra) /
+         static_cast<double>(graph.num_edges());
+}
+
+std::vector<ScoredTweet> EscapeBubbleRescore(
+    const std::vector<ScoredTweet>& candidates, UserId user,
+    const std::vector<UserId>& author_of, const BubbleAssignment& bubbles,
+    double boost) {
+  SIMGRAPH_CHECK_GE(boost, 0.0);
+  const int32_t user_bubble = bubbles.bubble_of[static_cast<size_t>(user)];
+  std::vector<ScoredTweet> out;
+  out.reserve(candidates.size());
+  for (const ScoredTweet& st : candidates) {
+    const UserId author = author_of[static_cast<size_t>(st.tweet)];
+    const bool foreign =
+        bubbles.bubble_of[static_cast<size_t>(author)] != user_bubble;
+    out.push_back(
+        ScoredTweet{st.tweet, foreign ? st.score * (1.0 + boost) : st.score});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredTweet& a,
+                                       const ScoredTweet& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tweet < b.tweet;
+  });
+  return out;
+}
+
+double RecommendationLocality(const std::vector<ScoredTweet>& candidates,
+                              UserId user,
+                              const std::vector<UserId>& author_of,
+                              const BubbleAssignment& bubbles) {
+  if (candidates.empty()) return 0.0;
+  const int32_t user_bubble = bubbles.bubble_of[static_cast<size_t>(user)];
+  int64_t local = 0;
+  for (const ScoredTweet& st : candidates) {
+    const UserId author = author_of[static_cast<size_t>(st.tweet)];
+    if (bubbles.bubble_of[static_cast<size_t>(author)] == user_bubble) {
+      ++local;
+    }
+  }
+  return static_cast<double>(local) /
+         static_cast<double>(candidates.size());
+}
+
+}  // namespace simgraph

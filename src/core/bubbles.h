@@ -1,0 +1,70 @@
+#ifndef SIMGRAPH_CORE_BUBBLES_H_
+#define SIMGRAPH_CORE_BUBBLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recommender.h"
+#include "graph/digraph.h"
+
+namespace simgraph {
+
+/// Information-bubble analysis — the paper's second future-work direction
+/// (Section 7): "recommended information is generally originated from the
+/// same sub-part of the graph. We are currently working on the
+/// identification of bubbles ... then we will propose a complementary
+/// score for recommendations by escaping from information locality."
+///
+/// Bubbles are detected with synchronous label propagation over the
+/// undirected view of a (similarity) graph; isolated nodes keep their own
+/// singleton label.
+struct BubbleAssignment {
+  /// bubble_of[u] in [0, num_bubbles); singletons included.
+  std::vector<int32_t> bubble_of;
+  int32_t num_bubbles = 0;
+
+  /// Sizes per bubble id.
+  std::vector<int64_t> BubbleSizes() const;
+  /// Size of the largest bubble.
+  int64_t LargestBubble() const;
+};
+
+/// Options for label-propagation bubble detection.
+struct BubbleOptions {
+  int32_t max_iterations = 20;
+  /// Edge weights (similarities) weigh the label votes when present.
+  bool use_weights = true;
+  uint64_t seed = 17;
+};
+
+/// Detects bubbles on `graph` (typically the SimGraph).
+BubbleAssignment DetectBubbles(const Digraph& graph,
+                               const BubbleOptions& options);
+
+/// Fraction of graph edges that stay inside one bubble; high values mean
+/// recommendations propagate locally (the "information bubble" effect).
+double IntraBubbleEdgeFraction(const Digraph& graph,
+                               const BubbleAssignment& bubbles);
+
+/// Complementary diversity score of Section 7: rescores candidates so
+/// posts originating outside the user's bubble get a boost.
+///
+///   score' = score * (1 + boost)   when bubble(author) != bubble(user)
+///
+/// `author_of[t]` maps tweets to authors. Returns the re-ranked list
+/// (descending by the adjusted score; the adjusted scores are returned).
+std::vector<ScoredTweet> EscapeBubbleRescore(
+    const std::vector<ScoredTweet>& candidates, UserId user,
+    const std::vector<UserId>& author_of, const BubbleAssignment& bubbles,
+    double boost);
+
+/// Share of `candidates` whose author sits in the same bubble as `user`
+/// (1.0 = fully local recommendations).
+double RecommendationLocality(const std::vector<ScoredTweet>& candidates,
+                              UserId user,
+                              const std::vector<UserId>& author_of,
+                              const BubbleAssignment& bubbles);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_CORE_BUBBLES_H_

@@ -1,0 +1,77 @@
+#include "core/candidate_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+CandidateStore::CandidateStore(int32_t num_users,
+                               std::vector<Timestamp> tweet_times,
+                               Timestamp freshness_window)
+    : tweet_times_(std::move(tweet_times)),
+      freshness_window_(freshness_window),
+      candidates_(static_cast<size_t>(num_users)),
+      consumed_(static_cast<size_t>(num_users)) {
+  SIMGRAPH_CHECK_GT(freshness_window, 0);
+}
+
+void CandidateStore::Deposit(UserId user, TweetId tweet, double score) {
+  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return;
+  double& slot = candidates_[static_cast<size_t>(user)][tweet];
+  slot = std::max(slot, score);
+}
+
+void CandidateStore::Accumulate(UserId user, TweetId tweet, double delta) {
+  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return;
+  candidates_[static_cast<size_t>(user)][tweet] += delta;
+}
+
+void CandidateStore::MarkConsumed(UserId user, TweetId tweet) {
+  consumed_[static_cast<size_t>(user)].insert(tweet);
+  candidates_[static_cast<size_t>(user)].erase(tweet);
+}
+
+std::vector<ScoredTweet> CandidateStore::TopK(UserId user, Timestamp now,
+                                              int32_t k) const {
+  std::vector<ScoredTweet> fresh;
+  for (const auto& [tweet, score] : candidates_[static_cast<size_t>(user)]) {
+    if (score > 0.0 && IsFresh(tweet, now) &&
+        tweet_times_[static_cast<size_t>(tweet)] <= now) {
+      fresh.push_back(ScoredTweet{tweet, score});
+    }
+  }
+  const auto better = [](const ScoredTweet& a, const ScoredTweet& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tweet < b.tweet;
+  };
+  if (static_cast<int64_t>(fresh.size()) > k) {
+    std::partial_sort(fresh.begin(), fresh.begin() + k, fresh.end(), better);
+    fresh.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(fresh.begin(), fresh.end(), better);
+  }
+  return fresh;
+}
+
+void CandidateStore::EvictStale(Timestamp now) {
+  for (auto& per_user : candidates_) {
+    for (auto it = per_user.begin(); it != per_user.end();) {
+      if (!IsFresh(it->first, now)) {
+        it = per_user.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+int64_t CandidateStore::TotalCandidates() const {
+  int64_t total = 0;
+  for (const auto& per_user : candidates_) {
+    total += static_cast<int64_t>(per_user.size());
+  }
+  return total;
+}
+
+}  // namespace simgraph

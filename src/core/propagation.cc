@@ -1,0 +1,184 @@
+#include "core/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+double DynamicThreshold::Evaluate(int64_t m) const {
+  if (m <= 0) return 0.0;
+  const double mp = std::pow(static_cast<double>(m), p);
+  return mp / (std::pow(k, p) + mp);
+}
+
+Propagator::Propagator(const SimGraph& sim_graph) : sim_graph_(&sim_graph) {}
+
+PropagationResult Propagator::Propagate(
+    const std::vector<UserId>& seeds, int64_t popularity,
+    const PropagationOptions& options) const {
+  const Digraph& g = sim_graph_->graph;
+  PropagationResult result;
+
+  std::unordered_set<UserId> seed_set;
+  for (UserId s : seeds) {
+    SIMGRAPH_CHECK_GE(s, 0);
+    SIMGRAPH_CHECK_LT(s, g.num_nodes());
+    seed_set.insert(s);
+  }
+  if (seed_set.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  const double propagation_threshold =
+      options.dynamic.enabled
+          ? options.dynamic.Evaluate(popularity) * options.dynamic_scale
+          : options.beta;
+
+  // Sparse scores; absent means 0. Seeds are pinned at 1 and never stored
+  // here (ScoreOf special-cases them).
+  std::unordered_map<UserId, double> score;
+  auto score_of = [&](UserId v) -> double {
+    if (seed_set.contains(v)) return 1.0;
+    const auto it = score.find(v);
+    return it == score.end() ? 0.0 : it->second;
+  };
+
+  // Users whose score changed enough last round to justify re-evaluating
+  // their influencees this round.
+  std::vector<UserId> frontier(seed_set.begin(), seed_set.end());
+  std::sort(frontier.begin(), frontier.end());
+
+  bool converged = false;
+  int32_t it = 0;
+  for (; it < options.max_iterations && !frontier.empty(); ++it) {
+    // Affected users: those influenced by a frontier member, i.e. the
+    // in-neighbours in the SimGraph (edge u->v means v influences u).
+    std::unordered_set<UserId> affected;
+    for (UserId v : frontier) {
+      for (UserId u : g.InNeighbors(v)) {
+        if (!seed_set.contains(u)) affected.insert(u);
+      }
+    }
+
+    // Jacobi-style round: evaluate all affected users against the scores
+    // of the previous round (Algorithm 1 line 10).
+    std::vector<std::pair<UserId, double>> updates;
+    updates.reserve(affected.size());
+    for (UserId u : affected) {
+      const auto nbrs = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      double acc = 0.0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        acc += score_of(nbrs[i]) * weights[i];
+      }
+      const double p_new = acc / static_cast<double>(nbrs.size());
+      updates.emplace_back(u, p_new);
+    }
+
+    std::vector<UserId> next_frontier;
+    for (const auto& [u, p_new] : updates) {
+      const double p_old = score_of(u);
+      const double delta = std::abs(p_new - p_old);
+      if (delta <= options.epsilon) continue;
+      score[u] = p_new;
+      ++result.updates;
+      // The static/dynamic threshold gates further propagation, not the
+      // score update itself (Section 5.4).
+      if (delta >= propagation_threshold) next_frontier.push_back(u);
+    }
+    if (next_frontier.empty()) {
+      converged = true;
+      ++it;
+      break;
+    }
+    std::sort(next_frontier.begin(), next_frontier.end());
+    frontier = std::move(next_frontier);
+  }
+
+  result.iterations = it;
+  result.converged = converged || frontier.empty();
+  result.scores.reserve(score.size());
+  for (const auto& [u, p] : score) {
+    if (p > 0.0) result.scores.push_back(UserScore{u, p});
+  }
+  return result;
+}
+
+std::vector<PropagationResult> Propagator::PropagateBatch(
+    const std::vector<std::vector<UserId>>& seed_sets,
+    const PropagationOptions& options, ThreadPool& pool) const {
+  std::vector<PropagationResult> results(seed_sets.size());
+  ParallelFor(pool, static_cast<int64_t>(seed_sets.size()),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const auto& seeds = seed_sets[static_cast<size_t>(i)];
+                  results[static_cast<size_t>(i)] = Propagate(
+                      seeds, static_cast<int64_t>(seeds.size()), options);
+                }
+              });
+  return results;
+}
+
+SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
+                                    const std::vector<UserId>& seeds,
+                                    std::vector<UserId>* users,
+                                    std::vector<double>* b) {
+  SIMGRAPH_CHECK(users != nullptr);
+  SIMGRAPH_CHECK(b != nullptr);
+  const Digraph& g = sim_graph.graph;
+
+  std::unordered_set<UserId> seed_set(seeds.begin(), seeds.end());
+
+  // Reverse-reachable closure from the seeds: everyone whose score can be
+  // non-zero. Edge u->v means v influences u, so influence flows along
+  // in-neighbour chains. Rows are assigned in BFS discovery order from the
+  // sorted seed list, which is deterministic.
+  std::vector<UserId> sorted_seeds(seed_set.begin(), seed_set.end());
+  std::sort(sorted_seeds.begin(), sorted_seeds.end());
+  std::unordered_map<UserId, int32_t> row_of;
+  std::vector<UserId> final_order;
+  std::deque<UserId> queue;
+  auto visit = [&](UserId v) {
+    if (row_of.emplace(v, static_cast<int32_t>(final_order.size())).second) {
+      final_order.push_back(v);
+      queue.push_back(v);
+    }
+  };
+  for (UserId s : sorted_seeds) visit(s);
+  while (!queue.empty()) {
+    const UserId v = queue.front();
+    queue.pop_front();
+    for (UserId u : g.InNeighbors(v)) visit(u);
+  }
+
+  const size_t n = final_order.size();
+  std::vector<double> diag(n, 1.0);
+  std::vector<std::vector<MatrixEntry>> rows(n);
+  b->assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const UserId u = final_order[i];
+    if (seed_set.contains(u)) {
+      (*b)[i] = 1.0;  // clamped identity row
+      continue;
+    }
+    const auto nbrs = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    const double inv_deg =
+        nbrs.empty() ? 0.0 : 1.0 / static_cast<double>(nbrs.size());
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const auto it = row_of.find(nbrs[j]);
+      if (it == row_of.end()) continue;  // influencer with provably-zero score
+      rows[i].push_back(MatrixEntry{it->second, -weights[j] * inv_deg});
+    }
+  }
+  *users = std::move(final_order);
+  return SparseMatrix(std::move(diag), rows);
+}
+
+}  // namespace simgraph

@@ -1,0 +1,56 @@
+#ifndef SIMGRAPH_CORE_RECOMMENDER_H_
+#define SIMGRAPH_CORE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace simgraph {
+
+/// A candidate post with its recommendation score.
+struct ScoredTweet {
+  TweetId tweet = kInvalidTweet;
+  double score = 0.0;
+};
+
+/// Common interface of all four evaluated systems (SimGraph, CF, GraphJet,
+/// Bayes). The evaluation harness drives recommenders through three
+/// phases that mirror the paper's protocol:
+///
+///   1. Train(dataset, train_end): batch-learn from the oldest 90% of
+///      retweet actions (timed as "initialisation" in Table 5);
+///   2. Observe(event): the remaining actions stream in chronological
+///      order (timed as "per message");
+///   3. Recommend(user, now, k): the top-k posts for `user` at time `now`
+///      (pulled once per simulated day by the harness).
+///
+/// Implementations must not peek at events later than those observed.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  /// Short stable identifier, e.g. "SimGraph", "CF".
+  virtual std::string name() const = 0;
+
+  /// Batch-trains on dataset.retweets[0, train_end). The follow graph and
+  /// the tweet catalogue (authors, timestamps) are available in full, as
+  /// they were for every method in the paper.
+  virtual Status Train(const Dataset& dataset, int64_t train_end) = 0;
+
+  /// Ingests one test-period retweet.
+  virtual void Observe(const RetweetEvent& event) = 0;
+
+  /// Top-k recommendations for `user` at time `now`, best first. May
+  /// return fewer than k when candidates are scarce (Figure 7 measures
+  /// exactly this capacity).
+  virtual std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
+                                             int32_t k) = 0;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_CORE_RECOMMENDER_H_

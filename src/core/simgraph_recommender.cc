@@ -1,0 +1,150 @@
+#include "core/simgraph_recommender.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+SimGraphRecommender::SimGraphRecommender(SimGraphRecommenderOptions options)
+    : options_(std::move(options)) {}
+
+Status SimGraphRecommender::Train(const Dataset& dataset, int64_t train_end) {
+  if (train_end < 0 || train_end > dataset.num_retweets()) {
+    return Status::InvalidArgument("train_end out of range");
+  }
+  ProfileStore profiles(dataset, train_end);
+  follow_graph_ = &dataset.follow_graph;
+  sim_graph_ = BuildSimGraph(dataset.follow_graph, profiles, options_.graph);
+  propagator_ = std::make_unique<Propagator>(sim_graph_);
+
+  std::vector<Timestamp> tweet_times;
+  tweet_times.reserve(dataset.tweets.size());
+  tweet_author_.clear();
+  tweet_author_.reserve(dataset.tweets.size());
+  for (const Tweet& t : dataset.tweets) {
+    tweet_times.push_back(t.time);
+    tweet_author_.push_back(t.author);
+  }
+  candidates_ = std::make_unique<CandidateStore>(
+      dataset.num_users(), std::move(tweet_times), options_.freshness_window);
+
+  // A user is never recommended a post they already shared; seed sets of
+  // tweets still fresh at the split carry over into the test period.
+  const Timestamp split_time =
+      train_end > 0 ? dataset.retweets[static_cast<size_t>(train_end - 1)].time
+                    : 0;
+  tweet_state_.clear();
+  for (int64_t i = 0; i < train_end; ++i) {
+    const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
+    candidates_->MarkConsumed(e.user, e.tweet);
+    const Timestamp tweet_time =
+        dataset.tweets[static_cast<size_t>(e.tweet)].time;
+    if (tweet_time + options_.freshness_window >= split_time) {
+      tweet_state_[e.tweet].seeds.push_back(e.user);
+    }
+  }
+  observed_ = 0;
+  num_propagations_ = 0;
+  return Status::Ok();
+}
+
+void SimGraphRecommender::Observe(const RetweetEvent& event) {
+  SIMGRAPH_CHECK(propagator_ != nullptr) << "Train must be called first";
+  candidates_->MarkConsumed(event.user, event.tweet);
+  candidates_->MarkConsumed(tweet_author_[static_cast<size_t>(event.tweet)],
+                            event.tweet);
+
+  TweetState& state = tweet_state_[event.tweet];
+  state.seeds.push_back(event.user);
+  ++state.pending;
+
+  // Postponed computation: batch retweets arriving within delta into one
+  // propagation run.
+  const bool due = state.last_propagation < 0 ||
+                   event.time - state.last_propagation >=
+                       options_.postpone_delta;
+  if (due) {
+    state.last_propagation = event.time;
+    PropagateTweet(event.tweet, state);
+  }
+
+  // Periodic eviction keeps the candidate store bounded by the freshness
+  // window.
+  if (++observed_ % 50000 == 0) candidates_->EvictStale(event.time);
+}
+
+void SimGraphRecommender::PropagateTweet(TweetId tweet, TweetState& state) {
+  state.pending = 0;
+  const PropagationResult result = propagator_->Propagate(
+      state.seeds, static_cast<int64_t>(state.seeds.size()),
+      options_.propagation);
+  ++num_propagations_;
+  for (const UserScore& us : result.scores) {
+    if (us.score >= options_.min_deposit_score) {
+      candidates_->Deposit(us.user, tweet, us.score);
+    }
+  }
+}
+
+std::vector<ScoredTweet> SimGraphRecommender::Recommend(UserId user,
+                                                        Timestamp now,
+                                                        int32_t k) {
+  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  std::vector<ScoredTweet> own = candidates_->TopK(user, now, k);
+  if (!own.empty() || !options_.cold_start_fallback || !IsColdUser(user)) {
+    return own;
+  }
+  return ColdStartRecommend(user, now, k);
+}
+
+bool SimGraphRecommender::IsColdUser(UserId user) const {
+  return sim_graph_.graph.num_nodes() == 0 ||
+         (sim_graph_.graph.OutDegree(user) == 0 &&
+          sim_graph_.graph.InDegree(user) == 0);
+}
+
+std::vector<ScoredTweet> SimGraphRecommender::ColdStartRecommend(
+    UserId user, Timestamp now, int32_t k) {
+  if (follow_graph_ == nullptr) return {};
+  const auto followees = follow_graph_->OutNeighbors(user);
+  if (followees.empty()) return {};
+  const int64_t limit = std::min<int64_t>(
+      static_cast<int64_t>(followees.size()),
+      options_.cold_start_max_followees);
+  // Pool the followees' own candidate lists; a post recommended to many
+  // followees accumulates score, scaled by the number consulted.
+  std::unordered_map<TweetId, double> pooled;
+  for (int64_t i = 0; i < limit; ++i) {
+    const UserId v = followees[static_cast<size_t>(i)];
+    for (const ScoredTweet& st : candidates_->TopK(v, now, k)) {
+      if (candidates_->IsConsumed(user, st.tweet)) continue;
+      pooled[st.tweet] += st.score / static_cast<double>(limit);
+    }
+  }
+  std::vector<ScoredTweet> out;
+  out.reserve(pooled.size());
+  for (const auto& [tweet, score] : pooled) {
+    out.push_back(ScoredTweet{tweet, score});
+  }
+  const auto better = [](const ScoredTweet& a, const ScoredTweet& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tweet < b.tweet;
+  };
+  if (static_cast<int64_t>(out.size()) > k) {
+    std::partial_sort(out.begin(), out.begin() + k, out.end(), better);
+    out.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(out.begin(), out.end(), better);
+  }
+  return out;
+}
+
+void SimGraphRecommender::ReplaceSimGraph(SimGraph sim_graph) {
+  sim_graph_ = std::move(sim_graph);
+  propagator_ = std::make_unique<Propagator>(sim_graph_);
+}
+
+}  // namespace simgraph

@@ -1,0 +1,102 @@
+#ifndef SIMGRAPH_CORE_SIMGRAPH_RECOMMENDER_H_
+#define SIMGRAPH_CORE_SIMGRAPH_RECOMMENDER_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_store.h"
+#include "core/propagation.h"
+#include "core/recommender.h"
+#include "core/simgraph.h"
+#include "core/similarity.h"
+
+namespace simgraph {
+
+/// Configuration of the end-to-end SimGraph recommender.
+struct SimGraphRecommenderOptions {
+  SimGraphOptions graph;
+  PropagationOptions propagation;
+  /// Posts older than this are never recommended (Section 3.1.2 concludes
+  /// 72 h).
+  Timestamp freshness_window = 72 * kSecondsPerHour;
+  /// Postponed computation delta (Section 5.4): propagation for a tweet
+  /// runs at most once per this interval; retweets arriving in between are
+  /// batched into the next run. 0 propagates on every retweet.
+  Timestamp postpone_delta = 0;
+  /// Propagated scores below this floor are not deposited as candidates:
+  /// a vanishing probability ("a friend of a friend of someone who shared
+  /// it") is propagation bookkeeping, not a recommendation. Works with
+  /// the beta/gamma thresholds to keep the daily capacity in the paper's
+  /// 50-70 band.
+  double min_deposit_score = 0.0;
+  /// Cold-start fallback (Section 4.1): users absent from the SimGraph
+  /// have no propagated candidates; when enabled, their recommendations
+  /// are assembled from the candidates of the accounts they follow
+  /// ("using the neighbourhood's computed recommendation of cold start
+  /// nodes"), scores scaled by 1/|followees|.
+  bool cold_start_fallback = false;
+  /// Cap on the followees consulted for a cold-start query.
+  int32_t cold_start_max_followees = 30;
+};
+
+/// The paper's system: SimGraph + iterative score propagation.
+///
+/// Training builds retweet profiles over the training prefix and the
+/// similarity graph on top of them. Each observed test retweet extends the
+/// tweet's seed set and (subject to the postponement policy) re-propagates
+/// the tweet through the SimGraph; propagated scores are deposited into a
+/// per-user candidate store from which Recommend serves fresh top-k posts.
+class SimGraphRecommender : public Recommender {
+ public:
+  explicit SimGraphRecommender(SimGraphRecommenderOptions options = {});
+
+  std::string name() const override { return "SimGraph"; }
+  Status Train(const Dataset& dataset, int64_t train_end) override;
+  void Observe(const RetweetEvent& event) override;
+  std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
+                                     int32_t k) override;
+
+  /// Replaces the similarity graph (used by the Figure 16 update-strategy
+  /// study to swap in stale / refreshed / crossfold graphs). Must be
+  /// called after Train.
+  void ReplaceSimGraph(SimGraph sim_graph);
+
+  /// The graph built by Train (or injected by ReplaceSimGraph).
+  const SimGraph& sim_graph() const { return sim_graph_; }
+
+  /// Cumulative number of propagation runs (for Table 5 accounting).
+  int64_t num_propagations() const { return num_propagations_; }
+
+  /// True when `user` has no incident SimGraph edge (the cold-start case
+  /// of Section 4.1).
+  bool IsColdUser(UserId user) const;
+
+ private:
+  struct TweetState {
+    std::vector<UserId> seeds;
+    Timestamp last_propagation = -1;
+    int32_t pending = 0;  // retweets since the last propagation
+  };
+
+  void PropagateTweet(TweetId tweet, TweetState& state);
+
+  /// Aggregates followees' candidates for a cold user.
+  std::vector<ScoredTweet> ColdStartRecommend(UserId user, Timestamp now,
+                                              int32_t k);
+
+  SimGraphRecommenderOptions options_;
+  const Digraph* follow_graph_ = nullptr;  // borrowed from the Train dataset
+  SimGraph sim_graph_;
+  std::unique_ptr<Propagator> propagator_;
+  std::unique_ptr<CandidateStore> candidates_;
+  std::unordered_map<TweetId, TweetState> tweet_state_;
+  std::vector<UserId> tweet_author_;  // indexed by tweet id
+  int64_t observed_ = 0;
+  int64_t num_propagations_ = 0;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_CORE_SIMGRAPH_RECOMMENDER_H_

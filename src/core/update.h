@@ -1,0 +1,67 @@
+#ifndef SIMGRAPH_CORE_UPDATE_H_
+#define SIMGRAPH_CORE_UPDATE_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/simgraph.h"
+#include "core/simgraph_recommender.h"
+#include "dataset/dataset.h"
+
+namespace simgraph {
+
+/// The four graph-maintenance strategies compared in Figure 16. The graph
+/// is initially built after `old_end` retweet actions; the strategies
+/// differ in how it is refreshed once `new_end` actions are known.
+enum class UpdateStrategy {
+  /// Rebuild entirely from the follow graph with profiles at new_end
+  /// (best quality, full cost).
+  kFromScratch,
+  /// Keep the graph built at old_end untouched.
+  kOldSimGraph,
+  /// Re-run the SimGraph construction, but explore the *old SimGraph*
+  /// (2-hop) instead of the follow graph, scoring with profiles at
+  /// new_end. Densifies the graph and refreshes weights at a fraction of
+  /// the from-scratch cost.
+  kCrossfold,
+  /// Keep the old topology; recompute only the edge weights with profiles
+  /// at new_end.
+  kWeightUpdate,
+};
+
+std::string_view UpdateStrategyName(UpdateStrategy strategy);
+
+/// Builds the similarity graph according to `strategy`. `old_end` and
+/// `new_end` are retweet-event indices (old_end <= new_end); `options`
+/// configures tau/hops exactly as for BuildSimGraph.
+SimGraph BuildWithStrategy(UpdateStrategy strategy, const Dataset& dataset,
+                           int64_t old_end, int64_t new_end,
+                           const SimGraphOptions& options);
+
+/// Recomputes the weights of `graph`'s edges using `profiles` while
+/// keeping the topology fixed (the kWeightUpdate primitive, exposed for
+/// testing).
+SimGraph RecomputeWeights(const SimGraph& graph, const ProfileStore& profiles);
+
+/// A SimGraphRecommender whose similarity graph is produced by an update
+/// strategy instead of a plain from-scratch build: Train(dataset, end)
+/// first trains normally, then swaps in BuildWithStrategy(strategy,
+/// dataset, old_end, end). Lets the Figure 16 study run through the
+/// standard evaluation harness (which owns the Train call).
+class UpdateStrategyRecommender : public SimGraphRecommender {
+ public:
+  UpdateStrategyRecommender(UpdateStrategy strategy, int64_t old_end,
+                            SimGraphRecommenderOptions options);
+
+  std::string name() const override;
+  Status Train(const Dataset& dataset, int64_t train_end) override;
+
+ private:
+  UpdateStrategy strategy_;
+  int64_t old_end_;
+  SimGraphOptions graph_options_;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_CORE_UPDATE_H_

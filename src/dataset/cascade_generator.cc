@@ -1,0 +1,129 @@
+#include "dataset/cascade_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+std::vector<double> GenerateRetweetPropensities(const DatasetConfig& config,
+                                                Rng& rng) {
+  std::vector<double> rho(static_cast<size_t>(config.num_users), 0.0);
+  for (double& r : rho) {
+    if (rng.NextBernoulli(config.never_retweet_fraction)) continue;
+    // Power-law propensity in (0, 1]: most users retweet rarely, a few
+    // retweet compulsively.
+    const int64_t s =
+        SamplePowerLaw(rng, config.retweet_propensity_alpha, 1, 100);
+    r = static_cast<double>(s) / 100.0;
+  }
+  return rho;
+}
+
+std::vector<Tweet> GenerateTweets(const DatasetConfig& config,
+                                  const InterestModel& interests, Rng& rng) {
+  SIMGRAPH_CHECK_GT(config.num_users, 0);
+  // Activity weights: how prolific each account is.
+  std::vector<double> weight_cdf(static_cast<size_t>(config.num_users));
+  double acc = 0.0;
+  for (size_t u = 0; u < weight_cdf.size(); ++u) {
+    acc += static_cast<double>(
+        SamplePowerLaw(rng, config.tweet_activity_alpha, 1, 3000));
+    weight_cdf[u] = acc;
+  }
+
+  const Timestamp horizon = config.horizon_days * kSecondsPerDay;
+  std::vector<Tweet> tweets;
+  tweets.reserve(static_cast<size_t>(config.num_tweets));
+  for (int64_t i = 0; i < config.num_tweets; ++i) {
+    const double r = rng.NextDouble() * acc;
+    const auto it =
+        std::lower_bound(weight_cdf.begin(), weight_cdf.end(), r);
+    const UserId author =
+        static_cast<UserId>(it - weight_cdf.begin());
+    Tweet t;
+    t.author = std::min<UserId>(author, config.num_users - 1);
+    t.time = static_cast<Timestamp>(
+        rng.NextBounded(static_cast<uint64_t>(horizon)));
+    t.topic = interests.SampleTopic(t.author, rng);
+    tweets.push_back(t);
+  }
+  std::sort(tweets.begin(), tweets.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time < b.time; });
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    tweets[i].id = static_cast<TweetId>(i);
+  }
+  return tweets;
+}
+
+std::vector<RetweetEvent> GenerateCascades(
+    const DatasetConfig& config, const Digraph& follow_graph,
+    const InterestModel& interests, const std::vector<Tweet>& tweets,
+    const std::vector<double>& propensities, Rng& rng) {
+  SIMGRAPH_CHECK_EQ(static_cast<int32_t>(propensities.size()),
+                    follow_graph.num_nodes());
+  const Timestamp horizon = config.horizon_days * kSecondsPerDay;
+  const double halflife_seconds =
+      config.freshness_halflife_hours * static_cast<double>(kSecondsPerHour);
+
+  std::vector<RetweetEvent> events;
+
+  // One share in flight: `user` shared the tweet at `time`.
+  struct Share {
+    UserId user;
+    Timestamp time;
+  };
+
+  std::unordered_set<UserId> shared;  // per cascade
+  for (const Tweet& tweet : tweets) {
+    shared.clear();
+    shared.insert(tweet.author);
+    std::deque<Share> frontier;
+    frontier.push_back(Share{tweet.author, tweet.time});
+    int64_t cascade_size = 0;
+
+    while (!frontier.empty() && cascade_size < config.max_cascade_size) {
+      const Share share = frontier.front();
+      frontier.pop_front();
+      // Followers of the sharer are exposed.
+      for (UserId f : follow_graph.InNeighbors(share.user)) {
+        if (shared.contains(f)) continue;
+        const double rho = propensities[static_cast<size_t>(f)];
+        if (rho == 0.0) continue;
+        const double age_seconds =
+            static_cast<double>(share.time - tweet.time);
+        const double freshness =
+            std::exp(-age_seconds / halflife_seconds * 0.6931471805599453);
+        const double p = config.base_retweet_prob *
+                         interests.Affinity(f, tweet.topic) * rho * freshness;
+        if (!rng.NextBernoulli(p)) continue;
+        // Log-normal reaction delay, in hours.
+        const double delay_hours = rng.NextLogNormal(
+            config.reaction_delay_mu, config.reaction_delay_sigma);
+        const Timestamp t_retweet =
+            share.time + static_cast<Timestamp>(
+                             delay_hours *
+                             static_cast<double>(kSecondsPerHour)) +
+            1;
+        if (t_retweet > horizon) continue;
+        shared.insert(f);
+        events.push_back(RetweetEvent{tweet.id, f, t_retweet});
+        frontier.push_back(Share{f, t_retweet});
+        ++cascade_size;
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const RetweetEvent& a, const RetweetEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.tweet != b.tweet) return a.tweet < b.tweet;
+              return a.user < b.user;
+            });
+  return events;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,45 @@
+#ifndef SIMGRAPH_DATASET_CASCADE_GENERATOR_H_
+#define SIMGRAPH_DATASET_CASCADE_GENERATOR_H_
+
+#include <vector>
+
+#include "dataset/config.h"
+#include "dataset/interest_model.h"
+#include "dataset/types.h"
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Draws per-user retweet propensities rho_u in [0, 1]. A configurable
+/// fraction of users never retweet (rho = 0) and the rest follow a power
+/// law, which yields the heavy-tailed retweets-per-user distribution of
+/// Figure 3.
+std::vector<double> GenerateRetweetPropensities(const DatasetConfig& config,
+                                                Rng& rng);
+
+/// Generates `config.num_tweets` tweets: authors are drawn proportionally
+/// to power-law activity weights, publication times uniformly over the
+/// horizon, topics from the author's interest mixture. Result is sorted by
+/// time with dense ids.
+std::vector<Tweet> GenerateTweets(const DatasetConfig& config,
+                                  const InterestModel& interests, Rng& rng);
+
+/// Simulates the retweet cascade of every tweet over the follow graph.
+///
+/// Each share by user v exposes v's followers; follower f converts with
+/// probability base * affinity(f, topic) * rho_f * freshness(age), where
+/// freshness decays exponentially with the age of the original tweet.
+/// Reaction delays are log-normal. Cascades run as an independent-cascade
+/// process close to criticality, producing ~90% zero-retweet tweets, a
+/// power-law popularity tail (Figure 2) and short lifetimes (Figure 4).
+///
+/// The result contains every retweet event of the trace sorted by time.
+std::vector<RetweetEvent> GenerateCascades(
+    const DatasetConfig& config, const Digraph& follow_graph,
+    const InterestModel& interests, const std::vector<Tweet>& tweets,
+    const std::vector<double>& propensities, Rng& rng);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_CASCADE_GENERATOR_H_

@@ -1,0 +1,32 @@
+#include "dataset/config.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+
+namespace simgraph {
+
+DatasetConfig TinyConfig() {
+  DatasetConfig c;
+  c.num_users = 400;
+  c.num_topics = 8;
+  c.num_communities = 6;
+  c.max_out_degree = 60;
+  c.num_tweets = 3000;
+  c.horizon_days = 30;
+  c.max_cascade_size = 2000;
+  return c;
+}
+
+DatasetConfig DefaultConfig() {
+  DatasetConfig c;
+  const double scale = std::max(0.01, GetEnvDouble("SIMGRAPH_SCALE", 1.0));
+  c.num_users = static_cast<int32_t>(c.num_users * scale);
+  c.num_tweets = static_cast<int64_t>(c.num_tweets * scale);
+  c.num_communities =
+      std::max(4, static_cast<int32_t>(c.num_communities * scale));
+  c.seed = static_cast<uint64_t>(GetEnvInt64("SIMGRAPH_SEED", 42));
+  return c;
+}
+
+}  // namespace simgraph

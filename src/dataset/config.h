@@ -1,0 +1,72 @@
+#ifndef SIMGRAPH_DATASET_CONFIG_H_
+#define SIMGRAPH_DATASET_CONFIG_H_
+
+#include <cstdint>
+
+namespace simgraph {
+
+/// Parameters of the synthetic microblogging platform. Defaults are sized
+/// for a single-core CI box; the distributions (not the absolute sizes)
+/// are what matters for reproducing the paper's observations — see
+/// DESIGN.md section 1 for the substitution rationale.
+struct DatasetConfig {
+  // --- population -----------------------------------------------------
+  int32_t num_users = 20000;
+  /// Topic space of the interest model.
+  int32_t num_topics = 25;
+  /// Number of homophilous communities users are grouped into.
+  int32_t num_communities = 60;
+
+  // --- follow graph (Table 1 shape) ------------------------------------
+  /// Power-law exponent of the out-degree (followee count) distribution.
+  double out_degree_alpha = 1.7;
+  int32_t min_out_degree = 3;
+  int32_t max_out_degree = 1500;
+  /// Probability that a followee is picked inside the user's own
+  /// community (homophily wiring) rather than globally.
+  double intra_community_prob = 0.7;
+  /// Probability of a reciprocal follow-back edge.
+  double reciprocity_prob = 0.15;
+  /// Mixing weight of uniform target choice vs preferential attachment.
+  double uniform_attachment_prob = 0.2;
+
+  // --- tweets and cascades (Figures 2-4 shape) -------------------------
+  /// Length of the simulated trace.
+  int64_t horizon_days = 120;
+  /// Total number of published tweets across all users.
+  int64_t num_tweets = 120000;
+  /// Power-law exponent of per-user publication activity.
+  double tweet_activity_alpha = 1.6;
+  /// Power-law exponent of per-user retweet propensity; a heavy tail plus
+  /// the floor below reproduces "a quarter of users never retweet".
+  double retweet_propensity_alpha = 1.4;
+  /// Fraction of users whose retweet propensity is zero.
+  double never_retweet_fraction = 0.25;
+  /// Base per-exposure retweet probability before affinity/propensity
+  /// scaling; controls how close cascades run to criticality.
+  double base_retweet_prob = 0.5;
+  /// Exponential freshness decay constant (hours): exposures later than a
+  /// few multiples of this effectively never convert. Keeps 90% of
+  /// cascades dead within 72h (Figure 4).
+  double freshness_halflife_hours = 24.0;
+  /// Log-normal reaction delay: parameters of log(delay in hours).
+  double reaction_delay_mu = 0.0;
+  double reaction_delay_sigma = 1.8;
+  /// Hard cap on a single cascade (safety valve against super-critical
+  /// parameter choices).
+  int64_t max_cascade_size = 20000;
+
+  // --- misc -------------------------------------------------------------
+  uint64_t seed = 42;
+};
+
+/// A CI-sized configuration for unit tests (a few hundred users).
+DatasetConfig TinyConfig();
+
+/// The default evaluation-sized configuration, optionally scaled by the
+/// SIMGRAPH_SCALE environment variable (1 = default).
+DatasetConfig DefaultConfig();
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_CONFIG_H_

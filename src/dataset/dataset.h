@@ -1,0 +1,60 @@
+#ifndef SIMGRAPH_DATASET_DATASET_H_
+#define SIMGRAPH_DATASET_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/types.h"
+#include "graph/digraph.h"
+#include "util/status.h"
+
+namespace simgraph {
+
+/// A complete microblogging trace: the follow graph, every published tweet
+/// and every retweet action, both in chronological order.
+///
+/// Invariants (established by the generator / Load, checked by Validate):
+///   * tweets[i].id == i and tweets are sorted by time;
+///   * retweets are sorted by time; each references a valid tweet/user;
+///   * a user retweets a given tweet at most once and authors never
+///     retweet their own tweet.
+struct Dataset {
+  Digraph follow_graph;
+  std::vector<Tweet> tweets;
+  std::vector<RetweetEvent> retweets;
+
+  int32_t num_users() const { return follow_graph.num_nodes(); }
+  int64_t num_tweets() const { return static_cast<int64_t>(tweets.size()); }
+  int64_t num_retweets() const {
+    return static_cast<int64_t>(retweets.size());
+  }
+
+  /// Retweet count per tweet (the paper's popularity m(i)).
+  std::vector<int32_t> RetweetCountPerTweet() const;
+
+  /// Number of retweet actions performed by each user.
+  std::vector<int32_t> RetweetCountPerUser() const;
+
+  /// Index of the first retweet event with time >= the `fraction` quantile
+  /// of the event sequence, i.e. retweets[0..idx) are the oldest
+  /// `fraction` of actions. Used for the 90/10 chronological split.
+  int64_t SplitIndex(double fraction) const;
+
+  /// Timestamp of the last event (tweet or retweet); 0 when empty.
+  Timestamp EndTime() const;
+
+  /// Checks all documented invariants.
+  Status Validate() const;
+};
+
+/// Serialises the dataset to a directory (graph.txt, tweets.txt,
+/// retweets.txt). The directory must exist.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_DATASET_H_

@@ -1,0 +1,33 @@
+#include "dataset/generator.h"
+
+#include "dataset/cascade_generator.h"
+#include "dataset/interest_model.h"
+#include "dataset/social_graph_generator.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace simgraph {
+
+Dataset GenerateDataset(const DatasetConfig& config) {
+  WallTimer timer;
+  Rng rng(config.seed);
+
+  InterestModel interests(config, rng);
+  Dataset d;
+  d.follow_graph = GenerateSocialGraph(config, interests, rng);
+  const std::vector<double> propensities =
+      GenerateRetweetPropensities(config, rng);
+  d.tweets = GenerateTweets(config, interests, rng);
+  d.retweets = GenerateCascades(config, d.follow_graph, interests, d.tweets,
+                                propensities, rng);
+
+  SIMGRAPH_LOG(Info) << "generated dataset: " << d.num_users() << " users, "
+                     << d.follow_graph.num_edges() << " edges, "
+                     << d.num_tweets() << " tweets, " << d.num_retweets()
+                     << " retweets in " << FormatDuration(timer.ElapsedSeconds());
+  SIMGRAPH_CHECK_OK(d.Validate());
+  return d;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,15 @@
+#ifndef SIMGRAPH_DATASET_GENERATOR_H_
+#define SIMGRAPH_DATASET_GENERATOR_H_
+
+#include "dataset/config.h"
+#include "dataset/dataset.h"
+
+namespace simgraph {
+
+/// End-to-end synthetic trace generation: interests -> follow graph ->
+/// tweets -> cascades. Deterministic for a fixed config (including seed).
+Dataset GenerateDataset(const DatasetConfig& config);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_GENERATOR_H_

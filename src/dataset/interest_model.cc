@@ -1,0 +1,112 @@
+#include "dataset/interest_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+InterestModel::InterestModel(const DatasetConfig& config, Rng& rng)
+    : num_topics_(config.num_topics),
+      num_communities_(config.num_communities) {
+  SIMGRAPH_CHECK_GT(config.num_users, 0);
+  SIMGRAPH_CHECK_GT(num_topics_, 1);
+  SIMGRAPH_CHECK_GT(num_communities_, 0);
+
+  community_.resize(static_cast<size_t>(config.num_users));
+  interests_.resize(static_cast<size_t>(config.num_users));
+  members_.resize(static_cast<size_t>(num_communities_));
+
+  // Zipf-sized communities: a few big ones, a long tail of small ones.
+  ZipfDistribution community_sizes(num_communities_, 1.0);
+
+  // Each community gets a primary and a distinct secondary topic.
+  std::vector<int32_t> primary(static_cast<size_t>(num_communities_));
+  std::vector<int32_t> secondary(static_cast<size_t>(num_communities_));
+  for (int32_t c = 0; c < num_communities_; ++c) {
+    primary[static_cast<size_t>(c)] =
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_topics_)));
+    int32_t sec = primary[static_cast<size_t>(c)];
+    while (sec == primary[static_cast<size_t>(c)]) {
+      sec = static_cast<int32_t>(
+          rng.NextBounded(static_cast<uint64_t>(num_topics_)));
+    }
+    secondary[static_cast<size_t>(c)] = sec;
+  }
+
+  for (UserId u = 0; u < config.num_users; ++u) {
+    const int32_t c = static_cast<int32_t>(community_sizes.Sample(rng));
+    community_[static_cast<size_t>(u)] = c;
+    members_[static_cast<size_t>(c)].push_back(u);
+
+    // Mixture: community primary, community secondary, personal random,
+    // and a small "anything" slot, with jittered weights.
+    int32_t personal =
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_topics_)));
+    auto& slots = interests_[static_cast<size_t>(u)];
+    slots[0] = Slot{primary[static_cast<size_t>(c)],
+                    0.45 + 0.2 * rng.NextDouble()};
+    slots[1] = Slot{secondary[static_cast<size_t>(c)],
+                    0.15 + 0.1 * rng.NextDouble()};
+    slots[2] = Slot{personal, 0.1 + 0.1 * rng.NextDouble()};
+    int32_t extra =
+        static_cast<int32_t>(rng.NextBounded(static_cast<uint64_t>(num_topics_)));
+    slots[3] = Slot{extra, 0.05 + 0.05 * rng.NextDouble()};
+
+    // Merge duplicate topics and renormalise to sum 1.
+    double total = 0.0;
+    for (int32_t i = 0; i < kSlots; ++i) {
+      for (int32_t j = 0; j < i; ++j) {
+        if (slots[static_cast<size_t>(j)].weight > 0.0 &&
+            slots[static_cast<size_t>(j)].topic ==
+                slots[static_cast<size_t>(i)].topic) {
+          slots[static_cast<size_t>(j)].weight +=
+              slots[static_cast<size_t>(i)].weight;
+          slots[static_cast<size_t>(i)].weight = 0.0;
+          break;
+        }
+      }
+    }
+    for (const Slot& s : slots) total += s.weight;
+    for (Slot& s : slots) s.weight /= total;
+  }
+}
+
+double InterestModel::Affinity(UserId u, int32_t topic) const {
+  double a = 0.0;
+  for (const Slot& s : interests_[static_cast<size_t>(u)]) {
+    if (s.topic == topic) a += s.weight;
+  }
+  return a;
+}
+
+int32_t InterestModel::SampleTopic(UserId u, Rng& rng) const {
+  const double r = rng.NextDouble();
+  double acc = 0.0;
+  const auto& slots = interests_[static_cast<size_t>(u)];
+  for (const Slot& s : slots) {
+    acc += s.weight;
+    if (r < acc) return s.topic;
+  }
+  return slots[0].topic;
+}
+
+double InterestModel::InterestSimilarity(UserId a, UserId b) const {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const Slot& sa : interests_[static_cast<size_t>(a)]) {
+    na += sa.weight * sa.weight;
+    for (const Slot& sb : interests_[static_cast<size_t>(b)]) {
+      if (sa.topic == sb.topic) dot += sa.weight * sb.weight;
+    }
+  }
+  for (const Slot& sb : interests_[static_cast<size_t>(b)]) {
+    nb += sb.weight * sb.weight;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace simgraph

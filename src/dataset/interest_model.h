@@ -1,0 +1,68 @@
+#ifndef SIMGRAPH_DATASET_INTEREST_MODEL_H_
+#define SIMGRAPH_DATASET_INTEREST_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dataset/config.h"
+#include "dataset/types.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Per-user topic preferences plus the community assignment that induces
+/// homophily. Communities have Zipf-distributed sizes; each community owns
+/// a primary and a secondary topic, and every member's mixture is centred
+/// on those with a personal random topic mixed in. Connected users (who
+/// are mostly wired within their community by the graph generator) thus
+/// share interests — the homophily Section 3.2 of the paper measures.
+class InterestModel {
+ public:
+  /// Number of (topic, weight) slots per user.
+  static constexpr int32_t kSlots = 4;
+
+  /// Builds interests for `config.num_users` users.
+  InterestModel(const DatasetConfig& config, Rng& rng);
+
+  int32_t num_users() const { return static_cast<int32_t>(community_.size()); }
+  int32_t num_topics() const { return num_topics_; }
+  int32_t num_communities() const { return num_communities_; }
+
+  /// Community of `u` in [0, num_communities).
+  int32_t Community(UserId u) const {
+    return community_[static_cast<size_t>(u)];
+  }
+
+  /// Affinity of `u` for `topic` in [0, 1]: the topic's weight in u's
+  /// mixture, 0 when the topic is not among u's interests.
+  double Affinity(UserId u, int32_t topic) const;
+
+  /// Draws a topic from u's mixture (used when u publishes a tweet).
+  int32_t SampleTopic(UserId u, Rng& rng) const;
+
+  /// Cosine-style similarity of two users' interest mixtures in [0, 1];
+  /// used by tests to verify the homophily wiring.
+  double InterestSimilarity(UserId a, UserId b) const;
+
+  /// All members of `community`, ascending.
+  const std::vector<UserId>& CommunityMembers(int32_t community) const {
+    return members_[static_cast<size_t>(community)];
+  }
+
+ private:
+  struct Slot {
+    int32_t topic = 0;
+    double weight = 0.0;
+  };
+
+  int32_t num_topics_;
+  int32_t num_communities_;
+  std::vector<int32_t> community_;                    // per user
+  std::vector<std::array<Slot, kSlots>> interests_;   // per user
+  std::vector<std::vector<UserId>> members_;          // per community
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_INTEREST_MODEL_H_

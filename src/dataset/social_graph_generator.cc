@@ -1,0 +1,105 @@
+#include "dataset/social_graph_generator.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+// Repeated-node urn for preferential attachment: every time a node gains a
+// follower it is appended once, so drawing uniformly from the urn draws a
+// node with probability proportional to (in-degree + the initial seeding).
+class AttachmentUrn {
+ public:
+  void Seed(UserId u) { urn_.push_back(u); }
+  void RecordFollower(UserId u) { urn_.push_back(u); }
+  bool empty() const { return urn_.empty(); }
+  UserId Draw(Rng& rng) const {
+    return urn_[rng.NextBounded(urn_.size())];
+  }
+
+ private:
+  std::vector<UserId> urn_;
+};
+
+}  // namespace
+
+Digraph GenerateSocialGraph(const DatasetConfig& config,
+                            const InterestModel& interests, Rng& rng) {
+  const int32_t n = config.num_users;
+  SIMGRAPH_CHECK_GT(n, 1);
+  GraphBuilder builder(n);
+
+  AttachmentUrn global_urn;
+  std::vector<AttachmentUrn> community_urns(
+      static_cast<size_t>(interests.num_communities()));
+
+  // Seed the urns so every node has a nonzero chance of being discovered.
+  for (UserId u = 0; u < n; ++u) {
+    global_urn.Seed(u);
+    community_urns[static_cast<size_t>(interests.Community(u))].Seed(u);
+  }
+
+  std::unordered_set<int64_t> edges;  // (u << 32 | v) for O(1) dedup
+  std::vector<int32_t> out_degree(static_cast<size_t>(n), 0);
+  auto edge_key = [](UserId u, UserId v) {
+    return (static_cast<int64_t>(u) << 32) | static_cast<uint32_t>(v);
+  };
+  auto try_add = [&](UserId u, UserId v) {
+    if (u == v) return false;
+    if (out_degree[static_cast<size_t>(u)] >= config.max_out_degree) {
+      return false;
+    }
+    if (!edges.insert(edge_key(u, v)).second) return false;
+    builder.AddEdge(u, v);
+    ++out_degree[static_cast<size_t>(u)];
+    // u follows v: v gains a follower.
+    global_urn.RecordFollower(v);
+    community_urns[static_cast<size_t>(interests.Community(v))]
+        .RecordFollower(v);
+    return true;
+  };
+
+  for (UserId u = 0; u < n; ++u) {
+    const int64_t budget = SamplePowerLaw(
+        rng, config.out_degree_alpha, config.min_out_degree,
+        std::min<int64_t>(config.max_out_degree, n - 1));
+    const int32_t community = interests.Community(u);
+    int64_t added = 0;
+    int64_t attempts = 0;
+    const int64_t max_attempts = budget * 8 + 32;
+    while (added < budget && attempts < max_attempts) {
+      ++attempts;
+      UserId target = kInvalidNode;
+      const bool intra = rng.NextBernoulli(config.intra_community_prob);
+      const bool uniform = rng.NextBernoulli(config.uniform_attachment_prob);
+      if (intra) {
+        const auto& members = interests.CommunityMembers(community);
+        if (members.size() > 1) {
+          target = uniform
+                       ? members[rng.NextBounded(members.size())]
+                       : community_urns[static_cast<size_t>(community)].Draw(rng);
+        }
+      }
+      if (target == kInvalidNode) {
+        target = uniform
+                     ? static_cast<UserId>(rng.NextBounded(
+                           static_cast<uint64_t>(n)))
+                     : global_urn.Draw(rng);
+      }
+      if (!try_add(u, target)) continue;
+      ++added;
+      // Reciprocity: the target follows back sometimes.
+      if (rng.NextBernoulli(config.reciprocity_prob)) {
+        try_add(target, u);
+      }
+    }
+  }
+
+  return builder.Build(/*weighted=*/false);
+}
+
+}  // namespace simgraph

@@ -1,0 +1,29 @@
+#ifndef SIMGRAPH_DATASET_SOCIAL_GRAPH_GENERATOR_H_
+#define SIMGRAPH_DATASET_SOCIAL_GRAPH_GENERATOR_H_
+
+#include "dataset/config.h"
+#include "dataset/interest_model.h"
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Generates the synthetic follow graph: edge u->v means "u follows v",
+/// so v's posts reach u.
+///
+/// The generator mixes three mechanisms that together reproduce the shape
+/// of the paper's Table 1 crawl:
+///   * power-law out-degrees: each user draws a followee budget from a
+///     Pareto law;
+///   * preferential attachment on in-degree (with a uniform-mixing floor):
+///     heavy-tailed follower counts and a small diameter;
+///   * community-biased target choice using InterestModel communities:
+///     most follows stay inside the user's community, wiring homophily
+///     into the topology (Tables 2-3);
+///   * occasional reciprocal follow-backs.
+Digraph GenerateSocialGraph(const DatasetConfig& config,
+                            const InterestModel& interests, Rng& rng);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_SOCIAL_GRAPH_GENERATOR_H_

@@ -1,0 +1,43 @@
+#ifndef SIMGRAPH_DATASET_TYPES_H_
+#define SIMGRAPH_DATASET_TYPES_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace simgraph {
+
+/// Users are graph nodes of the follow graph.
+using UserId = NodeId;
+
+/// Tweets are dense integers [0, num_tweets).
+using TweetId = int64_t;
+
+inline constexpr TweetId kInvalidTweet = -1;
+
+/// Simulation time in seconds from the start of the trace.
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kSecondsPerHour = 3600;
+inline constexpr Timestamp kSecondsPerDay = 24 * kSecondsPerHour;
+
+/// A published post. `topic` is the dominant topic drawn from the author's
+/// interest mixture; cascades use it to decide who finds the post relevant.
+struct Tweet {
+  TweetId id = kInvalidTweet;
+  UserId author = kInvalidNode;
+  Timestamp time = 0;
+  int32_t topic = 0;
+};
+
+/// One share action: `user` retweeted `tweet` at `time`. The paper treats
+/// "like" and "retweet" as the same signal (Section 4.2); so do we.
+struct RetweetEvent {
+  TweetId tweet = kInvalidTweet;
+  UserId user = kInvalidNode;
+  Timestamp time = 0;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_TYPES_H_

@@ -1,0 +1,165 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace simgraph {
+
+EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
+                         Recommender& recommender,
+                         const HarnessOptions& options) {
+  SIMGRAPH_CHECK_GT(options.k, 0);
+  SIMGRAPH_CHECK_GT(options.recommendation_period, 0);
+
+  EvalResult result;
+  result.method = recommender.name();
+  result.k = options.k;
+
+  // --- Train (timed: Table 5 initialisation) --------------------------
+  {
+    WallTimer timer;
+    SIMGRAPH_CHECK_OK(recommender.Train(dataset, protocol.train_end));
+    result.train_seconds = timer.ElapsedSeconds();
+  }
+
+  // Popularity (full-trace retweet counts) for Figure 12.
+  const std::vector<int32_t> popularity = dataset.RetweetCountPerTweet();
+
+  // Per panel user: first time each tweet was recommended.
+  std::unordered_map<UserId, std::unordered_map<TweetId, Timestamp>>
+      first_recommended;
+  for (UserId u : protocol.panel) first_recommended[u] = {};
+
+  const int64_t num_events = dataset.num_retweets();
+  const Timestamp end_time = dataset.EndTime();
+  double popularity_sum = 0.0;
+  double advance_sum = 0.0;
+
+  int64_t event_idx = protocol.train_end;
+  int64_t num_periods = 0;
+  Timestamp period_start = protocol.split_time;
+  while (period_start <= end_time) {
+    // 1. Pull recommendations for the panel at the period boundary.
+    ++num_periods;
+    {
+      WallTimer timer;
+      for (UserId u : protocol.panel) {
+        const std::vector<ScoredTweet> recs =
+            recommender.Recommend(u, period_start, options.k);
+        ++result.num_recommend_calls;
+        result.recommendations_issued += static_cast<int64_t>(recs.size());
+        auto& seen = first_recommended[u];
+        for (const ScoredTweet& st : recs) {
+          seen.emplace(st.tweet, period_start);  // keeps the earliest
+        }
+      }
+      result.recommend_seconds += timer.ElapsedSeconds();
+    }
+
+    // 2. Replay this period's events.
+    const Timestamp period_end = period_start + options.recommendation_period;
+    WallTimer timer;
+    while (event_idx < num_events &&
+           dataset.retweets[static_cast<size_t>(event_idx)].time <
+               period_end) {
+      const RetweetEvent& e =
+          dataset.retweets[static_cast<size_t>(event_idx)];
+      ++event_idx;
+      ++result.num_test_events;
+      const auto panel_it = first_recommended.find(e.user);
+      if (panel_it != first_recommended.end()) {
+        ++result.panel_test_retweets;
+        const auto rec_it = panel_it->second.find(e.tweet);
+        if (rec_it != panel_it->second.end() && rec_it->second < e.time) {
+          Hit hit;
+          hit.user = e.user;
+          hit.tweet = e.tweet;
+          hit.recommended_at = rec_it->second;
+          hit.retweeted_at = e.time;
+          result.hits.push_back(hit);
+          ++result.hits_total;
+          switch (protocol.ClassOf(e.user)) {
+            case EvalProtocol::ActivityClass::kLow:
+              ++result.hits_low;
+              break;
+            case EvalProtocol::ActivityClass::kModerate:
+              ++result.hits_moderate;
+              break;
+            case EvalProtocol::ActivityClass::kIntensive:
+              ++result.hits_intensive;
+              break;
+          }
+          popularity_sum += popularity[static_cast<size_t>(e.tweet)];
+          advance_sum += static_cast<double>(e.time - rec_it->second);
+        }
+      }
+      recommender.Observe(e);
+    }
+    result.observe_seconds += timer.ElapsedSeconds();
+    period_start = period_end;
+  }
+
+  for (const auto& [u, recs] : first_recommended) {
+    result.distinct_recommendations += static_cast<int64_t>(recs.size());
+  }
+  const double user_days = static_cast<double>(protocol.panel.size()) *
+                           static_cast<double>(num_periods);
+  result.avg_recs_per_day_user =
+      user_days > 0.0
+          ? static_cast<double>(result.recommendations_issued) / user_days
+          : 0.0;
+  result.avg_hit_popularity =
+      result.hits_total > 0
+          ? popularity_sum / static_cast<double>(result.hits_total)
+          : 0.0;
+  result.avg_advance_seconds =
+      result.hits_total > 0
+          ? advance_sum / static_cast<double>(result.hits_total)
+          : 0.0;
+  result.precision =
+      result.distinct_recommendations > 0
+          ? static_cast<double>(result.hits_total) /
+                static_cast<double>(result.distinct_recommendations)
+          : 0.0;
+  result.recall = result.panel_test_retweets > 0
+                      ? static_cast<double>(result.hits_total) /
+                            static_cast<double>(result.panel_test_retweets)
+                      : 0.0;
+  result.f1 = (result.precision + result.recall) > 0.0
+                  ? 2.0 * result.precision * result.recall /
+                        (result.precision + result.recall)
+                  : 0.0;
+
+  if (options.verbose) {
+    SIMGRAPH_LOG(Info) << result.method << " k=" << options.k << ": "
+                       << result.hits_total << " hits, F1=" << result.f1
+                       << ", train=" << FormatDuration(result.train_seconds)
+                       << ", observe="
+                       << FormatDuration(result.observe_seconds)
+                       << ", recommend="
+                       << FormatDuration(result.recommend_seconds);
+  }
+  return result;
+}
+
+double HitOverlapRatio(const EvalResult& a, const EvalResult& b) {
+  if (b.hits.empty()) return 0.0;
+  std::unordered_set<int64_t> a_keys;
+  a_keys.reserve(a.hits.size());
+  // Key on (user, tweet); tweet ids fit in 40 bits at any realistic scale.
+  const auto key = [](const Hit& h) {
+    return (static_cast<int64_t>(h.user) << 40) ^ h.tweet;
+  };
+  for (const Hit& h : a.hits) a_keys.insert(key(h));
+  int64_t common = 0;
+  for (const Hit& h : b.hits) {
+    if (a_keys.contains(key(h))) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(b.hits.size());
+}
+
+}  // namespace simgraph

@@ -1,0 +1,82 @@
+#ifndef SIMGRAPH_EVAL_HARNESS_H_
+#define SIMGRAPH_EVAL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "eval/protocol.h"
+
+namespace simgraph {
+
+/// Parameters of one evaluation run.
+struct HarnessOptions {
+  /// Daily recommendation budget per user (the x-axis of Figures 7-15).
+  int32_t k = 30;
+  /// How often the harness pulls recommendations for the panel.
+  Timestamp recommendation_period = kSecondsPerDay;
+  /// Whether to time Train/Observe/Recommend (Table 5). Timing is always
+  /// collected; this flag only controls log verbosity.
+  bool verbose = false;
+};
+
+/// One confirmed prediction: `tweet` was recommended to `user` at
+/// `recommended_at`, and the user really retweeted it at `retweeted_at`.
+struct Hit {
+  UserId user = kInvalidNode;
+  TweetId tweet = kInvalidTweet;
+  Timestamp recommended_at = 0;
+  Timestamp retweeted_at = 0;
+};
+
+/// Everything the paper's Figures 7-15 and Table 5 need about one
+/// (method, k) evaluation run.
+struct EvalResult {
+  std::string method;
+  int32_t k = 0;
+
+  /// Total recommendation slots actually filled across all panel users
+  /// and days (Figure 7 divides this by days x users).
+  int64_t recommendations_issued = 0;
+  /// Distinct (user, tweet) pairs ever recommended (precision uses this).
+  int64_t distinct_recommendations = 0;
+  double avg_recs_per_day_user = 0.0;
+
+  std::vector<Hit> hits;            // chronological
+  int64_t hits_total = 0;           // Figure 8
+  int64_t hits_low = 0;             // Figure 9
+  int64_t hits_moderate = 0;        // Figure 10
+  int64_t hits_intensive = 0;       // Figure 11
+  double avg_hit_popularity = 0.0;  // Figure 12
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;                        // Figure 14
+  double avg_advance_seconds = 0.0;       // Figure 15
+  int64_t panel_test_retweets = 0;        // recall denominator
+
+  // Table 5 timings.
+  double train_seconds = 0.0;
+  double observe_seconds = 0.0;
+  double recommend_seconds = 0.0;
+  int64_t num_test_events = 0;
+  int64_t num_recommend_calls = 0;
+};
+
+/// Streams the test period through `recommender` under the paper's
+/// protocol: at every recommendation-period boundary the harness pulls
+/// top-k posts for each panel user, then replays that period's retweets
+/// through Observe, counting a hit whenever a recommendation strictly
+/// precedes the real retweet. The recommender must be freshly constructed
+/// (Train is invoked by the harness so it can be timed).
+EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
+                         Recommender& recommender,
+                         const HarnessOptions& options);
+
+/// Figure 13's overlap ratio: |hits(a) ∩ hits(b)| / |hits(b)|, matching
+/// hits on (user, tweet) pairs.
+double HitOverlapRatio(const EvalResult& a, const EvalResult& b);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_EVAL_HARNESS_H_

@@ -1,0 +1,86 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace {
+
+std::vector<UserId> SamplePanelClass(const std::vector<UserId>& candidates,
+                                     int32_t target, Rng& rng) {
+  if (static_cast<int64_t>(candidates.size()) <= target) return candidates;
+  std::vector<UserId> out;
+  out.reserve(static_cast<size_t>(target));
+  for (int64_t idx : SampleWithoutReplacement(
+           rng, static_cast<int64_t>(candidates.size()), target)) {
+    out.push_back(candidates[static_cast<size_t>(idx)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool EvalProtocol::InPanel(UserId u) const {
+  return std::binary_search(panel.begin(), panel.end(), u);
+}
+
+EvalProtocol::ActivityClass EvalProtocol::ClassOf(UserId u) const {
+  if (std::binary_search(low_users.begin(), low_users.end(), u)) {
+    return ActivityClass::kLow;
+  }
+  if (std::binary_search(moderate_users.begin(), moderate_users.end(), u)) {
+    return ActivityClass::kModerate;
+  }
+  return ActivityClass::kIntensive;
+}
+
+EvalProtocol MakeProtocol(const Dataset& dataset,
+                          const ProtocolOptions& options) {
+  SIMGRAPH_CHECK_GT(options.train_fraction, 0.0);
+  SIMGRAPH_CHECK_LT(options.train_fraction, 1.0);
+  SIMGRAPH_CHECK_LT(options.low_max, options.moderate_max);
+
+  EvalProtocol p;
+  p.train_end = dataset.SplitIndex(options.train_fraction);
+  p.split_time =
+      p.train_end > 0
+          ? dataset.retweets[static_cast<size_t>(p.train_end - 1)].time
+          : 0;
+
+  const std::vector<int32_t> counts = dataset.RetweetCountPerUser();
+  std::vector<UserId> low;
+  std::vector<UserId> moderate;
+  std::vector<UserId> intensive;
+  for (UserId u = 0; u < dataset.num_users(); ++u) {
+    const int32_t c = counts[static_cast<size_t>(u)];
+    if (c == 0) continue;
+    if (c < options.low_max) {
+      low.push_back(u);
+    } else if (c < options.moderate_max) {
+      moderate.push_back(u);
+    } else {
+      intensive.push_back(u);
+    }
+  }
+
+  Rng rng(options.seed);
+  p.low_users = SamplePanelClass(low, options.users_per_class, rng);
+  p.moderate_users = SamplePanelClass(moderate, options.users_per_class, rng);
+  p.intensive_users =
+      SamplePanelClass(intensive, options.users_per_class, rng);
+
+  p.panel.reserve(p.low_users.size() + p.moderate_users.size() +
+                  p.intensive_users.size());
+  p.panel.insert(p.panel.end(), p.low_users.begin(), p.low_users.end());
+  p.panel.insert(p.panel.end(), p.moderate_users.begin(),
+                 p.moderate_users.end());
+  p.panel.insert(p.panel.end(), p.intensive_users.begin(),
+                 p.intensive_users.end());
+  std::sort(p.panel.begin(), p.panel.end());
+  return p;
+}
+
+}  // namespace simgraph

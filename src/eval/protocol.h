@@ -1,0 +1,56 @@
+#ifndef SIMGRAPH_EVAL_PROTOCOL_H_
+#define SIMGRAPH_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "dataset/types.h"
+
+namespace simgraph {
+
+/// Parameters of the paper's evaluation protocol (Section 6.1).
+struct ProtocolOptions {
+  /// Chronological train fraction (the paper: oldest 90% of actions).
+  double train_fraction = 0.9;
+  /// Target panel size per activity class (the paper: 500 each).
+  int32_t users_per_class = 500;
+  /// Activity-class boundaries on per-user retweet counts over the whole
+  /// trace. The paper uses <100 / 100-1000 / >1000 at Twitter scale; the
+  /// defaults here are the same cut points scaled to the synthetic trace.
+  int32_t low_max = 20;
+  int32_t moderate_max = 100;
+  uint64_t seed = 13;
+};
+
+/// The evaluation split and user panel.
+struct EvalProtocol {
+  /// retweets[0, train_end) are training actions.
+  int64_t train_end = 0;
+  /// Time of the last training action.
+  Timestamp split_time = 0;
+  /// Panel users by activity class (low < low_max <= moderate <
+  /// moderate_max <= intensive, counting retweets over the full trace).
+  std::vector<UserId> low_users;
+  std::vector<UserId> moderate_users;
+  std::vector<UserId> intensive_users;
+  /// Union of the three classes.
+  std::vector<UserId> panel;
+
+  bool InPanel(UserId u) const;
+
+  /// Activity class of a panel user (callers must ensure InPanel(u)).
+  enum class ActivityClass { kLow = 0, kModerate = 1, kIntensive = 2 };
+  ActivityClass ClassOf(UserId u) const;
+};
+
+/// Builds the chronological split and samples the activity-stratified
+/// panel. Users with zero retweets are excluded from the panel (nothing to
+/// predict for them). When a class has fewer candidates than requested,
+/// every candidate is taken.
+EvalProtocol MakeProtocol(const Dataset& dataset,
+                          const ProtocolOptions& options);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_EVAL_PROTOCOL_H_

@@ -1,0 +1,207 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace simgraph {
+namespace {
+
+// Rank improvements of one (user, tweet) pair over time: appended only
+// when the pair appears at a strictly better (smaller) rank than before,
+// so the list is short (at most one entry per distinct rank improvement).
+struct RankTrace {
+  struct Entry {
+    Timestamp time;
+    int32_t rank;  // 0-based best rank achieved at `time`
+  };
+  std::vector<Entry> entries;
+
+  void Record(Timestamp time, int32_t rank) {
+    if (entries.empty() || rank < entries.back().rank) {
+      entries.push_back(Entry{time, rank});
+    }
+  }
+
+  // Earliest time at which the pair was within the top `k`; -1 if never.
+  Timestamp FirstTimeWithin(int32_t k) const {
+    for (const Entry& e : entries) {
+      if (e.rank < k) return e.time;
+    }
+    return -1;
+  }
+
+  int32_t BestRank() const {
+    return entries.empty() ? INT32_MAX : entries.back().rank;
+  }
+};
+
+}  // namespace
+
+std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
+                                           const EvalProtocol& protocol,
+                                           Recommender& recommender,
+                                           const SweepOptions& options) {
+  SIMGRAPH_CHECK(!options.k_grid.empty());
+  std::vector<int32_t> grid = options.k_grid;
+  std::sort(grid.begin(), grid.end());
+  SIMGRAPH_CHECK_GT(grid.front(), 0);
+  const int32_t max_k = grid.back();
+  const size_t num_k = grid.size();
+
+  std::vector<EvalResult> results(num_k);
+  for (size_t g = 0; g < num_k; ++g) {
+    results[g].method = recommender.name();
+    results[g].k = grid[g];
+  }
+
+  double train_seconds = 0.0;
+  {
+    WallTimer timer;
+    SIMGRAPH_CHECK_OK(recommender.Train(dataset, protocol.train_end));
+    train_seconds = timer.ElapsedSeconds();
+  }
+
+  const std::vector<int32_t> popularity = dataset.RetweetCountPerTweet();
+
+  std::unordered_map<UserId, std::unordered_map<TweetId, RankTrace>> traces;
+  for (UserId u : protocol.panel) traces[u] = {};
+
+  std::vector<double> popularity_sum(num_k, 0.0);
+  std::vector<double> advance_sum(num_k, 0.0);
+  double observe_seconds = 0.0;
+  double recommend_seconds = 0.0;
+  int64_t num_recommend_calls = 0;
+  int64_t num_test_events = 0;
+  int64_t panel_test_retweets = 0;
+
+  const int64_t num_events = dataset.num_retweets();
+  const Timestamp end_time = dataset.EndTime();
+  int64_t event_idx = protocol.train_end;
+  int64_t num_periods = 0;
+  Timestamp period_start = protocol.split_time;
+
+  while (period_start <= end_time) {
+    ++num_periods;
+    {
+      WallTimer timer;
+      for (UserId u : protocol.panel) {
+        const std::vector<ScoredTweet> recs =
+            recommender.Recommend(u, period_start, max_k);
+        ++num_recommend_calls;
+        auto& user_traces = traces[u];
+        for (size_t r = 0; r < recs.size(); ++r) {
+          user_traces[recs[r].tweet].Record(period_start,
+                                            static_cast<int32_t>(r));
+        }
+        // Capacity accounting per cutoff.
+        for (size_t g = 0; g < num_k; ++g) {
+          results[g].recommendations_issued += std::min<int64_t>(
+              static_cast<int64_t>(recs.size()), grid[g]);
+        }
+      }
+      recommend_seconds += timer.ElapsedSeconds();
+    }
+
+    const Timestamp period_end = period_start + options.recommendation_period;
+    WallTimer timer;
+    while (event_idx < num_events &&
+           dataset.retweets[static_cast<size_t>(event_idx)].time <
+               period_end) {
+      const RetweetEvent& e =
+          dataset.retweets[static_cast<size_t>(event_idx)];
+      ++event_idx;
+      ++num_test_events;
+      const auto panel_it = traces.find(e.user);
+      if (panel_it != traces.end()) {
+        ++panel_test_retweets;
+        const auto trace_it = panel_it->second.find(e.tweet);
+        if (trace_it != panel_it->second.end()) {
+          const EvalProtocol::ActivityClass cls = protocol.ClassOf(e.user);
+          for (size_t g = 0; g < num_k; ++g) {
+            const Timestamp rec_time =
+                trace_it->second.FirstTimeWithin(grid[g]);
+            if (rec_time >= 0 && rec_time < e.time) {
+              Hit hit;
+              hit.user = e.user;
+              hit.tweet = e.tweet;
+              hit.recommended_at = rec_time;
+              hit.retweeted_at = e.time;
+              results[g].hits.push_back(hit);
+              ++results[g].hits_total;
+              if (cls == EvalProtocol::ActivityClass::kLow) {
+                ++results[g].hits_low;
+              } else if (cls == EvalProtocol::ActivityClass::kModerate) {
+                ++results[g].hits_moderate;
+              } else {
+                ++results[g].hits_intensive;
+              }
+              popularity_sum[g] += popularity[static_cast<size_t>(e.tweet)];
+              advance_sum[g] += static_cast<double>(e.time - rec_time);
+            }
+          }
+        }
+      }
+      recommender.Observe(e);
+    }
+    observe_seconds += timer.ElapsedSeconds();
+    period_start = period_end;
+  }
+
+  // Distinct (user, tweet) recommendations per cutoff.
+  std::vector<int64_t> distinct(num_k, 0);
+  for (const auto& [u, user_traces] : traces) {
+    for (const auto& [t, trace] : user_traces) {
+      const int32_t best = trace.BestRank();
+      for (size_t g = 0; g < num_k; ++g) {
+        if (best < grid[g]) ++distinct[g];
+      }
+    }
+  }
+
+  const double periods_per_day =
+      static_cast<double>(kSecondsPerDay) /
+      static_cast<double>(options.recommendation_period);
+  const double user_days = static_cast<double>(protocol.panel.size()) *
+                           static_cast<double>(num_periods) /
+                           std::max(1.0, periods_per_day);
+  for (size_t g = 0; g < num_k; ++g) {
+    EvalResult& r = results[g];
+    r.distinct_recommendations = distinct[g];
+    // Capacity (Figure 7) counts distinct proposals per user-day: a post
+    // kept in the list across refreshes is one recommendation, not many.
+    r.avg_recs_per_day_user =
+        user_days > 0.0
+            ? static_cast<double>(r.distinct_recommendations) / user_days
+            : 0.0;
+    r.avg_hit_popularity =
+        r.hits_total > 0 ? popularity_sum[g] / static_cast<double>(r.hits_total)
+                         : 0.0;
+    r.avg_advance_seconds =
+        r.hits_total > 0 ? advance_sum[g] / static_cast<double>(r.hits_total)
+                         : 0.0;
+    r.precision = r.distinct_recommendations > 0
+                      ? static_cast<double>(r.hits_total) /
+                            static_cast<double>(r.distinct_recommendations)
+                      : 0.0;
+    r.recall = panel_test_retweets > 0
+                   ? static_cast<double>(r.hits_total) /
+                         static_cast<double>(panel_test_retweets)
+                   : 0.0;
+    r.f1 = (r.precision + r.recall) > 0.0
+               ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+               : 0.0;
+    r.panel_test_retweets = panel_test_retweets;
+    r.train_seconds = train_seconds;
+    r.observe_seconds = observe_seconds;
+    r.recommend_seconds = recommend_seconds;
+    r.num_test_events = num_test_events;
+    r.num_recommend_calls = num_recommend_calls;
+  }
+  return results;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,49 @@
+#ifndef SIMGRAPH_GRAPH_BFS_H_
+#define SIMGRAPH_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace simgraph {
+
+/// Direction of traversal relative to edge orientation.
+enum class TraversalDirection {
+  kOut,   ///< follow u->v along out-edges
+  kIn,    ///< follow v->u along in-edges
+  kBoth,  ///< treat the graph as undirected
+};
+
+/// Breadth-first distances (in hops) from `source` to every node;
+/// unreachable nodes get -1. O(V + E).
+std::vector<int32_t> BfsDistances(const Digraph& g, NodeId source,
+                                  TraversalDirection dir);
+
+/// Like BfsDistances but stops expanding beyond `max_depth` hops. Nodes
+/// farther than max_depth (or unreachable) get -1. Worst case O(V + E) but
+/// typically touches only the ball of radius max_depth.
+std::vector<int32_t> BfsDistancesBounded(const Digraph& g, NodeId source,
+                                         TraversalDirection dir,
+                                         int32_t max_depth);
+
+/// A node together with its hop distance from the exploration source.
+struct HopNode {
+  NodeId node;
+  int32_t depth;
+};
+
+/// The k-hop neighbourhood N_k(u): every node reachable from `source`
+/// within `k` hops, excluding `source` itself, with its depth. This is the
+/// paper's N2(u) when k=2. Result is sorted by node id.
+std::vector<HopNode> KHopNeighborhood(const Digraph& g, NodeId source,
+                                      int32_t k, TraversalDirection dir);
+
+/// BFS shortest-path distance from `source` to `target` only; -1 when
+/// unreachable. Stops as soon as `target` is settled.
+int32_t ShortestPathLength(const Digraph& g, NodeId source, NodeId target,
+                           TraversalDirection dir);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_GRAPH_BFS_H_

@@ -1,0 +1,32 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+bool Digraph::HasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Digraph::EdgeWeight(NodeId u, NodeId v) const {
+  SIMGRAPH_CHECK(has_weights());
+  const auto nbrs = OutNeighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  const int64_t idx = out_offsets_[u] + (it - nbrs.begin());
+  return out_weights_[static_cast<size_t>(idx)];
+}
+
+int64_t Digraph::MemoryBytes() const {
+  return static_cast<int64_t>(
+      out_offsets_.size() * sizeof(int64_t) +
+      out_targets_.size() * sizeof(NodeId) +
+      out_weights_.size() * sizeof(double) +
+      in_offsets_.size() * sizeof(int64_t) +
+      in_sources_.size() * sizeof(NodeId));
+}
+
+}  // namespace simgraph

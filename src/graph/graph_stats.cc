@@ -1,0 +1,135 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/union_find.h"
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+TraversalDirection Direction(const PathStatsOptions& options) {
+  return options.undirected ? TraversalDirection::kBoth
+                            : TraversalDirection::kOut;
+}
+
+// Farthest node and its distance from `source`; kInvalidNode when `source`
+// has no reachable peers.
+std::pair<NodeId, int32_t> FarthestNode(const Digraph& g, NodeId source,
+                                        TraversalDirection dir) {
+  const std::vector<int32_t> dist = BfsDistances(g, source, dir);
+  NodeId best = kInvalidNode;
+  int32_t best_d = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int32_t d = dist[static_cast<size_t>(v)];
+    if (d > best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return {best, best_d};
+}
+
+}  // namespace
+
+GraphSummary Summarize(const Digraph& g, const PathStatsOptions& options) {
+  GraphSummary s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  if (g.num_nodes() == 0) return s;
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(u));
+  }
+  s.avg_out_degree =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  s.avg_in_degree = s.avg_out_degree;
+
+  const std::vector<int64_t> wcc = WeaklyConnectedComponentSizes(g);
+  s.largest_wcc = wcc.empty() ? 0 : wcc.front();
+
+  Rng rng(options.seed);
+  const TraversalDirection dir = Direction(options);
+
+  // Average path length over sampled sources (finite distances only).
+  double total = 0.0;
+  int64_t pairs = 0;
+  const int32_t sources =
+      std::min<int32_t>(options.num_sources, g.num_nodes());
+  for (int32_t i = 0; i < sources; ++i) {
+    const NodeId src = static_cast<NodeId>(
+        rng.NextBounded(static_cast<uint64_t>(g.num_nodes())));
+    for (int32_t d : BfsDistances(g, src, dir)) {
+      if (d > 0) {
+        total += d;
+        ++pairs;
+      }
+    }
+  }
+  s.avg_path_length = pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+
+  // Diameter lower bound via repeated double sweeps: BFS from a random
+  // node, then BFS again from the farthest node found.
+  int32_t diameter = 0;
+  for (int32_t i = 0; i < options.num_sweeps; ++i) {
+    const NodeId start = static_cast<NodeId>(
+        rng.NextBounded(static_cast<uint64_t>(g.num_nodes())));
+    const auto [far_node, d1] = FarthestNode(g, start, dir);
+    diameter = std::max(diameter, d1);
+    if (far_node != kInvalidNode) {
+      const auto [unused, d2] = FarthestNode(g, far_node, dir);
+      (void)unused;
+      diameter = std::max(diameter, d2);
+    }
+  }
+  s.diameter_estimate = diameter;
+  return s;
+}
+
+std::map<int32_t, int64_t> ShortestPathDistribution(
+    const Digraph& g, const PathStatsOptions& options) {
+  std::map<int32_t, int64_t> dist_counts;
+  if (g.num_nodes() == 0) return dist_counts;
+  Rng rng(options.seed);
+  const TraversalDirection dir = Direction(options);
+  const int32_t sources =
+      std::min<int32_t>(options.num_sources, g.num_nodes());
+  for (int32_t i = 0; i < sources; ++i) {
+    const NodeId src = static_cast<NodeId>(
+        rng.NextBounded(static_cast<uint64_t>(g.num_nodes())));
+    for (int32_t d : BfsDistances(g, src, dir)) {
+      if (d > 0) ++dist_counts[d];
+    }
+  }
+  return dist_counts;
+}
+
+std::map<int64_t, int64_t> OutDegreeDistribution(const Digraph& g) {
+  std::map<int64_t, int64_t> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++out[g.OutDegree(u)];
+  return out;
+}
+
+std::map<int64_t, int64_t> InDegreeDistribution(const Digraph& g) {
+  std::map<int64_t, int64_t> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++out[g.InDegree(u)];
+  return out;
+}
+
+std::vector<int64_t> WeaklyConnectedComponentSizes(const Digraph& g) {
+  UnionFind uf(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) uf.Union(u, v);
+  }
+  std::map<int64_t, int64_t> size_by_root;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++size_by_root[uf.Find(u)];
+  std::vector<int64_t> sizes;
+  sizes.reserve(size_by_root.size());
+  for (const auto& [root, size] : size_by_root) sizes.push_back(size);
+  std::sort(sizes.begin(), sizes.end(), std::greater<int64_t>());
+  return sizes;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,62 @@
+#ifndef SIMGRAPH_GRAPH_GRAPH_STATS_H_
+#define SIMGRAPH_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace simgraph {
+
+/// Summary statistics mirroring the paper's Table 1 / Table 4 rows.
+struct GraphSummary {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  double avg_out_degree = 0.0;
+  double avg_in_degree = 0.0;
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  /// Estimated longest shortest path (lower bound via double sweeps).
+  int32_t diameter_estimate = 0;
+  /// Mean finite shortest-path length over sampled source BFS runs.
+  double avg_path_length = 0.0;
+  /// Size of the largest weakly connected component.
+  int64_t largest_wcc = 0;
+};
+
+/// Options for the sampled path-length / diameter estimation.
+struct PathStatsOptions {
+  /// Number of BFS sources to sample for average path length.
+  int32_t num_sources = 64;
+  /// Number of double-sweep restarts for the diameter estimate.
+  int32_t num_sweeps = 8;
+  /// Treat edges as undirected when measuring paths (the paper reports
+  /// undirected-style smallest paths on the follow graph).
+  bool undirected = true;
+  uint64_t seed = 1;
+};
+
+/// Computes degree statistics, sampled average path length, a double-sweep
+/// diameter lower bound and the largest WCC size.
+GraphSummary Summarize(const Digraph& g, const PathStatsOptions& options);
+
+/// Distribution of finite shortest-path lengths from `num_sources` sampled
+/// sources to all reachable nodes: result[d] = number of (source, node)
+/// pairs at distance d (d >= 1). This regenerates Figures 1 and 5.
+std::map<int32_t, int64_t> ShortestPathDistribution(
+    const Digraph& g, const PathStatsOptions& options);
+
+/// Out-degree histogram: result[d] = number of nodes with out-degree d.
+std::map<int64_t, int64_t> OutDegreeDistribution(const Digraph& g);
+
+/// In-degree histogram.
+std::map<int64_t, int64_t> InDegreeDistribution(const Digraph& g);
+
+/// Sizes of all weakly connected components, descending.
+std::vector<int64_t> WeaklyConnectedComponentSizes(const Digraph& g);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_GRAPH_GRAPH_STATS_H_

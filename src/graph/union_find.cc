@@ -1,0 +1,48 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+UnionFind::UnionFind(int64_t n)
+    : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1),
+      num_sets_(n) {
+  SIMGRAPH_CHECK_GE(n, 0);
+  std::iota(parent_.begin(), parent_.end(), int64_t{0});
+}
+
+int64_t UnionFind::Find(int64_t x) {
+  SIMGRAPH_CHECK_GE(x, 0);
+  SIMGRAPH_CHECK_LT(x, static_cast<int64_t>(parent_.size()));
+  int64_t root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(x)] != root) {
+    const int64_t next = parent_[static_cast<size_t>(x)];
+    parent_[static_cast<size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int64_t a, int64_t b) {
+  int64_t ra = Find(a);
+  int64_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+  --num_sets_;
+  return true;
+}
+
+int64_t UnionFind::SetSize(int64_t x) {
+  return size_[static_cast<size_t>(Find(x))];
+}
+
+}  // namespace simgraph

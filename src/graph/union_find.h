@@ -1,0 +1,36 @@
+#ifndef SIMGRAPH_GRAPH_UNION_FIND_H_
+#define SIMGRAPH_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace simgraph {
+
+/// Disjoint-set forest with path compression and union by size; used for
+/// weakly-connected-component extraction.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets.
+  explicit UnionFind(int64_t n);
+
+  /// Representative of x's set (with path compression).
+  int64_t Find(int64_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool Union(int64_t a, int64_t b);
+
+  /// Size of the set containing x.
+  int64_t SetSize(int64_t x);
+
+  /// Number of disjoint sets remaining.
+  int64_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> size_;
+  int64_t num_sets_;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_GRAPH_UNION_FIND_H_

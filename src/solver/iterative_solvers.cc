@@ -1,0 +1,140 @@
+#include "solver/iterative_solvers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+// One Jacobi sweep: x_new[i] = (b[i] - sum_offdiag a_ij x_old[j]) / a_ii.
+// Returns the max-norm of the update.
+double JacobiSweep(const SparseMatrix& a, const std::vector<double>& b,
+                   const std::vector<double>& x, std::vector<double>& x_new) {
+  double delta = 0.0;
+  for (int32_t i = 0; i < a.size(); ++i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (const MatrixEntry& e : a.Row(i)) {
+      acc -= e.value * x[static_cast<size_t>(e.col)];
+    }
+    const double v = acc / a.diagonal(i);
+    delta = std::max(delta, std::abs(v - x[static_cast<size_t>(i)]));
+    x_new[static_cast<size_t>(i)] = v;
+  }
+  return delta;
+}
+
+// One Gauss-Seidel / SOR sweep, updating x in place. omega == 1 gives
+// plain Gauss-Seidel.
+double SorSweep(const SparseMatrix& a, const std::vector<double>& b,
+                double omega, std::vector<double>& x) {
+  double delta = 0.0;
+  for (int32_t i = 0; i < a.size(); ++i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (const MatrixEntry& e : a.Row(i)) {
+      acc -= e.value * x[static_cast<size_t>(e.col)];
+    }
+    const double gs = acc / a.diagonal(i);
+    const double old = x[static_cast<size_t>(i)];
+    const double v = old + omega * (gs - old);
+    delta = std::max(delta, std::abs(v - old));
+    x[static_cast<size_t>(i)] = v;
+  }
+  return delta;
+}
+
+Status ValidateInputs(const SparseMatrix& a, const std::vector<double>& b,
+                      const SolverOptions& options) {
+  if (static_cast<int32_t>(b.size()) != a.size()) {
+    return Status::InvalidArgument("b size does not match matrix size");
+  }
+  if (!options.initial_guess.empty() &&
+      static_cast<int32_t>(options.initial_guess.size()) != a.size()) {
+    return Status::InvalidArgument("initial guess size mismatch");
+  }
+  if (options.method == SolverMethod::kSor &&
+      (options.sor_omega <= 0.0 || options.sor_omega >= 2.0)) {
+    return Status::InvalidArgument("SOR omega must lie in (0, 2)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  for (int32_t i = 0; i < a.size(); ++i) {
+    if (a.diagonal(i) == 0.0) {
+      return Status::InvalidArgument("zero diagonal at row " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view SolverMethodName(SolverMethod method) {
+  switch (method) {
+    case SolverMethod::kJacobi:
+      return "jacobi";
+    case SolverMethod::kGaussSeidel:
+      return "gauss-seidel";
+    case SolverMethod::kSor:
+      return "sor";
+  }
+  return "unknown";
+}
+
+StatusOr<SolverResult> SolveAllowDivergence(const SparseMatrix& a,
+                                            const std::vector<double>& b,
+                                            const SolverOptions& options) {
+  SIMGRAPH_RETURN_IF_ERROR(ValidateInputs(a, b, options));
+
+  SolverResult result;
+  result.solution = options.initial_guess.empty()
+                        ? std::vector<double>(b.size(), 0.0)
+                        : options.initial_guess;
+
+  std::vector<double> scratch;
+  if (options.method == SolverMethod::kJacobi) {
+    scratch.resize(b.size());
+  }
+
+  for (int32_t it = 0; it < options.max_iterations; ++it) {
+    double delta = 0.0;
+    switch (options.method) {
+      case SolverMethod::kJacobi:
+        delta = JacobiSweep(a, b, result.solution, scratch);
+        result.solution.swap(scratch);
+        break;
+      case SolverMethod::kGaussSeidel:
+        delta = SorSweep(a, b, /*omega=*/1.0, result.solution);
+        break;
+      case SolverMethod::kSor:
+        delta = SorSweep(a, b, options.sor_omega, result.solution);
+        break;
+    }
+    result.iterations = it + 1;
+    result.final_delta = delta;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+StatusOr<SolverResult> Solve(const SparseMatrix& a,
+                             const std::vector<double>& b,
+                             const SolverOptions& options) {
+  StatusOr<SolverResult> result = SolveAllowDivergence(a, b, options);
+  if (!result.ok()) return result.status();
+  if (!result->converged) {
+    return Status::FailedPrecondition(
+        "solver did not converge within " +
+        std::to_string(options.max_iterations) + " iterations (delta=" +
+        std::to_string(result->final_delta) + ")");
+  }
+  return result;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,59 @@
+#ifndef SIMGRAPH_SOLVER_ITERATIVE_SOLVERS_H_
+#define SIMGRAPH_SOLVER_ITERATIVE_SOLVERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/sparse_matrix.h"
+#include "util/status.h"
+
+namespace simgraph {
+
+/// Which incremental resolution method to use for Ap = b (Section 5.3
+/// names Jacobi, Gauss-Seidel and successive over-relaxation).
+enum class SolverMethod {
+  kJacobi,
+  kGaussSeidel,
+  kSor,
+};
+
+std::string_view SolverMethodName(SolverMethod method);
+
+/// Stopping and relaxation parameters for the iterative solvers.
+struct SolverOptions {
+  SolverMethod method = SolverMethod::kJacobi;
+  /// Stop when the max absolute change of any component falls below this.
+  double tolerance = 1e-10;
+  int32_t max_iterations = 1000;
+  /// SOR relaxation factor omega in (0, 2); ignored by other methods.
+  double sor_omega = 1.2;
+  /// Optional initial guess; empty means the zero vector.
+  std::vector<double> initial_guess;
+};
+
+/// Outcome of an iterative solve.
+struct SolverResult {
+  std::vector<double> solution;
+  int32_t iterations = 0;
+  /// Max-norm of the last update; <= tolerance iff converged.
+  double final_delta = 0.0;
+  bool converged = false;
+};
+
+/// Solves A p = b with the configured method. Returns InvalidArgument on a
+/// size mismatch or a zero diagonal, FailedPrecondition when the iteration
+/// exceeds max_iterations without converging (the partial solution is not
+/// returned in that case via StatusOr; use SolveAllowDivergence for it).
+StatusOr<SolverResult> Solve(const SparseMatrix& a,
+                             const std::vector<double>& b,
+                             const SolverOptions& options);
+
+/// Like Solve but reports non-convergence through SolverResult::converged
+/// instead of an error; useful for convergence studies.
+StatusOr<SolverResult> SolveAllowDivergence(const SparseMatrix& a,
+                                            const std::vector<double>& b,
+                                            const SolverOptions& options);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SOLVER_ITERATIVE_SOLVERS_H_

@@ -1,0 +1,77 @@
+#include "solver/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+SparseMatrix::SparseMatrix(std::vector<double> diag,
+                           const std::vector<std::vector<MatrixEntry>>& rows)
+    : diag_(std::move(diag)) {
+  SIMGRAPH_CHECK_EQ(diag_.size(), rows.size());
+  offsets_.assign(1, 0);
+  offsets_.reserve(diag_.size() + 1);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<MatrixEntry> row = rows[r];
+    std::sort(row.begin(), row.end(),
+              [](const MatrixEntry& a, const MatrixEntry& b) {
+                return a.col < b.col;
+              });
+    // Sum duplicates; reject diagonal entries (they belong in diag_).
+    for (const MatrixEntry& e : row) {
+      SIMGRAPH_CHECK_GE(e.col, 0);
+      SIMGRAPH_CHECK_LT(static_cast<size_t>(e.col), rows.size());
+      SIMGRAPH_CHECK_NE(static_cast<size_t>(e.col), r)
+          << "diagonal entries must go in `diag`";
+      if (!entries_.empty() &&
+          static_cast<int64_t>(entries_.size()) > offsets_.back() &&
+          entries_.back().col == e.col) {
+        entries_.back().value += e.value;
+      } else {
+        entries_.push_back(e);
+      }
+    }
+    offsets_.push_back(static_cast<int64_t>(entries_.size()));
+  }
+}
+
+std::vector<double> SparseMatrix::Multiply(const std::vector<double>& x) const {
+  SIMGRAPH_CHECK_EQ(static_cast<int32_t>(x.size()), size());
+  std::vector<double> y(x.size(), 0.0);
+  for (int32_t r = 0; r < size(); ++r) {
+    double acc = diag_[static_cast<size_t>(r)] * x[static_cast<size_t>(r)];
+    for (const MatrixEntry& e : Row(r)) {
+      acc += e.value * x[static_cast<size_t>(e.col)];
+    }
+    y[static_cast<size_t>(r)] = acc;
+  }
+  return y;
+}
+
+bool SparseMatrix::IsDiagonallyDominant() const {
+  bool strict_somewhere = false;
+  for (int32_t r = 0; r < size(); ++r) {
+    double off = 0.0;
+    for (const MatrixEntry& e : Row(r)) off += std::abs(e.value);
+    const double d = std::abs(diag_[static_cast<size_t>(r)]);
+    if (d < off) return false;
+    if (d > off) strict_somewhere = true;
+  }
+  return strict_somewhere || size() == 0;
+}
+
+double SparseMatrix::JacobiIterationNorm() const {
+  double norm = 0.0;
+  for (int32_t r = 0; r < size(); ++r) {
+    const double d = std::abs(diag_[static_cast<size_t>(r)]);
+    if (d == 0.0) continue;
+    double off = 0.0;
+    for (const MatrixEntry& e : Row(r)) off += std::abs(e.value);
+    norm = std::max(norm, off / d);
+  }
+  return norm;
+}
+
+}  // namespace simgraph

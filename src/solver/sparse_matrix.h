@@ -1,0 +1,63 @@
+#ifndef SIMGRAPH_SOLVER_SPARSE_MATRIX_H_
+#define SIMGRAPH_SOLVER_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace simgraph {
+
+/// One off-diagonal entry of a sparse row.
+struct MatrixEntry {
+  int32_t col;
+  double value;
+};
+
+/// Square sparse matrix in CSR form, specialised for the propagation
+/// linear system of Section 5.2: the diagonal is stored separately
+/// (it is 1.0 for every row of the paper's matrix A) and rows hold only
+/// off-diagonal entries.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from per-row entry lists. `diag[i]` is the diagonal of row i;
+  /// `rows[i]` holds the off-diagonal entries of row i (cols need not be
+  /// sorted; duplicates are summed).
+  SparseMatrix(std::vector<double> diag,
+               const std::vector<std::vector<MatrixEntry>>& rows);
+
+  int32_t size() const { return static_cast<int32_t>(diag_.size()); }
+  int64_t num_nonzeros() const {
+    return static_cast<int64_t>(entries_.size()) + size();
+  }
+
+  double diagonal(int32_t row) const { return diag_[static_cast<size_t>(row)]; }
+
+  /// Off-diagonal entries of `row`, sorted by column.
+  std::span<const MatrixEntry> Row(int32_t row) const {
+    return {entries_.data() + offsets_[static_cast<size_t>(row)],
+            entries_.data() + offsets_[static_cast<size_t>(row) + 1]};
+  }
+
+  /// y = A x (including the diagonal). Precondition: x.size() == size().
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// True when |a_ii| >= sum_j |a_ij| for every row, with strict
+  /// inequality in at least one row — the convergence condition the paper
+  /// establishes in Section 5.3.
+  bool IsDiagonallyDominant() const;
+
+  /// Infinity norm of the Jacobi iteration matrix D^{-1}(L+U): the paper's
+  /// ||A|| convergence-speed bound (reported as 0.91 on their dataset).
+  double JacobiIterationNorm() const;
+
+ private:
+  std::vector<double> diag_;
+  std::vector<int64_t> offsets_{0};
+  std::vector<MatrixEntry> entries_;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SOLVER_SPARSE_MATRIX_H_

@@ -1,0 +1,22 @@
+#ifndef SIMGRAPH_UTIL_ENV_H_
+#define SIMGRAPH_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace simgraph {
+
+/// Reads an integer environment variable, returning `default_value` when the
+/// variable is unset or unparsable. Experiment binaries use this for scale
+/// knobs (e.g. SIMGRAPH_USERS) so the same code runs CI-sized and full-sized.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+
+/// Reads a floating-point environment variable with a default.
+double GetEnvDouble(const char* name, double default_value);
+
+/// Reads a string environment variable with a default.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_ENV_H_

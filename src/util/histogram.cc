@@ -1,0 +1,108 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simgraph {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Min() const {
+  SIMGRAPH_CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  SIMGRAPH_CHECK(!samples_.empty());
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  SIMGRAPH_CHECK(!samples_.empty());
+  SIMGRAPH_CHECK_GE(p, 0.0);
+  SIMGRAPH_CHECK_LE(p, 100.0);
+  SortIfNeeded();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (sorted_) return;
+  auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+  std::sort(mutable_samples.begin(), mutable_samples.end());
+  sorted_ = true;
+}
+
+BucketedCounter::BucketedCounter(std::vector<int64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  SIMGRAPH_CHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    SIMGRAPH_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
+  }
+}
+
+void BucketedCounter::Add(int64_t value) { AddCount(value, 1); }
+
+void BucketedCounter::AddCount(int64_t value, int64_t count) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - upper_bounds_.begin());
+  counts_[idx] += count;
+  total_ += count;
+}
+
+std::vector<Bucket> BucketedCounter::buckets() const {
+  std::vector<Bucket> out;
+  out.reserve(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    std::string label;
+    if (i == 0) {
+      label = std::to_string(upper_bounds_[0]);
+    } else if (i < upper_bounds_.size()) {
+      const int64_t lo = upper_bounds_[i - 1] + 1;
+      const int64_t hi = upper_bounds_[i];
+      label = (lo == hi) ? std::to_string(lo)
+                         : std::to_string(lo) + "-" + std::to_string(hi);
+    } else {
+      label = std::to_string(upper_bounds_.back()) + "+";
+    }
+    out.push_back(Bucket{std::move(label), counts_[i]});
+  }
+  return out;
+}
+
+void LogBinnedCounter::Add(int64_t value) {
+  if (value < 1) value = 1;
+  size_t bin = 0;
+  while ((int64_t{1} << (bin + 1)) <= value) ++bin;
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  ++counts_[bin];
+  ++total_;
+}
+
+std::vector<std::pair<int64_t, int64_t>> LogBinnedCounter::bins() const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > 0) out.emplace_back(int64_t{1} << i, counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,90 @@
+#ifndef SIMGRAPH_UTIL_HISTOGRAM_H_
+#define SIMGRAPH_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simgraph {
+
+/// Accumulates scalar samples and reports count/mean/percentiles. Used by
+/// the analysis module and the evaluation harness for distribution plots
+/// (Figures 1-5 of the paper).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double sum() const { return sum_; }
+  /// Mean of the samples; 0 when empty.
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// p in [0, 100]; nearest-rank percentile. Precondition: count() > 0.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// All samples in insertion order (for custom bucketing).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void SortIfNeeded() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// A named value bucket, e.g. "2-5" -> 1234.
+struct Bucket {
+  std::string label;
+  int64_t count = 0;
+};
+
+/// Buckets integer samples into fixed ranges given by their upper bounds.
+/// Bounds must be strictly increasing; a final overflow bucket ("N+")
+/// catches the rest. Matches the x-axes of Figures 2-4.
+class BucketedCounter {
+ public:
+  /// `upper_bounds` holds inclusive upper bounds, e.g. {0, 1, 5, 50, 200, 500}
+  /// yields buckets 0, 1, 2-5, 6-50, 51-200, 201-500, 500+.
+  explicit BucketedCounter(std::vector<int64_t> upper_bounds);
+
+  void Add(int64_t value);
+  void AddCount(int64_t value, int64_t count);
+
+  /// The labelled buckets with their accumulated counts.
+  std::vector<Bucket> buckets() const;
+
+  int64_t total() const { return total_; }
+
+ private:
+  std::vector<int64_t> upper_bounds_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Counts samples in logarithmic bins (1, 2, 4, 8, ...); used for power-law
+/// distribution plots on log-log axes.
+class LogBinnedCounter {
+ public:
+  LogBinnedCounter() = default;
+
+  /// Adds a sample; values < 1 are clamped into the first bin.
+  void Add(int64_t value);
+
+  /// Returns (bin_lower_bound, count) pairs for non-empty bins in order.
+  std::vector<std::pair<int64_t, int64_t>> bins() const;
+
+  int64_t total() const { return total_; }
+
+ private:
+  std::vector<int64_t> counts_;  // counts_[i] covers [2^i, 2^(i+1)).
+  int64_t total_ = 0;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_HISTOGRAM_H_

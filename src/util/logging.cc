@@ -1,0 +1,64 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace simgraph {
+namespace internal_logging {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// Serialises whole log lines so concurrent threads do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+LogLevel SetMinLogLevel(LogLevel level) {
+  return g_min_level.exchange(level, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace simgraph

@@ -1,0 +1,83 @@
+#ifndef SIMGRAPH_UTIL_LOGGING_H_
+#define SIMGRAPH_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace simgraph {
+
+/// Severity levels for the SIMGRAPH_LOG macro.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Global minimum level below which SIMGRAPH_LOG statements are dropped.
+LogLevel MinLogLevel();
+
+/// Sets the global minimum log level; returns the previous one.
+LogLevel SetMinLogLevel(LogLevel level);
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression; used for disabled log levels.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace simgraph
+
+#define SIMGRAPH_LOG(level)                                                  \
+  (::simgraph::LogLevel::k##level <                                          \
+   ::simgraph::internal_logging::MinLogLevel())                              \
+      ? (void)0                                                              \
+      : ::simgraph::internal_logging::LogMessageVoidify() &                  \
+            ::simgraph::internal_logging::LogMessage(                        \
+                ::simgraph::LogLevel::k##level, __FILE__, __LINE__)          \
+                .stream()
+
+/// Aborts with a message when `condition` does not hold. Active in all build
+/// modes: invariants in a data system are not optional.
+#define SIMGRAPH_CHECK(condition)                                        \
+  (condition) ? (void)0                                                  \
+              : ::simgraph::internal_logging::LogMessageVoidify() &      \
+                    ::simgraph::internal_logging::LogMessage(            \
+                        ::simgraph::LogLevel::kFatal, __FILE__, __LINE__) \
+                        .stream()                                        \
+                    << "Check failed: " #condition " "
+
+#define SIMGRAPH_CHECK_OP(a, op, b)                             \
+  SIMGRAPH_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SIMGRAPH_CHECK_EQ(a, b) SIMGRAPH_CHECK_OP(a, ==, b)
+#define SIMGRAPH_CHECK_NE(a, b) SIMGRAPH_CHECK_OP(a, !=, b)
+#define SIMGRAPH_CHECK_LT(a, b) SIMGRAPH_CHECK_OP(a, <, b)
+#define SIMGRAPH_CHECK_LE(a, b) SIMGRAPH_CHECK_OP(a, <=, b)
+#define SIMGRAPH_CHECK_GT(a, b) SIMGRAPH_CHECK_OP(a, >, b)
+#define SIMGRAPH_CHECK_GE(a, b) SIMGRAPH_CHECK_OP(a, >=, b)
+
+/// Aborts when a Status expression is not OK.
+#define SIMGRAPH_CHECK_OK(expr)                                   \
+  do {                                                            \
+    const ::simgraph::Status simgraph_check_ok_s_ = (expr);       \
+    SIMGRAPH_CHECK(simgraph_check_ok_s_.ok())                     \
+        << simgraph_check_ok_s_.ToString();                       \
+  } while (false)
+
+#endif  // SIMGRAPH_UTIL_LOGGING_H_

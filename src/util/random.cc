@@ -1,0 +1,151 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Guard against the (never reachable via SplitMix64, but cheap to exclude)
+  // all-zero state in which xoshiro is stuck.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  SIMGRAPH_CHECK_GT(bound, 0u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  SIMGRAPH_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> uniform double in [0,1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  SIMGRAPH_CHECK_GT(rate, 0.0);
+  double u = NextDouble();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+ZipfDistribution::ZipfDistribution(int64_t n, double exponent)
+    : exponent_(exponent) {
+  SIMGRAPH_CHECK_GT(n, 0);
+  SIMGRAPH_CHECK_GE(exponent, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf_[static_cast<size_t>(i)] = acc;
+  }
+  const double total = acc;
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+int64_t SamplePowerLaw(Rng& rng, double alpha, int64_t x_min, int64_t x_max) {
+  SIMGRAPH_CHECK_GT(x_min, 0);
+  SIMGRAPH_CHECK_LE(x_min, x_max);
+  if (x_min == x_max) return x_min;
+  const double u = rng.NextDouble();
+  double x;
+  if (alpha == 1.0) {
+    // CDF inverse for P(x) ~ 1/x on [x_min, x_max+1).
+    x = x_min * std::pow(static_cast<double>(x_max + 1) / x_min, u);
+  } else {
+    const double a = 1.0 - alpha;
+    const double lo = std::pow(static_cast<double>(x_min), a);
+    const double hi = std::pow(static_cast<double>(x_max + 1), a);
+    x = std::pow(lo + u * (hi - lo), 1.0 / a);
+  }
+  const int64_t result = static_cast<int64_t>(x);
+  return std::clamp(result, x_min, x_max);
+}
+
+std::vector<int64_t> SampleWithoutReplacement(Rng& rng, int64_t n, int64_t k) {
+  SIMGRAPH_CHECK_GE(k, 0);
+  SIMGRAPH_CHECK_LE(k, n);
+  // Floyd's algorithm: k iterations, expected O(k) set operations.
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k));
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(k));
+  for (int64_t j = n - k; j < n; ++j) {
+    const int64_t t = rng.NextInt(0, j);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,129 @@
+#ifndef SIMGRAPH_UTIL_STATUS_H_
+#define SIMGRAPH_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace simgraph {
+
+/// Error codes for recoverable failures. The library does not use C++
+/// exceptions; fallible operations return Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A light-weight success-or-error value, modelled on absl::Status.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Callers must check ok() before
+/// dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs from a non-OK status. Passing an OK status is an internal error.
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace simgraph
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define SIMGRAPH_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::simgraph::Status simgraph_status_tmp_ = (expr);   \
+    if (!simgraph_status_tmp_.ok()) return simgraph_status_tmp_; \
+  } while (false)
+
+#endif  // SIMGRAPH_UTIL_STATUS_H_

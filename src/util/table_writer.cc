@@ -1,0 +1,93 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::string title) : title_(std::move(title)) {}
+
+void TableWriter::SetHeader(std::vector<std::string> header) {
+  SIMGRAPH_CHECK(rows_.empty()) << "SetHeader must precede AddRow";
+  header_ = std::move(header);
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  SIMGRAPH_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Cell(int64_t v) { return std::to_string(v); }
+std::string TableWriter::Cell(uint64_t v) { return std::to_string(v); }
+std::string TableWriter::Cell(int v) { return std::to_string(v); }
+
+std::string TableWriter::Cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = "== " + title_ + " ==\n";
+  out += sep;
+  out += render_row(header_);
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  };
+  render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  os << ToAscii() << "\n";
+}
+
+}  // namespace simgraph

@@ -1,0 +1,52 @@
+#ifndef SIMGRAPH_UTIL_TABLE_WRITER_H_
+#define SIMGRAPH_UTIL_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simgraph {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for stdout) or as CSV (for plotting scripts). Every bench
+/// binary reports its table/figure through this class so output is uniform.
+class TableWriter {
+ public:
+  /// `title` is printed above the table, e.g. "Table 4: SimGraph characteristics".
+  explicit TableWriter(std::string title);
+
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a row. Row width must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with %g / integer formatting.
+  static std::string Cell(int64_t v);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int v);
+  static std::string Cell(double v);
+  static std::string Cell(const std::string& v) { return v; }
+
+  /// Renders an aligned, human-readable table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Prints the ASCII rendering to `os` followed by a blank line.
+  void Print(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,55 @@
+#ifndef SIMGRAPH_UTIL_THREAD_POOL_H_
+#define SIMGRAPH_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace simgraph {
+
+/// Fixed-size worker pool. The paper parallelises SimGraph construction and
+/// message scoring over 70 cores; we provide the same structure and scale it
+/// to whatever the host offers.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;  // queued + running tasks, guarded by mu_
+  bool shutdown_ = false;
+};
+
+/// Splits [0, n) into roughly equal chunks and runs `fn(begin, end)` for each
+/// chunk on the pool, blocking until all chunks finish. With a single worker
+/// (or n small) the iteration order is deterministic.
+void ParallelFor(ThreadPool& pool, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,23 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace simgraph {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace simgraph

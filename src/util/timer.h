@@ -1,0 +1,38 @@
+#ifndef SIMGRAPH_UTIL_TIMER_H_
+#define SIMGRAPH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace simgraph {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Starts the timer immediately.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer from zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a short human-readable string
+/// ("413us", "2.1ms", "3.42s", "1.2h").
+std::string FormatDuration(double seconds);
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_TIMER_H_

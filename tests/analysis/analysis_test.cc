@@ -1,0 +1,100 @@
+#include "analysis/retweet_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// 4 tweets: t0 never retweeted, t1 once, t2 three times, t3 once (long
+// lifetime).
+Dataset MakeTrace() {
+  Dataset d;
+  GraphBuilder b(5);
+  for (NodeId u = 0; u < 4; ++u) b.AddEdge(u, 4);
+  d.follow_graph = b.Build();
+  const Timestamp h = kSecondsPerHour;
+  d.tweets = {
+      Tweet{0, 4, 0, 0},
+      Tweet{1, 4, 0, 0},
+      Tweet{2, 4, 0, 0},
+      Tweet{3, 4, 0, 0},
+  };
+  d.retweets = {
+      RetweetEvent{1, 0, h / 2},       // t1 dies within the hour
+      RetweetEvent{2, 0, 1 * h},
+      RetweetEvent{2, 1, 2 * h},
+      RetweetEvent{2, 2, 10 * h},      // t2 lifetime 10h
+      RetweetEvent{3, 3, 100 * h},     // t3 lifetime 100h
+  };
+  SIMGRAPH_CHECK_OK(d.Validate());
+  return d;
+}
+
+TEST(RetweetStatsTest, BucketsMatchHandCounts) {
+  const auto buckets = RetweetsPerTweetBuckets(MakeTrace());
+  ASSERT_EQ(buckets.size(), 7u);
+  EXPECT_EQ(buckets[0].count, 1);  // "0": t0
+  EXPECT_EQ(buckets[1].count, 2);  // "1": t1, t3
+  EXPECT_EQ(buckets[2].count, 1);  // "2-5": t2
+  EXPECT_EQ(buckets[3].count, 0);
+}
+
+TEST(RetweetStatsTest, FractionNeverRetweeted) {
+  EXPECT_DOUBLE_EQ(FractionNeverRetweeted(MakeTrace()), 0.25);
+}
+
+TEST(RetweetStatsTest, PerUserStats) {
+  const RetweetsPerUserStats stats = ComputeRetweetsPerUser(MakeTrace());
+  // Users: u0 has 2, u1 has 1, u2 has 1, u3 has 1, u4 has 0.
+  EXPECT_DOUBLE_EQ(stats.never_retweeted_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.25);
+  EXPECT_DOUBLE_EQ(stats.median, 1.0);
+  ASSERT_FALSE(stats.log_bins.empty());
+  EXPECT_EQ(stats.log_bins[0].first, 1);
+  EXPECT_EQ(stats.log_bins[0].second, 3);  // three users with exactly 1
+  EXPECT_EQ(stats.log_bins[1].first, 2);
+  EXPECT_EQ(stats.log_bins[1].second, 1);
+}
+
+TEST(RetweetStatsTest, LifetimesOnlyCountRetweetedTweets) {
+  const Histogram lifetimes = TweetLifetimesHours(MakeTrace());
+  EXPECT_EQ(lifetimes.count(), 3);  // t1, t2, t3
+  EXPECT_DOUBLE_EQ(lifetimes.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(lifetimes.Max(), 100.0);
+}
+
+TEST(RetweetStatsTest, FractionDeadWithin) {
+  const Dataset d = MakeTrace();
+  EXPECT_NEAR(FractionDeadWithinHours(d, 1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(FractionDeadWithinHours(d, 72.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(FractionDeadWithinHours(d, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RetweetStatsTest, EmptyDatasetSafe) {
+  Dataset d;
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  d.follow_graph = b.Build();
+  EXPECT_DOUBLE_EQ(FractionNeverRetweeted(d), 0.0);
+  EXPECT_DOUBLE_EQ(FractionDeadWithinHours(d, 10.0), 0.0);
+  EXPECT_EQ(TweetLifetimesHours(d).count(), 0);
+}
+
+TEST(RetweetStatsTest, GeneratedTraceShapes) {
+  // Section 3 shapes on a generated trace.
+  const Dataset d = GenerateDataset(TinyConfig());
+  const auto buckets = RetweetsPerTweetBuckets(d);
+  // Monotone-ish head: zero-retweet bucket dominates single-retweet which
+  // dominates the heavy tail buckets.
+  EXPECT_GT(buckets[0].count, buckets[1].count);
+  EXPECT_GT(buckets[1].count, buckets[4].count + buckets[5].count +
+                                  buckets[6].count);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,118 @@
+#include "analysis/distribution_fit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// Draws n samples from a discrete power law with the given alpha.
+std::vector<int64_t> PowerLawSamples(double alpha, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(SamplePowerLaw(rng, alpha, 1, 1000000));
+  }
+  return out;
+}
+
+class PowerLawFitTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawFitTest, RecoversAlpha) {
+  const double alpha = GetParam();
+  const auto samples = PowerLawSamples(alpha, 20000, 11);
+  const PowerLawFit fit = FitPowerLaw(samples, /*x_min=*/1);
+  EXPECT_NEAR(fit.alpha, alpha, 0.1);
+  EXPECT_EQ(fit.tail_size, 20000);
+  EXPECT_LT(fit.ks_distance, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawFitTest,
+                         ::testing::Values(1.5, 1.8, 2.2, 2.8));
+
+TEST(PowerLawFitTest, AutoScanFindsPlausibleFit) {
+  const auto samples = PowerLawSamples(2.0, 20000, 13);
+  const PowerLawFit fit = FitPowerLawAuto(samples);
+  EXPECT_NEAR(fit.alpha, 2.0, 0.15);
+  EXPECT_LT(fit.ks_distance, 0.05);
+  EXPECT_GE(fit.x_min, 1);
+}
+
+TEST(PowerLawFitTest, RejectsUniformData) {
+  // Uniform samples are a terrible power law: KS distance stays large
+  // relative to a true power-law fit of the same size.
+  Rng rng(17);
+  std::vector<int64_t> uniform;
+  for (int i = 0; i < 5000; ++i) uniform.push_back(rng.NextInt(1, 1000));
+  const PowerLawFit bad = FitPowerLaw(uniform, 1);
+  const PowerLawFit good = FitPowerLaw(PowerLawSamples(2.0, 5000, 19), 1);
+  EXPECT_GT(bad.ks_distance, 3.0 * good.ks_distance);
+}
+
+TEST(PowerLawFitTest, TinyTailIsDegenerate) {
+  const PowerLawFit fit = FitPowerLaw({5}, 1);
+  EXPECT_EQ(fit.tail_size, 0);
+  EXPECT_DOUBLE_EQ(fit.ks_distance, 1.0);
+}
+
+TEST(PowerLawFitTest, XMinFiltersHead) {
+  std::vector<int64_t> samples = PowerLawSamples(2.0, 10000, 23);
+  // Pollute the head with a spike at 1 that a higher x_min must ignore.
+  for (int i = 0; i < 5000; ++i) samples.push_back(1);
+  const PowerLawFit fit = FitPowerLaw(samples, /*x_min=*/5);
+  int64_t expected_tail = 0;
+  for (int64_t x : samples) {
+    if (x >= 5) ++expected_tail;
+  }
+  EXPECT_EQ(fit.tail_size, expected_tail);
+  EXPECT_LT(fit.tail_size, static_cast<int64_t>(samples.size()));
+  EXPECT_NEAR(fit.alpha, 2.0, 0.2);
+}
+
+TEST(ClusteringTest, TriangleIsFullyClustered) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  const Digraph g = b.Build();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(g, 100, rng), 1.0);
+}
+
+TEST(ClusteringTest, StarHasZeroClustering) {
+  GraphBuilder b(5);
+  for (NodeId i = 1; i < 5; ++i) b.AddEdge(i, 0);
+  const Digraph g = b.Build();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(g, 200, rng), 0.0);
+}
+
+TEST(ClusteringTest, EmptyGraphSafe) {
+  Digraph g;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(g, 10, rng), 0.0);
+}
+
+TEST(ClusteringTest, CliquePlusChain) {
+  // 4-clique (0-3) plus a chain 4-5: clique nodes contribute 1, chain
+  // nodes 0 -> average below 1 but clearly positive.
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  b.AddEdge(4, 5);
+  const Digraph g = b.Build();
+  Rng rng(3);
+  const double c = SampledClusteringCoefficient(g, 500, rng);
+  EXPECT_GT(c, 0.4);
+  EXPECT_LT(c, 1.0);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,103 @@
+#include "analysis/homophily.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace simgraph {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  HomophilyStudy study;
+};
+
+const Fixture& Shared() {
+  static const Fixture* f = [] {
+    auto* fx = new Fixture();
+    DatasetConfig c = TinyConfig();
+    c.num_users = 1000;
+    c.num_tweets = 8000;
+    fx->dataset = GenerateDataset(c);
+    ProfileStore profiles(fx->dataset, fx->dataset.num_retweets());
+    HomophilyStudyOptions opts;
+    opts.num_probe_users = 150;
+    opts.min_retweets = 3;
+    fx->study = RunHomophilyStudy(fx->dataset, profiles, opts);
+    return fx;
+  }();
+  return *f;
+}
+
+TEST(HomophilyTest, RowsCoverAllDistances) {
+  const HomophilyStudy& s = Shared().study;
+  // max_distance = 6 -> rows for 1..6 plus "impossible".
+  ASSERT_EQ(s.similarity_by_distance.size(), 7u);
+  EXPECT_EQ(s.similarity_by_distance.front().distance, 1);
+  EXPECT_EQ(s.similarity_by_distance.back().distance, -1);
+}
+
+TEST(HomophilyTest, PercentagesSumToHundred) {
+  const HomophilyStudy& s = Shared().study;
+  double total = 0.0;
+  int64_t pairs = 0;
+  for (const auto& row : s.similarity_by_distance) {
+    total += row.percentage;
+    pairs += row.num_pairs;
+  }
+  ASSERT_GT(pairs, 0);
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(HomophilyTest, CloseUsersAreMoreSimilar) {
+  // The paper's Table 2 signal: distance-1 mean similarity beats the
+  // overall mean, and beats distance-3.
+  const HomophilyStudy& s = Shared().study;
+  const auto& d1 = s.similarity_by_distance[0];
+  ASSERT_GT(d1.num_pairs, 0);
+  EXPECT_GT(d1.mean_similarity, s.overall_mean_similarity);
+  const auto& d3 = s.similarity_by_distance[2];
+  if (d3.num_pairs > 50) {
+    EXPECT_GT(d1.mean_similarity, d3.mean_similarity);
+  }
+}
+
+TEST(HomophilyTest, MostSimilarPairsAreWithinTwoHops) {
+  // Table 3's punchline: 70-80% of the top-5 most similar users sit within
+  // distance 2. Requiring > 50% keeps the test robust.
+  const HomophilyStudy& s = Shared().study;
+  EXPECT_GT(s.top_n_within_two_hops, 0.5);
+}
+
+TEST(HomophilyTest, TopRankRowsAreComplete) {
+  const HomophilyStudy& s = Shared().study;
+  ASSERT_EQ(s.top_rank_distance.size(), 5u);
+  for (size_t r = 0; r < s.top_rank_distance.size(); ++r) {
+    EXPECT_EQ(s.top_rank_distance[r].rank, static_cast<int32_t>(r + 1));
+    EXPECT_EQ(s.top_rank_distance[r].distance_percent.size(), 4u);
+    EXPECT_GE(s.top_rank_distance[r].avg_distance, 0.0);
+  }
+}
+
+TEST(HomophilyTest, RankOneIsCloserThanRankFive) {
+  // The paper: average distance grows as rank drops (1.65 -> 1.99).
+  const HomophilyStudy& s = Shared().study;
+  const double d1 = s.top_rank_distance[0].avg_distance;
+  const double d5 = s.top_rank_distance[4].avg_distance;
+  if (d1 > 0.0 && d5 > 0.0) {
+    EXPECT_LE(d1, d5 + 0.25);  // allow sampling noise, forbid inversion
+  }
+}
+
+TEST(HomophilyTest, EmptyPoolYieldsEmptyStudy) {
+  Dataset d = Shared().dataset;
+  d.retweets.clear();
+  ProfileStore profiles(d, 0);
+  HomophilyStudyOptions opts;
+  const HomophilyStudy s = RunHomophilyStudy(d, profiles, opts);
+  EXPECT_TRUE(s.similarity_by_distance.empty());
+  EXPECT_DOUBLE_EQ(s.overall_mean_similarity, 0.0);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,140 @@
+#include "baselines/bayes_recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// Chain: 0 follows 1, 1 follows 2, 2 follows 3 (author).
+Dataset MakeTrace() {
+  Dataset d;
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  d.follow_graph = b.Build();
+  const Timestamp h = kSecondsPerHour;
+  d.tweets = {Tweet{0, 3, 1 * h, 0}, Tweet{1, 3, 100 * h, 0}};
+  d.retweets = {
+      RetweetEvent{0, 2, 2 * h},
+      RetweetEvent{1, 2, 101 * h},  // test: user 2 shares tweet 1
+  };
+  SIMGRAPH_CHECK_OK(d.Validate());
+  return d;
+}
+
+TEST(BayesRecommenderTest, FollowerOfSharerGetsBelief) {
+  const Dataset d = MakeTrace();
+  BayesRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 1).ok());
+  rec.Observe(d.retweets.back());
+  // user 1 follows the sharer 2: P = evidence_weight * 1 = 0.3.
+  const auto recs1 = rec.Recommend(1, 102 * kSecondsPerHour, 10);
+  ASSERT_FALSE(recs1.empty());
+  EXPECT_EQ(recs1[0].tweet, 1);
+  EXPECT_NEAR(recs1[0].score, 0.3, 1e-9);
+}
+
+TEST(BayesRecommenderTest, BeliefPropagatesTransitively) {
+  const Dataset d = MakeTrace();
+  BayesOptions opts;
+  opts.evidence_weight = 0.5;
+  opts.propagation_threshold = 0.01;
+  BayesRecommender rec(opts);
+  ASSERT_TRUE(rec.Train(d, 1).ok());
+  rec.Observe(d.retweets.back());
+  // user 0 follows user 1 whose belief is 0.5: P(0) = 0.5 * 0.5 = 0.25.
+  const auto recs0 = rec.Recommend(0, 102 * kSecondsPerHour, 10);
+  ASSERT_FALSE(recs0.empty());
+  EXPECT_NEAR(recs0[0].score, 0.25, 1e-9);
+}
+
+TEST(BayesRecommenderTest, ThresholdStopsDeepPropagation) {
+  const Dataset d = MakeTrace();
+  BayesOptions opts;
+  opts.evidence_weight = 0.3;
+  opts.propagation_threshold = 0.5;  // 0.3 < 0.5: user 1 does not forward
+  BayesRecommender rec(opts);
+  ASSERT_TRUE(rec.Train(d, 1).ok());
+  rec.Observe(d.retweets.back());
+  EXPECT_FALSE(rec.Recommend(1, 102 * kSecondsPerHour, 10).empty());
+  EXPECT_TRUE(rec.Recommend(0, 102 * kSecondsPerHour, 10).empty());
+}
+
+TEST(BayesRecommenderTest, MultipleSharersRaiseBeliefNoisyOr) {
+  // Two followees of user 0 share the same tweet.
+  Dataset d;
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  d.follow_graph = b.Build();
+  const Timestamp h = kSecondsPerHour;
+  d.tweets = {Tweet{0, 3, 1 * h, 0}};
+  d.retweets = {
+      RetweetEvent{0, 1, 2 * h},
+      RetweetEvent{0, 2, 3 * h},
+  };
+  SIMGRAPH_CHECK_OK(d.Validate());
+
+  BayesRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 0).ok());
+  rec.Observe(d.retweets[0]);
+  const auto after_one = rec.Recommend(0, 4 * h, 10);
+  ASSERT_FALSE(after_one.empty());
+  EXPECT_NEAR(after_one[0].score, 0.3, 1e-9);
+  rec.Observe(d.retweets[1]);
+  const auto after_two = rec.Recommend(0, 4 * h, 10);
+  ASSERT_FALSE(after_two.empty());
+  // Noisy-OR: 1 - (1-0.3)^2 = 0.51.
+  EXPECT_NEAR(after_two[0].score, 0.51, 1e-9);
+}
+
+TEST(BayesRecommenderTest, SharerNotRecommended) {
+  const Dataset d = MakeTrace();
+  BayesRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 1).ok());
+  rec.Observe(d.retweets.back());
+  for (const auto& r : rec.Recommend(2, 102 * kSecondsPerHour, 10)) {
+    EXPECT_NE(r.tweet, 1);
+  }
+}
+
+TEST(BayesRecommenderTest, StaleTweetNotRecommended) {
+  const Dataset d = MakeTrace();
+  BayesRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 1).ok());
+  rec.Observe(d.retweets.back());
+  EXPECT_TRUE(rec.Recommend(1, (100 + 80) * kSecondsPerHour, 10).empty());
+}
+
+TEST(BayesRecommenderTest, WorksOnGeneratedTrace) {
+  const Dataset d = GenerateDataset(TinyConfig());
+  const int64_t split = d.SplitIndex(0.9);
+  BayesRecommender rec;
+  ASSERT_TRUE(rec.Train(d, split).ok());
+  for (int64_t i = split; i < d.num_retweets(); ++i) {
+    rec.Observe(d.retweets[static_cast<size_t>(i)]);
+  }
+  int64_t users_with_recs = 0;
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    if (!rec.Recommend(u, d.EndTime(), 5).empty()) ++users_with_recs;
+  }
+  EXPECT_GT(users_with_recs, 0);
+}
+
+TEST(BayesRecommenderTest, TrainEndValidationAndName) {
+  const Dataset d = MakeTrace();
+  BayesRecommender rec;
+  EXPECT_FALSE(rec.Train(d, -1).ok());
+  EXPECT_EQ(rec.name(), "Bayes");
+}
+
+}  // namespace
+}  // namespace simgraph

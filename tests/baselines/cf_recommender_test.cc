@@ -1,0 +1,141 @@
+#include "baselines/cf_recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// Users 0,1 co-retweet during training; user 2 is unrelated. Author is 3.
+Dataset MakeTrace() {
+  Dataset d;
+  GraphBuilder b(4);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  d.follow_graph = b.Build();
+  const Timestamp h = kSecondsPerHour;
+  d.tweets = {
+      Tweet{0, 3, 1 * h, 0}, Tweet{1, 3, 2 * h, 0},
+      Tweet{2, 3, 3 * h, 0}, Tweet{3, 3, 100 * h, 0},
+  };
+  d.retweets = {
+      RetweetEvent{0, 0, 4 * h}, RetweetEvent{0, 1, 5 * h},
+      RetweetEvent{1, 0, 6 * h}, RetweetEvent{1, 1, 7 * h},
+      RetweetEvent{2, 2, 8 * h},
+      RetweetEvent{3, 1, 101 * h},  // test: user 1 shares tweet 3
+  };
+  SIMGRAPH_CHECK_OK(d.Validate());
+  return d;
+}
+
+TEST(CfRecommenderTest, NeighborRetweetCreatesCandidate) {
+  const Dataset d = MakeTrace();
+  CfRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 5).ok());
+  rec.Observe(d.retweets.back());
+  const auto recs = rec.Recommend(0, 102 * kSecondsPerHour, 10);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].tweet, 3);
+}
+
+TEST(CfRecommenderTest, UnrelatedUserGetsNothing) {
+  const Dataset d = MakeTrace();
+  CfRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 5).ok());
+  rec.Observe(d.retweets.back());
+  EXPECT_TRUE(rec.Recommend(2, 102 * kSecondsPerHour, 10).empty());
+}
+
+TEST(CfRecommenderTest, SharerDoesNotGetOwnShare) {
+  const Dataset d = MakeTrace();
+  CfRecommender rec;
+  ASSERT_TRUE(rec.Train(d, 5).ok());
+  rec.Observe(d.retweets.back());
+  for (const auto& r : rec.Recommend(1, 102 * kSecondsPerHour, 10)) {
+    EXPECT_NE(r.tweet, 3);
+  }
+}
+
+TEST(CfRecommenderTest, RepeatedNeighborSharesAccumulate) {
+  const Dataset d = GenerateDataset(TinyConfig());
+  const int64_t split = d.SplitIndex(0.9);
+  CfRecommender rec;
+  ASSERT_TRUE(rec.Train(d, split).ok());
+  EXPECT_GT(rec.num_influence_links(), 0);
+  for (int64_t i = split; i < d.num_retweets(); ++i) {
+    rec.Observe(d.retweets[static_cast<size_t>(i)]);
+  }
+  // Some user somewhere must have candidates.
+  int64_t users_with_recs = 0;
+  const Timestamp now = d.EndTime();
+  for (UserId u = 0; u < d.num_users(); ++u) {
+    if (!rec.Recommend(u, now, 5).empty()) ++users_with_recs;
+  }
+  EXPECT_GT(users_with_recs, 0);
+}
+
+TEST(CfRecommenderTest, NeighborhoodSizeBoundsInfluenceLists) {
+  const Dataset d = GenerateDataset(TinyConfig());
+  const int64_t split = d.SplitIndex(0.9);
+  CfOptions small;
+  small.neighborhood_size = 2;
+  CfRecommender rec_small(small);
+  ASSERT_TRUE(rec_small.Train(d, split).ok());
+  CfOptions big;
+  big.neighborhood_size = 50;
+  CfRecommender rec_big(big);
+  ASSERT_TRUE(rec_big.Train(d, split).ok());
+  EXPECT_LT(rec_small.num_influence_links(), rec_big.num_influence_links());
+}
+
+TEST(CfRecommenderTest, TrainEndValidation) {
+  const Dataset d = MakeTrace();
+  CfRecommender rec;
+  EXPECT_FALSE(rec.Train(d, -1).ok());
+  EXPECT_FALSE(rec.Train(d, d.num_retweets() + 5).ok());
+}
+
+TEST(CfRecommenderTest, NameIsStable) {
+  CfRecommender rec;
+  EXPECT_EQ(rec.name(), "CF");
+}
+
+TEST(CfRecommenderTest, AllPairsAndInvertedIndexInitAgree) {
+  // The inverted-index acceleration must produce the same neighbourhoods
+  // (and hence the same influence lists) as the paper's all-pairs scan.
+  const Dataset d = GenerateDataset(TinyConfig());
+  const int64_t split = d.SplitIndex(0.9);
+  CfOptions all_pairs;
+  all_pairs.init_mode = CfInitMode::kAllPairs;
+  CfRecommender rec_all(all_pairs);
+  ASSERT_TRUE(rec_all.Train(d, split).ok());
+  CfOptions inverted;
+  inverted.init_mode = CfInitMode::kInvertedIndex;
+  CfRecommender rec_inv(inverted);
+  ASSERT_TRUE(rec_inv.Train(d, split).ok());
+  EXPECT_EQ(rec_all.num_influence_links(), rec_inv.num_influence_links());
+  // Behavioural equality: identical recommendations after the same stream.
+  for (int64_t i = split; i < d.num_retweets(); ++i) {
+    rec_all.Observe(d.retweets[static_cast<size_t>(i)]);
+    rec_inv.Observe(d.retweets[static_cast<size_t>(i)]);
+  }
+  const Timestamp now = d.EndTime();
+  for (UserId u = 0; u < d.num_users(); u += 7) {
+    const auto a = rec_all.Recommend(u, now, 10);
+    const auto b = rec_inv.Recommend(u, now, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].tweet, b[j].tweet);
+      ASSERT_NEAR(a[j].score, b[j].score, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simgraph
+

@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end exercise of the simgraph_cli tool: generate -> stats ->
+# build -> recommend -> evaluate on a small synthetic trace.
+set -eu
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== generate =="
+"$CLI" generate --out "$TMP" --users 300 --tweets 2500 --seed 7
+test -s "$TMP/graph.txt"
+test -s "$TMP/tweets.txt"
+test -s "$TMP/retweets.txt"
+
+echo "== stats =="
+"$CLI" stats --data "$TMP" | grep -q "follow edges"
+
+echo "== build =="
+"$CLI" build --data "$TMP" --tau 0.01 --out "$TMP/simgraph.txt" \
+  | grep -q "SimGraph:"
+test -s "$TMP/simgraph.txt"
+
+echo "== recommend =="
+"$CLI" recommend --data "$TMP" --user 5 --k 5 | grep -q "top-5 for user 5"
+
+echo "== evaluate =="
+OUT="$("$CLI" evaluate --data "$TMP" --k 10)"
+echo "$OUT" | grep -q "SimGraph"
+echo "$OUT" | grep -q "GraphJet"
+echo "$OUT" | grep -q "Bayes"
+echo "$OUT" | grep -q "CF"
+
+echo "== error handling =="
+if "$CLI" stats --data /nonexistent/dir 2>/dev/null; then
+  echo "expected failure for missing dataset" >&2
+  exit 1
+fi
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected failure for unknown command" >&2
+  exit 1
+fi
+
+echo "cli_test: OK"

@@ -1,0 +1,135 @@
+#include "core/bubbles.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simgraph.h"
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// Two dense cliques (0-3) and (4-7) connected by a single weak bridge.
+Digraph TwoCliques() {
+  GraphBuilder b(8);
+  auto clique = [&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u <= hi; ++u) {
+      for (NodeId v = lo; v <= hi; ++v) {
+        if (u != v) b.AddEdge(u, v, 0.9);
+      }
+    }
+  };
+  clique(0, 3);
+  clique(4, 7);
+  b.AddEdge(3, 4, 0.05);
+  return b.Build(/*weighted=*/true);
+}
+
+TEST(BubblesTest, SeparatesTwoCliques) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  // All of 0-3 share one label, all of 4-7 another, and they differ.
+  for (NodeId u = 1; u <= 3; ++u) {
+    EXPECT_EQ(bubbles.bubble_of[static_cast<size_t>(u)],
+              bubbles.bubble_of[0]);
+  }
+  for (NodeId u = 5; u <= 7; ++u) {
+    EXPECT_EQ(bubbles.bubble_of[static_cast<size_t>(u)],
+              bubbles.bubble_of[4]);
+  }
+  EXPECT_NE(bubbles.bubble_of[0], bubbles.bubble_of[4]);
+  EXPECT_EQ(bubbles.num_bubbles, 2);
+}
+
+TEST(BubblesTest, IsolatedNodesAreSingletons) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 0, 0.5);
+  Digraph g = b.Build(true);
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  EXPECT_EQ(bubbles.num_bubbles, 3);  // {0,1}, {2}, {3}
+  EXPECT_NE(bubbles.bubble_of[2], bubbles.bubble_of[3]);
+  EXPECT_EQ(bubbles.bubble_of[0], bubbles.bubble_of[1]);
+}
+
+TEST(BubblesTest, SizesSumToNodeCount) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  int64_t total = 0;
+  for (int64_t s : bubbles.BubbleSizes()) total += s;
+  EXPECT_EQ(total, g.num_nodes());
+  EXPECT_EQ(bubbles.LargestBubble(), 4);
+}
+
+TEST(BubblesTest, IntraBubbleEdgeFraction) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  // 24 intra-clique edges + 1 bridge.
+  EXPECT_NEAR(IntraBubbleEdgeFraction(g, bubbles), 24.0 / 25.0, 1e-12);
+}
+
+TEST(BubblesTest, EmptyGraph) {
+  Digraph g;
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  EXPECT_EQ(bubbles.num_bubbles, 0);
+  EXPECT_DOUBLE_EQ(IntraBubbleEdgeFraction(g, bubbles), 0.0);
+}
+
+TEST(EscapeBubbleTest, ForeignPostsGetBoosted) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  // Tweets 0 and 1: authored by node 0 (user 2's bubble) and node 5
+  // (the other bubble).
+  const std::vector<UserId> author_of = {0, 5};
+  const std::vector<ScoredTweet> candidates = {{0, 0.5}, {1, 0.45}};
+  const auto rescored =
+      EscapeBubbleRescore(candidates, /*user=*/2, author_of, bubbles, 0.5);
+  ASSERT_EQ(rescored.size(), 2u);
+  // The foreign tweet 1 (0.45 * 1.5 = 0.675) overtakes the local tweet 0.
+  EXPECT_EQ(rescored[0].tweet, 1);
+  EXPECT_NEAR(rescored[0].score, 0.675, 1e-12);
+  EXPECT_EQ(rescored[1].tweet, 0);
+  EXPECT_NEAR(rescored[1].score, 0.5, 1e-12);
+}
+
+TEST(EscapeBubbleTest, ZeroBoostPreservesScores) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  const std::vector<UserId> author_of = {0, 5};
+  const std::vector<ScoredTweet> candidates = {{0, 0.5}, {1, 0.45}};
+  const auto rescored =
+      EscapeBubbleRescore(candidates, 2, author_of, bubbles, 0.0);
+  EXPECT_EQ(rescored[0].tweet, 0);
+  EXPECT_DOUBLE_EQ(rescored[0].score, 0.5);
+}
+
+TEST(EscapeBubbleTest, LocalityMetric) {
+  const Digraph g = TwoCliques();
+  const BubbleAssignment bubbles = DetectBubbles(g, BubbleOptions{});
+  const std::vector<UserId> author_of = {0, 5, 1};
+  const std::vector<ScoredTweet> candidates = {{0, 0.5}, {1, 0.4}, {2, 0.3}};
+  // User 2 is in bubble(0): tweets 0 and 2 are local, tweet 1 foreign.
+  EXPECT_NEAR(RecommendationLocality(candidates, 2, author_of, bubbles),
+              2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RecommendationLocality({}, 2, author_of, bubbles), 0.0);
+}
+
+TEST(BubblesTest, SimGraphBubblesFollowCommunities) {
+  // On a generated trace, SimGraph bubbles should be non-trivial: more
+  // than one bubble, and recommendations concentrated within them.
+  const Dataset d = GenerateDataset(TinyConfig());
+  ProfileStore profiles(d, d.num_retweets());
+  SimGraphOptions opts;
+  opts.tau = 0.002;
+  const SimGraph sg = BuildSimGraph(d.follow_graph, profiles, opts);
+  const BubbleAssignment bubbles = DetectBubbles(sg.graph, BubbleOptions{});
+  EXPECT_GT(bubbles.num_bubbles, 1);
+  // Label propagation converges to communities denser than random: the
+  // intra fraction must beat the share of the largest bubble (a random
+  // assignment's expectation).
+  const double intra = IntraBubbleEdgeFraction(sg.graph, bubbles);
+  EXPECT_GT(intra, 0.3);
+}
+
+}  // namespace
+}  // namespace simgraph

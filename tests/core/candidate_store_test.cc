@@ -1,0 +1,115 @@
+#include "core/candidate_store.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+constexpr Timestamp kHour = kSecondsPerHour;
+
+CandidateStore MakeStore() {
+  // 5 tweets published at hours 0, 10, 20, 30, 40; 72h freshness.
+  std::vector<Timestamp> times = {0, 10 * kHour, 20 * kHour, 30 * kHour,
+                                  40 * kHour};
+  return CandidateStore(/*num_users=*/3, std::move(times), 72 * kHour);
+}
+
+TEST(CandidateStoreTest, TopKOrdersByScore) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.1);
+  store.Deposit(0, 1, 0.9);
+  store.Deposit(0, 2, 0.5);
+  const auto top = store.TopK(0, 50 * kHour, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].tweet, 1);
+  EXPECT_EQ(top[1].tweet, 2);
+}
+
+TEST(CandidateStoreTest, TiesBrokenByTweetId) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 2, 0.5);
+  store.Deposit(0, 1, 0.5);
+  const auto top = store.TopK(0, 50 * kHour, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].tweet, 1);
+  EXPECT_EQ(top[1].tweet, 2);
+}
+
+TEST(CandidateStoreTest, DepositKeepsMax) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.5);
+  store.Deposit(0, 0, 0.2);  // lower, ignored
+  const auto top = store.TopK(0, 10 * kHour, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.5);
+  store.Deposit(0, 0, 0.8);  // higher, kept
+  EXPECT_DOUBLE_EQ(store.TopK(0, 10 * kHour, 1)[0].score, 0.8);
+}
+
+TEST(CandidateStoreTest, AccumulateSums) {
+  CandidateStore store = MakeStore();
+  store.Accumulate(0, 0, 0.25);
+  store.Accumulate(0, 0, 0.5);
+  EXPECT_DOUBLE_EQ(store.TopK(0, 10 * kHour, 1)[0].score, 0.75);
+}
+
+TEST(CandidateStoreTest, ConsumedNeverRecommended) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.9);
+  store.MarkConsumed(0, 0);
+  EXPECT_TRUE(store.TopK(0, 10 * kHour, 5).empty());
+  // Deposits after consumption are also ignored.
+  store.Deposit(0, 0, 0.95);
+  store.Accumulate(0, 0, 1.0);
+  EXPECT_TRUE(store.TopK(0, 10 * kHour, 5).empty());
+}
+
+TEST(CandidateStoreTest, ConsumptionIsPerUser) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.9);
+  store.Deposit(1, 0, 0.9);
+  store.MarkConsumed(0, 0);
+  EXPECT_TRUE(store.TopK(0, 10 * kHour, 5).empty());
+  EXPECT_EQ(store.TopK(1, 10 * kHour, 5).size(), 1u);
+}
+
+TEST(CandidateStoreTest, StaleTweetsAreFiltered) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.9);  // published at 0, fresh until 72h
+  EXPECT_EQ(store.TopK(0, 72 * kHour, 5).size(), 1u);
+  EXPECT_TRUE(store.TopK(0, 73 * kHour, 5).empty());
+}
+
+TEST(CandidateStoreTest, FutureTweetsAreNotRecommended) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 4, 0.9);  // published at 40h
+  EXPECT_TRUE(store.TopK(0, 39 * kHour, 5).empty());
+  EXPECT_EQ(store.TopK(0, 41 * kHour, 5).size(), 1u);
+}
+
+TEST(CandidateStoreTest, ZeroScoresAreNotRecommended) {
+  CandidateStore store = MakeStore();
+  store.Accumulate(0, 0, 0.0);
+  EXPECT_TRUE(store.TopK(0, 10 * kHour, 5).empty());
+}
+
+TEST(CandidateStoreTest, EvictStaleShrinksStore) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.9);
+  store.Deposit(0, 4, 0.9);
+  EXPECT_EQ(store.TotalCandidates(), 2);
+  store.EvictStale(80 * kHour);  // tweet 0 (published 0h) is stale
+  EXPECT_EQ(store.TotalCandidates(), 1);
+  EXPECT_EQ(store.TopK(0, 80 * kHour, 5).size(), 1u);
+}
+
+TEST(CandidateStoreTest, KLargerThanCandidatesReturnsAll) {
+  CandidateStore store = MakeStore();
+  store.Deposit(0, 0, 0.3);
+  store.Deposit(0, 1, 0.2);
+  const auto top = store.TopK(0, 20 * kHour, 100);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,150 @@
+// Property tests of the propagation engine over randomized similarity
+// graphs: agreement with the linear-system solvers, monotonicity in the
+// seed set, and monotone work reduction under the thresholds.
+
+#include <climits>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/propagation.h"
+#include "graph/graph_builder.h"
+#include "solver/iterative_solvers.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace simgraph {
+namespace {
+
+SimGraph RandomSimGraph(uint64_t seed, NodeId n, int64_t edges) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (int64_t i = 0; i < edges; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (u != v) b.AddEdge(u, v, 0.05 + 0.9 * rng.NextDouble());
+  }
+  SimGraph sg;
+  sg.graph = b.Build(/*weighted=*/true);
+  return sg;
+}
+
+std::map<UserId, double> ToMap(const PropagationResult& r) {
+  std::map<UserId, double> m;
+  for (const UserScore& us : r.scores) m[us.user] = us.score;
+  return m;
+}
+
+class PropagationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropagationPropertyTest, FrontierMatchesGaussSeidel) {
+  const SimGraph sg = RandomSimGraph(GetParam(), 120, 900);
+  Propagator prop(sg);
+  const std::vector<UserId> seeds = {1, 5, 9};
+
+  PropagationOptions popts;
+  popts.epsilon = 1e-13;
+  popts.max_iterations = 5000;
+  const PropagationResult frontier = prop.Propagate(seeds, 3, popts);
+  ASSERT_TRUE(frontier.converged);
+
+  std::vector<UserId> users;
+  std::vector<double> b;
+  const SparseMatrix a = BuildPropagationSystem(sg, seeds, &users, &b);
+  ASSERT_TRUE(a.IsDiagonallyDominant());
+  EXPECT_LT(a.JacobiIterationNorm(), 1.0);
+  SolverOptions sopts;
+  sopts.method = SolverMethod::kGaussSeidel;
+  sopts.tolerance = 1e-13;
+  sopts.max_iterations = 20000;
+  const auto solved = Solve(a, b, sopts);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  std::map<UserId, double> by_user;
+  for (size_t i = 0; i < users.size(); ++i) {
+    by_user[users[i]] = solved->solution[i];
+  }
+  for (const auto& [u, p] : ToMap(frontier)) {
+    ASSERT_TRUE(by_user.contains(u));
+    EXPECT_NEAR(by_user.at(u), p, 1e-6);
+  }
+}
+
+TEST_P(PropagationPropertyTest, ScoresAreProbabilities) {
+  const SimGraph sg = RandomSimGraph(GetParam(), 150, 1200);
+  Propagator prop(sg);
+  const PropagationResult r =
+      prop.Propagate({0, 1, 2, 3, 4, 5, 6, 7}, 8, PropagationOptions{});
+  for (const UserScore& us : r.scores) {
+    ASSERT_GT(us.score, 0.0);
+    ASSERT_LE(us.score, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(PropagationPropertyTest, AddingSeedsNeverLowersScores) {
+  // The propagation map is monotone in the seed set: all couplings are
+  // non-negative, so growing b can only grow the fixpoint.
+  const SimGraph sg = RandomSimGraph(GetParam(), 100, 700);
+  Propagator prop(sg);
+  PropagationOptions popts;
+  popts.epsilon = 1e-12;
+  popts.max_iterations = 5000;
+  const auto small = ToMap(prop.Propagate({2, 4}, 2, popts));
+  const auto large = ToMap(prop.Propagate({2, 4, 6, 8}, 4, popts));
+  for (const auto& [u, p] : small) {
+    if (u == 6 || u == 8) continue;  // became seeds
+    const auto it = large.find(u);
+    ASSERT_NE(it, large.end());
+    EXPECT_GE(it->second, p - 1e-9);
+  }
+}
+
+TEST_P(PropagationPropertyTest, LargerBetaNeverDoesMoreWork) {
+  const SimGraph sg = RandomSimGraph(GetParam(), 150, 1200);
+  Propagator prop(sg);
+  int64_t prev_updates = INT64_MAX;
+  for (double beta : {0.0, 1e-4, 1e-2, 1e-1}) {
+    PropagationOptions popts;
+    popts.beta = beta;
+    const PropagationResult r = prop.Propagate({0, 1, 2}, 3, popts);
+    EXPECT_LE(r.updates, prev_updates);
+    prev_updates = r.updates;
+  }
+}
+
+TEST_P(PropagationPropertyTest, SeedsAreNeverReported) {
+  const SimGraph sg = RandomSimGraph(GetParam(), 100, 700);
+  Propagator prop(sg);
+  const std::vector<UserId> seeds = {10, 20, 30};
+  const PropagationResult r = prop.Propagate(seeds, 3, PropagationOptions{});
+  for (const UserScore& us : r.scores) {
+    for (UserId s : seeds) ASSERT_NE(us.user, s);
+  }
+}
+
+TEST_P(PropagationPropertyTest, BatchMatchesSequential) {
+  const SimGraph sg = RandomSimGraph(GetParam(), 120, 900);
+  Propagator prop(sg);
+  std::vector<std::vector<UserId>> seed_sets = {
+      {0}, {1, 2}, {3, 4, 5}, {10, 20, 30, 40}};
+  PropagationOptions popts;
+  ThreadPool pool(4);
+  const auto batch = prop.PropagateBatch(seed_sets, popts, pool);
+  ASSERT_EQ(batch.size(), seed_sets.size());
+  for (size_t i = 0; i < seed_sets.size(); ++i) {
+    const auto solo = prop.Propagate(
+        seed_sets[i], static_cast<int64_t>(seed_sets[i].size()), popts);
+    const auto a = ToMap(batch[i]);
+    const auto b = ToMap(solo);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [u, p] : a) {
+      ASSERT_DOUBLE_EQ(b.at(u), p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropagationPropertyTest,
+
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,257 @@
+#include "core/propagation.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "solver/iterative_solvers.h"
+
+namespace simgraph {
+namespace {
+
+// The paper's Figure 6 similarity graph:
+//   nodes u=0, v=1, w=2, x=3, y=4
+//   u -> v (sim 0.3), u -> w (sim 0.5)
+//   w -> x (sim 0.5), w -> y (sim 0.4)
+// x retweeted t1 (seed). Examples 4.3 / 5.1 derive
+//   p(w) = (0*0.4 + 1*0.5)/2 = 0.25
+//   p(u) = (0*0.3 + 0.25*0.5)/2 = 0.0625
+SimGraph Figure6() {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1, 0.3);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(2, 3, 0.5);
+  b.AddEdge(2, 4, 0.4);
+  SimGraph sg;
+  sg.graph = b.Build(/*weighted=*/true);
+  return sg;
+}
+
+std::map<UserId, double> ToMap(const PropagationResult& r) {
+  std::map<UserId, double> m;
+  for (const UserScore& us : r.scores) m[us.user] = us.score;
+  return m;
+}
+
+TEST(PropagationTest, ReproducesPaperExample51) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  const PropagationResult r = prop.Propagate({3}, 1, PropagationOptions{});
+  EXPECT_TRUE(r.converged);
+  const auto scores = ToMap(r);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores.at(2), 0.25, 1e-12);    // w
+  EXPECT_NEAR(scores.at(0), 0.0625, 1e-12);  // u
+}
+
+TEST(PropagationTest, SeedsAreNotReported) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  const PropagationResult r = prop.Propagate({3}, 1, PropagationOptions{});
+  for (const UserScore& us : r.scores) EXPECT_NE(us.user, 3);
+}
+
+TEST(PropagationTest, EmptySeedsConvergeToNothing) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  const PropagationResult r = prop.Propagate({}, 0, PropagationOptions{});
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(PropagationTest, MultipleSeedsSumInfluence) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  // Both x and y share: p(w) = (1*0.5 + 1*0.4)/2 = 0.45.
+  const PropagationResult r = prop.Propagate({3, 4}, 2, PropagationOptions{});
+  const auto scores = ToMap(r);
+  EXPECT_NEAR(scores.at(2), 0.45, 1e-12);
+  EXPECT_NEAR(scores.at(0), 0.45 * 0.5 / 2.0, 1e-12);
+}
+
+TEST(PropagationTest, DuplicateSeedsAreIgnored) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  const PropagationResult r =
+      prop.Propagate({3, 3, 3}, 3, PropagationOptions{});
+  const auto scores = ToMap(r);
+  EXPECT_NEAR(scores.at(2), 0.25, 1e-12);
+}
+
+TEST(PropagationTest, ScoresAreProbabilities) {
+  // On any graph with sims <= 1 scores stay in [0, 1].
+  Rng rng(3);
+  GraphBuilder b(200);
+  for (int i = 0; i < 1500; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(200));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(200));
+    if (u != v) b.AddEdge(u, v, rng.NextDouble());
+  }
+  SimGraph sg;
+  sg.graph = b.Build(/*weighted=*/true);
+  Propagator prop(sg);
+  const PropagationResult r =
+      prop.Propagate({0, 1, 2, 3, 4}, 5, PropagationOptions{});
+  EXPECT_TRUE(r.converged);
+  for (const UserScore& us : r.scores) {
+    EXPECT_GT(us.score, 0.0);
+    EXPECT_LE(us.score, 1.0);
+  }
+}
+
+TEST(PropagationTest, CycleConverges) {
+  // 0 <-> 1 mutual influence plus seed 2: the fixpoint exists because
+  // each row is averaged by out-degree and sims < 1.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.8);
+  b.AddEdge(0, 2, 0.6);
+  b.AddEdge(1, 0, 0.8);
+  b.AddEdge(1, 2, 0.4);
+  SimGraph sg;
+  sg.graph = b.Build(/*weighted=*/true);
+  Propagator prop(sg);
+  PropagationOptions opts;
+  opts.epsilon = 1e-12;
+  opts.max_iterations = 500;
+  const PropagationResult r = prop.Propagate({2}, 1, opts);
+  EXPECT_TRUE(r.converged);
+  // Solve by hand: p0 = (0.8 p1 + 0.6)/2, p1 = (0.8 p0 + 0.4)/2.
+  // => p0 = 0.4 p1 + 0.3; p1 = 0.4 p0 + 0.2 => p0 = 0.452381, p1 = 0.380952.
+  const auto scores = ToMap(r);
+  EXPECT_NEAR(scores.at(0), 0.45238095, 1e-6);
+  EXPECT_NEAR(scores.at(1), 0.38095238, 1e-6);
+}
+
+TEST(PropagationTest, AgreesWithLinearSystemSolver) {
+  // Section 5.2: the iterative algorithm solves Ap = b. Cross-check on a
+  // random graph against Gauss-Seidel.
+  Rng rng(17);
+  GraphBuilder b(80);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(80));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(80));
+    if (u != v) b.AddEdge(u, v, 0.1 + 0.8 * rng.NextDouble());
+  }
+  SimGraph sg;
+  sg.graph = b.Build(/*weighted=*/true);
+  const std::vector<UserId> seeds = {0, 1, 2};
+
+  Propagator prop(sg);
+  PropagationOptions popts;
+  popts.epsilon = 1e-13;
+  popts.max_iterations = 2000;
+  const PropagationResult iterative = prop.Propagate(seeds, 3, popts);
+  ASSERT_TRUE(iterative.converged);
+
+  std::vector<UserId> users;
+  std::vector<double> rhs;
+  const SparseMatrix a = BuildPropagationSystem(sg, seeds, &users, &rhs);
+  EXPECT_TRUE(a.IsDiagonallyDominant());
+  SolverOptions sopts;
+  sopts.method = SolverMethod::kGaussSeidel;
+  sopts.tolerance = 1e-13;
+  sopts.max_iterations = 5000;
+  const auto solved = Solve(a, rhs, sopts);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+
+  std::map<UserId, double> system_scores;
+  for (size_t i = 0; i < users.size(); ++i) {
+    system_scores[users[i]] = solved->solution[i];
+  }
+  for (UserId s : seeds) EXPECT_NEAR(system_scores.at(s), 1.0, 1e-9);
+  const auto iter_scores = ToMap(iterative);
+  for (const auto& [u, p] : iter_scores) {
+    ASSERT_TRUE(system_scores.contains(u));
+    EXPECT_NEAR(system_scores.at(u), p, 1e-7);
+  }
+}
+
+TEST(PropagationSystemTest, MatrixShapeMatchesSection52) {
+  const SimGraph sg = Figure6();
+  std::vector<UserId> users;
+  std::vector<double> rhs;
+  const SparseMatrix a = BuildPropagationSystem(sg, {3}, &users, &rhs);
+  // Reverse closure of {x}: x, w, u.
+  ASSERT_EQ(users.size(), 3u);
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(a.IsDiagonallyDominant());
+  for (int32_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.diagonal(i), 1.0);
+  }
+  // Seed row is clamped: no off-diagonal entries and b = 1.
+  const auto seed_it = std::find(users.begin(), users.end(), 3);
+  ASSERT_NE(seed_it, users.end());
+  const auto row = static_cast<int32_t>(seed_it - users.begin());
+  EXPECT_TRUE(a.Row(row).empty());
+  EXPECT_DOUBLE_EQ(rhs[static_cast<size_t>(row)], 1.0);
+}
+
+TEST(DynamicThresholdTest, HillFunctionShape) {
+  DynamicThreshold g;
+  g.k = 50.0;
+  g.p = 2.0;
+  EXPECT_DOUBLE_EQ(g.Evaluate(0), 0.0);
+  EXPECT_NEAR(g.Evaluate(50), 0.5, 1e-12);  // half-max at m = k
+  EXPECT_LT(g.Evaluate(5), 0.05);
+  EXPECT_GT(g.Evaluate(500), 0.95);
+  // Monotone.
+  double prev = 0.0;
+  for (int64_t m = 1; m < 1000; m *= 2) {
+    const double v = g.Evaluate(m);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(PropagationTest, StaticBetaLimitsWork) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  PropagationOptions eager;
+  PropagationOptions lazy;
+  lazy.beta = 0.5;  // w's change (0.25) is below beta -> no second hop
+  const PropagationResult r_eager = prop.Propagate({3}, 1, eager);
+  const PropagationResult r_lazy = prop.Propagate({3}, 1, lazy);
+  EXPECT_LE(r_lazy.updates, r_eager.updates);
+  const auto lazy_scores = ToMap(r_lazy);
+  // w still gets its score but does not forward it to u.
+  EXPECT_TRUE(lazy_scores.contains(2));
+  EXPECT_FALSE(lazy_scores.contains(0));
+}
+
+TEST(PropagationTest, DynamicThresholdThrottlesPopularTweets) {
+  const SimGraph sg = Figure6();
+  Propagator prop(sg);
+  PropagationOptions opts;
+  opts.dynamic.enabled = true;
+  opts.dynamic.k = 10.0;
+  opts.dynamic.p = 2.0;
+  opts.dynamic_scale = 10.0;  // exaggerate so the gate closes fully
+  // Unpopular tweet (m = 1): gamma ~ 0.0099 -> threshold ~0.1, w's 0.25
+  // change still propagates.
+  const PropagationResult fresh = prop.Propagate({3}, 1, opts);
+  EXPECT_TRUE(ToMap(fresh).contains(0));
+  // Popular tweet (m = 1000): gamma ~ 1 -> threshold ~10, propagation
+  // stops right after the seeds' neighbours.
+  const PropagationResult popular = prop.Propagate({3}, 1000, opts);
+  EXPECT_FALSE(ToMap(popular).contains(0));
+}
+
+TEST(PropagationTest, MaxIterationsBoundsWork) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.999999);
+  b.AddEdge(1, 0, 0.999999);
+  SimGraph sg;
+  sg.graph = b.Build(true);
+  Propagator prop(sg);
+  PropagationOptions opts;
+  opts.epsilon = 0.0;  // never "converged" by epsilon
+  opts.max_iterations = 5;
+  const PropagationResult r = prop.Propagate({0}, 1, opts);
+  EXPECT_LE(r.iterations, 5);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,159 @@
+#include "core/topic_similarity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace simgraph {
+namespace {
+
+// Users 0 and 1 retweet *different* tweets of the same topic (7); user 2
+// retweets a different topic (3). Author is 4.
+Dataset MakeTrace() {
+  Dataset d;
+  GraphBuilder b(5);
+  b.AddEdge(0, 4);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 4);
+  b.AddEdge(0, 1);
+  d.follow_graph = b.Build();
+  d.tweets = {
+      Tweet{0, 4, 0, /*topic=*/7},
+      Tweet{1, 4, 1, /*topic=*/7},
+      Tweet{2, 4, 2, /*topic=*/3},
+      Tweet{3, 4, 3, /*topic=*/7},
+  };
+  d.retweets = {
+      RetweetEvent{0, 0, 10},  // u0 retweets topic-7 tweet 0
+      RetweetEvent{1, 1, 11},  // u1 retweets topic-7 tweet 1
+      RetweetEvent{2, 2, 12},  // u2 retweets topic-3 tweet 2
+      RetweetEvent{3, 1, 13},  // u1 retweets topic-7 tweet 3
+  };
+  SIMGRAPH_CHECK_OK(d.Validate());
+  return d;
+}
+
+TEST(TopicProfileStoreTest, CountsTopics) {
+  const Dataset d = MakeTrace();
+  TopicProfileStore topics(d, d.num_retweets());
+  const auto p1 = topics.Profile(1);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0].topic, 7);
+  EXPECT_EQ(p1[0].count, 2);
+  EXPECT_TRUE(topics.Profile(4).empty());
+}
+
+TEST(TopicProfileStoreTest, WindowLimitsEvents) {
+  const Dataset d = MakeTrace();
+  TopicProfileStore topics(d, /*event_end=*/1);
+  EXPECT_EQ(topics.Profile(0).size(), 1u);
+  EXPECT_TRUE(topics.Profile(1).empty());
+}
+
+TEST(TopicSimilarityTest, SameTopicNoCoRetweet) {
+  // The future-work motivation: u0 and u1 share no tweet but share the
+  // topic -> tweet jaccard 0, topic-tweet similarity positive.
+  const Dataset d = MakeTrace();
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  EXPECT_DOUBLE_EQ(profiles.Similarity(0, 1), 0.0);
+  // Topic 7 has m = 3 retweets in total; both users' topic set is {7}:
+  // sim = (1 / ln(1+3)) / |{7}| = 1/ln(4).
+  EXPECT_EQ(topics.TopicPopularity(7), 3);
+  EXPECT_NEAR(topics.TopicSimilarity(0, 1), 1.0 / std::log(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(topics.TopicSimilarity(0, 2), 0.0);
+}
+
+TEST(TopicSimilarityTest, SymmetricAndBounded) {
+  const Dataset d = GenerateDataset(TinyConfig());
+  TopicProfileStore topics(d, d.num_retweets());
+  for (UserId u = 0; u < 50; ++u) {
+    for (UserId v = 0; v < 50; ++v) {
+      const double s = topics.TopicSimilarity(u, v);
+      ASSERT_GE(s, 0.0);
+      // Shared topics have popularity >= 2, so each weight is at most
+      // 1/ln(3) < 1 and the union-normalised sum stays below 1.
+      ASSERT_LE(s, 1.0 + 1e-12);
+      ASSERT_DOUBLE_EQ(s, topics.TopicSimilarity(v, u));
+    }
+    ASSERT_DOUBLE_EQ(topics.TopicSimilarity(u, u), 1.0);
+  }
+}
+
+TEST(HybridSimilarityTest, AlphaZeroIsJaccard) {
+  const Dataset d = MakeTrace();
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  EXPECT_DOUBLE_EQ(HybridSimilarity(profiles, topics, 0, 1, 0.0),
+                   profiles.Similarity(0, 1));
+}
+
+TEST(HybridSimilarityTest, BlendIsConvex) {
+  const Dataset d = MakeTrace();
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  const double j = profiles.Similarity(0, 1);     // 0
+  const double t = topics.TopicSimilarity(0, 1);  // 1/ln(4)
+  const double h = HybridSimilarity(profiles, topics, 0, 1, 0.3);
+  EXPECT_NEAR(h, 0.7 * j + 0.3 * t, 1e-12);
+}
+
+TEST(HybridSimGraphTest, ConnectsTopicOnlyPairs) {
+  const Dataset d = MakeTrace();
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  // Plain SimGraph: no edge 0->1 (no co-retweet).
+  SimGraphOptions plain;
+  plain.tau = 0.01;
+  const SimGraph base = BuildSimGraph(d.follow_graph, profiles, plain);
+  EXPECT_FALSE(base.graph.HasEdge(0, 1));
+  // Hybrid: edge 0->1 appears (1 is a followee of 0, topic cosine 1).
+  HybridSimGraphOptions hybrid;
+  hybrid.base.tau = 0.01;
+  hybrid.alpha = 0.5;
+  const SimGraph enriched =
+      BuildHybridSimGraph(d.follow_graph, profiles, topics, hybrid);
+  EXPECT_TRUE(enriched.graph.HasEdge(0, 1));
+  EXPECT_NEAR(enriched.graph.EdgeWeight(0, 1), 0.5 / std::log(4.0), 1e-12);
+}
+
+TEST(HybridSimGraphTest, AlphaZeroMatchesPlainBuild) {
+  const Dataset d = GenerateDataset(TinyConfig());
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  SimGraphOptions plain;
+  plain.tau = 0.005;
+  plain.mode = CandidateMode::kTwoHopBfs;
+  const SimGraph base = BuildSimGraph(d.follow_graph, profiles, plain);
+  HybridSimGraphOptions hybrid;
+  hybrid.base = plain;
+  hybrid.alpha = 0.0;
+  const SimGraph same =
+      BuildHybridSimGraph(d.follow_graph, profiles, topics, hybrid);
+  EXPECT_EQ(base.graph.num_edges(), same.graph.num_edges());
+}
+
+TEST(HybridSimGraphTest, DensifiesForSmallUsers) {
+  // Section 7's claim: topic blending helps small users get connected.
+  const Dataset d = GenerateDataset(TinyConfig());
+  ProfileStore profiles(d, d.num_retweets());
+  TopicProfileStore topics(d, d.num_retweets());
+  SimGraphOptions plain;
+  plain.tau = 0.01;
+  plain.mode = CandidateMode::kTwoHopBfs;
+  const SimGraph base = BuildSimGraph(d.follow_graph, profiles, plain);
+  HybridSimGraphOptions hybrid;
+  hybrid.base = plain;
+  hybrid.alpha = 0.4;
+  const SimGraph enriched =
+      BuildHybridSimGraph(d.follow_graph, profiles, topics, hybrid);
+  EXPECT_GT(enriched.graph.num_edges(), base.graph.num_edges());
+  EXPECT_GE(enriched.NumPresentNodes(), base.NumPresentNodes());
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,193 @@
+#include "dataset/cascade_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "dataset/social_graph_generator.h"
+
+namespace simgraph {
+namespace {
+
+struct Fixture {
+  DatasetConfig config;
+  InterestModel interests;
+  Digraph graph;
+  std::vector<double> propensities;
+  std::vector<Tweet> tweets;
+  Rng rng;
+
+  static Fixture Make() {
+    DatasetConfig c = TinyConfig();
+    Rng rng(c.seed);
+    InterestModel interests(c, rng);
+    Digraph graph = GenerateSocialGraph(c, interests, rng);
+    std::vector<double> prop = GenerateRetweetPropensities(c, rng);
+    std::vector<Tweet> tweets = GenerateTweets(c, interests, rng);
+    return Fixture{c, std::move(interests), std::move(graph),
+                   std::move(prop), std::move(tweets), std::move(rng)};
+  }
+};
+
+TEST(PropensityTest, RespectsNeverRetweetFraction) {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 20000;
+  Rng rng(1);
+  const std::vector<double> rho = GenerateRetweetPropensities(c, rng);
+  int64_t zero = 0;
+  for (double r : rho) {
+    ASSERT_GE(r, 0.0);
+    ASSERT_LE(r, 1.0);
+    if (r == 0.0) ++zero;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / static_cast<double>(rho.size()),
+              c.never_retweet_fraction, 0.02);
+}
+
+TEST(PropensityTest, HeavyTailExists) {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 20000;
+  Rng rng(1);
+  const std::vector<double> rho = GenerateRetweetPropensities(c, rng);
+  const double max_rho = *std::max_element(rho.begin(), rho.end());
+  EXPECT_GT(max_rho, 0.5);
+}
+
+TEST(TweetGeneratorTest, CountSortedAndDenseIds) {
+  Fixture f = Fixture::Make();
+  EXPECT_EQ(static_cast<int64_t>(f.tweets.size()), f.config.num_tweets);
+  for (size_t i = 0; i < f.tweets.size(); ++i) {
+    ASSERT_EQ(f.tweets[i].id, static_cast<TweetId>(i));
+    if (i > 0) {
+      ASSERT_LE(f.tweets[i - 1].time, f.tweets[i].time);
+    }
+    ASSERT_GE(f.tweets[i].author, 0);
+    ASSERT_LT(f.tweets[i].author, f.config.num_users);
+    ASSERT_GE(f.tweets[i].time, 0);
+    ASSERT_LT(f.tweets[i].time, f.config.horizon_days * kSecondsPerDay);
+  }
+}
+
+TEST(TweetGeneratorTest, ActivityIsHeavyTailed) {
+  Fixture f = Fixture::Make();
+  std::vector<int64_t> per_author(static_cast<size_t>(f.config.num_users), 0);
+  for (const Tweet& t : f.tweets) ++per_author[static_cast<size_t>(t.author)];
+  const int64_t max_tweets =
+      *std::max_element(per_author.begin(), per_author.end());
+  const double mean = static_cast<double>(f.tweets.size()) /
+                      static_cast<double>(f.config.num_users);
+  EXPECT_GT(static_cast<double>(max_tweets), 5.0 * mean);
+}
+
+TEST(TweetGeneratorTest, TopicsMatchAuthorInterests) {
+  Fixture f = Fixture::Make();
+  for (size_t i = 0; i < std::min<size_t>(f.tweets.size(), 500); ++i) {
+    const Tweet& t = f.tweets[i];
+    EXPECT_GT(f.interests.Affinity(t.author, t.topic), 0.0);
+  }
+}
+
+TEST(CascadeTest, EventsAreValid) {
+  Fixture f = Fixture::Make();
+  const std::vector<RetweetEvent> events = GenerateCascades(
+      f.config, f.graph, f.interests, f.tweets, f.propensities, f.rng);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const RetweetEvent& e = events[i];
+    ASSERT_GE(e.tweet, 0);
+    ASSERT_LT(e.tweet, static_cast<TweetId>(f.tweets.size()));
+    ASSERT_GE(e.user, 0);
+    ASSERT_LT(e.user, f.config.num_users);
+    // Retweet strictly after publication.
+    ASSERT_GT(e.time, f.tweets[static_cast<size_t>(e.tweet)].time);
+    // Sorted by time.
+    if (i > 0) {
+      ASSERT_LE(events[i - 1].time, e.time);
+    }
+    // Users with zero propensity never retweet.
+    ASSERT_GT(f.propensities[static_cast<size_t>(e.user)], 0.0);
+    // Authors never retweet their own tweet.
+    ASSERT_NE(f.tweets[static_cast<size_t>(e.tweet)].author, e.user);
+  }
+}
+
+TEST(CascadeTest, NoDuplicateUserTweetPairs) {
+  Fixture f = Fixture::Make();
+  const std::vector<RetweetEvent> events = GenerateCascades(
+      f.config, f.graph, f.interests, f.tweets, f.propensities, f.rng);
+  std::set<std::pair<TweetId, UserId>> seen;
+  for (const RetweetEvent& e : events) {
+    ASSERT_TRUE(seen.emplace(e.tweet, e.user).second);
+  }
+}
+
+TEST(CascadeTest, MajorityOfTweetsNeverRetweeted) {
+  Fixture f = Fixture::Make();
+  const std::vector<RetweetEvent> events = GenerateCascades(
+      f.config, f.graph, f.interests, f.tweets, f.propensities, f.rng);
+  std::vector<int32_t> counts(f.tweets.size(), 0);
+  for (const RetweetEvent& e : events) ++counts[static_cast<size_t>(e.tweet)];
+  const int64_t zero = std::count(counts.begin(), counts.end(), 0);
+  // Figure 2: ~90% of tweets are never retweeted; accept a broad band so
+  // the test is robust to config tweaks.
+  EXPECT_GT(static_cast<double>(zero) / static_cast<double>(counts.size()),
+            0.6);
+}
+
+TEST(CascadeTest, RetweetersFollowSomeoneInTheCascade) {
+  // Every retweeter must be a follower of a prior sharer: exposure only
+  // travels along follow edges.
+  Fixture f = Fixture::Make();
+  const std::vector<RetweetEvent> events = GenerateCascades(
+      f.config, f.graph, f.interests, f.tweets, f.propensities, f.rng);
+  std::unordered_map<TweetId, std::vector<UserId>> sharers;
+  for (const Tweet& t : f.tweets) sharers[t.id].push_back(t.author);
+  for (const RetweetEvent& e : events) {
+    bool follows_a_sharer = false;
+    for (UserId s : sharers[e.tweet]) {
+      if (f.graph.HasEdge(e.user, s)) {
+        follows_a_sharer = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(follows_a_sharer)
+        << "user " << e.user << " retweeted without exposure";
+    sharers[e.tweet].push_back(e.user);
+  }
+}
+
+TEST(CascadeTest, RespectsMaxCascadeSize) {
+  Fixture f = Fixture::Make();
+  DatasetConfig capped = f.config;
+  capped.max_cascade_size = 3;
+  Rng rng(f.config.seed + 1);
+  const std::vector<RetweetEvent> events = GenerateCascades(
+      capped, f.graph, f.interests, f.tweets, f.propensities, rng);
+  std::vector<int32_t> counts(f.tweets.size(), 0);
+  for (const RetweetEvent& e : events) ++counts[static_cast<size_t>(e.tweet)];
+  for (int32_t c : counts) {
+    // A share can append up to a full follower scan past the cap, so allow
+    // modest overshoot but nothing unbounded.
+    EXPECT_LE(c, 3 + f.config.max_out_degree);
+  }
+}
+
+TEST(CascadeTest, DeterministicForSeed) {
+  Fixture f1 = Fixture::Make();
+  Fixture f2 = Fixture::Make();
+  const auto e1 = GenerateCascades(f1.config, f1.graph, f1.interests,
+                                   f1.tweets, f1.propensities, f1.rng);
+  const auto e2 = GenerateCascades(f2.config, f2.graph, f2.interests,
+                                   f2.tweets, f2.propensities, f2.rng);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    ASSERT_EQ(e1[i].tweet, e2[i].tweet);
+    ASSERT_EQ(e1[i].user, e2[i].user);
+    ASSERT_EQ(e1[i].time, e2[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace simgraph

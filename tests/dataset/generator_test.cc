@@ -1,0 +1,84 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/retweet_stats.h"
+
+namespace simgraph {
+namespace {
+
+// One shared dataset for the distribution checks (generation is the
+// expensive part).
+const Dataset& Shared() {
+  static const Dataset* d = new Dataset(GenerateDataset(TinyConfig()));
+  return *d;
+}
+
+TEST(GeneratorTest, ProducesValidDataset) {
+  const Dataset& d = Shared();
+  EXPECT_EQ(d.num_users(), TinyConfig().num_users);
+  EXPECT_EQ(d.num_tweets(), TinyConfig().num_tweets);
+  EXPECT_GT(d.num_retweets(), 0);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(GeneratorTest, MostTweetsNeverRetweeted) {
+  // Figure 2's headline property.
+  const double frac = FractionNeverRetweeted(Shared());
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.99);
+}
+
+TEST(GeneratorTest, SomeTweetsGetMultipleRetweets) {
+  const auto counts = Shared().RetweetCountPerTweet();
+  const int32_t max_count = *std::max_element(counts.begin(), counts.end());
+  // A popularity tail exists (cascades do branch).
+  EXPECT_GE(max_count, 5);
+}
+
+TEST(GeneratorTest, RetweetsPerUserHeavyTailed) {
+  // Figure 3: few users gather most retweets; many users never retweet.
+  const RetweetsPerUserStats stats = ComputeRetweetsPerUser(Shared());
+  EXPECT_GT(stats.never_retweeted_fraction, 0.15);
+  EXPECT_GT(stats.mean, stats.median);  // right-skewed
+}
+
+TEST(GeneratorTest, LifetimesAreShort) {
+  // Figure 4: most retweeted tweets die quickly; 90% within ~72h in the
+  // paper. Generous bands keep the test robust.
+  const double within72 = FractionDeadWithinHours(Shared(), 72.0);
+  EXPECT_GT(within72, 0.5);
+  const double within1 = FractionDeadWithinHours(Shared(), 1.0);
+  EXPECT_LT(within1, within72);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const Dataset a = GenerateDataset(TinyConfig());
+  const Dataset b = GenerateDataset(TinyConfig());
+  ASSERT_EQ(a.num_retweets(), b.num_retweets());
+  for (int64_t i = 0; i < a.num_retweets(); ++i) {
+    ASSERT_EQ(a.retweets[static_cast<size_t>(i)].tweet,
+              b.retweets[static_cast<size_t>(i)].tweet);
+    ASSERT_EQ(a.retweets[static_cast<size_t>(i)].user,
+              b.retweets[static_cast<size_t>(i)].user);
+  }
+}
+
+TEST(GeneratorTest, SeedChangesTrace) {
+  DatasetConfig c = TinyConfig();
+  c.seed = 777;
+  const Dataset a = GenerateDataset(TinyConfig());
+  const Dataset b = GenerateDataset(c);
+  EXPECT_NE(a.num_retweets(), b.num_retweets());
+}
+
+TEST(GeneratorTest, EnoughEventsForEvaluation) {
+  // The evaluation protocol needs a meaningful test tail.
+  const Dataset& d = Shared();
+  EXPECT_GT(d.num_retweets(), d.num_tweets() / 10);
+}
+
+}  // namespace
+}  // namespace simgraph

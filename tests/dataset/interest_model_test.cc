@@ -1,0 +1,146 @@
+#include "dataset/interest_model.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 600;
+  c.num_topics = 10;
+  c.num_communities = 8;
+  return c;
+}
+
+TEST(InterestModelTest, EveryUserHasACommunity) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  EXPECT_EQ(m.num_users(), c.num_users);
+  int64_t members_total = 0;
+  for (int32_t com = 0; com < m.num_communities(); ++com) {
+    members_total += static_cast<int64_t>(m.CommunityMembers(com).size());
+  }
+  EXPECT_EQ(members_total, c.num_users);
+  for (UserId u = 0; u < c.num_users; ++u) {
+    const int32_t com = m.Community(u);
+    ASSERT_GE(com, 0);
+    ASSERT_LT(com, c.num_communities);
+    const auto& members = m.CommunityMembers(com);
+    EXPECT_NE(std::find(members.begin(), members.end(), u), members.end());
+  }
+}
+
+TEST(InterestModelTest, AffinitiesFormADistribution) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  for (UserId u = 0; u < 50; ++u) {
+    double total = 0.0;
+    for (int32_t t = 0; t < c.num_topics; ++t) {
+      const double a = m.Affinity(u, t);
+      ASSERT_GE(a, 0.0);
+      ASSERT_LE(a, 1.0);
+      total += a;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(InterestModelTest, SampleTopicHasPositiveAffinity) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  Rng sampler(99);
+  for (UserId u = 0; u < 50; ++u) {
+    for (int i = 0; i < 10; ++i) {
+      const int32_t topic = m.SampleTopic(u, sampler);
+      EXPECT_GT(m.Affinity(u, topic), 0.0);
+    }
+  }
+}
+
+TEST(InterestModelTest, SampleTopicFollowsWeights) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  Rng sampler(7);
+  // The dominant (community-primary) topic should be sampled most often.
+  std::vector<int64_t> counts(static_cast<size_t>(c.num_topics), 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(m.SampleTopic(0, sampler))];
+  int32_t best_topic = 0;
+  for (int32_t t = 1; t < c.num_topics; ++t) {
+    if (counts[static_cast<size_t>(t)] > counts[static_cast<size_t>(best_topic)]) {
+      best_topic = t;
+    }
+  }
+  double best_affinity = 0.0;
+  int32_t affinity_topic = 0;
+  for (int32_t t = 0; t < c.num_topics; ++t) {
+    if (m.Affinity(0, t) > best_affinity) {
+      best_affinity = m.Affinity(0, t);
+      affinity_topic = t;
+    }
+  }
+  EXPECT_EQ(best_topic, affinity_topic);
+  EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(best_topic)]) / n,
+              best_affinity, 0.05);
+}
+
+TEST(InterestModelTest, IntraCommunitySimilarityExceedsInter) {
+  // The homophily premise: same-community users share interests.
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  double intra = 0.0;
+  int64_t intra_n = 0;
+  double inter = 0.0;
+  int64_t inter_n = 0;
+  for (UserId a = 0; a < 200; ++a) {
+    for (UserId b = a + 1; b < 200; ++b) {
+      const double s = m.InterestSimilarity(a, b);
+      if (m.Community(a) == m.Community(b)) {
+        intra += s;
+        ++intra_n;
+      } else {
+        inter += s;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_GT(intra / intra_n, 1.5 * (inter / inter_n));
+}
+
+TEST(InterestModelTest, InterestSimilarityIsReflexiveAndSymmetric) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  for (UserId u = 0; u < 20; ++u) {
+    EXPECT_NEAR(m.InterestSimilarity(u, u), 1.0, 1e-9);
+    for (UserId v = 0; v < 20; ++v) {
+      EXPECT_DOUBLE_EQ(m.InterestSimilarity(u, v),
+                       m.InterestSimilarity(v, u));
+    }
+  }
+}
+
+TEST(InterestModelTest, DeterministicForSeed) {
+  DatasetConfig c = SmallConfig();
+  Rng rng1(c.seed);
+  Rng rng2(c.seed);
+  InterestModel a(c, rng1);
+  InterestModel b(c, rng2);
+  for (UserId u = 0; u < c.num_users; ++u) {
+    ASSERT_EQ(a.Community(u), b.Community(u));
+    for (int32_t t = 0; t < c.num_topics; ++t) {
+      ASSERT_DOUBLE_EQ(a.Affinity(u, t), b.Affinity(u, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,127 @@
+#include "dataset/social_graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace simgraph {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 800;
+  c.num_communities = 10;
+  return c;
+}
+
+TEST(SocialGraphGeneratorTest, RespectsDegreeBounds) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  EXPECT_EQ(g.num_nodes(), c.num_users);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(g.OutDegree(u), c.max_out_degree + 0);
+  }
+  // Mean out-degree at least the configured minimum (reciprocity adds more).
+  EXPECT_GE(static_cast<double>(g.num_edges()) / g.num_nodes(),
+            static_cast<double>(c.min_out_degree) * 0.8);
+}
+
+TEST(SocialGraphGeneratorTest, MostlyOneBigComponent) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  const auto wcc = WeaklyConnectedComponentSizes(g);
+  ASSERT_FALSE(wcc.empty());
+  EXPECT_GT(wcc[0], static_cast<int64_t>(0.95 * c.num_users));
+}
+
+TEST(SocialGraphGeneratorTest, SmallWorldPaths) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  PathStatsOptions opts;
+  opts.num_sources = 32;
+  const GraphSummary s = Summarize(g, opts);
+  // Follow graphs are small worlds: short average paths, tiny diameter.
+  EXPECT_LT(s.avg_path_length, 8.0);
+  EXPECT_GT(s.avg_path_length, 1.0);
+  EXPECT_LT(s.diameter_estimate, 25);
+}
+
+TEST(SocialGraphGeneratorTest, InDegreeIsHeavyTailed) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  int64_t max_in = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_in = std::max(max_in, g.InDegree(u));
+  }
+  const double mean_in =
+      static_cast<double>(g.num_edges()) / g.num_nodes();
+  // Preferential attachment: the biggest hub is far above the mean (the
+  // ratio grows with graph size; at this 800-node test scale 2.5x is
+  // already far outside what uniform wiring produces).
+  EXPECT_GT(static_cast<double>(max_in), 2.5 * mean_in);
+}
+
+TEST(SocialGraphGeneratorTest, HomophilousWiring) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  int64_t intra = 0;
+  int64_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (m.Community(u) == m.Community(v)) ++intra;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // With intra_community_prob = 0.7 the realised intra fraction should be
+  // clearly above what random wiring would give (the largest community is
+  // well under half the graph).
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.5);
+}
+
+TEST(SocialGraphGeneratorTest, DeterministicForSeed) {
+  DatasetConfig c = SmallConfig();
+  Rng rng1(c.seed);
+  InterestModel m1(c, rng1);
+  const Digraph g1 = GenerateSocialGraph(c, m1, rng1);
+  Rng rng2(c.seed);
+  InterestModel m2(c, rng2);
+  const Digraph g2 = GenerateSocialGraph(c, m2, rng2);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (NodeId u = 0; u < g1.num_nodes(); ++u) {
+    const auto n1 = g1.OutNeighbors(u);
+    const auto n2 = g2.OutNeighbors(u);
+    ASSERT_EQ(n1.size(), n2.size());
+    for (size_t i = 0; i < n1.size(); ++i) ASSERT_EQ(n1[i], n2[i]);
+  }
+}
+
+TEST(SocialGraphGeneratorTest, ReciprocityProducesMutualEdges) {
+  DatasetConfig c = SmallConfig();
+  Rng rng(c.seed);
+  InterestModel m(c, rng);
+  const Digraph g = GenerateSocialGraph(c, m, rng);
+  int64_t mutual = 0;
+  int64_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (g.HasEdge(v, u)) ++mutual;
+    }
+  }
+  // reciprocity_prob = 0.15 -> a noticeable mutual-edge fraction.
+  EXPECT_GT(static_cast<double>(mutual) / static_cast<double>(total), 0.05);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,106 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace simgraph {
+namespace {
+
+const Dataset& Shared() {
+  static const Dataset* d = new Dataset(GenerateDataset(TinyConfig()));
+  return *d;
+}
+
+ProtocolOptions SmallOptions() {
+  ProtocolOptions o;
+  o.users_per_class = 30;
+  o.low_max = 3;
+  o.moderate_max = 10;
+  return o;
+}
+
+TEST(ProtocolTest, SplitIsChronological) {
+  const Dataset& d = Shared();
+  const EvalProtocol p = MakeProtocol(d, SmallOptions());
+  EXPECT_EQ(p.train_end, d.SplitIndex(0.9));
+  ASSERT_GT(p.train_end, 0);
+  EXPECT_EQ(p.split_time,
+            d.retweets[static_cast<size_t>(p.train_end - 1)].time);
+  // Every training event is no later than every test event.
+  for (int64_t i = p.train_end; i < d.num_retweets(); ++i) {
+    EXPECT_GE(d.retweets[static_cast<size_t>(i)].time, p.split_time);
+  }
+}
+
+TEST(ProtocolTest, ClassesAreDisjointAndCorrect) {
+  const Dataset& d = Shared();
+  const ProtocolOptions opts = SmallOptions();
+  const EvalProtocol p = MakeProtocol(d, opts);
+  const auto counts = d.RetweetCountPerUser();
+  for (UserId u : p.low_users) {
+    EXPECT_GT(counts[static_cast<size_t>(u)], 0);
+    EXPECT_LT(counts[static_cast<size_t>(u)], opts.low_max);
+  }
+  for (UserId u : p.moderate_users) {
+    EXPECT_GE(counts[static_cast<size_t>(u)], opts.low_max);
+    EXPECT_LT(counts[static_cast<size_t>(u)], opts.moderate_max);
+  }
+  for (UserId u : p.intensive_users) {
+    EXPECT_GE(counts[static_cast<size_t>(u)], opts.moderate_max);
+  }
+}
+
+TEST(ProtocolTest, PanelIsSortedUnionOfClasses) {
+  const Dataset& d = Shared();
+  const EvalProtocol p = MakeProtocol(d, SmallOptions());
+  EXPECT_EQ(p.panel.size(), p.low_users.size() + p.moderate_users.size() +
+                                p.intensive_users.size());
+  EXPECT_TRUE(std::is_sorted(p.panel.begin(), p.panel.end()));
+  for (UserId u : p.low_users) EXPECT_TRUE(p.InPanel(u));
+  for (UserId u : p.intensive_users) EXPECT_TRUE(p.InPanel(u));
+}
+
+TEST(ProtocolTest, RespectsClassSizeTarget) {
+  const Dataset& d = Shared();
+  const ProtocolOptions opts = SmallOptions();
+  const EvalProtocol p = MakeProtocol(d, opts);
+  EXPECT_LE(static_cast<int64_t>(p.low_users.size()), opts.users_per_class);
+  EXPECT_LE(static_cast<int64_t>(p.moderate_users.size()),
+            opts.users_per_class);
+  EXPECT_LE(static_cast<int64_t>(p.intensive_users.size()),
+            opts.users_per_class);
+  EXPECT_FALSE(p.panel.empty());
+}
+
+TEST(ProtocolTest, DeterministicForSeed) {
+  const Dataset& d = Shared();
+  const EvalProtocol a = MakeProtocol(d, SmallOptions());
+  const EvalProtocol b = MakeProtocol(d, SmallOptions());
+  EXPECT_EQ(a.panel, b.panel);
+}
+
+TEST(ProtocolTest, ZeroRetweetUsersExcluded) {
+  const Dataset& d = Shared();
+  const EvalProtocol p = MakeProtocol(d, SmallOptions());
+  const auto counts = d.RetweetCountPerUser();
+  for (UserId u : p.panel) {
+    EXPECT_GT(counts[static_cast<size_t>(u)], 0);
+  }
+}
+
+TEST(ProtocolDeathTest, BadOptionsRejected) {
+  const Dataset& d = Shared();
+  ProtocolOptions bad;
+  bad.train_fraction = 1.5;
+  EXPECT_DEATH(MakeProtocol(d, bad), "Check failed");
+  ProtocolOptions inverted;
+  inverted.low_max = 100;
+  inverted.moderate_max = 10;
+  EXPECT_DEATH(MakeProtocol(d, inverted), "Check failed");
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,172 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace {
+
+// 0 -> 1 -> 2 -> 3, plus 4 isolated.
+Digraph Chain() {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(BfsTest, OutDistancesOnChain) {
+  const Digraph g = Chain();
+  const auto dist = BfsDistances(g, 0, TraversalDirection::kOut);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], -1);
+}
+
+TEST(BfsTest, InDistancesReverseChain) {
+  const Digraph g = Chain();
+  const auto dist = BfsDistances(g, 3, TraversalDirection::kIn);
+  EXPECT_EQ(dist[3], 0);
+  EXPECT_EQ(dist[2], 1);
+  EXPECT_EQ(dist[0], 3);
+  EXPECT_EQ(dist[4], -1);
+}
+
+TEST(BfsTest, BothTreatsAsUndirected) {
+  const Digraph g = Chain();
+  const auto dist = BfsDistances(g, 2, TraversalDirection::kBoth);
+  EXPECT_EQ(dist[0], 2);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[3], 1);
+}
+
+TEST(BfsTest, BoundedStopsAtDepth) {
+  const Digraph g = Chain();
+  const auto dist =
+      BfsDistancesBounded(g, 0, TraversalDirection::kOut, 2);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(BfsTest, BoundedDepthZeroOnlySource) {
+  const Digraph g = Chain();
+  const auto dist =
+      BfsDistancesBounded(g, 1, TraversalDirection::kOut, 0);
+  EXPECT_EQ(dist[1], 0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(BfsTest, ShortestPathPicksShorterBranch) {
+  // 0->1->3 and 0->2->4->3 : distance(0,3) == 2.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 3);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 4);
+  b.AddEdge(4, 3);
+  const Digraph g = b.Build();
+  EXPECT_EQ(ShortestPathLength(g, 0, 3, TraversalDirection::kOut), 2);
+}
+
+TEST(BfsTest, ShortestPathUnreachableIsMinusOne) {
+  const Digraph g = Chain();
+  EXPECT_EQ(ShortestPathLength(g, 0, 4, TraversalDirection::kOut), -1);
+  EXPECT_EQ(ShortestPathLength(g, 3, 0, TraversalDirection::kOut), -1);
+}
+
+TEST(BfsTest, ShortestPathToSelfIsZero) {
+  const Digraph g = Chain();
+  EXPECT_EQ(ShortestPathLength(g, 2, 2, TraversalDirection::kOut), 0);
+}
+
+TEST(KHopTest, TwoHopNeighborhoodMatchesPaperDefinition) {
+  // u=0 follows 1 and 2; 1 follows 3; 2 follows 3 and 4; 4 follows 5.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  b.AddEdge(2, 4);
+  b.AddEdge(4, 5);
+  const Digraph g = b.Build();
+  const auto n2 = KHopNeighborhood(g, 0, 2, TraversalDirection::kOut);
+  // N2(0) = {1, 2, 3, 4}; 5 is at distance 3.
+  ASSERT_EQ(n2.size(), 4u);
+  EXPECT_EQ(n2[0].node, 1);
+  EXPECT_EQ(n2[0].depth, 1);
+  EXPECT_EQ(n2[1].node, 2);
+  EXPECT_EQ(n2[1].depth, 1);
+  EXPECT_EQ(n2[2].node, 3);
+  EXPECT_EQ(n2[2].depth, 2);
+  EXPECT_EQ(n2[3].node, 4);
+  EXPECT_EQ(n2[3].depth, 2);
+}
+
+TEST(KHopTest, ExcludesSource) {
+  // Cycle 0->1->0: N2(0) must not contain 0 itself.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  const Digraph g = b.Build();
+  const auto n2 = KHopNeighborhood(g, 0, 2, TraversalDirection::kOut);
+  ASSERT_EQ(n2.size(), 1u);
+  EXPECT_EQ(n2[0].node, 1);
+}
+
+TEST(KHopTest, DepthIsShortestHopDistance) {
+  // 0->1, 0->2, 1->2 : node 2 reachable at depth 1 and 2; keep 1.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  const Digraph g = b.Build();
+  const auto n2 = KHopNeighborhood(g, 0, 2, TraversalDirection::kOut);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[1].node, 2);
+  EXPECT_EQ(n2[1].depth, 1);
+}
+
+TEST(KHopTest, ZeroHopsIsEmpty) {
+  const Digraph g = Chain();
+  EXPECT_TRUE(KHopNeighborhood(g, 0, 0, TraversalDirection::kOut).empty());
+}
+
+class KHopAgreesWithBoundedBfs : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(KHopAgreesWithBoundedBfs, OnRandomGraph) {
+  // Property: KHopNeighborhood == {v : 0 < BfsDistancesBounded(v) <= k}.
+  Rng rng(99);
+  GraphBuilder b(60);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(60));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(60));
+    if (u != v) b.AddEdge(u, v);
+  }
+  const Digraph g = b.Build();
+  const int32_t k = GetParam();
+  for (NodeId src = 0; src < 10; ++src) {
+    const auto hop = KHopNeighborhood(g, src, k, TraversalDirection::kOut);
+    const auto dist =
+        BfsDistancesBounded(g, src, TraversalDirection::kOut, k);
+    size_t idx = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v != src && dist[static_cast<size_t>(v)] > 0) {
+        ASSERT_LT(idx, hop.size());
+        EXPECT_EQ(hop[idx].node, v);
+        EXPECT_EQ(hop[idx].depth, dist[static_cast<size_t>(v)]);
+        ++idx;
+      }
+    }
+    EXPECT_EQ(idx, hop.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, KHopAgreesWithBoundedBfs,
+                         ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace simgraph

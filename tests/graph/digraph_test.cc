@@ -1,0 +1,143 @@
+#include "graph/digraph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(GraphBuilderTest, BuildsAdjacency) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 0);
+  const Digraph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  ASSERT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutNeighbors(0)[0], 1);
+  EXPECT_EQ(g.OutNeighbors(0)[1], 2);
+  EXPECT_EQ(g.OutDegree(1), 0);
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.InNeighbors(0)[0], 3);
+  EXPECT_EQ(g.InDegree(3), 1);
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 2);
+  const Digraph g = b.Build();
+  const auto nbrs = g.OutNeighbors(0);
+  for (size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(GraphBuilderTest, InNeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddEdge(4, 0);
+  b.AddEdge(1, 0);
+  b.AddEdge(3, 0);
+  const Digraph g = b.Build();
+  const auto nbrs = g.InNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  for (size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  const Digraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(1), 1);
+}
+
+TEST(GraphBuilderTest, LastWeightWinsOnDuplicates) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.25);
+  b.AddEdge(0, 1, 0.75);
+  const Digraph g = b.Build(/*weighted=*/true);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.75);
+}
+
+TEST(GraphBuilderDeathTest, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(1, 1), "self-loops");
+}
+
+TEST(GraphBuilderDeathTest, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_DEATH(b.AddEdge(0, 2), "Check failed");
+}
+
+TEST(DigraphTest, HasEdge) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  const Digraph g = b.Build();
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(DigraphTest, WeightsParallelNeighbors) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 2, 0.9);
+  const Digraph g = b.Build(/*weighted=*/true);
+  ASSERT_TRUE(g.has_weights());
+  const auto nbrs = g.OutNeighbors(0);
+  const auto weights = g.OutWeights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_DOUBLE_EQ(weights[0], 0.5);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_DOUBLE_EQ(weights[1], 0.9);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.9);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 0.0);
+}
+
+TEST(DigraphTest, UnweightedBuildStoresNoWeights) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.5);
+  const Digraph g = b.Build(/*weighted=*/false);
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(DigraphTest, MemoryBytesIsPositive) {
+  GraphBuilder b(10);
+  for (NodeId i = 0; i < 9; ++i) b.AddEdge(i, i + 1);
+  const Digraph g = b.Build();
+  EXPECT_GT(g.MemoryBytes(), 0);
+}
+
+TEST(GraphBuilderTest, LargeStarGraph) {
+  constexpr NodeId kN = 10000;
+  GraphBuilder b(kN);
+  for (NodeId i = 1; i < kN; ++i) b.AddEdge(i, 0);
+  const Digraph g = b.Build();
+  EXPECT_EQ(g.InDegree(0), kN - 1);
+  EXPECT_EQ(g.OutDegree(0), 0);
+  EXPECT_EQ(g.num_edges(), kN - 1);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,225 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripUnweighted) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 0);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("unweighted.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 4);
+  EXPECT_EQ(loaded->num_edges(), 3);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  EXPECT_TRUE(loaded->HasEdge(3, 0));
+  EXPECT_FALSE(loaded->has_weights());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripWeighted) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.125);
+  b.AddEdge(1, 2, 0.5);
+  const Digraph g = b.Build(/*weighted=*/true);
+  const std::string path = TempPath("weighted.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->has_weights());
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(0, 1), 0.125);
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(1, 2), 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  StatusOr<Digraph> loaded = ReadEdgeList("/nonexistent/dir/graph.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, MalformedHeaderRejected) {
+  const std::string path = TempPath("bad_header.txt");
+  {
+    std::ofstream out(path);
+    out << "not a header\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedEdgeListRejected) {
+  const std::string path = TempPath("truncated.txt");
+  {
+    std::ofstream out(path);
+    out << "3 2 0\n0 1\n";  // second edge missing
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, InvalidEdgeRejected) {
+  const std::string path = TempPath("invalid_edge.txt");
+  {
+    std::ofstream out(path);
+    out << "2 1 0\n0 5\n";  // node 5 out of range
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SelfLoopRejected) {
+  const std::string path = TempPath("self_loop.txt");
+  {
+    std::ofstream out(path);
+    out << "2 1 0\n1 1\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder b(0);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("empty.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RoundTripUnweighted) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 0);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("bin_unweighted.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 5);
+  EXPECT_EQ(loaded->num_edges(), 3);
+  EXPECT_TRUE(loaded->HasEdge(4, 0));
+  EXPECT_FALSE(loaded->has_weights());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RoundTripWeightedExactly) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.123456789012345);
+  b.AddEdge(2, 3, 1e-9);
+  const Digraph g = b.Build(/*weighted=*/true);
+  const std::string path = TempPath("bin_weighted.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Binary round trip preserves doubles bit-for-bit.
+  EXPECT_EQ(loaded->EdgeWeight(0, 1), 0.123456789012345);
+  EXPECT_EQ(loaded->EdgeWeight(2, 3), 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.sg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRAPHFILE.........";
+  }
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RejectsTruncatedFile) {
+  GraphBuilder b(100);
+  for (NodeId i = 0; i < 99; ++i) b.AddEdge(i, i + 1);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("truncated.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  // Truncate the file to half its size.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, LargeGraphRoundTrip) {
+  Rng rng(5);
+  GraphBuilder b(2000);
+  for (int i = 0; i < 20000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(2000));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(2000));
+    if (u != v) b.AddEdge(u, v, rng.NextDouble());
+  }
+  const Digraph g = b.Build(true);
+  const std::string path = TempPath("large.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); u += 37) {
+    const auto a = g.OutNeighbors(u);
+    const auto c = loaded->OutNeighbors(u);
+    ASSERT_EQ(a.size(), c.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], c[i]);
+      ASSERT_EQ(g.OutWeights(u)[i], loaded->OutWeights(u)[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DotExportTest, EmitsValidDot) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 0.25);
+  const Digraph g = b.Build(/*weighted=*/true);
+  const std::string path = TempPath("graph.dot");
+  ASSERT_TRUE(WriteDot(g, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("digraph simgraph {"), std::string::npos);
+  EXPECT_NE(content.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(content.find("label=\"0.5\""), std::string::npos);
+  EXPECT_NE(content.find("}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DotExportTest, RefusesHugeGraphs) {
+  GraphBuilder b(100);
+  for (NodeId u = 0; u < 99; ++u) b.AddEdge(u, u + 1);
+  const Digraph g = b.Build();
+  const Status s = WriteDot(g, TempPath("huge.dot"), /*max_edges=*/10);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace simgraph
+

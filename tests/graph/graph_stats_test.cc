@@ -1,0 +1,129 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace simgraph {
+namespace {
+
+// Undirected-ish path 0-1-2-3-4 (directed edges one way).
+Digraph Path5() {
+  GraphBuilder b(5);
+  for (NodeId i = 0; i < 4; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+TEST(GraphStatsTest, SummaryCountsAndDegrees) {
+  const Digraph g = Path5();
+  PathStatsOptions opts;
+  opts.num_sources = 5;
+  opts.num_sweeps = 4;
+  const GraphSummary s = Summarize(g, opts);
+  EXPECT_EQ(s.num_nodes, 5);
+  EXPECT_EQ(s.num_edges, 4);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 0.8);
+  EXPECT_EQ(s.max_out_degree, 1);
+  EXPECT_EQ(s.max_in_degree, 1);
+  EXPECT_EQ(s.largest_wcc, 5);
+}
+
+TEST(GraphStatsTest, DiameterOfPathIsLength) {
+  const Digraph g = Path5();
+  PathStatsOptions opts;
+  opts.num_sources = 5;
+  opts.num_sweeps = 8;
+  opts.undirected = true;
+  const GraphSummary s = Summarize(g, opts);
+  // Double sweep on a path finds the true diameter 4.
+  EXPECT_EQ(s.diameter_estimate, 4);
+}
+
+TEST(GraphStatsTest, AvgPathLengthOfCompleteDigraphIsOne) {
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u != v) b.AddEdge(u, v);
+    }
+  }
+  const Digraph g = b.Build();
+  PathStatsOptions opts;
+  opts.num_sources = 6;
+  opts.undirected = false;
+  const GraphSummary s = Summarize(g, opts);
+  EXPECT_DOUBLE_EQ(s.avg_path_length, 1.0);
+  EXPECT_EQ(s.diameter_estimate, 1);
+}
+
+TEST(GraphStatsTest, EmptyGraphSummary) {
+  Digraph g;
+  const GraphSummary s = Summarize(g, PathStatsOptions{});
+  EXPECT_EQ(s.num_nodes, 0);
+  EXPECT_EQ(s.num_edges, 0);
+}
+
+TEST(GraphStatsTest, ShortestPathDistributionOnPath) {
+  const Digraph g = Path5();
+  PathStatsOptions opts;
+  opts.num_sources = 200;  // clamped to 5 distinct, sampled w/ replacement
+  opts.undirected = true;
+  opts.seed = 3;
+  const auto dist = ShortestPathDistribution(g, opts);
+  // On a 5-path distances 1..4 all occur.
+  EXPECT_GT(dist.at(1), 0);
+  EXPECT_GT(dist.at(2), 0);
+  EXPECT_TRUE(dist.contains(3));
+  EXPECT_TRUE(dist.contains(4));
+  EXPECT_FALSE(dist.contains(5));
+}
+
+TEST(GraphStatsTest, DegreeDistributions) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 0);
+  const Digraph g = b.Build();
+  const auto out = OutDegreeDistribution(g);
+  EXPECT_EQ(out.at(0), 2);  // nodes 2, 3
+  EXPECT_EQ(out.at(1), 1);  // node 1
+  EXPECT_EQ(out.at(3), 1);  // node 0
+  const auto in = InDegreeDistribution(g);
+  EXPECT_EQ(in.at(1), 4);  // all nodes have in-degree 1
+}
+
+TEST(GraphStatsTest, WccSizes) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  // 5 and 6 isolated.
+  const Digraph g = b.Build();
+  const auto sizes = WeaklyConnectedComponentSizes(g);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 1);
+  EXPECT_EQ(sizes[3], 1);
+}
+
+TEST(GraphStatsTest, DirectionMattersForPaths) {
+  // Directed chain: undirected avg path < directed "out" reachability only
+  // forward.
+  const Digraph g = Path5();
+  PathStatsOptions undirected;
+  undirected.num_sources = 5;
+  undirected.undirected = true;
+  PathStatsOptions directed = undirected;
+  directed.undirected = false;
+  const auto d_undir = ShortestPathDistribution(g, undirected);
+  const auto d_dir = ShortestPathDistribution(g, directed);
+  int64_t undir_pairs = 0;
+  int64_t dir_pairs = 0;
+  for (const auto& [d, c] : d_undir) undir_pairs += c;
+  for (const auto& [d, c] : d_dir) dir_pairs += c;
+  EXPECT_GT(undir_pairs, dir_pairs);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,59 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_EQ(uf.SetSize(0), 2);
+}
+
+TEST(UnionFindTest, UnionIdempotent) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFindTest, TransitiveMerge) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(UnionFindTest, ChainCompressionStillCorrect) {
+  constexpr int64_t kN = 10000;
+  UnionFind uf(kN);
+  for (int64_t i = 1; i < kN; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.SetSize(0), kN);
+  EXPECT_EQ(uf.Find(0), uf.Find(kN - 1));
+}
+
+TEST(UnionFindDeathTest, OutOfRange) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Find(3), "Check failed");
+  EXPECT_DEATH(uf.Find(-1), "Check failed");
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Verifies that every public header is self-contained: each must compile
+# as the sole content of a translation unit (Google style: headers carry
+# all the includes they need).
+set -eu
+
+SRC_DIR="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+status=0
+for header in $(cd "$SRC_DIR" && find . -name '*.h' | sed 's|^\./||'); do
+  printf '#include "%s"\n' "$header" > "$TMP/tu.cc"
+  if ! c++ -std=c++20 -fsyntax-only -I "$SRC_DIR" "$TMP/tu.cc" 2> "$TMP/err"; then
+    echo "NOT SELF-CONTAINED: $header"
+    cat "$TMP/err"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "header_hygiene: all headers self-contained"
+fi
+exit "$status"

@@ -1,0 +1,166 @@
+#include "solver/iterative_solvers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace simgraph {
+namespace {
+
+SparseMatrix Example3x3() {
+  std::vector<double> diag = {4.0, 4.0, 4.0};
+  std::vector<std::vector<MatrixEntry>> rows(3);
+  rows[0] = {{1, -1.0}};
+  rows[1] = {{0, -1.0}, {2, -1.0}};
+  rows[2] = {{1, -1.0}};
+  return SparseMatrix(std::move(diag), rows);
+}
+
+class SolverMethodTest : public ::testing::TestWithParam<SolverMethod> {};
+
+TEST_P(SolverMethodTest, SolvesTridiagonalSystem) {
+  const SparseMatrix a = Example3x3();
+  const std::vector<double> b = {2.0, 4.0, 10.0};  // A * [1,2,3]
+  SolverOptions opts;
+  opts.method = GetParam();
+  StatusOr<SolverResult> result = Solve(a, b, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->solution[0], 1.0, 1e-8);
+  EXPECT_NEAR(result->solution[1], 2.0, 1e-8);
+  EXPECT_NEAR(result->solution[2], 3.0, 1e-8);
+}
+
+TEST_P(SolverMethodTest, ResidualIsSmall) {
+  // Random diagonally dominant system.
+  Rng rng(5);
+  const int32_t n = 50;
+  std::vector<double> diag(n);
+  std::vector<std::vector<MatrixEntry>> rows(n);
+  for (int32_t i = 0; i < n; ++i) {
+    double off_sum = 0.0;
+    for (int32_t j = 0; j < 5; ++j) {
+      const int32_t col = static_cast<int32_t>(rng.NextBounded(n));
+      if (col == i) continue;
+      const double v = rng.NextDouble() - 0.5;
+      rows[static_cast<size_t>(i)].push_back({col, v});
+      off_sum += std::abs(v);
+    }
+    diag[static_cast<size_t>(i)] = off_sum + 1.0;
+  }
+  SparseMatrix a(std::move(diag), rows);
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.NextDouble();
+
+  SolverOptions opts;
+  opts.method = GetParam();
+  opts.tolerance = 1e-12;
+  opts.max_iterations = 10000;
+  StatusOr<SolverResult> result = Solve(a, b, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<double> ax = a.Multiply(result->solution);
+  for (int32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(ax[static_cast<size_t>(i)], b[static_cast<size_t>(i)], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SolverMethodTest,
+                         ::testing::Values(SolverMethod::kJacobi,
+                                           SolverMethod::kGaussSeidel,
+                                           SolverMethod::kSor));
+
+TEST(SolverTest, GaussSeidelConvergesFasterThanJacobi) {
+  const SparseMatrix a = Example3x3();
+  const std::vector<double> b = {1.0, 1.0, 1.0};
+  SolverOptions jacobi;
+  jacobi.method = SolverMethod::kJacobi;
+  SolverOptions gs;
+  gs.method = SolverMethod::kGaussSeidel;
+  const auto rj = Solve(a, b, jacobi);
+  const auto rg = Solve(a, b, gs);
+  ASSERT_TRUE(rj.ok());
+  ASSERT_TRUE(rg.ok());
+  EXPECT_LE(rg->iterations, rj->iterations);
+}
+
+TEST(SolverTest, InitialGuessAtSolutionConvergesImmediately) {
+  const SparseMatrix a = Example3x3();
+  const std::vector<double> b = {2.0, 4.0, 10.0};
+  SolverOptions opts;
+  opts.initial_guess = {1.0, 2.0, 3.0};
+  const auto r = Solve(a, b, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->iterations, 1);
+}
+
+TEST(SolverTest, SizeMismatchIsInvalidArgument) {
+  const SparseMatrix a = Example3x3();
+  const auto r = Solve(a, {1.0, 2.0}, SolverOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverTest, ZeroDiagonalIsInvalidArgument) {
+  std::vector<double> diag = {0.0};
+  SparseMatrix a(std::move(diag), {{}});
+  const auto r = Solve(a, {1.0}, SolverOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverTest, BadSorOmegaIsInvalidArgument) {
+  const SparseMatrix a = Example3x3();
+  SolverOptions opts;
+  opts.method = SolverMethod::kSor;
+  opts.sor_omega = 2.5;
+  const auto r = Solve(a, {1.0, 1.0, 1.0}, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverTest, NonConvergenceIsFailedPrecondition) {
+  // Non-dominant system that diverges under Jacobi.
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(2);
+  rows[0] = {{1, 3.0}};
+  rows[1] = {{0, 3.0}};
+  SparseMatrix a(std::move(diag), rows);
+  SolverOptions opts;
+  opts.max_iterations = 20;
+  const auto r = Solve(a, {1.0, 1.0}, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SolverTest, AllowDivergenceReportsPartialResult) {
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(2);
+  rows[0] = {{1, 3.0}};
+  rows[1] = {{0, 3.0}};
+  SparseMatrix a(std::move(diag), rows);
+  SolverOptions opts;
+  opts.max_iterations = 20;
+  const auto r = SolveAllowDivergence(a, {1.0, 1.0}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->converged);
+  EXPECT_EQ(r->iterations, 20);
+}
+
+TEST(SolverTest, EmptySystemConvergesTrivially) {
+  SparseMatrix a;
+  const auto r = Solve(a, {}, SolverOptions{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_TRUE(r->solution.empty());
+}
+
+TEST(SolverTest, MethodNames) {
+  EXPECT_EQ(SolverMethodName(SolverMethod::kJacobi), "jacobi");
+  EXPECT_EQ(SolverMethodName(SolverMethod::kGaussSeidel), "gauss-seidel");
+  EXPECT_EQ(SolverMethodName(SolverMethod::kSor), "sor");
+}
+
+}  // namespace
+}  // namespace simgraph

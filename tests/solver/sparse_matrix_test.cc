@@ -1,0 +1,108 @@
+#include "solver/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+SparseMatrix Example3x3() {
+  // [ 4 -1  0 ]
+  // [-1  4 -1 ]
+  // [ 0 -1  4 ]
+  std::vector<double> diag = {4.0, 4.0, 4.0};
+  std::vector<std::vector<MatrixEntry>> rows(3);
+  rows[0] = {{1, -1.0}};
+  rows[1] = {{0, -1.0}, {2, -1.0}};
+  rows[2] = {{1, -1.0}};
+  return SparseMatrix(std::move(diag), rows);
+}
+
+TEST(SparseMatrixTest, SizeAndNnz) {
+  const SparseMatrix a = Example3x3();
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.num_nonzeros(), 7);  // 4 off-diagonal + 3 diagonal
+}
+
+TEST(SparseMatrixTest, RowsAreSortedByColumn) {
+  std::vector<double> diag = {1.0, 1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(3);
+  rows[0] = {{2, 3.0}, {1, 2.0}};
+  const SparseMatrix a(std::move(diag), rows);
+  const auto row = a.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].col, 1);
+  EXPECT_EQ(row[1].col, 2);
+}
+
+TEST(SparseMatrixTest, DuplicateEntriesAreSummed) {
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(2);
+  rows[0] = {{1, 0.5}, {1, 0.25}};
+  const SparseMatrix a(std::move(diag), rows);
+  const auto row = a.Row(0);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_DOUBLE_EQ(row[0].value, 0.75);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  const SparseMatrix a = Example3x3();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = a.Multiply(x);
+  // [4*1-2, -1+8-3, -2+12] = [2, 4, 10]
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  EXPECT_DOUBLE_EQ(y[2], 10.0);
+}
+
+TEST(SparseMatrixTest, DiagonalDominanceHolds) {
+  EXPECT_TRUE(Example3x3().IsDiagonallyDominant());
+}
+
+TEST(SparseMatrixTest, DiagonalDominanceFails) {
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(2);
+  rows[0] = {{1, 2.0}};  // |off| = 2 > |diag| = 1
+  rows[1] = {{0, 0.5}};
+  const SparseMatrix a(std::move(diag), rows);
+  EXPECT_FALSE(a.IsDiagonallyDominant());
+}
+
+TEST(SparseMatrixTest, WeakDominanceEverywhereNoStrictRowFails) {
+  // |a_ii| == sum off-diag in every row -> not strictly dominant anywhere.
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(2);
+  rows[0] = {{1, 1.0}};
+  rows[1] = {{0, -1.0}};
+  const SparseMatrix a(std::move(diag), rows);
+  EXPECT_FALSE(a.IsDiagonallyDominant());
+}
+
+TEST(SparseMatrixTest, JacobiIterationNorm) {
+  const SparseMatrix a = Example3x3();
+  // Row 1 has off-diagonal sum 2, diagonal 4 -> norm 0.5.
+  EXPECT_DOUBLE_EQ(a.JacobiIterationNorm(), 0.5);
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix a;
+  EXPECT_EQ(a.size(), 0);
+  EXPECT_TRUE(a.IsDiagonallyDominant());
+  EXPECT_DOUBLE_EQ(a.JacobiIterationNorm(), 0.0);
+}
+
+TEST(SparseMatrixDeathTest, DiagonalEntryInRowsRejected) {
+  std::vector<double> diag = {1.0};
+  std::vector<std::vector<MatrixEntry>> rows(1);
+  rows[0] = {{0, 1.0}};
+  EXPECT_DEATH(SparseMatrix(std::move(diag), rows), "diagonal entries");
+}
+
+TEST(SparseMatrixDeathTest, SizeMismatchRejected) {
+  std::vector<double> diag = {1.0, 1.0};
+  std::vector<std::vector<MatrixEntry>> rows(1);
+  EXPECT_DEATH(SparseMatrix(std::move(diag), rows), "Check failed");
+}
+
+}  // namespace
+}  // namespace simgraph

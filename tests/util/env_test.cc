@@ -1,0 +1,55 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(EnvTest, Int64DefaultWhenUnset) {
+  ::unsetenv("SIMGRAPH_TEST_INT");
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 7);
+}
+
+TEST(EnvTest, Int64ParsesValue) {
+  ::setenv("SIMGRAPH_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 123);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, Int64RejectsGarbage) {
+  ::setenv("SIMGRAPH_TEST_INT", "12abc", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 7);
+  ::setenv("SIMGRAPH_TEST_INT", "", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 7);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, Int64ParsesNegative) {
+  ::setenv("SIMGRAPH_TEST_INT", "-42", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), -42);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, DoubleParsesValue) {
+  ::setenv("SIMGRAPH_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleDefaultOnGarbage) {
+  ::setenv("SIMGRAPH_TEST_DBL", "xyz", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.5), 1.5);
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+}
+
+TEST(EnvTest, StringRoundTrip) {
+  ::setenv("SIMGRAPH_TEST_STR", "hello", 1);
+  EXPECT_EQ(GetEnvString("SIMGRAPH_TEST_STR", "d"), "hello");
+  ::unsetenv("SIMGRAPH_TEST_STR");
+  EXPECT_EQ(GetEnvString("SIMGRAPH_TEST_STR", "d"), "d");
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,123 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(HistogramTest, EmptyMeanIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 3.0);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(25.0), 2.5);
+}
+
+TEST(HistogramTest, AddAfterPercentileResorts) {
+  Histogram h;
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+  h.Add(1.0);
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+}
+
+TEST(BucketedCounterTest, PaperFigure2Buckets) {
+  // 0, 1, 2-5, 6-50, 51-200, 201-500, 500+ — the x-axis of Figure 2.
+  BucketedCounter c({0, 1, 5, 50, 200, 500});
+  c.Add(0);
+  c.Add(0);
+  c.Add(1);
+  c.Add(3);
+  c.Add(5);
+  c.Add(6);
+  c.Add(50);
+  c.Add(100);
+  c.Add(500);
+  c.Add(501);
+  c.Add(100000);
+  const std::vector<Bucket> buckets = c.buckets();
+  ASSERT_EQ(buckets.size(), 7u);
+  EXPECT_EQ(buckets[0].label, "0");
+  EXPECT_EQ(buckets[0].count, 2);
+  EXPECT_EQ(buckets[1].label, "1");
+  EXPECT_EQ(buckets[1].count, 1);
+  EXPECT_EQ(buckets[2].label, "2-5");
+  EXPECT_EQ(buckets[2].count, 2);
+  EXPECT_EQ(buckets[3].label, "6-50");
+  EXPECT_EQ(buckets[3].count, 2);
+  EXPECT_EQ(buckets[4].label, "51-200");
+  EXPECT_EQ(buckets[4].count, 1);
+  EXPECT_EQ(buckets[5].label, "201-500");
+  EXPECT_EQ(buckets[5].count, 1);
+  EXPECT_EQ(buckets[6].label, "500+");
+  EXPECT_EQ(buckets[6].count, 2);
+  EXPECT_EQ(c.total(), 11);
+}
+
+TEST(BucketedCounterTest, AddCountAggregates) {
+  BucketedCounter c({10});
+  c.AddCount(5, 100);
+  c.AddCount(11, 7);
+  const std::vector<Bucket> buckets = c.buckets();
+  EXPECT_EQ(buckets[0].count, 100);
+  EXPECT_EQ(buckets[1].count, 7);
+}
+
+TEST(LogBinnedCounterTest, PowersOfTwoBinning) {
+  LogBinnedCounter c;
+  c.Add(1);
+  c.Add(1);
+  c.Add(2);
+  c.Add(3);
+  c.Add(4);
+  c.Add(7);
+  c.Add(8);
+  const auto bins = c.bins();
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0], (std::pair<int64_t, int64_t>{1, 2}));
+  EXPECT_EQ(bins[1], (std::pair<int64_t, int64_t>{2, 2}));
+  EXPECT_EQ(bins[2], (std::pair<int64_t, int64_t>{4, 2}));
+  EXPECT_EQ(bins[3], (std::pair<int64_t, int64_t>{8, 1}));
+}
+
+TEST(LogBinnedCounterTest, ClampsBelowOne) {
+  LogBinnedCounter c;
+  c.Add(0);
+  c.Add(-5);
+  const auto bins = c.bins();
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].second, 2);
+}
+
+TEST(LogBinnedCounterTest, SkipsEmptyBins) {
+  LogBinnedCounter c;
+  c.Add(1);
+  c.Add(1000);
+  const auto bins = c.bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].first, 1);
+  EXPECT_EQ(bins[1].first, 512);
+}
+
+}  // namespace
+}  // namespace simgraph

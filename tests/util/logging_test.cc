@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace simgraph {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel old = internal_logging::SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(internal_logging::MinLogLevel(), LogLevel::kError);
+  internal_logging::SetMinLogLevel(old);
+  EXPECT_EQ(internal_logging::MinLogLevel(), old);
+}
+
+TEST(LoggingTest, DisabledLevelsDoNotEvaluate) {
+  const LogLevel old = internal_logging::SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "expensive";
+  };
+  SIMGRAPH_LOG(Debug) << count();
+  SIMGRAPH_LOG(Info) << count();
+  EXPECT_EQ(evaluations, 0);
+  internal_logging::SetMinLogLevel(old);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SIMGRAPH_CHECK(true);
+  SIMGRAPH_CHECK_EQ(1, 1);
+  SIMGRAPH_CHECK_NE(1, 2);
+  SIMGRAPH_CHECK_LT(1, 2);
+  SIMGRAPH_CHECK_LE(2, 2);
+  SIMGRAPH_CHECK_GT(3, 2);
+  SIMGRAPH_CHECK_GE(3, 3);
+  SIMGRAPH_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(SIMGRAPH_CHECK(false) << "boom", "Check failed");
+}
+
+TEST(CheckDeathTest, FailingCheckEqPrintsOperands) {
+  EXPECT_DEATH(SIMGRAPH_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(SIMGRAPH_CHECK_OK(Status::IoError("disk gone")),
+               "IO_ERROR: disk gone");
+}
+
+}  // namespace
+}  // namespace simgraph

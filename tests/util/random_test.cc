@@ -1,0 +1,205 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkGivesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // Child stream should not replicate the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ZipfTest, HeadIsMoreLikelyThanTail) {
+  Rng rng(29);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  Rng rng(31);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(37);
+  ZipfDistribution zipf(5, 2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t s = zipf.Sample(rng);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 5);
+  }
+}
+
+class PowerLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawTest, SamplesStayInBounds) {
+  Rng rng(41);
+  const double alpha = GetParam();
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t x = SamplePowerLaw(rng, alpha, 3, 500);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 500);
+  }
+}
+
+TEST_P(PowerLawTest, SmallValuesDominate) {
+  Rng rng(43);
+  const double alpha = GetParam();
+  int64_t below100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (SamplePowerLaw(rng, alpha, 1, 1000) < 100) ++below100;
+  }
+  // For any alpha >= 1 on [1,1000] the bottom decade of the range holds
+  // well over half the mass (the worst case, alpha=1, holds ~2/3).
+  EXPECT_GT(below100, n * 55 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawTest,
+                         ::testing::Values(1.0, 1.3, 1.7, 2.0, 2.5));
+
+TEST(PowerLawTest, DegenerateRange) {
+  Rng rng(47);
+  EXPECT_EQ(SamplePowerLaw(rng, 2.0, 5, 5), 5);
+}
+
+TEST(SampleWithoutReplacementTest, ProducesDistinctValues) {
+  Rng rng(53);
+  const std::vector<int64_t> sample = SampleWithoutReplacement(rng, 100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullRange) {
+  Rng rng(59);
+  const std::vector<int64_t> sample = SampleWithoutReplacement(rng, 10, 10);
+  std::set<int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, EmptySample) {
+  Rng rng(61);
+  EXPECT_TRUE(SampleWithoutReplacement(rng, 10, 0).empty());
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,49 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(TableWriterTest, AsciiContainsTitleHeaderAndRows) {
+  TableWriter t("Table X: demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "2"});
+  const std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("beta"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(TableWriterTest, CsvIsParsable) {
+  TableWriter t("t");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t("t");
+  t.SetHeader({"a"});
+  t.AddRow({"hello, \"world\""});
+  EXPECT_EQ(t.ToCsv(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(TableWriterTest, CellFormatting) {
+  EXPECT_EQ(TableWriter::Cell(int64_t{42}), "42");
+  EXPECT_EQ(TableWriter::Cell(3), "3");
+  EXPECT_EQ(TableWriter::Cell(0.5), "0.5");
+  EXPECT_EQ(TableWriter::Cell(std::string("x")), "x");
+}
+
+TEST(TableWriterDeathTest, RowWidthMustMatchHeader) {
+  TableWriter t("t");
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+class ParallelForTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(pool, 1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(pool, 0, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SmallRangeFewerChunksThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  ParallelFor(pool, 3, [&](int64_t begin, int64_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace simgraph

@@ -1,0 +1,50 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(WallTimerTest, ElapsedGrowsMonotonically) {
+  WallTimer timer;
+  const double a = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, 0.004);  // at least ~4ms passed
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.01);
+}
+
+TEST(WallTimerTest, MillisMatchesSeconds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double s = timer.ElapsedSeconds();
+  const double ms = timer.ElapsedMillis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);  // the two reads are microseconds apart
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatDuration(0.000413), "413us");
+  EXPECT_EQ(FormatDuration(0.0021), "2.10ms");
+  EXPECT_EQ(FormatDuration(3.42), "3.42s");
+  EXPECT_EQ(FormatDuration(600.0), "10.0min");
+  EXPECT_EQ(FormatDuration(12276.0), "3.41h");
+}
+
+TEST(FormatDurationTest, BoundaryValues) {
+  EXPECT_EQ(FormatDuration(0.0), "0us");
+  EXPECT_EQ(FormatDuration(119.0), "119.00s");
+  EXPECT_EQ(FormatDuration(7200.0), "2.00h");
+}
+
+}  // namespace
+}  // namespace simgraph
