@@ -10,9 +10,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Ablation: propagation-score deposit floor");
 
   const Dataset& d = BenchDataset();

@@ -12,9 +12,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Section 5.4 ablations: propagation thresholds");
 
   const Dataset& d = BenchDataset();

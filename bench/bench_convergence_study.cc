@@ -7,9 +7,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Section 5.3: convergence study");
 
   const Dataset& d = BenchDataset();

@@ -9,9 +9,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Extension: cold-start fallback (Section 4.1)");
 
   const Dataset& d = BenchDataset();

@@ -10,9 +10,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Extension: topic-enhanced similarity (Section 7)");
 
   const Dataset& d = BenchDataset();

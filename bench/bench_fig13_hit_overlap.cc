@@ -9,9 +9,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Figure 13: hits in common with SimGraph");
 
   const auto& sweeps = EvalSweeps();

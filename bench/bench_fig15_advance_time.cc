@@ -9,9 +9,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Figure 15: average advance time before the real retweet");
 
   const auto& sweeps = EvalSweeps();

@@ -7,9 +7,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Figure 1: smallest-path distribution of the follow graph");
 
   PathStatsOptions popts;

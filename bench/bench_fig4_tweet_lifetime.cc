@@ -8,9 +8,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Figure 4: lifetime of a tweet");
 
   const Dataset& d = BenchDataset();

@@ -36,9 +36,10 @@ void PrintHitTable(const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Figures 8-11: hits by daily budget and activity class");
 
   PrintHitTable(

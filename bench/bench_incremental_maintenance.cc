@@ -43,9 +43,10 @@ double EdgeSetJaccard(const simgraph::Digraph& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Extension: incremental SimGraph maintenance");
 
   const Dataset& d = BenchDataset();

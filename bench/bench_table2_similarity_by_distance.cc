@@ -8,9 +8,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Table 2: similarity score by network distance");
 
   const Dataset& d = BenchDataset();

@@ -10,9 +10,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Table 4 / Figure 5: SimGraph characteristics");
 
   const Dataset& d = BenchDataset();

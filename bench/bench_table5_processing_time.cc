@@ -11,9 +11,10 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace simgraph;
   using namespace simgraph::bench;
+  const ObservabilityGuard observability(argc, argv);
   PrintPreamble("Table 5: initialisation and recommendation time");
 
   const auto& sweeps = EvalSweeps();

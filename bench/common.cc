@@ -157,7 +157,15 @@ const std::vector<MethodSweep>& EvalSweeps() {
   static const std::vector<MethodSweep>* sweeps = [] {
     auto* out = new std::vector<MethodSweep>();
     const std::string cache_path = SweepCachePath();
-    if (!CacheDir().empty() && LoadSweeps(cache_path, out)) {
+    // An observability run must execute the real training/propagation
+    // work — a cached sweep would produce an empty metrics snapshot —
+    // so the cache is only consulted when neither collector is on.
+    const bool observing = metrics::Enabled() || trace::Enabled();
+    if (observing && !CacheDir().empty()) {
+      std::cerr << "[bench] metrics/trace collection on: ignoring any "
+                   "cached evaluation sweep\n";
+    }
+    if (!observing && !CacheDir().empty() && LoadSweeps(cache_path, out)) {
       std::cerr << "[bench] reusing cached evaluation sweep: " << cache_path
                 << "\n";
       return out;
@@ -208,6 +216,55 @@ const std::vector<MethodSweep>& EvalSweeps() {
     return out;
   }();
   return *sweeps;
+}
+
+namespace {
+
+// Accepts "--flag=VALUE"; returns VALUE or "" when absent.
+std::string FlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = "--" + flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace
+
+ObservabilityGuard::ObservabilityGuard(int argc, char** argv) {
+  metrics_path_ = FlagValue(argc, argv, "metrics-json");
+  if (metrics_path_.empty()) {
+    metrics_path_ = GetEnvString("SIMGRAPH_METRICS_JSON", "");
+  }
+  trace_path_ = FlagValue(argc, argv, "trace-json");
+  if (trace_path_.empty()) {
+    trace_path_ = GetEnvString("SIMGRAPH_TRACE_JSON", "");
+  }
+  if (!metrics_path_.empty()) metrics::SetEnabled(true);
+  if (!trace_path_.empty()) trace::SetEnabled(true);
+}
+
+ObservabilityGuard::~ObservabilityGuard() {
+  if (!metrics_path_.empty()) {
+    const Status s =
+        metrics::Registry::Global().WriteJsonFile(metrics_path_);
+    if (s.ok()) {
+      std::cerr << "[bench] metrics snapshot written to " << metrics_path_
+                << "\n";
+    } else {
+      std::cerr << "[bench] " << s.ToString() << "\n";
+    }
+  }
+  if (!trace_path_.empty()) {
+    const Status s = trace::Export(trace_path_);
+    if (s.ok()) {
+      std::cerr << "[bench] trace (chrome://tracing) written to "
+                << trace_path_ << "\n";
+    } else {
+      std::cerr << "[bench] " << s.ToString() << "\n";
+    }
+  }
 }
 
 void PrintPreamble(const std::string& experiment) {

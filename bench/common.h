@@ -45,6 +45,39 @@ const std::vector<MethodSweep>& EvalSweeps();
 /// Prints a standard experiment preamble (dataset shape, split, panel).
 void PrintPreamble(const std::string& experiment);
 
+/// Observability flags shared by every bench binary. Construct first in
+/// main():
+///
+///   int main(int argc, char** argv) {
+///     const bench::ObservabilityGuard observability(argc, argv);
+///     ...
+///   }
+///
+/// Recognised (also via environment variables, for harnesses that cannot
+/// pass flags):
+///   --metrics-json=PATH  (env SIMGRAPH_METRICS_JSON)  enable the metrics
+///       registry and dump the JSON snapshot to PATH on exit;
+///   --trace-json=PATH    (env SIMGRAPH_TRACE_JSON)    enable trace spans
+///       and export Chrome trace JSON to PATH on exit.
+/// Unrecognised arguments are ignored (google-benchmark binaries parse
+/// their own). See docs/observability.md for the output formats.
+class ObservabilityGuard {
+ public:
+  ObservabilityGuard(int argc, char** argv);
+  /// Writes the requested dumps; failures are reported on stderr.
+  ~ObservabilityGuard();
+
+  ObservabilityGuard(const ObservabilityGuard&) = delete;
+  ObservabilityGuard& operator=(const ObservabilityGuard&) = delete;
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 }  // namespace bench
 }  // namespace simgraph
 

@@ -4,6 +4,8 @@
 #include <deque>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -92,6 +94,8 @@ std::vector<ScoredTweet> BayesRecommender::Recommend(UserId user,
                                                      Timestamp now,
                                                      int32_t k) {
   SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  SIMGRAPH_TRACE_SPAN("BayesRecommender::Recommend", "recommend");
+  SIMGRAPH_SCOPED_LATENCY("recommend.bayes.seconds");
   return candidates_->TopK(user, now, k);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -74,6 +76,8 @@ void CfRecommender::Observe(const RetweetEvent& event) {
 std::vector<ScoredTweet> CfRecommender::Recommend(UserId user, Timestamp now,
                                                   int32_t k) {
   SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  SIMGRAPH_TRACE_SPAN("CfRecommender::Recommend", "recommend");
+  SIMGRAPH_SCOPED_LATENCY("recommend.cf.seconds");
   return candidates_->TopK(user, now, k);
 }
 

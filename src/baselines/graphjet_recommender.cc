@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -79,6 +81,8 @@ void GraphJetRecommender::Observe(const RetweetEvent& event) {
 std::vector<ScoredTweet> GraphJetRecommender::Recommend(UserId user,
                                                         Timestamp now,
                                                         int32_t k) {
+  SIMGRAPH_TRACE_SPAN("GraphJetRecommender::Recommend", "recommend");
+  SIMGRAPH_SCOPED_LATENCY("recommend.graphjet.seconds");
   Rotate(now);
 
   // Collect u's live interactions as walk starting points.

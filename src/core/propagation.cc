@@ -7,6 +7,9 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -21,6 +24,8 @@ Propagator::Propagator(const SimGraph& sim_graph) : sim_graph_(&sim_graph) {}
 PropagationResult Propagator::Propagate(
     const std::vector<UserId>& seeds, int64_t popularity,
     const PropagationOptions& options) const {
+  SIMGRAPH_TRACE_SPAN("Propagator::Propagate", "propagation");
+  SIMGRAPH_SCOPED_LATENCY("propagation.run_seconds");
   const Digraph& g = sim_graph_->graph;
   PropagationResult result;
 
@@ -54,9 +59,19 @@ PropagationResult Propagator::Propagate(
   std::vector<UserId> frontier(seed_set.begin(), seed_set.end());
   std::sort(frontier.begin(), frontier.end());
 
+  // Per-iteration convergence stats are only worth their clock calls
+  // when someone is listening; the flag is sampled once per run.
+  const bool metrics_on = metrics::Enabled();
+  WallTimer iteration_timer;
+
   bool converged = false;
   int32_t it = 0;
   for (; it < options.max_iterations && !frontier.empty(); ++it) {
+    if (metrics_on) {
+      iteration_timer.Restart();
+      SIMGRAPH_HISTOGRAM_RECORD("propagation.frontier_size",
+                                static_cast<double>(frontier.size()));
+    }
     // Affected users: those influenced by a frontier member, i.e. the
     // in-neighbours in the SimGraph (edge u->v means v influences u).
     std::unordered_set<UserId> affected;
@@ -82,15 +97,22 @@ PropagationResult Propagator::Propagate(
     }
 
     std::vector<UserId> next_frontier;
+    double residual = 0.0;  // largest score move this iteration
     for (const auto& [u, p_new] : updates) {
       const double p_old = score_of(u);
       const double delta = std::abs(p_new - p_old);
+      residual = std::max(residual, delta);
       if (delta <= options.epsilon) continue;
       score[u] = p_new;
       ++result.updates;
       // The static/dynamic threshold gates further propagation, not the
       // score update itself (Section 5.4).
       if (delta >= propagation_threshold) next_frontier.push_back(u);
+    }
+    if (metrics_on) {
+      SIMGRAPH_HISTOGRAM_RECORD("propagation.iteration_seconds",
+                                iteration_timer.ElapsedSeconds());
+      SIMGRAPH_HISTOGRAM_RECORD("propagation.residual", residual);
     }
     if (next_frontier.empty()) {
       converged = true;
@@ -103,6 +125,10 @@ PropagationResult Propagator::Propagate(
 
   result.iterations = it;
   result.converged = converged || frontier.empty();
+  SIMGRAPH_COUNTER_ADD("propagation.runs", 1);
+  SIMGRAPH_COUNTER_ADD("propagation.iterations", it);
+  SIMGRAPH_COUNTER_ADD("propagation.updates", result.updates);
+  if (result.converged) SIMGRAPH_COUNTER_ADD("propagation.converged", 1);
   result.scores.reserve(score.size());
   for (const auto& [u, p] : score) {
     if (p > 0.0) result.scores.push_back(UserScore{u, p});
@@ -113,6 +139,7 @@ PropagationResult Propagator::Propagate(
 std::vector<PropagationResult> Propagator::PropagateBatch(
     const std::vector<std::vector<UserId>>& seed_sets,
     const PropagationOptions& options, ThreadPool& pool) const {
+  SIMGRAPH_TRACE_SPAN("Propagator::PropagateBatch", "propagation");
   std::vector<PropagationResult> results(seed_sets.size());
   ParallelFor(pool, static_cast<int64_t>(seed_sets.size()),
               [&](int64_t begin, int64_t end) {

@@ -7,7 +7,9 @@
 #include "graph/bfs.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace simgraph {
 namespace {
@@ -19,26 +21,31 @@ struct WeightedEdge {
 };
 
 // Candidate edges for one source user under the literal 2-hop procedure.
-void CandidatesTwoHop(const Digraph& follow_graph,
-                      const ProfileStore& profiles, UserId u,
-                      const SimGraphOptions& options,
-                      std::vector<WeightedEdge>& out) {
+// Returns the number of candidates scored (the kept/scored ratio is the
+// tau pruning rate, exported as simgraph.build.candidates_pruned).
+int64_t CandidatesTwoHop(const Digraph& follow_graph,
+                         const ProfileStore& profiles, UserId u,
+                         const SimGraphOptions& options,
+                         std::vector<WeightedEdge>& out) {
+  int64_t scored = 0;
   for (const HopNode& hop : KHopNeighborhood(follow_graph, u, options.hops,
                                              TraversalDirection::kOut)) {
     const UserId w = hop.node;
     if (profiles.ProfileSize(w) == 0) continue;
     const double sim = profiles.Similarity(u, w);
+    ++scored;
     if (sim >= options.tau) out.push_back(WeightedEdge{u, w, sim});
   }
+  return scored;
 }
 
 // Candidate edges via the inverted index intersected with N2(u).
-void CandidatesInvertedIndex(const Digraph& follow_graph,
-                             const ProfileStore& profiles, UserId u,
-                             const SimGraphOptions& options,
-                             std::vector<WeightedEdge>& out) {
+int64_t CandidatesInvertedIndex(const Digraph& follow_graph,
+                                const ProfileStore& profiles, UserId u,
+                                const SimGraphOptions& options,
+                                std::vector<WeightedEdge>& out) {
   std::vector<std::pair<UserId, double>> sims = profiles.SimilaritiesOf(u);
-  if (sims.empty()) return;
+  if (sims.empty()) return 0;
   std::unordered_set<UserId> ball;
   for (const HopNode& hop : KHopNeighborhood(follow_graph, u, options.hops,
                                              TraversalDirection::kOut)) {
@@ -49,6 +56,7 @@ void CandidatesInvertedIndex(const Digraph& follow_graph,
       out.push_back(WeightedEdge{u, w, sim});
     }
   }
+  return static_cast<int64_t>(sims.size());
 }
 
 }  // namespace
@@ -83,6 +91,8 @@ SimGraph BuildSimGraph(const Digraph& follow_graph,
   SIMGRAPH_CHECK_GT(options.tau, 0.0)
       << "tau must be positive; tau == 0 would connect all user pairs";
   SIMGRAPH_CHECK_GE(options.hops, 1);
+  SIMGRAPH_TRACE_SPAN("SimGraph::Build", "build");
+  SIMGRAPH_SCOPED_LATENCY("simgraph.build.seconds");
   WallTimer timer;
 
   const NodeId n = follow_graph.num_nodes();
@@ -90,32 +100,53 @@ SimGraph BuildSimGraph(const Digraph& follow_graph,
   std::vector<std::vector<WeightedEdge>> shards(
       static_cast<size_t>(pool.num_threads() * 4));
   std::atomic<size_t> shard_counter{0};
+  std::atomic<int64_t> candidates_scored{0};
 
-  ParallelFor(pool, n, [&](int64_t begin, int64_t end) {
-    const size_t shard = shard_counter.fetch_add(1) % shards.size();
-    auto& local = shards[shard];
-    for (int64_t i = begin; i < end; ++i) {
-      const UserId u = static_cast<UserId>(i);
-      if (profiles.ProfileSize(u) == 0) continue;
-      switch (options.mode) {
-        case CandidateMode::kTwoHopBfs:
-          CandidatesTwoHop(follow_graph, profiles, u, options, local);
-          break;
-        case CandidateMode::kInvertedIndex:
-          CandidatesInvertedIndex(follow_graph, profiles, u, options, local);
-          break;
+  {
+    SIMGRAPH_TRACE_SPAN("SimGraph::Build/candidates", "build");
+    SIMGRAPH_SCOPED_LATENCY("simgraph.build.candidates_seconds");
+    ParallelFor(pool, n, [&](int64_t begin, int64_t end) {
+      const size_t shard = shard_counter.fetch_add(1) % shards.size();
+      auto& local = shards[shard];
+      int64_t scored = 0;
+      for (int64_t i = begin; i < end; ++i) {
+        const UserId u = static_cast<UserId>(i);
+        if (profiles.ProfileSize(u) == 0) continue;
+        switch (options.mode) {
+          case CandidateMode::kTwoHopBfs:
+            scored +=
+                CandidatesTwoHop(follow_graph, profiles, u, options, local);
+            break;
+          case CandidateMode::kInvertedIndex:
+            scored += CandidatesInvertedIndex(follow_graph, profiles, u,
+                                              options, local);
+            break;
+        }
+      }
+      candidates_scored.fetch_add(scored, std::memory_order_relaxed);
+    });
+  }
+
+  SimGraph sg;
+  {
+    SIMGRAPH_TRACE_SPAN("SimGraph::Build/assemble", "build");
+    SIMGRAPH_SCOPED_LATENCY("simgraph.build.assemble_seconds");
+    GraphBuilder builder(n);
+    for (const auto& shard : shards) {
+      for (const WeightedEdge& e : shard) {
+        builder.AddEdge(e.src, e.dst, e.weight);
       }
     }
-  });
-
-  GraphBuilder builder(n);
-  for (const auto& shard : shards) {
-    for (const WeightedEdge& e : shard) {
-      builder.AddEdge(e.src, e.dst, e.weight);
-    }
+    sg.graph = builder.Build(/*weighted=*/true);
   }
-  SimGraph sg;
-  sg.graph = builder.Build(/*weighted=*/true);
+  const int64_t scored = candidates_scored.load(std::memory_order_relaxed);
+  SIMGRAPH_COUNTER_ADD("simgraph.build.count", 1);
+  SIMGRAPH_COUNTER_ADD("simgraph.build.candidates_scored", scored);
+  SIMGRAPH_COUNTER_ADD("simgraph.build.edges_kept", sg.graph.num_edges());
+  SIMGRAPH_COUNTER_ADD("simgraph.build.candidates_pruned",
+                       scored - sg.graph.num_edges());
+  SIMGRAPH_GAUGE_SET("simgraph.build.last_edges",
+                     static_cast<double>(sg.graph.num_edges()));
   SIMGRAPH_LOG(Info) << "SimGraph built: " << sg.NumPresentNodes()
                      << " present nodes, " << sg.graph.num_edges()
                      << " edges (tau=" << options.tau << ") in "

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -93,10 +95,13 @@ std::vector<ScoredTweet> SimGraphRecommender::Recommend(UserId user,
                                                         Timestamp now,
                                                         int32_t k) {
   SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  SIMGRAPH_TRACE_SPAN("SimGraphRecommender::Recommend", "recommend");
+  SIMGRAPH_SCOPED_LATENCY("recommend.simgraph.seconds");
   std::vector<ScoredTweet> own = candidates_->TopK(user, now, k);
   if (!own.empty() || !options_.cold_start_fallback || !IsColdUser(user)) {
     return own;
   }
+  SIMGRAPH_COUNTER_ADD("recommend.simgraph.cold_start_calls", 1);
   return ColdStartRecommend(user, now, k);
 }
 

@@ -8,8 +8,10 @@
 #include "graph/bfs.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -98,6 +100,8 @@ SimGraph BuildHybridSimGraph(const Digraph& follow_graph,
                              const TopicProfileStore& topics,
                              const HybridSimGraphOptions& options) {
   SIMGRAPH_CHECK_GT(options.base.tau, 0.0);
+  SIMGRAPH_TRACE_SPAN("SimGraph::BuildHybrid", "build");
+  SIMGRAPH_SCOPED_LATENCY("simgraph.hybrid.build_seconds");
   WallTimer timer;
 
   struct WeightedEdge {
@@ -143,6 +147,8 @@ SimGraph BuildHybridSimGraph(const Digraph& follow_graph,
   }
   SimGraph sg;
   sg.graph = builder.Build(/*weighted=*/true);
+  SIMGRAPH_COUNTER_ADD("simgraph.hybrid.build.count", 1);
+  SIMGRAPH_COUNTER_ADD("simgraph.hybrid.edges_kept", sg.graph.num_edges());
   SIMGRAPH_LOG(Info) << "hybrid SimGraph built: " << sg.NumPresentNodes()
                      << " present nodes, " << sg.graph.num_edges()
                      << " edges (alpha=" << options.alpha << ", tau="

@@ -5,7 +5,9 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -14,6 +16,7 @@ EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
                          const HarnessOptions& options) {
   SIMGRAPH_CHECK_GT(options.k, 0);
   SIMGRAPH_CHECK_GT(options.recommendation_period, 0);
+  SIMGRAPH_TRACE_SPAN("RunEvaluation", "eval");
 
   EvalResult result;
   result.method = recommender.name();
@@ -21,9 +24,11 @@ EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
 
   // --- Train (timed: Table 5 initialisation) --------------------------
   {
+    SIMGRAPH_TRACE_SPAN("RunEvaluation/train", "eval");
     WallTimer timer;
     SIMGRAPH_CHECK_OK(recommender.Train(dataset, protocol.train_end));
     result.train_seconds = timer.ElapsedSeconds();
+    SIMGRAPH_HISTOGRAM_RECORD("eval.train_seconds", result.train_seconds);
   }
 
   // Popularity (full-trace retweet counts) for Figure 12.
@@ -46,6 +51,7 @@ EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
     // 1. Pull recommendations for the panel at the period boundary.
     ++num_periods;
     {
+      SIMGRAPH_TRACE_SPAN("RunEvaluation/recommend_period", "eval");
       WallTimer timer;
       for (UserId u : protocol.panel) {
         const std::vector<ScoredTweet> recs =
@@ -57,10 +63,14 @@ EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
           seen.emplace(st.tweet, period_start);  // keeps the earliest
         }
       }
-      result.recommend_seconds += timer.ElapsedSeconds();
+      const double period_seconds = timer.ElapsedSeconds();
+      result.recommend_seconds += period_seconds;
+      SIMGRAPH_HISTOGRAM_RECORD("eval.recommend_period_seconds",
+                                period_seconds);
     }
 
     // 2. Replay this period's events.
+    SIMGRAPH_TRACE_SPAN("RunEvaluation/observe_period", "eval");
     const Timestamp period_end = period_start + options.recommendation_period;
     WallTimer timer;
     while (event_idx < num_events &&
@@ -99,9 +109,15 @@ EvalResult RunEvaluation(const Dataset& dataset, const EvalProtocol& protocol,
       }
       recommender.Observe(e);
     }
-    result.observe_seconds += timer.ElapsedSeconds();
+    const double observe_period_seconds = timer.ElapsedSeconds();
+    result.observe_seconds += observe_period_seconds;
+    SIMGRAPH_HISTOGRAM_RECORD("eval.observe_period_seconds",
+                              observe_period_seconds);
     period_start = period_end;
   }
+  SIMGRAPH_COUNTER_ADD("eval.runs", 1);
+  SIMGRAPH_COUNTER_ADD("eval.hits", result.hits_total);
+  SIMGRAPH_COUNTER_ADD("eval.test_events", result.num_test_events);
 
   for (const auto& [u, recs] : first_recommended) {
     result.distinct_recommendations += static_cast<int64_t>(recs.size());

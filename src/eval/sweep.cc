@@ -5,7 +5,9 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace simgraph {
 namespace {
@@ -45,6 +47,7 @@ std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
                                            const EvalProtocol& protocol,
                                            Recommender& recommender,
                                            const SweepOptions& options) {
+  SIMGRAPH_TRACE_SPAN("RunSweepEvaluation", "eval");
   SIMGRAPH_CHECK(!options.k_grid.empty());
   std::vector<int32_t> grid = options.k_grid;
   std::sort(grid.begin(), grid.end());
@@ -60,9 +63,11 @@ std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
 
   double train_seconds = 0.0;
   {
+    SIMGRAPH_TRACE_SPAN("RunSweepEvaluation/train", "eval");
     WallTimer timer;
     SIMGRAPH_CHECK_OK(recommender.Train(dataset, protocol.train_end));
     train_seconds = timer.ElapsedSeconds();
+    SIMGRAPH_HISTOGRAM_RECORD("eval.train_seconds", train_seconds);
   }
 
   const std::vector<int32_t> popularity = dataset.RetweetCountPerTweet();
@@ -87,6 +92,7 @@ std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
   while (period_start <= end_time) {
     ++num_periods;
     {
+      SIMGRAPH_TRACE_SPAN("RunSweepEvaluation/recommend_period", "eval");
       WallTimer timer;
       for (UserId u : protocol.panel) {
         const std::vector<ScoredTweet> recs =
@@ -103,10 +109,14 @@ std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
               static_cast<int64_t>(recs.size()), grid[g]);
         }
       }
-      recommend_seconds += timer.ElapsedSeconds();
+      const double period_seconds = timer.ElapsedSeconds();
+      recommend_seconds += period_seconds;
+      SIMGRAPH_HISTOGRAM_RECORD("eval.recommend_period_seconds",
+                                period_seconds);
     }
 
     const Timestamp period_end = period_start + options.recommendation_period;
+    SIMGRAPH_TRACE_SPAN("RunSweepEvaluation/observe_period", "eval");
     WallTimer timer;
     while (event_idx < num_events &&
            dataset.retweets[static_cast<size_t>(event_idx)].time <
@@ -147,9 +157,16 @@ std::vector<EvalResult> RunSweepEvaluation(const Dataset& dataset,
       }
       recommender.Observe(e);
     }
-    observe_seconds += timer.ElapsedSeconds();
+    const double observed = timer.ElapsedSeconds();
+    observe_seconds += observed;
+    SIMGRAPH_HISTOGRAM_RECORD("eval.observe_period_seconds", observed);
     period_start = period_end;
   }
+
+  SIMGRAPH_COUNTER_ADD("eval.runs", 1);
+  SIMGRAPH_COUNTER_ADD("eval.test_events", num_test_events);
+  // Hits at the most permissive cutoff (the grid is sorted ascending).
+  SIMGRAPH_COUNTER_ADD("eval.hits", results.back().hits_total);
 
   // Distinct (user, tweet) recommendations per cutoff.
   std::vector<int64_t> distinct(num_k, 0);

@@ -54,10 +54,12 @@
 #include "util/env.h"
 #include "util/histogram.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/table_writer.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 #endif  // SIMGRAPH_SIMGRAPH_SIMGRAPH_H_

@@ -1,0 +1,295 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace simgraph {
+namespace metrics {
+
+namespace internal_metrics {
+std::atomic<bool> g_enabled{GetEnvInt64("SIMGRAPH_METRICS", 0) != 0};
+}  // namespace internal_metrics
+
+bool SetEnabled(bool enabled) {
+  return internal_metrics::g_enabled.exchange(enabled,
+                                              std::memory_order_relaxed);
+}
+
+namespace {
+
+// Atomic min/max via CAS; `first` distinguishes "no sample yet" from a
+// genuine 0.0 extremum.
+void AtomicMin(std::atomic<double>& target, double value, bool first) {
+  double cur = target.load(std::memory_order_relaxed);
+  while ((first || value < cur) &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    first = false;
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value, bool first) {
+  double cur = target.load(std::memory_order_relaxed);
+  while ((first || value > cur) &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    first = false;
+  }
+}
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+int BucketIndex(double value) {
+  if (!(value > LatencyHistogram::kBase)) return 0;
+  const int index = static_cast<int>(
+      std::ceil(std::log2(value / LatencyHistogram::kBase)));
+  return std::clamp(index, 0, LatencyHistogram::kNumBuckets - 1);
+}
+
+// Minimal JSON string escaping; metric names are plain identifiers but
+// the writer must not silently produce invalid output for odd ones.
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+// JSON has no Infinity/NaN literals; clamp them to null.
+void WriteJsonNumber(std::ostream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(double value) {
+  if (!Enabled()) return;
+  const int64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value, /*first=*/prior == 0);
+  AtomicMax(max_, value, /*first=*/prior == 0);
+}
+
+double LatencyHistogram::Mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LatencyHistogram::Min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LatencyHistogram::Max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LatencyHistogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kBase * std::ldexp(1.0, i);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank target, as in util/histogram.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(
+                               p / 100.0 * static_cast<double>(n))));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Interpolate linearly inside the matched bucket, clamped to the
+      // observed extremes so the estimate never exceeds Max().
+      const double lo = i == 0 ? 0.0 : kBase * std::ldexp(1.0, i - 1);
+      double hi = BucketUpperBound(i);
+      if (!std::isfinite(hi)) hi = Max();
+      const double frac = static_cast<double>(rank - cumulative) /
+                          static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), Min(), Max());
+    }
+    cumulative += in_bucket;
+  }
+  return Max();
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// std::map keeps the JSON output sorted and (with node stability) the
+// returned references valid forever; the registry is a leaked singleton
+// so references also survive static destruction order.
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  SIMGRAPH_CHECK(!i.gauges.contains(name) && !i.histograms.contains(name))
+      << "metric '" << name << "' already registered with another type";
+  auto& slot = i.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  SIMGRAPH_CHECK(!i.counters.contains(name) && !i.histograms.contains(name))
+      << "metric '" << name << "' already registered with another type";
+  auto& slot = i.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  SIMGRAPH_CHECK(!i.counters.contains(name) && !i.gauges.contains(name))
+      << "metric '" << name << "' already registered with another type";
+  auto& slot = i.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void Registry::WriteJson(std::ostream& out) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  out.precision(15);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : i.counters) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": " << c->value();
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : i.gauges) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": ";
+    WriteJsonNumber(out, g->value());
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : i.histograms) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": {\"count\": " << h->count() << ", \"sum\": ";
+    WriteJsonNumber(out, h->sum());
+    out << ", \"mean\": ";
+    WriteJsonNumber(out, h->Mean());
+    out << ", \"min\": ";
+    WriteJsonNumber(out, h->Min());
+    out << ", \"max\": ";
+    WriteJsonNumber(out, h->Max());
+    out << ", \"p50\": ";
+    WriteJsonNumber(out, h->p50());
+    out << ", \"p95\": ";
+    WriteJsonNumber(out, h->p95());
+    out << ", \"p99\": ";
+    WriteJsonNumber(out, h->p99());
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+      const int64_t n = h->bucket_count(b);
+      if (n == 0) continue;  // sparse export: empty buckets are implicit
+      out << (first_bucket ? "" : ", ");
+      first_bucket = false;
+      out << "{\"le\": ";
+      WriteJsonNumber(out, LatencyHistogram::BucketUpperBound(b));
+      out << ", \"count\": " << n << "}";
+    }
+    out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+Status Registry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open metrics output file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing metrics output file: " + path);
+  }
+  return Status::Ok();
+}
+
+void Registry::Reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, c] : i.counters) c->Reset();
+  for (auto& [name, g] : i.gauges) g->Reset();
+  for (auto& [name, h] : i.histograms) h->Reset();
+}
+
+}  // namespace metrics
+}  // namespace simgraph

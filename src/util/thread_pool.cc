@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace simgraph {
 
@@ -27,11 +29,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Schedule(std::function<void()> task) {
+  const bool metrics_on = metrics::Enabled();
+  Task queued{std::move(task), {}, metrics_on};
+  if (metrics_on) queued.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     SIMGRAPH_CHECK(!shutdown_);
-    queue_.push(std::move(task));
+    queue_.push(std::move(queued));
     ++pending_;
+    if (metrics_on) {
+      SIMGRAPH_COUNTER_ADD("threadpool.tasks", 1);
+      SIMGRAPH_GAUGE_SET("threadpool.queue_depth",
+                         static_cast<double>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -43,7 +53,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -52,7 +62,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (task.timed && metrics::Enabled()) {
+      const auto start = std::chrono::steady_clock::now();
+      SIMGRAPH_HISTOGRAM_RECORD(
+          "threadpool.queue_wait_seconds",
+          std::chrono::duration<double>(start - task.enqueued).count());
+      SIMGRAPH_TRACE_SPAN("ThreadPool::Task", "threadpool");
+      task.fn();
+      SIMGRAPH_HISTOGRAM_RECORD(
+          "threadpool.task_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;

@@ -2,6 +2,7 @@
 #define SIMGRAPH_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -33,10 +34,19 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  // A queued task plus its enqueue instant; the timestamp is only taken
+  // (and queue-wait latency only recorded) while metrics collection is
+  // enabled, so the disabled path never touches the clock.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

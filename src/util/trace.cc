@@ -1,0 +1,178 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/env.h"
+
+namespace simgraph {
+namespace trace {
+
+namespace internal_trace {
+std::atomic<bool> g_enabled{GetEnvInt64("SIMGRAPH_TRACE", 0) != 0};
+}  // namespace internal_trace
+
+bool SetEnabled(bool enabled) {
+  return internal_trace::g_enabled.exchange(enabled,
+                                            std::memory_order_relaxed);
+}
+
+namespace {
+
+// One buffered event. Names are copied at record time, so span call
+// sites may pass literals without lifetime coupling to the export.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase;      // 'X' complete, 'i' instant
+  int64_t ts_us;   // microseconds since the process trace epoch
+  int64_t dur_us;  // for 'X' events
+};
+
+// Per-thread event buffer. Buffers are owned by a leaked global list and
+// never removed, so events survive thread exit and Export() can run
+// while other threads keep recording (each append locks only its own
+// buffer's mutex, which is uncontended on the hot path).
+struct ThreadLog {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int64_t tid;
+};
+
+struct GlobalState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+GlobalState& Global() {
+  static GlobalState* state = new GlobalState;
+  return *state;
+}
+
+ThreadLog& LocalLog() {
+  thread_local ThreadLog* log = [] {
+    GlobalState& g = Global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.logs.push_back(std::make_unique<ThreadLog>());
+    g.logs.back()->tid = static_cast<int64_t>(g.logs.size());
+    return g.logs.back().get();
+  }();
+  return *log;
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Global().epoch)
+      .count();
+}
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void Instant(const char* name, const char* category) {
+  if (!Enabled()) return;
+  const int64_t now = NowMicros();
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(TraceEvent{name, category, 'i', now, 0});
+}
+
+int64_t NumBufferedEvents() {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  int64_t total = 0;
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    total += static_cast<int64_t>(log->events.size());
+  }
+  return total;
+}
+
+void Clear() {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+void WriteJson(std::ostream& out) {
+  GlobalState& g = Global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const TraceEvent& e : log->events) {
+      out << (first ? "\n" : ",\n") << "{\"name\": ";
+      first = false;
+      WriteJsonString(out, e.name);
+      out << ", \"cat\": ";
+      WriteJsonString(out, e.category);
+      out << ", \"ph\": \"" << e.phase << "\", \"ts\": " << e.ts_us;
+      if (e.phase == 'X') out << ", \"dur\": " << e.dur_us;
+      if (e.phase == 'i') out << ", \"s\": \"t\"";
+      out << ", \"pid\": 1, \"tid\": " << log->tid << "}";
+    }
+  }
+  out << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+Status Export(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    return Status::IoError("failed writing trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category), start_us_(0), active_(Enabled()) {
+  if (active_) start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !Enabled()) return;
+  const int64_t end_us = NowMicros();
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(
+      TraceEvent{name_, category_, 'X', start_us_, end_us - start_us_});
+}
+
+}  // namespace trace
+}  // namespace simgraph

@@ -1,0 +1,114 @@
+#ifndef SIMGRAPH_UTIL_TRACE_H_
+#define SIMGRAPH_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Scoped trace spans with Chrome trace-event export. Each span records
+/// a begin/end pair on a per-thread buffer; Export() merges all buffers
+/// into a chrome://tracing compatible JSON file, so a bench run can be
+/// opened as a flame chart (see docs/observability.md for the worked
+/// example and the span taxonomy).
+///
+///   {
+///     SIMGRAPH_TRACE_SPAN("SimGraph::Build", "build");
+///     ...  // everything in this scope shows as one slice
+///   }
+///   SIMGRAPH_CHECK_OK(simgraph::trace::Export("/tmp/trace.json"));
+///
+/// Tracing is off by default; a disabled span costs one relaxed atomic
+/// load and touches no clock. Enable per process with the SIMGRAPH_TRACE
+/// environment variable (any value but "0"), programmatically with
+/// trace::SetEnabled(true), or via the --trace-json=PATH flag accepted
+/// by every bench binary and simgraph_cli. Defining
+/// SIMGRAPH_TRACE_DISABLED at compile time removes every macro call
+/// site entirely.
+
+namespace simgraph {
+namespace trace {
+
+namespace internal_trace {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal_trace
+
+/// True when span collection is on (one relaxed atomic load).
+inline bool Enabled() {
+  return internal_trace::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off at runtime; returns the previous state.
+/// The initial state comes from the SIMGRAPH_TRACE environment variable
+/// (default off).
+bool SetEnabled(bool enabled);
+
+/// Records a zero-duration instant event (chrome://tracing draws a
+/// vertical tick), e.g. one propagation iteration boundary.
+void Instant(const char* name, const char* category = "app");
+
+/// Number of events buffered so far across all threads.
+int64_t NumBufferedEvents();
+
+/// Discards every buffered event (thread ids are retained).
+void Clear();
+
+/// Writes all buffered events as Chrome trace JSON:
+///   {"traceEvents": [{"name": ..., "cat": ..., "ph": "X",
+///                     "ts": <us>, "dur": <us>, "pid": 1, "tid": N}, ...],
+///    "displayTimeUnit": "ms"}
+/// Timestamps are microseconds on a process-wide monotonic clock.
+void WriteJson(std::ostream& out);
+
+/// WriteJson to `path`; fails with kIoError when the file cannot be
+/// written. The buffer is left intact (call Clear() to start over).
+Status Export(const std::string& path);
+
+/// RAII complete-event span: records [construction, destruction) under
+/// `name` on the calling thread's buffer. `name` and `category` must
+/// outlive the span — pass string literals. A span constructed while
+/// tracing is disabled stays inert even if tracing is enabled before it
+/// closes (and vice versa), so toggling mid-span never produces a
+/// half-recorded event.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "app");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  int64_t start_us_;
+  bool active_;
+};
+
+}  // namespace trace
+}  // namespace simgraph
+
+#define SIMGRAPH_TRACE_CONCAT_INNER(a, b) a##b
+#define SIMGRAPH_TRACE_CONCAT(a, b) SIMGRAPH_TRACE_CONCAT_INNER(a, b)
+
+#if defined(SIMGRAPH_TRACE_DISABLED)
+
+#define SIMGRAPH_TRACE_SPAN(...) (void)0
+#define SIMGRAPH_TRACE_INSTANT(...) (void)0
+
+#else
+
+/// Opens a span covering the enclosing scope: name, optional category.
+#define SIMGRAPH_TRACE_SPAN(...)                              \
+  ::simgraph::trace::TraceSpan SIMGRAPH_TRACE_CONCAT(         \
+      simgraph_trace_span_, __LINE__)(__VA_ARGS__)
+
+/// Records an instant event: name, optional category.
+#define SIMGRAPH_TRACE_INSTANT(...) ::simgraph::trace::Instant(__VA_ARGS__)
+
+#endif  // SIMGRAPH_TRACE_DISABLED
+
+#endif  // SIMGRAPH_UTIL_TRACE_H_

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Keeps the documentation honest:
+#   1. every relative markdown link in README.md and docs/*.md points at a
+#      file that exists;
+#   2. every metric name documented in docs/observability.md appears as a
+#      string literal somewhere under src/, bench/, or tools/;
+#   3. every SIMGRAPH_* environment variable documented there is consumed
+#      somewhere in the code.
+set -eu
+
+REPO="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+status=0
+
+# --- 1. relative links -------------------------------------------------
+for doc in "$REPO"/README.md "$REPO"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  doc_dir="$(dirname "$doc")"
+  # Extract (text)(target) markdown links; one target per line.
+  grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"   # drop in-page anchors
+    [ -n "$path" ] || continue
+    if [ ! -e "$doc_dir/$path" ]; then
+      echo "BROKEN LINK in $(basename "$doc"): $target"
+      echo "broken" >> "$TMP/link_failed"
+    fi
+  done
+done
+
+# --- 2. documented metric names exist in the code ----------------------
+OBS="$REPO/docs/observability.md"
+if [ ! -f "$OBS" ]; then
+  echo "MISSING: docs/observability.md"
+  status=1
+else
+  # Metric and span rows look like: | `name.in.dots` | ... |
+  for name in $(grep -o '^| `[A-Za-z0-9_.:/ -]*`' "$OBS" |
+                sed 's/^| `//; s/`$//'); do
+    case "$name" in
+      SIMGRAPH_*) continue ;;  # env vars are checked below
+    esac
+    if ! grep -rqF "\"$name\"" "$REPO/src" "$REPO/bench" "$REPO/tools"; then
+      echo "STALE METRIC/SPAN in observability.md: $name"
+      status=1
+    fi
+  done
+
+  # --- 3. documented env vars are consumed somewhere -------------------
+  for var in $(grep -o '`SIMGRAPH_[A-Z_]*`' "$OBS" | sed 's/`//g' |
+               sort -u); do
+    if ! grep -rq "$var" "$REPO/src" "$REPO/bench" "$REPO/tools" \
+         "$REPO/examples" 2>/dev/null; then
+      echo "STALE ENV VAR in observability.md: $var"
+      status=1
+    fi
+  done
+fi
+
+# The link loop runs in a subshell (pipe); pick up its failures here.
+if [ -f "$TMP/link_failed" ]; then
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "docs_check: links resolve; documented names match the code"
+fi
+exit "$status"

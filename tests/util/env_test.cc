@@ -44,11 +44,58 @@ TEST(EnvTest, DoubleDefaultOnGarbage) {
   ::unsetenv("SIMGRAPH_TEST_DBL");
 }
 
+TEST(EnvTest, Int64RejectsTrailingWhitespace) {
+  ::setenv("SIMGRAPH_TEST_INT", "5 ", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 7);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, Int64AcceptsLeadingWhitespace) {
+  // strtoll skips leading whitespace; "  5" is a valid setting.
+  ::setenv("SIMGRAPH_TEST_INT", "  5", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 5);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, Int64RejectsWhitespaceOnly) {
+  ::setenv("SIMGRAPH_TEST_INT", "   ", 1);
+  EXPECT_EQ(GetEnvInt64("SIMGRAPH_TEST_INT", 7), 7);
+  ::unsetenv("SIMGRAPH_TEST_INT");
+}
+
+TEST(EnvTest, DoubleDefaultWhenUnsetOrEmpty) {
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.5), 1.5);
+  ::setenv("SIMGRAPH_TEST_DBL", "", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.5), 1.5);
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleParsesScientificNotation) {
+  ::setenv("SIMGRAPH_TEST_DBL", "3e-5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.0), 3e-5);
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleRejectsTrailingGarbage) {
+  ::setenv("SIMGRAPH_TEST_DBL", "2.5mb", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SIMGRAPH_TEST_DBL", 1.5), 1.5);
+  ::unsetenv("SIMGRAPH_TEST_DBL");
+}
+
 TEST(EnvTest, StringRoundTrip) {
   ::setenv("SIMGRAPH_TEST_STR", "hello", 1);
   EXPECT_EQ(GetEnvString("SIMGRAPH_TEST_STR", "d"), "hello");
   ::unsetenv("SIMGRAPH_TEST_STR");
   EXPECT_EQ(GetEnvString("SIMGRAPH_TEST_STR", "d"), "d");
+}
+
+TEST(EnvTest, StringSetButEmptyIsEmptyNotDefault) {
+  // Unlike the numeric getters, a set-but-empty string is a deliberate
+  // value (e.g. SIMGRAPH_BENCH_CACHE="" disables the cache).
+  ::setenv("SIMGRAPH_TEST_STR", "", 1);
+  EXPECT_EQ(GetEnvString("SIMGRAPH_TEST_STR", "d"), "");
+  ::unsetenv("SIMGRAPH_TEST_STR");
 }
 
 }  // namespace

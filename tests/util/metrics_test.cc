@@ -1,0 +1,221 @@
+#include "util/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace metrics {
+namespace {
+
+// Every test runs with collection on and a clean slate; the registry is
+// process-global, so names are namespaced per test where it matters.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = SetEnabled(true);
+    Registry::Global().Reset();
+  }
+  void TearDown() override {
+    Registry::Global().Reset();
+    SetEnabled(previous_);
+  }
+  bool previous_ = false;
+};
+
+TEST_F(MetricsTest, CounterStartsAtZeroAndAdds) {
+  Counter& c = Registry::Global().counter("test.counter.basic");
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameInstanceForSameName) {
+  Counter& a = Registry::Global().counter("test.counter.same");
+  Counter& b = Registry::Global().counter("test.counter.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsSumCorrectly) {
+  Counter& c = Registry::Global().counter("test.counter.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramRecordsKeepEverySample) {
+  LatencyHistogram& h =
+      Registry::Global().histogram("test.hist.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_NEAR(h.sum(), 1e-6 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8) * kPerThread,
+              1e-9);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge& g = Registry::Global().gauge("test.gauge.basic");
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(MetricsTest, DisabledModeIsANoOp) {
+  Counter& c = Registry::Global().counter("test.counter.disabled");
+  Gauge& g = Registry::Global().gauge("test.gauge.disabled");
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.disabled");
+  SetEnabled(false);
+  c.Add(100);
+  g.Set(7.0);
+  h.Record(0.5);
+  SetEnabled(true);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST_F(MetricsTest, MacrosRecordWhenEnabled) {
+  SIMGRAPH_COUNTER_ADD("test.macro.counter", 5);
+  SIMGRAPH_GAUGE_SET("test.macro.gauge", 2.0);
+  SIMGRAPH_HISTOGRAM_RECORD("test.macro.hist", 0.25);
+  { SIMGRAPH_SCOPED_LATENCY("test.macro.scoped"); }
+  EXPECT_EQ(Registry::Global().counter("test.macro.counter").value(), 5);
+  EXPECT_DOUBLE_EQ(Registry::Global().gauge("test.macro.gauge").value(),
+                   2.0);
+  EXPECT_EQ(Registry::Global().histogram("test.macro.hist").count(), 1);
+  EXPECT_EQ(Registry::Global().histogram("test.macro.scoped").count(), 1);
+}
+
+TEST_F(MetricsTest, HistogramStatsOnKnownSamples) {
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.stats");
+  h.Record(0.001);
+  h.Record(0.002);
+  h.Record(0.004);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_NEAR(h.sum(), 0.007, 1e-12);
+  EXPECT_NEAR(h.Mean(), 0.007 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.004);
+}
+
+TEST_F(MetricsTest, PercentilesOnKnownDistribution) {
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.pct");
+  // 90 samples near 1 ms, 9 near 100 ms, 1 near 10 s. Bucket resolution
+  // is one octave, so estimates are accurate within a factor of two.
+  for (int i = 0; i < 90; ++i) h.Record(1e-3);
+  for (int i = 0; i < 9; ++i) h.Record(0.1);
+  h.Record(10.0);
+  EXPECT_EQ(h.count(), 100);
+  const double p50 = h.p50();
+  EXPECT_GE(p50, 0.5e-3);
+  EXPECT_LE(p50, 2e-3);
+  const double p95 = h.p95();
+  EXPECT_GE(p95, 0.05);
+  EXPECT_LE(p95, 0.2);
+  const double p99 = h.p99();
+  EXPECT_GE(p99, 0.05);
+  EXPECT_LE(p99, 0.2);
+  // p100 == the exact maximum.
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 10.0);
+}
+
+TEST_F(MetricsTest, PercentileIsMonotoneInP) {
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.monotone");
+  for (int i = 1; i <= 1000; ++i) h.Record(1e-6 * i);
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.Max());
+}
+
+TEST_F(MetricsTest, NonPositiveSamplesLandInFirstBucket) {
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.nonpos");
+  h.Record(0.0);
+  h.Record(-1.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.bucket_count(0), 2);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = Registry::Global().counter("test.counter.reset");
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.reset");
+  c.Add(9);
+  h.Record(1.0);
+  Registry::Global().Reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.Add(2);  // the old reference still points at the live metric
+  EXPECT_EQ(Registry::Global().counter("test.counter.reset").value(), 2);
+}
+
+TEST_F(MetricsTest, JsonSnapshotContainsAllSections) {
+  Registry::Global().counter("test.json.counter").Add(7);
+  Registry::Global().gauge("test.json.gauge").Set(1.5);
+  Registry::Global().histogram("test.json.hist").Record(0.5);
+  std::ostringstream out;
+  Registry::Global().WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  // The unbounded bucket must not leak "inf" into the JSON.
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ScopedLatencyTimerRecordsElapsedTime) {
+  LatencyHistogram& h = Registry::Global().histogram("test.hist.scoped");
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GE(h.Max(), 0.0);
+  EXPECT_LT(h.Max(), 1.0);  // an empty scope takes well under a second
+}
+
+TEST_F(MetricsTest, ScopedLatencyTimerNoOpWhenDisabled) {
+  LatencyHistogram& h =
+      Registry::Global().histogram("test.hist.scoped_off");
+  SetEnabled(false);
+  {
+    ScopedLatencyTimer timer(h);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(h.count(), 0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace simgraph

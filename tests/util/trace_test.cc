@@ -1,0 +1,160 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace trace {
+namespace {
+
+// Replaces the variable parts of a trace dump (timestamps, durations)
+// with placeholders so the remainder can be compared verbatim.
+std::string Normalize(std::string json) {
+  json = std::regex_replace(json, std::regex("\"ts\": -?[0-9]+"),
+                            "\"ts\": T");
+  json = std::regex_replace(json, std::regex("\"dur\": -?[0-9]+"),
+                            "\"dur\": D");
+  return json;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = SetEnabled(true);
+    Clear();
+  }
+  void TearDown() override {
+    Clear();
+    SetEnabled(previous_);
+  }
+  bool previous_ = false;
+};
+
+TEST_F(TraceTest, GoldenJsonFormat) {
+  // All events below record on the main thread, so their tid is stable.
+  {
+    SIMGRAPH_TRACE_SPAN("SimGraph::Build", "build");
+    SIMGRAPH_TRACE_INSTANT("iteration", "propagation");
+  }
+  ASSERT_EQ(NumBufferedEvents(), 2);
+
+  std::ostringstream out;
+  WriteJson(out);
+
+  // Events appear in buffer order: the instant closes first (spans are
+  // appended at destruction).
+  const std::string golden =
+      "{\"traceEvents\": [\n"
+      "{\"name\": \"iteration\", \"cat\": \"propagation\", \"ph\": \"i\","
+      " \"ts\": T, \"s\": \"t\", \"pid\": 1, \"tid\": 1},\n"
+      "{\"name\": \"SimGraph::Build\", \"cat\": \"build\", \"ph\": \"X\","
+      " \"ts\": T, \"dur\": D, \"pid\": 1, \"tid\": 1}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(Normalize(out.str()), golden);
+}
+
+TEST_F(TraceTest, EmptyBufferStillProducesValidJson) {
+  std::ostringstream out;
+  WriteJson(out);
+  EXPECT_EQ(out.str(),
+            "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST_F(TraceTest, StructuralKeysPresentOnEveryEvent) {
+  {
+    SIMGRAPH_TRACE_SPAN("outer", "test");
+    { SIMGRAPH_TRACE_SPAN("inner", "test"); }
+  }
+  SIMGRAPH_TRACE_INSTANT("tick");
+  std::ostringstream out;
+  WriteJson(out);
+  const std::string json = out.str();
+  for (const char* key :
+       {"\"name\"", "\"cat\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""}) {
+    EXPECT_EQ(3u, [&] {
+      size_t n = 0;
+      for (size_t pos = json.find(key); pos != std::string::npos;
+           pos = json.find(key, pos + 1)) {
+        ++n;
+      }
+      return n;
+    }()) << "missing or duplicated key " << key;
+  }
+  // Complete events carry a duration, instants a scope marker.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  // The default category applies when none is given.
+  EXPECT_NE(json.find("\"cat\": \"app\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnermostFirst) {
+  {
+    SIMGRAPH_TRACE_SPAN("outer", "test");
+    { SIMGRAPH_TRACE_SPAN("inner", "test"); }
+  }
+  std::ostringstream out;
+  WriteJson(out);
+  const std::string json = out.str();
+  const size_t inner = json.find("\"inner\"");
+  const size_t outer = json.find("\"outer\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  EXPECT_LT(inner, outer);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetEnabled(false);
+  {
+    SIMGRAPH_TRACE_SPAN("ghost", "test");
+    SIMGRAPH_TRACE_INSTANT("ghost_tick", "test");
+  }
+  SetEnabled(true);
+  EXPECT_EQ(NumBufferedEvents(), 0);
+}
+
+TEST_F(TraceTest, TogglingMidSpanStaysInert) {
+  SetEnabled(false);
+  {
+    TraceSpan span("half", "test");
+    SetEnabled(true);  // enabling mid-span must not emit a bogus event
+  }
+  EXPECT_EQ(NumBufferedEvents(), 0);
+}
+
+TEST_F(TraceTest, ClearDiscardsBufferedEvents) {
+  { SIMGRAPH_TRACE_SPAN("short", "test"); }
+  ASSERT_GT(NumBufferedEvents(), 0);
+  Clear();
+  EXPECT_EQ(NumBufferedEvents(), 0);
+}
+
+TEST_F(TraceTest, ExportRoundTripsThroughAFile) {
+  { SIMGRAPH_TRACE_SPAN("exported", "test"); }
+  const std::string path =
+      ::testing::TempDir() + "/simgraph_trace_test.json";
+  ASSERT_TRUE(Export(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream file_contents;
+  file_contents << in.rdbuf();
+  std::ostringstream direct;
+  WriteJson(direct);
+  EXPECT_EQ(file_contents.str(), direct.str());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ExportToUnwritablePathFails) {
+  const Status s = Export("/nonexistent_dir_xyz/trace.json");
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace simgraph

@@ -16,6 +16,13 @@
 //
 //   simgraph_cli evaluate --data DIR [--k K] [--train F]
 //       Run the four-method comparison under the paper's protocol.
+//
+// Every command additionally accepts the observability flags
+// (docs/observability.md):
+//   --metrics-json PATH   enable the metrics registry; dump the JSON
+//                         snapshot to PATH before exiting.
+//   --trace-json PATH     enable trace spans; export Chrome trace JSON
+//                         (loadable in chrome://tracing) to PATH.
 
 #include <cstring>
 #include <iostream>
@@ -230,16 +237,43 @@ int Usage() {
   return 2;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const auto flags = ParseFlags(argc, argv, 2);
+int Dispatch(const std::string& command,
+             const std::map<std::string, std::string>& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "recommend") return CmdRecommend(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+
+  const std::string metrics_path = FlagString(flags, "metrics-json");
+  const std::string trace_path = FlagString(flags, "trace-json");
+  if (!metrics_path.empty()) metrics::SetEnabled(true);
+  if (!trace_path.empty()) trace::SetEnabled(true);
+
+  int rc = Dispatch(command, flags);
+
+  if (!metrics_path.empty()) {
+    const Status s = metrics::Registry::Global().WriteJsonFile(metrics_path);
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    const Status s = trace::Export(trace_path);
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
