@@ -1,0 +1,257 @@
+// bench_serving_load — load generator for the online serving subsystem.
+//
+// Replays the full test-period retweet stream through a
+// RecommendationService while worker threads issue recommendation
+// requests, in two phases:
+//
+//   1. closed-loop: each worker fires its next request as soon as the
+//      previous one returns, concurrently with the event replay —
+//      measures saturation throughput and on-CPU request latency;
+//   2. open-loop: workers issue requests on a fixed arrival schedule at
+//      ~80% of the measured closed-loop throughput — measures
+//      scheduled-to-completion sojourn time, which (unlike closed-loop
+//      latency) includes queueing delay and does not suffer coordinated
+//      omission.
+//
+// The run fails (non-zero exit) if any request returns an error status.
+// Knobs (environment):
+//   SIMGRAPH_BENCH_SERVE_REQUESTS  total requests, both phases (60000)
+//   SIMGRAPH_BENCH_SERVE_THREADS   worker threads (4)
+//   SIMGRAPH_BENCH_SERVE_TTL      result-cache TTL in simulated s (86400)
+//   SIMGRAPH_BENCH_SERVE_DEADLINE_US  per-request budget, 0 = off (0)
+//   SIMGRAPH_BENCH_SERVE_REFRESH  snapshot refresh cadence in events (2000)
+// plus the usual --metrics-json= / --trace-json= flags. Without
+// --metrics-json the metrics snapshot is written to
+// /tmp/simgraph_serving_load_metrics.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "simgraph/simgraph.h"
+
+namespace simgraph {
+namespace {
+
+struct WorkerTally {
+  int64_t requests = 0;
+  int64_t failures = 0;
+  int64_t degraded = 0;
+  int64_t hits = 0;
+};
+
+int Run(int argc, char** argv) {
+  const bench::ObservabilityGuard observability(argc, argv);
+  // This bench reports through the metrics registry, so collection is
+  // always on here regardless of SIMGRAPH_METRICS.
+  metrics::SetEnabled(true);
+
+  const int64_t total_requests =
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_REQUESTS", 60000));
+  const int32_t num_threads = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_THREADS", 4)));
+  const Timestamp cache_ttl =
+      GetEnvInt64("SIMGRAPH_BENCH_SERVE_TTL", kSecondsPerDay);
+  const int64_t deadline_us =
+      GetEnvInt64("SIMGRAPH_BENCH_SERVE_DEADLINE_US", 0);
+  const int64_t refresh_events =
+      GetEnvInt64("SIMGRAPH_BENCH_SERVE_REFRESH", 2000);
+
+  const Dataset& dataset = bench::BenchDataset();
+  const EvalProtocol& protocol = bench::BenchProtocol();
+  bench::PrintPreamble("serving load");
+
+  serve::ServingSimGraphOptions rec_options;
+  rec_options.graph = bench::BenchSimGraphOptions();
+  rec_options.snapshot_refresh_events = refresh_events;
+  serve::ServiceOptions options;
+  options.cache_ttl = cache_ttl;
+  options.deadline = std::chrono::microseconds(deadline_us);
+  serve::RecommendationService service(
+      std::make_unique<serve::SimGraphServingRecommender>(rec_options),
+      options);
+
+  std::cout << "training on " << protocol.train_end << " events...\n";
+  const Status trained = service.Train(dataset, protocol.train_end);
+  if (!trained.ok()) {
+    std::cerr << trained.ToString() << "\n";
+    return 1;
+  }
+  service.Start();
+
+  const int64_t num_events = dataset.num_retweets() - protocol.train_end;
+  const int64_t closed_requests = total_requests * 2 / 3;
+  const int64_t open_requests = total_requests - closed_requests;
+
+  // The simulated "now" tracks the last published event so requests ask
+  // about the stream's current edge, like a live system would.
+  std::atomic<Timestamp> sim_now{protocol.split_time};
+  std::atomic<bool> replay_done{false};
+
+  // --- phase 1: closed loop concurrent with the full event replay -----
+  std::thread producer([&] {
+    for (int64_t i = protocol.train_end; i < dataset.num_retweets(); ++i) {
+      const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
+      service.Publish(e);
+      sim_now.store(e.time, std::memory_order_relaxed);
+    }
+    replay_done.store(true);
+  });
+
+  std::vector<WorkerTally> tallies(static_cast<size_t>(num_threads));
+  std::atomic<int64_t> issued{0};
+  const auto closed_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int32_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        WorkerTally& tally = tallies[static_cast<size_t>(t)];
+        Rng rng(0x5eed5 + static_cast<uint64_t>(t));
+        while (true) {
+          const int64_t i = issued.fetch_add(1);
+          // Keep the load generator running until the replay finishes,
+          // even past the request budget: the service must stay under
+          // fire for the whole stream.
+          if (i >= closed_requests && replay_done.load()) break;
+          const UserId user =
+              protocol.panel[static_cast<size_t>(rng.NextBounded(
+                  static_cast<uint64_t>(protocol.panel.size())))];
+          const serve::RecommendResponse response = service.Recommend(
+              {user, sim_now.load(std::memory_order_relaxed), 30});
+          ++tally.requests;
+          if (!response.status.ok()) ++tally.failures;
+          if (response.degraded) ++tally.degraded;
+          if (response.cache_hit) ++tally.hits;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  producer.join();
+  const double closed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    closed_start)
+          .count();
+
+  int64_t closed_done = 0;
+  for (const WorkerTally& tally : tallies) closed_done += tally.requests;
+  const double closed_throughput =
+      closed_done / std::max(closed_seconds, 1e-9);
+
+  // --- phase 2: open loop at ~80% of measured saturation --------------
+  const double open_rate = std::max(1.0, 0.8 * closed_throughput);
+  const auto open_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int32_t t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        WorkerTally& tally = tallies[static_cast<size_t>(t)];
+        Rng rng(0xfeed5 + static_cast<uint64_t>(t));
+        const int64_t mine = open_requests / num_threads +
+                             (t < open_requests % num_threads ? 1 : 0);
+        const double interval_s = num_threads / open_rate;
+        for (int64_t i = 0; i < mine; ++i) {
+          // Fixed arrival schedule: sojourn time is measured from the
+          // *scheduled* arrival, so a slow service accrues queueing
+          // delay instead of silently slowing the generator down.
+          const auto scheduled =
+              open_start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   (i + static_cast<double>(t) /
+                                            num_threads) *
+                                   interval_s));
+          std::this_thread::sleep_until(scheduled);
+          const UserId user =
+              protocol.panel[static_cast<size_t>(rng.NextBounded(
+                  static_cast<uint64_t>(protocol.panel.size())))];
+          const serve::RecommendResponse response = service.Recommend(
+              {user, sim_now.load(std::memory_order_relaxed), 30});
+          const double sojourn =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - scheduled)
+                  .count();
+          SIMGRAPH_HISTOGRAM_RECORD("serve.open_loop.sojourn_seconds",
+                                    sojourn);
+          ++tally.requests;
+          if (!response.status.ok()) ++tally.failures;
+          if (response.degraded) ++tally.degraded;
+          if (response.cache_hit) ++tally.hits;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double open_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    open_start)
+          .count();
+  service.Stop();
+
+  WorkerTally total;
+  for (const WorkerTally& tally : tallies) {
+    total.requests += tally.requests;
+    total.failures += tally.failures;
+    total.degraded += tally.degraded;
+    total.hits += tally.hits;
+  }
+  const double hit_rate =
+      total.requests > 0
+          ? static_cast<double>(total.hits) / total.requests
+          : 0.0;
+  SIMGRAPH_GAUGE_SET("serve.cache_hit_rate", hit_rate);
+
+  auto& registry = metrics::Registry::Global();
+  const auto& request_latency = registry.histogram("serve.request.seconds");
+  const auto& sojourn = registry.histogram("serve.open_loop.sojourn_seconds");
+  const auto& apply_latency =
+      registry.histogram("serve.ingest.apply_seconds");
+
+  TableWriter table("Serving load (" + std::to_string(num_threads) +
+                    " workers, " + std::to_string(num_events) +
+                    " events replayed)");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"requests", TableWriter::Cell(total.requests)});
+  table.AddRow({"failed", TableWriter::Cell(total.failures)});
+  table.AddRow({"degraded", TableWriter::Cell(total.degraded)});
+  table.AddRow({"cache hit rate", TableWriter::Cell(hit_rate)});
+  table.AddRow({"closed-loop req/s", TableWriter::Cell(closed_throughput)});
+  table.AddRow(
+      {"open-loop req/s",
+       TableWriter::Cell((open_requests) / std::max(open_seconds, 1e-9))});
+  table.AddRow(
+      {"latency p50 (ms)", TableWriter::Cell(request_latency.p50() * 1e3)});
+  table.AddRow(
+      {"latency p95 (ms)", TableWriter::Cell(request_latency.p95() * 1e3)});
+  table.AddRow(
+      {"latency p99 (ms)", TableWriter::Cell(request_latency.p99() * 1e3)});
+  table.AddRow({"sojourn p99 (ms)", TableWriter::Cell(sojourn.p99() * 1e3)});
+  table.AddRow(
+      {"apply p50 (ms)", TableWriter::Cell(apply_latency.p50() * 1e3)});
+  table.Print(std::cout);
+
+  if (observability.metrics_path().empty()) {
+    const std::string fallback = "/tmp/simgraph_serving_load_metrics.json";
+    const Status written = registry.WriteJsonFile(fallback);
+    if (written.ok()) {
+      std::cout << "metrics written to " << fallback << "\n";
+    } else {
+      std::cerr << written.ToString() << "\n";
+    }
+  }
+  if (total.failures > 0) {
+    std::cerr << total.failures << " requests failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace simgraph
+
+int main(int argc, char** argv) { return simgraph::Run(argc, argv); }

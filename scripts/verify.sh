@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+# Usage:
+#   scripts/verify.sh                 # build + full ctest
+#   SIMGRAPH_VERIFY_TSAN=1 scripts/verify.sh
+#       # additionally build the tsan preset and run the concurrency-
+#       # labelled tests under ThreadSanitizer
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${SIMGRAPH_VERIFY_TSAN:-0}" == "1" ]]; then
+  echo "== TSAN concurrency pass =="
+  cmake -B build-tsan -S . -DSIMGRAPH_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan -L concurrency --output-on-failure \
+    -j "$(nproc)"
+fi
+
+echo "verify: OK"

@@ -16,15 +16,18 @@ CandidateStore::CandidateStore(int32_t num_users,
   SIMGRAPH_CHECK_GT(freshness_window, 0);
 }
 
-void CandidateStore::Deposit(UserId user, TweetId tweet, double score) {
-  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return;
+bool CandidateStore::Deposit(UserId user, TweetId tweet, double score) {
+  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return false;
   double& slot = candidates_[static_cast<size_t>(user)][tweet];
-  slot = std::max(slot, score);
+  if (score <= slot) return false;
+  slot = score;
+  return true;
 }
 
-void CandidateStore::Accumulate(UserId user, TweetId tweet, double delta) {
-  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return;
+bool CandidateStore::Accumulate(UserId user, TweetId tweet, double delta) {
+  if (consumed_[static_cast<size_t>(user)].contains(tweet)) return false;
   candidates_[static_cast<size_t>(user)][tweet] += delta;
+  return delta != 0.0;
 }
 
 void CandidateStore::MarkConsumed(UserId user, TweetId tweet) {
@@ -55,13 +58,18 @@ std::vector<ScoredTweet> CandidateStore::TopK(UserId user, Timestamp now,
 }
 
 void CandidateStore::EvictStale(Timestamp now) {
-  for (auto& per_user : candidates_) {
-    for (auto it = per_user.begin(); it != per_user.end();) {
-      if (!IsFresh(it->first, now)) {
-        it = per_user.erase(it);
-      } else {
-        ++it;
-      }
+  for (size_t u = 0; u < candidates_.size(); ++u) {
+    EvictStaleForUser(static_cast<UserId>(u), now);
+  }
+}
+
+void CandidateStore::EvictStaleForUser(UserId user, Timestamp now) {
+  auto& per_user = candidates_[static_cast<size_t>(user)];
+  for (auto it = per_user.begin(); it != per_user.end();) {
+    if (!IsFresh(it->first, now)) {
+      it = per_user.erase(it);
+    } else {
+      ++it;
     }
   }
 }

@@ -25,11 +25,14 @@ class CandidateStore {
                  Timestamp freshness_window);
 
   /// Raises the score of `tweet` for `user` to at least `score`
-  /// (keeping the max of repeated deposits).
-  void Deposit(UserId user, TweetId tweet, double score);
+  /// (keeping the max of repeated deposits). Returns true when the stored
+  /// score actually changed — the serving layer's precise cache
+  /// invalidation keys off this.
+  bool Deposit(UserId user, TweetId tweet, double score);
 
-  /// Adds `delta` to the score of `tweet` for `user`.
-  void Accumulate(UserId user, TweetId tweet, double delta);
+  /// Adds `delta` to the score of `tweet` for `user`. Returns true when
+  /// the stored score changed (i.e. delta != 0 and not consumed).
+  bool Accumulate(UserId user, TweetId tweet, double delta);
 
   /// Marks that `user` interacted with `tweet`; it will never be
   /// recommended to them again (and is removed if currently stored).
@@ -49,13 +52,30 @@ class CandidateStore {
   /// relative to `now`.
   void EvictStale(Timestamp now);
 
-  int64_t TotalCandidates() const;
+  /// EvictStale restricted to one user, so concurrent callers that stripe
+  /// their locks per user (src/serve/) can evict without a global lock.
+  void EvictStaleForUser(UserId user, Timestamp now);
 
- private:
+  /// The raw candidate map of `user` (consumed tweets are never present).
+  /// Callers that need deadline-aware partial scans iterate this directly
+  /// with IsFresh; everyone else should use TopK.
+  const std::unordered_map<TweetId, double>& CandidatesOf(UserId user) const {
+    return candidates_[static_cast<size_t>(user)];
+  }
+
+  /// True when `tweet` is within the freshness window at time `now`.
   bool IsFresh(TweetId tweet, Timestamp now) const {
     return tweet_times_[static_cast<size_t>(tweet)] + freshness_window_ >= now;
   }
 
+  /// Publication time of `tweet`.
+  Timestamp TweetTime(TweetId tweet) const {
+    return tweet_times_[static_cast<size_t>(tweet)];
+  }
+
+  int64_t TotalCandidates() const;
+
+ private:
   std::vector<Timestamp> tweet_times_;
   Timestamp freshness_window_;
   std::vector<std::unordered_map<TweetId, double>> candidates_;  // per user

@@ -20,9 +20,24 @@ void MutableProfileStore::Apply(const RetweetEvent& event) {
   const auto it =
       std::lower_bound(profile.begin(), profile.end(), event.tweet);
   if (it != profile.end() && *it == event.tweet) return;  // duplicate
+  if (event.tweet >= static_cast<int64_t>(popularity_.size())) {
+    // New posts stream in continuously while serving; grow geometrically
+    // so a monotone id sequence stays amortised O(1) per event.
+    const size_t grown =
+        std::max(static_cast<size_t>(event.tweet) + 1,
+                 popularity_.size() + popularity_.size() / 2);
+    retweeters_.resize(grown);
+    popularity_.resize(grown, 0);
+  }
   profile.insert(it, event.tweet);
   retweeters_[static_cast<size_t>(event.tweet)].push_back(event.user);
   ++popularity_[static_cast<size_t>(event.tweet)];
+}
+
+const std::vector<UserId>& MutableProfileStore::Retweeters(TweetId t) const {
+  static const std::vector<UserId> kEmpty;
+  const size_t i = static_cast<size_t>(t);
+  return i < retweeters_.size() ? retweeters_[i] : kEmpty;
 }
 
 double MutableProfileStore::Similarity(UserId u, UserId v) const {
@@ -92,6 +107,7 @@ Status IncrementalSimGraph::Initialize(const Dataset& dataset,
     }
   }
   stats_ = IncrementalStats{};
+  ++version_;
   return Status::Ok();
 }
 
@@ -135,6 +151,7 @@ void IncrementalSimGraph::RescoreEdge(UserId u, UserId v) {
 void IncrementalSimGraph::Apply(const RetweetEvent& event) {
   SIMGRAPH_CHECK(profiles_ != nullptr) << "Initialize must be called first";
   ++stats_.events_applied;
+  ++version_;
   // Snapshot co-retweeters before adding the event (the new user is not
   // their own peer).
   const std::vector<UserId> peers = profiles_->Retweeters(event.tweet);

@@ -15,12 +15,19 @@ namespace simgraph {
 /// Mutable retweet profiles: the streaming counterpart of ProfileStore.
 /// Supports appending events one at a time while serving the same
 /// similarity queries.
+///
+/// The tweet id space is open-ended: in a serving deployment new posts
+/// arrive continuously, so Apply grows the per-tweet state whenever an
+/// event references a tweet id >= the initial `num_tweets`, and the
+/// per-tweet accessors answer 0 / empty for ids never seen.
 class MutableProfileStore {
  public:
-  /// Creates empty profiles for `num_users` users over `num_tweets` ids.
+  /// Creates empty profiles for `num_users` users over `num_tweets` ids
+  /// (a lower bound; the tweet space grows on demand).
   MutableProfileStore(int32_t num_users, int64_t num_tweets);
 
   /// Appends one retweet. Duplicate (user, tweet) pairs are ignored.
+  /// Grows the tweet space when event.tweet is beyond the current bound.
   void Apply(const RetweetEvent& event);
 
   int64_t ProfileSize(UserId u) const {
@@ -31,11 +38,15 @@ class MutableProfileStore {
     return profiles_[static_cast<size_t>(u)];
   }
   int32_t Popularity(TweetId t) const {
-    return popularity_[static_cast<size_t>(t)];
+    const size_t i = static_cast<size_t>(t);
+    return i < popularity_.size() ? popularity_[i] : 0;
   }
-  /// Users who retweeted `t`, in arrival order.
-  const std::vector<UserId>& Retweeters(TweetId t) const {
-    return retweeters_[static_cast<size_t>(t)];
+  /// Users who retweeted `t`, in arrival order (empty for unseen ids).
+  const std::vector<UserId>& Retweeters(TweetId t) const;
+
+  /// Upper bound of the tweet id space seen so far.
+  int64_t num_tweets() const {
+    return static_cast<int64_t>(popularity_.size());
   }
 
   /// Definition 3.1 on the current state; matches ProfileStore built over
@@ -87,6 +98,12 @@ class IncrementalSimGraph {
   /// Materialises the current graph (CSR) for propagation / inspection.
   SimGraph Snapshot() const;
 
+  /// Monotonic mutation counter: bumped by Initialize and by every Apply
+  /// that could have changed the graph. The serving layer (src/serve/)
+  /// uses it to decide when a published CSR snapshot is out of date and
+  /// must be re-materialised (epoch swap).
+  uint64_t version() const { return version_; }
+
   int64_t num_edges() const { return num_edges_; }
   const IncrementalStats& stats() const { return stats_; }
   const MutableProfileStore& profiles() const { return *profiles_; }
@@ -107,6 +124,7 @@ class IncrementalSimGraph {
   /// reverse_[v] = sources of edges into v (kept in sync with adjacency_).
   std::vector<std::unordered_set<UserId>> reverse_;
   int64_t num_edges_ = 0;
+  uint64_t version_ = 0;
   IncrementalStats stats_;
 };
 

@@ -47,6 +47,14 @@ class Recommender {
   /// Top-k recommendations for `user` at time `now`, best first. May
   /// return fewer than k when candidates are scarce (Figure 7 measures
   /// exactly this capacity).
+  ///
+  /// Determinism contract: implementations order by descending score and
+  /// break score ties by ascending tweet id. The output is therefore a
+  /// total order — Recommend(u, now, k1) is a prefix of
+  /// Recommend(u, now, k2) for k1 <= k2 on identical state — which is
+  /// what makes cached serving results and golden tests stable
+  /// (tests/core/recommend_determinism_test.cc enforces this for all
+  /// four systems).
   virtual std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
                                              int32_t k) = 0;
 };

@@ -1,0 +1,204 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace simgraph {
+namespace serve {
+
+RecommendationService::RecommendationService(
+    std::unique_ptr<ServingRecommender> recommender, ServiceOptions options)
+    : recommender_(std::move(recommender)),
+      options_(options),
+      queue_(options.ingest_queue_capacity) {
+  SIMGRAPH_CHECK(recommender_ != nullptr);
+}
+
+RecommendationService::~RecommendationService() { Stop(); }
+
+Status RecommendationService::Train(const Dataset& dataset,
+                                    int64_t train_end) {
+  SIMGRAPH_RETURN_IF_ERROR(recommender_->Train(dataset, train_end));
+  num_users_ = dataset.num_users();
+  if (options_.cache_ttl >= 0) {
+    cache_ = std::make_unique<ResultCache>(num_users_, options_.cache_ttl,
+                                           options_.cache_stripes);
+  }
+  return Status::Ok();
+}
+
+void RecommendationService::Start() {
+  if (started_.exchange(true)) return;
+  applier_ = std::thread([this] { ApplierLoop(); });
+}
+
+void RecommendationService::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  if (applier_.joinable()) applier_.join();
+  // Unblock any WaitForApplied stragglers (covers the never-started
+  // case, where the applier loop never ran to set drained_).
+  {
+    std::lock_guard<std::mutex> lock(applied_mu_);
+    drained_ = true;
+  }
+  applied_cv_.notify_all();
+}
+
+uint64_t RecommendationService::Publish(const RetweetEvent& event) {
+  SIMGRAPH_CHECK(started_.load()) << "Start must be called before Publish";
+  const auto ticket = queue_.Push(event);
+  if (!ticket.has_value()) return 0;  // stopped; event rejected
+  SIMGRAPH_GAUGE_SET("serve.ingest.queue_depth",
+                     static_cast<double>(queue_.size()));
+  return *ticket + 1;  // tickets are 0-based, sequence numbers 1-based
+}
+
+uint64_t RecommendationService::AppliedSeq() const {
+  std::lock_guard<std::mutex> lock(applied_mu_);
+  return applied_seq_;
+}
+
+void RecommendationService::WaitForApplied(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(applied_mu_);
+  applied_cv_.wait(lock,
+                   [this, seq] { return applied_seq_ >= seq || drained_; });
+}
+
+void RecommendationService::ApplierLoop() {
+  while (true) {
+    std::optional<RetweetEvent> event = queue_.Pop();
+    if (!event.has_value()) break;  // closed and drained
+    AffectedUsers affected;
+    {
+      SIMGRAPH_TRACE_SPAN("RecommendationService::ApplyEvent", "serve");
+      SIMGRAPH_SCOPED_LATENCY("serve.ingest.apply_seconds");
+      if (recommender_->concurrent_reads()) {
+        affected = recommender_->ObserveAffected(*event);
+      } else {
+        std::lock_guard<std::mutex> lock(serial_mu_);
+        affected = recommender_->ObserveAffected(*event);
+      }
+    }
+    SIMGRAPH_COUNTER_ADD("serve.ingest.events", 1);
+    if (cache_ != nullptr) {
+      int64_t dropped = 0;
+      if (affected.all) {
+        dropped = cache_->InvalidateAll();
+      } else {
+        for (const UserId u : affected.users) {
+          if (cache_->Invalidate(u)) ++dropped;
+        }
+      }
+      SIMGRAPH_COUNTER_ADD("serve.cache_invalidations", dropped);
+    }
+    {
+      std::lock_guard<std::mutex> lock(applied_mu_);
+      ++applied_seq_;
+      SIMGRAPH_GAUGE_SET("serve.ingest.applied_seq",
+                         static_cast<double>(applied_seq_));
+    }
+    applied_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(applied_mu_);
+    drained_ = true;
+  }
+  applied_cv_.notify_all();
+}
+
+RecommendResponse RecommendationService::Recommend(
+    const RecommendRequest& request) {
+  const auto deadline =
+      options_.deadline.count() == 0
+          ? std::chrono::steady_clock::time_point::max()
+          : std::chrono::steady_clock::now() + options_.deadline;
+  if (recommender_->concurrent_reads()) {
+    return RecommendLocked(request, deadline);
+  }
+  std::lock_guard<std::mutex> lock(serial_mu_);
+  return RecommendLocked(request, deadline);
+}
+
+std::vector<RecommendResponse> RecommendationService::RecommendBatch(
+    const std::vector<RecommendRequest>& requests) {
+  SIMGRAPH_HISTOGRAM_RECORD("serve.batch.size",
+                            static_cast<double>(requests.size()));
+  std::vector<RecommendResponse> responses;
+  responses.reserve(requests.size());
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline_for = [&](size_t i) {
+    // Cumulative budgets: early finishers donate slack to later
+    // requests instead of every request getting a cliff of its own.
+    return options_.deadline.count() == 0
+               ? std::chrono::steady_clock::time_point::max()
+               : start + options_.deadline * static_cast<int64_t>(i + 1);
+  };
+  if (recommender_->concurrent_reads()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses.push_back(RecommendLocked(requests[i], deadline_for(i)));
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(serial_mu_);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses.push_back(RecommendLocked(requests[i], deadline_for(i)));
+    }
+  }
+  return responses;
+}
+
+RecommendResponse RecommendationService::RecommendLocked(
+    const RecommendRequest& request,
+    std::chrono::steady_clock::time_point deadline) {
+  SIMGRAPH_TRACE_SPAN("RecommendationService::Recommend", "serve");
+  SIMGRAPH_SCOPED_LATENCY("serve.request.seconds");
+  SIMGRAPH_COUNTER_ADD("serve.requests", 1);
+  RecommendResponse response;
+  response.applied_seq = AppliedSeq();
+  if (request.user < 0 || request.user >= num_users_) {
+    response.status = Status::InvalidArgument("user out of range");
+    return response;
+  }
+  if (request.k <= 0) {
+    response.status = Status::InvalidArgument("k must be positive");
+    return response;
+  }
+
+  uint64_t version = 0;
+  if (cache_ != nullptr) {
+    ResultCache::Lookup lookup =
+        cache_->Get(request.user, request.now, request.k);
+    if (lookup.hit) {
+      SIMGRAPH_COUNTER_ADD("serve.cache_hit", 1);
+      response.cache_hit = true;
+      response.tweets = std::move(lookup.tweets);
+      return response;
+    }
+    SIMGRAPH_COUNTER_ADD("serve.cache_miss", 1);
+    version = lookup.version;
+  }
+
+  RecommendOutcome outcome = recommender_->RecommendUntil(
+      request.user, request.now, request.k, deadline);
+  if (!outcome.complete) {
+    SIMGRAPH_COUNTER_ADD("serve.deadline_exceeded", 1);
+    response.degraded = true;
+    // A truncated list must never be cached: a later identical request
+    // would be served the degraded answer as if it were exact.
+    response.tweets = std::move(outcome.tweets);
+    return response;
+  }
+  if (cache_ != nullptr) {
+    cache_->Put(request.user, request.now, request.k, outcome.tweets,
+                version);
+  }
+  response.tweets = std::move(outcome.tweets);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,148 @@
+#ifndef SIMGRAPH_SERVE_SERVICE_H_
+#define SIMGRAPH_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "serve/result_cache.h"
+#include "serve/serving_recommender.h"
+#include "util/mpmc_queue.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+struct ServiceOptions {
+  /// Capacity of the event ingestion queue; Publish blocks when full
+  /// (backpressure).
+  int64_t ingest_queue_capacity = 4096;
+  /// Result-cache TTL in simulated seconds. Negative disables caching
+  /// entirely; 0 caches within the same simulated instant only.
+  Timestamp cache_ttl = 0;
+  /// Per-request compute budget. 0 means unlimited (never degrade). A
+  /// negative budget is an already-expired deadline: every uncached
+  /// request degrades immediately — deterministic load shedding, also
+  /// used by tests to pin the degradation path.
+  std::chrono::microseconds deadline{0};
+  /// Lock stripes of the result cache.
+  int32_t cache_stripes = 64;
+};
+
+struct RecommendRequest {
+  UserId user = 0;
+  Timestamp now = 0;
+  int32_t k = 10;
+};
+
+struct RecommendResponse {
+  Status status = Status::Ok();
+  std::vector<ScoredTweet> tweets;
+  /// Served straight from the result cache.
+  bool cache_hit = false;
+  /// The deadline expired mid-computation; `tweets` is a best-so-far
+  /// truncated list and was NOT cached.
+  bool degraded = false;
+  /// Events applied before this answer was computed (monotonic sequence;
+  /// see AppliedSeq).
+  uint64_t applied_seq = 0;
+};
+
+/// In-process recommendation service: one ServingRecommender behind a
+/// concurrent request engine.
+///
+///   * Publish(event) enqueues a streamed retweet and returns its global
+///     sequence number; a single applier thread drains the queue in
+///     order, applies each event, and invalidates exactly the users the
+///     recommender reports as affected. Single-threaded application
+///     gives exact event-prefix semantics: once AppliedSeq() >= s, every
+///     Recommend reflects precisely the first s published events.
+///   * Recommend(request) is safe from any number of threads. It
+///     consults the result cache, computes under the configured deadline
+///     on miss, and stores complete answers back (version-checked, so an
+///     answer computed concurrently with an invalidating event is never
+///     cached).
+///
+/// See docs/serving.md for the full design.
+class RecommendationService {
+ public:
+  RecommendationService(std::unique_ptr<ServingRecommender> recommender,
+                        ServiceOptions options = {});
+  ~RecommendationService();
+
+  RecommendationService(const RecommendationService&) = delete;
+  RecommendationService& operator=(const RecommendationService&) = delete;
+
+  /// Trains the recommender and sizes the result cache. Call before
+  /// Start.
+  Status Train(const Dataset& dataset, int64_t train_end);
+
+  /// Starts the applier thread. Idempotent.
+  void Start();
+
+  /// Closes the ingestion queue, drains remaining events, and joins the
+  /// applier. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// Enqueues one event; blocks while the queue is full. Returns the
+  /// event's sequence number (1-based), or 0 when the service has been
+  /// stopped and the event was rejected.
+  uint64_t Publish(const RetweetEvent& event);
+
+  /// Sequence number of the last applied event (0 before any).
+  uint64_t AppliedSeq() const;
+
+  /// Blocks until AppliedSeq() >= seq. Returns immediately when the
+  /// service is stopped and the queue has drained below seq.
+  void WaitForApplied(uint64_t seq);
+
+  RecommendResponse Recommend(const RecommendRequest& request);
+
+  /// Serves a batch of requests. With a non-concurrent recommender the
+  /// internal lock is taken once for the whole batch; deadlines are
+  /// cumulative (request i gets budget * (i + 1) from batch start), so
+  /// early finishers donate slack to later requests.
+  std::vector<RecommendResponse> RecommendBatch(
+      const std::vector<RecommendRequest>& requests);
+
+  ServingRecommender& recommender() { return *recommender_; }
+  const ServingRecommender& recommender() const { return *recommender_; }
+  /// Null until Train, or when caching is disabled (cache_ttl < 0).
+  ResultCache* cache() { return cache_.get(); }
+
+ private:
+  void ApplierLoop();
+  RecommendResponse RecommendLocked(
+      const RecommendRequest& request,
+      std::chrono::steady_clock::time_point deadline);
+
+  std::unique_ptr<ServingRecommender> recommender_;
+  ServiceOptions options_;
+  std::unique_ptr<ResultCache> cache_;
+  int32_t num_users_ = 0;
+
+  BoundedMpmcQueue<RetweetEvent> queue_;
+  std::thread applier_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Serialises recommender access when concurrent_reads() is false.
+  std::mutex serial_mu_;
+
+  mutable std::mutex applied_mu_;
+  std::condition_variable applied_cv_;
+  uint64_t applied_seq_ = 0;
+  /// Set by the applier when the queue is closed and fully drained.
+  bool drained_ = false;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_SERVICE_H_

@@ -1,0 +1,47 @@
+#include "serve/serving_recommender.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+class GenericServingAdapter final : public ServingRecommender {
+ public:
+  explicit GenericServingAdapter(std::unique_ptr<Recommender> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string name() const override { return inner_->name(); }
+
+  Status Train(const Dataset& dataset, int64_t train_end) override {
+    return inner_->Train(dataset, train_end);
+  }
+
+  AffectedUsers ObserveAffected(const RetweetEvent& event) override {
+    inner_->Observe(event);
+    AffectedUsers affected;
+    affected.all = true;
+    return affected;
+  }
+
+  std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
+                                     int32_t k) override {
+    return inner_->Recommend(user, now, k);
+  }
+
+ private:
+  std::unique_ptr<Recommender> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServingRecommender> WrapForServing(
+    std::unique_ptr<Recommender> inner) {
+  SIMGRAPH_CHECK(inner != nullptr);
+  return std::make_unique<GenericServingAdapter>(std::move(inner));
+}
+
+}  // namespace serve
+}  // namespace simgraph

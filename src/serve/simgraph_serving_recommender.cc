@@ -1,0 +1,217 @@
+#include "serve/simgraph_serving_recommender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+/// Deadline checks happen once per this many candidates scanned, keeping
+/// the steady_clock overhead off the per-candidate fast path.
+constexpr int64_t kDeadlineCheckStride = 128;
+
+bool Better(const ScoredTweet& a, const ScoredTweet& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.tweet < b.tweet;
+}
+
+}  // namespace
+
+SimGraphServingRecommender::SimGraphServingRecommender(
+    ServingSimGraphOptions options)
+    : options_(std::move(options)) {
+  SIMGRAPH_CHECK_GT(options_.num_stripes, 0);
+  SIMGRAPH_CHECK_GT(options_.evict_every, 0);
+}
+
+Status SimGraphServingRecommender::Train(const Dataset& dataset,
+                                         int64_t train_end) {
+  if (train_end < 0 || train_end > dataset.num_retweets()) {
+    return Status::InvalidArgument("train_end out of range");
+  }
+  num_users_ = dataset.num_users();
+  incremental_ = std::make_unique<IncrementalSimGraph>(dataset.follow_graph,
+                                                       options_.graph);
+  SIMGRAPH_RETURN_IF_ERROR(incremental_->Initialize(dataset, train_end));
+  RefreshSnapshot();
+
+  std::vector<Timestamp> tweet_times;
+  tweet_times.reserve(dataset.tweets.size());
+  tweet_author_.clear();
+  tweet_author_.reserve(dataset.tweets.size());
+  for (const Tweet& t : dataset.tweets) {
+    tweet_times.push_back(t.time);
+    tweet_author_.push_back(t.author);
+  }
+  candidates_ = std::make_unique<CandidateStore>(
+      num_users_, std::move(tweet_times), options_.freshness_window);
+
+  stripes_.clear();
+  const size_t num_stripes = std::min<size_t>(
+      static_cast<size_t>(options_.num_stripes),
+      std::max<size_t>(1, static_cast<size_t>(num_users_)));
+  stripes_.reserve(num_stripes);
+  for (size_t i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<std::shared_mutex>());
+  }
+
+  // Mirror SimGraphRecommender::Train: training retweets are consumed,
+  // and seed sets of tweets still fresh at the split carry over.
+  const Timestamp split_time =
+      train_end > 0 ? dataset.retweets[static_cast<size_t>(train_end - 1)].time
+                    : 0;
+  tweet_state_.clear();
+  for (int64_t i = 0; i < train_end; ++i) {
+    const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
+    candidates_->MarkConsumed(e.user, e.tweet);
+    const Timestamp tweet_time =
+        dataset.tweets[static_cast<size_t>(e.tweet)].time;
+    if (tweet_time + options_.freshness_window >= split_time) {
+      tweet_state_[e.tweet].seeds.push_back(e.user);
+    }
+  }
+  observed_ = 0;
+  num_propagations_ = 0;
+  return Status::Ok();
+}
+
+void SimGraphServingRecommender::RefreshSnapshot() {
+  SIMGRAPH_TRACE_SPAN("SimGraphServingRecommender::RefreshSnapshot", "serve");
+  auto snapshot = std::make_shared<const SimGraph>(incremental_->Snapshot());
+  auto propagator = std::make_unique<Propagator>(*snapshot);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+    propagator_ = std::move(propagator);
+    ++graph_epoch_;
+    SIMGRAPH_GAUGE_SET("serve.snapshot.epoch",
+                       static_cast<double>(graph_epoch_));
+  }
+  SIMGRAPH_COUNTER_ADD("serve.snapshot.refreshes", 1);
+}
+
+AffectedUsers SimGraphServingRecommender::ObserveAffected(
+    const RetweetEvent& event) {
+  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  AffectedUsers affected;
+
+  // The similarity graph absorbs every event, known tweet or not: new
+  // posts keep shaping user-user similarity even before they are part of
+  // the recommendable catalogue.
+  incremental_->Apply(event);
+  ++observed_;
+  if (options_.snapshot_refresh_events > 0 &&
+      observed_ % options_.snapshot_refresh_events == 0) {
+    SIMGRAPH_SCOPED_LATENCY("serve.snapshot.refresh_seconds");
+    RefreshSnapshot();
+  }
+
+  if (event.tweet < 0 ||
+      event.tweet >= static_cast<int64_t>(tweet_author_.size())) {
+    // Unknown to the tweet catalogue: no author/timestamp, so it cannot
+    // be recommended yet; only the graph learned from it.
+    SIMGRAPH_COUNTER_ADD("serve.ingest.unknown_tweets", 1);
+    return affected;
+  }
+
+  const UserId author = tweet_author_[static_cast<size_t>(event.tweet)];
+  {
+    std::unique_lock<std::shared_mutex> lock(StripeOf(event.user));
+    candidates_->MarkConsumed(event.user, event.tweet);
+  }
+  affected.users.push_back(event.user);
+  {
+    std::unique_lock<std::shared_mutex> lock(StripeOf(author));
+    candidates_->MarkConsumed(author, event.tweet);
+  }
+  affected.users.push_back(author);
+
+  TweetState& state = tweet_state_[event.tweet];
+  state.seeds.push_back(event.user);
+
+  const PropagationResult result = propagator_->Propagate(
+      state.seeds, static_cast<int64_t>(state.seeds.size()),
+      options_.propagation);
+  ++num_propagations_;
+  for (const UserScore& us : result.scores) {
+    if (us.score < options_.min_deposit_score) continue;
+    std::unique_lock<std::shared_mutex> lock(StripeOf(us.user));
+    if (candidates_->Deposit(us.user, event.tweet, us.score)) {
+      affected.users.push_back(us.user);
+    }
+  }
+
+  // Stale candidates are invisible to TopK, so evicting them never
+  // changes an answer — no invalidation needed.
+  if (observed_ % options_.evict_every == 0) {
+    for (UserId u = 0; u < num_users_; ++u) {
+      std::unique_lock<std::shared_mutex> lock(StripeOf(u));
+      candidates_->EvictStaleForUser(u, event.time);
+    }
+  }
+
+  std::sort(affected.users.begin(), affected.users.end());
+  affected.users.erase(
+      std::unique(affected.users.begin(), affected.users.end()),
+      affected.users.end());
+  return affected;
+}
+
+std::vector<ScoredTweet> SimGraphServingRecommender::Recommend(UserId user,
+                                                               Timestamp now,
+                                                               int32_t k) {
+  return RecommendUntil(user, now, k,
+                        std::chrono::steady_clock::time_point::max())
+      .tweets;
+}
+
+RecommendOutcome SimGraphServingRecommender::RecommendUntil(
+    UserId user, Timestamp now, int32_t k,
+    std::chrono::steady_clock::time_point deadline) {
+  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  RecommendOutcome outcome;
+  std::shared_lock<std::shared_mutex> lock(StripeOf(user));
+  const auto& raw = candidates_->CandidatesOf(user);
+  std::vector<ScoredTweet> fresh;
+  fresh.reserve(std::min<size_t>(raw.size(), 1024));
+  int64_t scanned = 0;
+  for (const auto& [tweet, score] : raw) {
+    if (scanned++ % kDeadlineCheckStride == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      outcome.complete = false;
+      break;
+    }
+    if (score > 0.0 && candidates_->IsFresh(tweet, now) &&
+        candidates_->TweetTime(tweet) <= now) {
+      fresh.push_back(ScoredTweet{tweet, score});
+    }
+  }
+  lock.unlock();
+  if (static_cast<int64_t>(fresh.size()) > k) {
+    std::partial_sort(fresh.begin(), fresh.begin() + k, fresh.end(), Better);
+    fresh.resize(static_cast<size_t>(k));
+  } else {
+    std::sort(fresh.begin(), fresh.end(), Better);
+  }
+  outcome.tweets = std::move(fresh);
+  return outcome;
+}
+
+std::shared_ptr<const SimGraph> SimGraphServingRecommender::GraphSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+uint64_t SimGraphServingRecommender::graph_epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return graph_epoch_;
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,119 @@
+#ifndef SIMGRAPH_SERVE_SIMGRAPH_SERVING_RECOMMENDER_H_
+#define SIMGRAPH_SERVE_SIMGRAPH_SERVING_RECOMMENDER_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_store.h"
+#include "core/incremental.h"
+#include "core/propagation.h"
+#include "core/simgraph.h"
+#include "serve/serving_recommender.h"
+
+namespace simgraph {
+namespace serve {
+
+/// Configuration of the serving-grade SimGraph recommender.
+struct ServingSimGraphOptions {
+  SimGraphOptions graph;
+  PropagationOptions propagation;
+  /// Posts older than this are never recommended (72 h per the paper).
+  Timestamp freshness_window = 72 * kSecondsPerHour;
+  /// Propagated scores below this floor are not deposited.
+  double min_deposit_score = 0.0;
+  /// Re-materialise the CSR propagation snapshot from the incremental
+  /// graph every this many applied events (epoch swap). 0 keeps the
+  /// training-time graph forever — which makes the serving recommender
+  /// bit-identical to an offline SimGraphRecommender over the same
+  /// stream (tests/serve/serving_recommender_test.cc relies on this).
+  int64_t snapshot_refresh_events = 0;
+  /// Number of lock stripes over users for candidate/consumed state.
+  int32_t num_stripes = 64;
+  /// Evict stale candidates every this many observed events (mirrors
+  /// SimGraphRecommender's fixed 50000 cadence).
+  int64_t evict_every = 50000;
+};
+
+/// The SimGraph recommender restructured for online serving: the
+/// similarity graph lives in an IncrementalSimGraph that absorbs every
+/// streamed event, while propagation runs over an immutable CSR snapshot
+/// that is swapped atomically every `snapshot_refresh_events` events —
+/// so reads never block on graph maintenance.
+///
+/// Threading model (enforced by RecommendationService):
+///   * ObserveAffected is called from exactly one ingest thread;
+///   * Recommend / RecommendUntil may run concurrently from any number
+///     of reader threads (concurrent_reads() is true).
+/// Candidate and consumed state is guarded by locks striped over users,
+/// so the ingest thread writing user u's candidates only blocks readers
+/// whose query user shares u's stripe.
+class SimGraphServingRecommender final : public ServingRecommender {
+ public:
+  explicit SimGraphServingRecommender(ServingSimGraphOptions options = {});
+
+  std::string name() const override { return "SimGraphServing"; }
+  Status Train(const Dataset& dataset, int64_t train_end) override;
+  AffectedUsers ObserveAffected(const RetweetEvent& event) override;
+  std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
+                                     int32_t k) override;
+  RecommendOutcome RecommendUntil(
+      UserId user, Timestamp now, int32_t k,
+      std::chrono::steady_clock::time_point deadline) override;
+  bool concurrent_reads() const override { return true; }
+
+  /// The CSR snapshot propagation currently runs over. The returned
+  /// shared_ptr keeps the snapshot alive across epoch swaps.
+  std::shared_ptr<const SimGraph> GraphSnapshot() const;
+
+  /// Bumped on every snapshot swap (1 after Train).
+  uint64_t graph_epoch() const;
+
+  /// The live incremental graph (single-threaded access only: call while
+  /// the ingest thread is quiescent).
+  const IncrementalSimGraph& incremental() const { return *incremental_; }
+
+  int64_t num_propagations() const { return num_propagations_; }
+
+ private:
+  struct TweetState {
+    std::vector<UserId> seeds;
+  };
+
+  /// Materialises incremental_ into a fresh snapshot + propagator and
+  /// publishes them (epoch swap). Ingest-thread only.
+  void RefreshSnapshot();
+
+  std::shared_mutex& StripeOf(UserId user) const {
+    return *stripes_[static_cast<size_t>(user) % stripes_.size()];
+  }
+
+  ServingSimGraphOptions options_;
+  std::unique_ptr<IncrementalSimGraph> incremental_;
+  std::unique_ptr<CandidateStore> candidates_;
+  std::unordered_map<TweetId, TweetState> tweet_state_;  // ingest-only
+  std::vector<UserId> tweet_author_;  // immutable after Train
+  int32_t num_users_ = 0;
+  int64_t observed_ = 0;          // ingest-only
+  int64_t num_propagations_ = 0;  // ingest-only
+
+  /// Guards snapshot_ / propagator_ / graph_epoch_ publication; the
+  /// ingest thread holds it only for the pointer swap, never during the
+  /// (expensive) snapshot build.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const SimGraph> snapshot_;
+  std::unique_ptr<Propagator> propagator_;  // over *snapshot_; ingest-only use
+  uint64_t graph_epoch_ = 0;
+
+  /// Striped user locks: exclusive for ingest writes to a user's
+  /// candidate/consumed state, shared for reads.
+  std::vector<std::unique_ptr<std::shared_mutex>> stripes_;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_SIMGRAPH_SERVING_RECOMMENDER_H_

@@ -1,0 +1,190 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "serve/simgraph_serving_recommender.h"
+#include "serve/wire_protocol.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+bool SendAll(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(RecommendationService* service) : service_(service) {
+  SIMGRAPH_CHECK(service != nullptr);
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname: " +
+                           std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(bound.sin_port);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() breaks the blocking accept(); close() alone would not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  listen_fd_ = -1;
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listener closed underneath us
+    }
+    SIMGRAPH_COUNTER_ADD("serve.tcp.connections", 1);
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    open_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      StatusOr<WireRequest> parsed = ParseRequestLine(line);
+      std::string reply;
+      if (!parsed.ok()) {
+        reply = FormatError(parsed.status().message());
+      } else {
+        const WireRequest& request = *parsed;
+        switch (request.op) {
+          case WireRequest::Op::kEvent: {
+            const uint64_t seq = service_->Publish(
+                RetweetEvent{request.tweet, request.user, request.time});
+            reply = seq > 0 ? FormatEventAck(seq)
+                            : FormatError("service stopped");
+            break;
+          }
+          case WireRequest::Op::kRecommend: {
+            const RecommendResponse response = service_->Recommend(
+                RecommendRequest{request.user, request.now, request.k});
+            if (!response.status.ok()) {
+              reply = FormatError(response.status.message());
+            } else {
+              reply = FormatRecommendResponse(
+                  request.user, response.tweets, response.cache_hit,
+                  response.degraded, response.applied_seq);
+            }
+            break;
+          }
+          case WireRequest::Op::kWaitApplied: {
+            service_->WaitForApplied(request.seq);
+            reply = FormatWaitAppliedAck(service_->AppliedSeq());
+            break;
+          }
+          case WireRequest::Op::kStats: {
+            auto* serving = dynamic_cast<SimGraphServingRecommender*>(
+                &service_->recommender());
+            const uint64_t epoch =
+                serving != nullptr ? serving->graph_epoch() : 0;
+            const int64_t edges =
+                serving != nullptr ? serving->GraphSnapshot()->graph.num_edges()
+                                   : 0;
+            reply = FormatStats(
+                service_->AppliedSeq(),
+                service_->cache() != nullptr ? service_->cache()->size() : 0,
+                epoch, edges);
+            break;
+          }
+          case WireRequest::Op::kPing:
+            reply = FormatPong();
+            break;
+        }
+      }
+      if (!SendAll(fd, reply)) goto done;
+    }
+  }
+done:
+  // Deregister before closing so Stop never shuts down a recycled fd.
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    open_fds_.erase(std::remove(open_fds_.begin(), open_fds_.end(), fd),
+                    open_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,63 @@
+#ifndef SIMGRAPH_SERVE_TCP_SERVER_H_
+#define SIMGRAPH_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+/// Newline-delimited-JSON front-end of a RecommendationService over a
+/// loopback TCP socket (wire_protocol.h defines the line format). One
+/// thread per connection; connections are independent, so a client
+/// blocked in wait_applied never stalls another client's recommends.
+///
+/// Binds 127.0.0.1 only: this is an in-process serving harness for
+/// benchmarks and tools, not a hardened network daemon.
+class TcpServer {
+ public:
+  /// `service` must outlive the server and must already be Train()ed and
+  /// Start()ed.
+  explicit TcpServer(RecommendationService* service);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and starts accepting. `port` 0 picks an ephemeral port —
+  /// read it back with port().
+  Status Start(uint16_t port);
+
+  /// Stops accepting, closes all connections, joins all threads.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  RecommendationService* service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  /// Connection fds still open; Stop() shuts them down to unblock
+  /// workers parked in recv().
+  std::vector<int> open_fds_;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_TCP_SERVER_H_

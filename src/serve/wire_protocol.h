@@ -1,0 +1,73 @@
+#ifndef SIMGRAPH_SERVE_WIRE_PROTOCOL_H_
+#define SIMGRAPH_SERVE_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/recommender.h"
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+/// Newline-delimited JSON wire protocol of tools/simgraph_served: one
+/// flat JSON object per line in, one per line out (docs/serving.md has
+/// the full reference with examples).
+///
+/// Requests:
+///   {"op":"event","tweet":42,"user":7,"time":100000}
+///   {"op":"recommend","user":7,"now":100500,"k":10}
+///   {"op":"wait_applied","seq":12}
+///   {"op":"stats"}
+///   {"op":"ping"}
+struct WireRequest {
+  enum class Op { kRecommend, kEvent, kWaitApplied, kStats, kPing };
+  Op op = Op::kPing;
+  // event
+  TweetId tweet = 0;
+  UserId user = 0;
+  Timestamp time = 0;
+  // recommend
+  Timestamp now = 0;
+  int32_t k = 10;
+  // wait_applied
+  uint64_t seq = 0;
+};
+
+/// Parses one request line. Strict about structure (must be a flat JSON
+/// object with a known "op") but ignores unknown keys, so clients may
+/// attach e.g. tracing ids.
+StatusOr<WireRequest> ParseRequestLine(std::string_view line);
+
+/// {"ok":true,"op":"event","seq":12}
+std::string FormatEventAck(uint64_t seq);
+
+/// {"ok":true,"op":"recommend","user":7,"cache_hit":false,
+///  "degraded":false,"applied_seq":12,
+///  "tweets":[{"id":3,"score":0.5}, ...]}
+std::string FormatRecommendResponse(UserId user,
+                                    const std::vector<ScoredTweet>& tweets,
+                                    bool cache_hit, bool degraded,
+                                    uint64_t applied_seq);
+
+/// {"ok":true,"op":"wait_applied","seq":12}
+std::string FormatWaitAppliedAck(uint64_t seq);
+
+/// {"ok":true,"op":"stats","applied_seq":12,"cached_entries":3,
+///  "graph_epoch":1,"graph_edges":123}
+std::string FormatStats(uint64_t applied_seq, int64_t cached_entries,
+                        uint64_t graph_epoch, int64_t graph_edges);
+
+/// {"ok":true,"op":"ping"}
+std::string FormatPong();
+
+/// {"ok":false,"error":"..."} — `message` is JSON-escaped.
+std::string FormatError(std::string_view message);
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_WIRE_PROTOCOL_H_

@@ -49,12 +49,19 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "graph/union_find.h"
+#include "serve/result_cache.h"
+#include "serve/service.h"
+#include "serve/serving_recommender.h"
+#include "serve/simgraph_serving_recommender.h"
+#include "serve/tcp_server.h"
+#include "serve/wire_protocol.h"
 #include "solver/iterative_solvers.h"
 #include "solver/sparse_matrix.h"
 #include "util/env.h"
 #include "util/histogram.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/mpmc_queue.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/table_writer.h"

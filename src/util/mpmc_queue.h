@@ -1,0 +1,126 @@
+#ifndef SIMGRAPH_UTIL_MPMC_QUEUE_H_
+#define SIMGRAPH_UTIL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace simgraph {
+
+/// Bounded multi-producer multi-consumer FIFO queue, the backbone of the
+/// serving layer's event-ingestion path (src/serve/service.h).
+///
+/// Every successful Push is assigned a monotonically increasing ticket
+/// (0, 1, 2, ...) under the queue lock, so with a single consumer the pop
+/// order IS the ticket order — the serving layer uses the ticket as the
+/// event sequence number its acknowledgement protocol is built on.
+///
+/// Push blocks while the queue is full (backpressure), Pop blocks while it
+/// is empty. Close() wakes everyone: pending and future pushes fail, pops
+/// drain the remaining items and then return nullopt.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(int64_t capacity) : capacity_(capacity) {
+    if (capacity_ < 1) capacity_ = 1;
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns the
+  /// ticket of the pushed element, or nullopt when closed.
+  std::optional<uint64_t> Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || static_cast<int64_t>(items_.size()) < capacity_;
+    });
+    if (closed_) return std::nullopt;
+    items_.push_back(std::move(value));
+    const uint64_t ticket = next_ticket_++;
+    lock.unlock();
+    not_empty_.notify_one();
+    return ticket;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  std::optional<uint64_t> TryPush(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_) {
+      return std::nullopt;
+    }
+    items_.push_back(std::move(value));
+    const uint64_t ticket = next_ticket_++;
+    lock.unlock();
+    not_empty_.notify_one();
+    return ticket;
+  }
+
+  /// Blocks until an element is available; nullopt once the queue is
+  /// closed AND drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Marks the queue closed and wakes all waiters. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+  /// Total number of tickets issued so far.
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_ticket_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  int64_t capacity_;
+  uint64_t next_ticket_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_MPMC_QUEUE_H_

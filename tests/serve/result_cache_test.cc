@@ -1,0 +1,111 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+std::vector<ScoredTweet> MakeList(std::initializer_list<TweetId> ids) {
+  std::vector<ScoredTweet> out;
+  double score = 1.0;
+  for (const TweetId id : ids) {
+    out.push_back(ScoredTweet{id, score});
+    score /= 2.0;
+  }
+  return out;
+}
+
+TEST(ResultCacheTest, MissThenPutThenHit) {
+  ResultCache cache(10, /*ttl=*/100);
+  ResultCache::Lookup miss = cache.Get(3, /*now=*/1000, /*k=*/5);
+  EXPECT_FALSE(miss.hit);
+  ASSERT_TRUE(cache.Put(3, 1000, 5, MakeList({7, 8, 9}), miss.version));
+  ResultCache::Lookup hit = cache.Get(3, 1000, 5);
+  ASSERT_TRUE(hit.hit);
+  ASSERT_EQ(hit.tweets.size(), 3u);
+  EXPECT_EQ(hit.tweets[0].tweet, 7);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(ResultCacheTest, TtlWindowIsInclusiveAndRejectsPastAndFuture) {
+  ResultCache cache(4, /*ttl=*/50);
+  const uint64_t v = cache.Get(0, 0, 3).version;
+  ASSERT_TRUE(cache.Put(0, /*computed_at=*/100, 3, MakeList({1}), v));
+  EXPECT_TRUE(cache.Get(0, 100, 3).hit);   // same instant
+  EXPECT_TRUE(cache.Get(0, 150, 3).hit);   // edge of the window
+  EXPECT_FALSE(cache.Get(0, 151, 3).hit);  // expired
+  EXPECT_FALSE(cache.Get(0, 99, 3).hit);   // request older than the entry
+}
+
+TEST(ResultCacheTest, ZeroTtlServesSameInstantOnly) {
+  ResultCache cache(2, /*ttl=*/0);
+  const uint64_t v = cache.Get(1, 0, 2).version;
+  ASSERT_TRUE(cache.Put(1, 500, 2, MakeList({4}), v));
+  EXPECT_TRUE(cache.Get(1, 500, 2).hit);
+  EXPECT_FALSE(cache.Get(1, 501, 2).hit);
+}
+
+TEST(ResultCacheTest, LargerKMissesUnlessListWasComplete) {
+  ResultCache cache(4, 100);
+  // Full list of 3 for k=3: asking for 5 must recompute.
+  uint64_t v = cache.Get(0, 0, 3).version;
+  ASSERT_TRUE(cache.Put(0, 10, 3, MakeList({1, 2, 3}), v));
+  EXPECT_TRUE(cache.Get(0, 10, 3).hit);
+  EXPECT_TRUE(cache.Get(0, 10, 2).hit);  // prefix of a cached list
+  EXPECT_FALSE(cache.Get(0, 10, 5).hit);
+
+  // Only 2 candidates existed for k=3 (complete list): any k hits.
+  v = cache.Get(1, 0, 3).version;
+  ASSERT_TRUE(cache.Put(1, 10, 3, MakeList({1, 2}), v));
+  ResultCache::Lookup big = cache.Get(1, 10, 50);
+  ASSERT_TRUE(big.hit);
+  EXPECT_EQ(big.tweets.size(), 2u);
+}
+
+TEST(ResultCacheTest, PrefixServeReturnsFirstKEntries) {
+  ResultCache cache(2, 100);
+  const uint64_t v = cache.Get(0, 0, 4).version;
+  ASSERT_TRUE(cache.Put(0, 10, 4, MakeList({9, 8, 7, 6}), v));
+  ResultCache::Lookup two = cache.Get(0, 10, 2);
+  ASSERT_TRUE(two.hit);
+  ASSERT_EQ(two.tweets.size(), 2u);
+  EXPECT_EQ(two.tweets[0].tweet, 9);
+  EXPECT_EQ(two.tweets[1].tweet, 8);
+}
+
+TEST(ResultCacheTest, InvalidateBumpsVersionAndRejectsStalePut) {
+  ResultCache cache(4, 100);
+  const uint64_t v = cache.Get(2, 0, 3).version;
+  // An event for user 2 lands while the answer is being computed.
+  EXPECT_FALSE(cache.Invalidate(2));  // nothing cached yet
+  EXPECT_EQ(cache.Version(2), v + 1);
+  EXPECT_FALSE(cache.Put(2, 10, 3, MakeList({1}), v));  // stale, rejected
+  EXPECT_FALSE(cache.Get(2, 10, 3).hit);
+}
+
+TEST(ResultCacheTest, InvalidateDropsEntry) {
+  ResultCache cache(4, 100);
+  const uint64_t v = cache.Get(2, 0, 3).version;
+  ASSERT_TRUE(cache.Put(2, 10, 3, MakeList({1}), v));
+  EXPECT_TRUE(cache.Invalidate(2));
+  EXPECT_FALSE(cache.Get(2, 10, 3).hit);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(ResultCacheTest, InvalidateAllCountsDroppedEntries) {
+  ResultCache cache(4, 100);
+  for (UserId u = 0; u < 3; ++u) {
+    const uint64_t v = cache.Get(u, 0, 2).version;
+    ASSERT_TRUE(cache.Put(u, 10, 2, MakeList({1}), v));
+  }
+  EXPECT_EQ(cache.InvalidateAll(), 3);
+  EXPECT_EQ(cache.InvalidateAll(), 0);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

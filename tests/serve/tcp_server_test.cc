@@ -1,0 +1,189 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "dataset/config.h"
+#include "dataset/generator.h"
+#include "eval/protocol.h"
+#include "serve/simgraph_serving_recommender.h"
+#include "serve/wire_protocol.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+/// Minimal blocking line client for the NDJSON wire protocol.
+class LineClient {
+ public:
+  explicit LineClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  std::string RoundTrip(const std::string& request) {
+    const std::string framed = request + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return "";
+      sent += static_cast<size_t>(n);
+    }
+    while (buffer_.find('\n') == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const size_t newline = buffer_.find('\n');
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetConfig config = TinyConfig();
+    config.seed = 424242;
+    dataset_ = GenerateDataset(config);
+    protocol_ = MakeProtocol(dataset_, ProtocolOptions{});
+
+    ServiceOptions options;
+    options.cache_ttl = -1;  // no cache: TCP replies equal in-process calls
+    service_ = std::make_unique<RecommendationService>(
+        std::make_unique<SimGraphServingRecommender>(), options);
+    ASSERT_TRUE(service_->Train(dataset_, protocol_.train_end).ok());
+    service_->Start();
+    server_ = std::make_unique<TcpServer>(service_.get());
+    ASSERT_TRUE(server_->Start(0).ok());  // ephemeral port
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (service_ != nullptr) service_->Stop();
+  }
+
+  Dataset dataset_;
+  EvalProtocol protocol_;
+  std::unique_ptr<RecommendationService> service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(TcpServerTest, PingPong) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.RoundTrip(R"({"op":"ping"})"), FormatPong());
+}
+
+TEST_F(TcpServerTest, EventAckWaitRecommendRoundTrip) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Publish the first two test events over the wire and wait for them.
+  const RetweetEvent& e0 =
+      dataset_.retweets[static_cast<size_t>(protocol_.train_end)];
+  const RetweetEvent& e1 =
+      dataset_.retweets[static_cast<size_t>(protocol_.train_end + 1)];
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"event\",\"tweet\":" +
+                             std::to_string(e0.tweet) + ",\"user\":" +
+                             std::to_string(e0.user) + ",\"time\":" +
+                             std::to_string(e0.time) + "}"),
+            FormatEventAck(1));
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"event\",\"tweet\":" +
+                             std::to_string(e1.tweet) + ",\"user\":" +
+                             std::to_string(e1.user) + ",\"time\":" +
+                             std::to_string(e1.time) + "}"),
+            FormatEventAck(2));
+  EXPECT_EQ(client.RoundTrip(R"({"op":"wait_applied","seq":2})"),
+            FormatWaitAppliedAck(2));
+
+  // The wire answer must equal the in-process answer formatted the same
+  // way (the cache is off, so both compute from identical state).
+  const UserId user = e0.user;
+  const Timestamp now = e1.time;
+  const RecommendResponse expected =
+      service_->Recommend({user, now, 10});
+  ASSERT_TRUE(expected.status.ok());
+  EXPECT_EQ(client.RoundTrip("{\"op\":\"recommend\",\"user\":" +
+                             std::to_string(user) + ",\"now\":" +
+                             std::to_string(now) + ",\"k\":10}"),
+            FormatRecommendResponse(user, expected.tweets,
+                                    expected.cache_hit, expected.degraded,
+                                    expected.applied_seq));
+}
+
+TEST_F(TcpServerTest, StatsReportsAppliedSeqAndGraphEpoch) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const std::string stats = client.RoundTrip(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"applied_seq\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"graph_epoch\":1"), std::string::npos);
+}
+
+TEST_F(TcpServerTest, MalformedLinesGetErrorsAndConnectionSurvives) {
+  LineClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_NE(client.RoundTrip("not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(client.RoundTrip(R"({"op":"teleport"})").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(client.RoundTrip(R"({"op":"event","user":1})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // Out-of-range user surfaces the service's status as a wire error.
+  EXPECT_NE(client
+                .RoundTrip(R"({"op":"recommend","user":999999,"k":5})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // And the connection still works afterwards.
+  EXPECT_EQ(client.RoundTrip(R"({"op":"ping"})"), FormatPong());
+}
+
+TEST_F(TcpServerTest, MultipleConcurrentClients) {
+  LineClient a(server_->port());
+  LineClient b(server_->port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  EXPECT_EQ(a.RoundTrip(R"({"op":"ping"})"), FormatPong());
+  EXPECT_EQ(b.RoundTrip(R"({"op":"ping"})"), FormatPong());
+  EXPECT_EQ(a.RoundTrip(R"({"op":"ping"})"), FormatPong());
+}
+
+TEST_F(TcpServerTest, StopWithIdleConnectionDoesNotHang) {
+  LineClient idle(server_->port());
+  ASSERT_TRUE(idle.connected());
+  EXPECT_EQ(idle.RoundTrip(R"({"op":"ping"})"), FormatPong());
+  server_->Stop();  // must unblock the worker parked in recv()
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

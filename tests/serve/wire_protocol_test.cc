@@ -1,0 +1,92 @@
+#include "serve/wire_protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+TEST(WireProtocolTest, ParsesRecommendRequest) {
+  const auto parsed =
+      ParseRequestLine(R"({"op":"recommend","user":7,"now":100500,"k":10})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->op, WireRequest::Op::kRecommend);
+  EXPECT_EQ(parsed->user, 7);
+  EXPECT_EQ(parsed->now, 100500);
+  EXPECT_EQ(parsed->k, 10);
+}
+
+TEST(WireProtocolTest, ParsesEventRequestAndDefaults) {
+  const auto parsed =
+      ParseRequestLine(R"({"op":"event","tweet":42,"user":7,"time":12345})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->op, WireRequest::Op::kEvent);
+  EXPECT_EQ(parsed->tweet, 42);
+  EXPECT_EQ(parsed->user, 7);
+  EXPECT_EQ(parsed->time, 12345);
+
+  const auto defaults = ParseRequestLine(R"({"op":"recommend","user":1})");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->k, 10);  // default budget
+  EXPECT_EQ(defaults->now, 0);
+}
+
+TEST(WireProtocolTest, ParsesControlOpsAndIgnoresUnknownKeys) {
+  EXPECT_EQ(ParseRequestLine(R"({"op":"ping"})")->op, WireRequest::Op::kPing);
+  EXPECT_EQ(ParseRequestLine(R"({"op":"stats"})")->op,
+            WireRequest::Op::kStats);
+  const auto wait =
+      ParseRequestLine(R"({"op":"wait_applied","seq":12,"trace_id":"abc"})");
+  ASSERT_TRUE(wait.ok());
+  EXPECT_EQ(wait->op, WireRequest::Op::kWaitApplied);
+  EXPECT_EQ(wait->seq, 12u);
+}
+
+TEST(WireProtocolTest, WhitespaceAndBooleansAreTolerated) {
+  const auto parsed = ParseRequestLine(
+      "  { \"op\" : \"recommend\" , \"user\" : 3 , \"debug\" : true }  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->user, 3);
+}
+
+TEST(WireProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("recommend user 7").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"recommend")").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"teleport"})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"user":7})").ok());        // no op
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"event","user":7})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"ping"} trailing)").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"op":{"nested":1}})").ok());
+}
+
+TEST(WireProtocolTest, FormatsAreStableJson) {
+  EXPECT_EQ(FormatEventAck(12), R"({"ok":true,"op":"event","seq":12})");
+  EXPECT_EQ(FormatWaitAppliedAck(5),
+            R"({"ok":true,"op":"wait_applied","seq":5})");
+  EXPECT_EQ(FormatPong(), R"({"ok":true,"op":"ping"})");
+  EXPECT_EQ(FormatStats(3, 2, 1, 99),
+            R"({"ok":true,"op":"stats","applied_seq":3,"cached_entries":2,)"
+            R"("graph_epoch":1,"graph_edges":99})");
+  EXPECT_EQ(FormatError("bad \"stuff\"\n"),
+            R"({"ok":false,"error":"bad \"stuff\"\n"})");
+}
+
+TEST(WireProtocolTest, FormatRecommendResponseRoundsTripsScores) {
+  const std::vector<ScoredTweet> tweets = {{3, 0.5}, {9, 0.25}};
+  const std::string line =
+      FormatRecommendResponse(7, tweets, /*cache_hit=*/true,
+                              /*degraded=*/false, /*applied_seq=*/4);
+  EXPECT_EQ(line,
+            R"({"ok":true,"op":"recommend","user":7,"cache_hit":true,)"
+            R"("degraded":false,"applied_seq":4,)"
+            R"("tweets":[{"id":3,"score":0.5},{"id":9,"score":0.25}]})");
+  const std::string empty =
+      FormatRecommendResponse(1, {}, false, true, 0);
+  EXPECT_NE(empty.find("\"tweets\":[]"), std::string::npos);
+  EXPECT_NE(empty.find("\"degraded\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

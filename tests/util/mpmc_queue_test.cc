@@ -1,0 +1,125 @@
+#include "util/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace simgraph {
+namespace {
+
+TEST(BoundedMpmcQueueTest, TicketsCountPushesFromZero) {
+  BoundedMpmcQueue<int> queue(4);
+  EXPECT_EQ(queue.Push(10), 0u);
+  EXPECT_EQ(queue.Push(11), 1u);
+  EXPECT_EQ(queue.Push(12), 2u);
+  EXPECT_EQ(queue.pushed(), 3u);
+  EXPECT_EQ(queue.size(), 3);
+}
+
+TEST(BoundedMpmcQueueTest, SingleConsumerPopsInTicketOrder) {
+  BoundedMpmcQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) queue.Push(i);
+  for (int i = 0; i < 8; ++i) {
+    const auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedMpmcQueueTest, TryPushFailsWhenFullAndTryPopWhenEmpty) {
+  BoundedMpmcQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1).has_value());
+  EXPECT_TRUE(queue.TryPush(2).has_value());
+  EXPECT_FALSE(queue.TryPush(3).has_value());
+  EXPECT_TRUE(queue.TryPop().has_value());
+  EXPECT_TRUE(queue.TryPop().has_value());
+  EXPECT_FALSE(queue.TryPop().has_value());
+}
+
+TEST(BoundedMpmcQueueTest, CapacityFloorsAtOne) {
+  BoundedMpmcQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1);
+  EXPECT_TRUE(queue.TryPush(7).has_value());
+  EXPECT_FALSE(queue.TryPush(8).has_value());
+}
+
+TEST(BoundedMpmcQueueTest, CloseDrainsRemainingItemsThenReturnsNullopt) {
+  BoundedMpmcQueue<int> queue(4);
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(3).has_value());  // rejected after close
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedMpmcQueueTest, CloseUnblocksWaitingConsumer) {
+  BoundedMpmcQueue<int> queue(2);
+  std::thread consumer([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedMpmcQueueTest, PushBlocksUntilSpaceThenSucceeds) {
+  BoundedMpmcQueue<int> queue(1);
+  queue.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.Push(2);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedMpmcQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  BoundedMpmcQueue<int64_t> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(static_cast<int64_t>(p) * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<std::vector<int64_t>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      while (true) {
+        const auto item = queue.Pop();
+        if (!item.has_value()) break;
+        received[static_cast<size_t>(c)].push_back(*item);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+
+  std::vector<int64_t> all;
+  for (const auto& chunk : received) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(all.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  for (int64_t i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(queue.pushed(), static_cast<uint64_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace simgraph

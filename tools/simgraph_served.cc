@@ -1,0 +1,174 @@
+// simgraph_served — online recommendation service front-end.
+//
+// Trains a serving recommender, starts the in-process
+// RecommendationService, and exposes it as newline-delimited JSON over a
+// loopback TCP socket (wire protocol: docs/serving.md). Runs until stdin
+// reaches EOF, then shuts down cleanly.
+//
+//   simgraph_served [--data DIR | --users N --tweets N --seed S]
+//                   [--train F]          train fraction (default 0.9)
+//                   [--port P]           0 picks an ephemeral port (default)
+//                   [--method M]         simgraph | cf | bayes | graphjet
+//                   [--ttl SECONDS]      result-cache TTL in simulated
+//                                        seconds; -1 disables the cache
+//                                        (default 86400)
+//                   [--deadline-us N]    per-request budget; 0 = unlimited
+//                   [--refresh-events N] SimGraph snapshot refresh cadence
+//                   [--metrics-json PATH] [--trace-json PATH]
+//
+// Prints "listening on port P" once ready — harnesses parse this line to
+// find an ephemeral port.
+
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "simgraph/simgraph.h"
+
+namespace simgraph {
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags[arg.substr(2)] = argv[++i];
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+    }
+  }
+  return flags;
+}
+
+int64_t FlagInt(const std::map<std::string, std::string>& flags,
+                const std::string& name, int64_t fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stoll(it->second);
+}
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& name, double fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+std::string FlagString(const std::map<std::string, std::string>& flags,
+                       const std::string& name,
+                       const std::string& fallback = "") {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::unique_ptr<serve::ServingRecommender> MakeRecommender(
+    const std::string& method, int64_t refresh_events) {
+  if (method == "simgraph") {
+    serve::ServingSimGraphOptions options;
+    options.snapshot_refresh_events = refresh_events;
+    return std::make_unique<serve::SimGraphServingRecommender>(options);
+  }
+  if (method == "cf") return serve::WrapForServing(std::make_unique<CfRecommender>());
+  if (method == "bayes") {
+    return serve::WrapForServing(std::make_unique<BayesRecommender>());
+  }
+  if (method == "graphjet") {
+    return serve::WrapForServing(std::make_unique<GraphJetRecommender>());
+  }
+  return nullptr;
+}
+
+int Run(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  const std::string metrics_path = FlagString(flags, "metrics-json");
+  const std::string trace_path = FlagString(flags, "trace-json");
+  if (!metrics_path.empty()) metrics::SetEnabled(true);
+  if (!trace_path.empty()) trace::SetEnabled(true);
+
+  Dataset dataset;
+  const std::string data_dir = FlagString(flags, "data");
+  if (!data_dir.empty()) {
+    StatusOr<Dataset> loaded = LoadDataset(data_dir);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    dataset = *std::move(loaded);
+  } else {
+    DatasetConfig config = TinyConfig();
+    config.num_users =
+        static_cast<int32_t>(FlagInt(flags, "users", config.num_users));
+    config.num_tweets = FlagInt(flags, "tweets", config.num_tweets);
+    config.seed = static_cast<uint64_t>(
+        FlagInt(flags, "seed", static_cast<int64_t>(config.seed)));
+    dataset = GenerateDataset(config);
+  }
+  const double train_fraction = FlagDouble(flags, "train", 0.9);
+  const int64_t train_end = dataset.SplitIndex(train_fraction);
+
+  const std::string method = FlagString(flags, "method", "simgraph");
+  std::unique_ptr<serve::ServingRecommender> recommender =
+      MakeRecommender(method, FlagInt(flags, "refresh-events", 0));
+  if (recommender == nullptr) {
+    std::cerr << "unknown --method " << method
+              << " (want simgraph|cf|bayes|graphjet)\n";
+    return 2;
+  }
+
+  serve::ServiceOptions options;
+  options.cache_ttl = FlagInt(flags, "ttl", kSecondsPerDay);
+  options.deadline =
+      std::chrono::microseconds(FlagInt(flags, "deadline-us", 0));
+  serve::RecommendationService service(std::move(recommender), options);
+  const Status trained = service.Train(dataset, train_end);
+  if (!trained.ok()) {
+    std::cerr << trained.ToString() << "\n";
+    return 1;
+  }
+  service.Start();
+
+  serve::TcpServer server(&service);
+  const Status started =
+      server.Start(static_cast<uint16_t>(FlagInt(flags, "port", 0)));
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serving " << method << " over " << dataset.num_users()
+            << " users (" << train_end << " train events)\n"
+            << "listening on port " << server.port() << std::endl;
+
+  // Park until the parent closes stdin (the conventional way to stop a
+  // child service without signal handling).
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+
+  // Stop the service first so wait_applied clients unblock; the server
+  // then answers their final acks before closing.
+  service.Stop();
+  server.Stop();
+
+  int rc = 0;
+  if (!metrics_path.empty()) {
+    const Status s = metrics::Registry::Global().WriteJsonFile(metrics_path);
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      rc = 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    const Status s = trace::Export(trace_path);
+    if (!s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace simgraph
+
+int main(int argc, char** argv) { return simgraph::Run(argc, argv); }
