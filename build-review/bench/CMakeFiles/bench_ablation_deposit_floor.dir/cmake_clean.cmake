@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deposit_floor.dir/bench_ablation_deposit_floor.cc.o"
+  "CMakeFiles/bench_ablation_deposit_floor.dir/bench_ablation_deposit_floor.cc.o.d"
+  "bench_ablation_deposit_floor"
+  "bench_ablation_deposit_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deposit_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

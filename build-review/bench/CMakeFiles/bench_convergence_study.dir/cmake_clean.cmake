@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_study.dir/bench_convergence_study.cc.o"
+  "CMakeFiles/bench_convergence_study.dir/bench_convergence_study.cc.o.d"
+  "bench_convergence_study"
+  "bench_convergence_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

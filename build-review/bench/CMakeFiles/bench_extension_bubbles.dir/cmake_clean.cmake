@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_bubbles.dir/bench_extension_bubbles.cc.o"
+  "CMakeFiles/bench_extension_bubbles.dir/bench_extension_bubbles.cc.o.d"
+  "bench_extension_bubbles"
+  "bench_extension_bubbles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_bubbles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

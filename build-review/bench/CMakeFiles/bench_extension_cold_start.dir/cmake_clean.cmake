@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_cold_start.dir/bench_extension_cold_start.cc.o"
+  "CMakeFiles/bench_extension_cold_start.dir/bench_extension_cold_start.cc.o.d"
+  "bench_extension_cold_start"
+  "bench_extension_cold_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_topics.dir/bench_extension_topics.cc.o"
+  "CMakeFiles/bench_extension_topics.dir/bench_extension_topics.cc.o.d"
+  "bench_extension_topics"
+  "bench_extension_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

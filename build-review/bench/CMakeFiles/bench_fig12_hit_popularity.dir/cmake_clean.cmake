@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hit_popularity.dir/bench_fig12_hit_popularity.cc.o"
+  "CMakeFiles/bench_fig12_hit_popularity.dir/bench_fig12_hit_popularity.cc.o.d"
+  "bench_fig12_hit_popularity"
+  "bench_fig12_hit_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hit_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

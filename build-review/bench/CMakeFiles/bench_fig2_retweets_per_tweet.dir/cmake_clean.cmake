@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_retweets_per_tweet.dir/bench_fig2_retweets_per_tweet.cc.o"
+  "CMakeFiles/bench_fig2_retweets_per_tweet.dir/bench_fig2_retweets_per_tweet.cc.o.d"
+  "bench_fig2_retweets_per_tweet"
+  "bench_fig2_retweets_per_tweet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_retweets_per_tweet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_retweets_per_tweet.
+# This may be replaced when dependencies are built.

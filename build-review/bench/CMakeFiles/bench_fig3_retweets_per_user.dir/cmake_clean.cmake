@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_retweets_per_user.dir/bench_fig3_retweets_per_user.cc.o"
+  "CMakeFiles/bench_fig3_retweets_per_user.dir/bench_fig3_retweets_per_user.cc.o.d"
+  "bench_fig3_retweets_per_user"
+  "bench_fig3_retweets_per_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_retweets_per_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

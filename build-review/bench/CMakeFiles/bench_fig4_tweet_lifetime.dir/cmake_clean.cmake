@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tweet_lifetime.dir/bench_fig4_tweet_lifetime.cc.o"
+  "CMakeFiles/bench_fig4_tweet_lifetime.dir/bench_fig4_tweet_lifetime.cc.o.d"
+  "bench_fig4_tweet_lifetime"
+  "bench_fig4_tweet_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tweet_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_11_hits.dir/bench_fig8_11_hits.cc.o"
+  "CMakeFiles/bench_fig8_11_hits.dir/bench_fig8_11_hits.cc.o.d"
+  "bench_fig8_11_hits"
+  "bench_fig8_11_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_11_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

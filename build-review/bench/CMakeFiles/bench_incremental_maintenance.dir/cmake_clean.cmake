@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_maintenance.dir/bench_incremental_maintenance.cc.o"
+  "CMakeFiles/bench_incremental_maintenance.dir/bench_incremental_maintenance.cc.o.d"
+  "bench_incremental_maintenance"
+  "bench_incremental_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_similarity_by_distance.dir/bench_table2_similarity_by_distance.cc.o"
+  "CMakeFiles/bench_table2_similarity_by_distance.dir/bench_table2_similarity_by_distance.cc.o.d"
+  "bench_table2_similarity_by_distance"
+  "bench_table2_similarity_by_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_similarity_by_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

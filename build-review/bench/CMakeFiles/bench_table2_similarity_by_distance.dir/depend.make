@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_similarity_by_distance.
+# This may be replaced when dependencies are built.

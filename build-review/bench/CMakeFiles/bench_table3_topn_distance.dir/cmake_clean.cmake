@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_topn_distance.dir/bench_table3_topn_distance.cc.o"
+  "CMakeFiles/bench_table3_topn_distance.dir/bench_table3_topn_distance.cc.o.d"
+  "bench_table3_topn_distance"
+  "bench_table3_topn_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_topn_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

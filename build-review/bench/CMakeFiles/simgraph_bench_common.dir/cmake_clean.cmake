@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_bench_common.dir/common.cc.o"
+  "CMakeFiles/simgraph_bench_common.dir/common.cc.o.d"
+  "libsimgraph_bench_common.a"
+  "libsimgraph_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

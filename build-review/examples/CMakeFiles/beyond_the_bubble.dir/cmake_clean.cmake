@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_the_bubble.dir/beyond_the_bubble.cpp.o"
+  "CMakeFiles/beyond_the_bubble.dir/beyond_the_bubble.cpp.o.d"
+  "beyond_the_bubble"
+  "beyond_the_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_the_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for beyond_the_bubble.
+# This may be replaced when dependencies are built.

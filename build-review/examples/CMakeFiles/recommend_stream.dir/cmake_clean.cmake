@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_stream.dir/recommend_stream.cpp.o"
+  "CMakeFiles/recommend_stream.dir/recommend_stream.cpp.o.d"
+  "recommend_stream"
+  "recommend_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_strategies.dir/update_strategies.cpp.o"
+  "CMakeFiles/update_strategies.dir/update_strategies.cpp.o.d"
+  "update_strategies"
+  "update_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/distribution_fit.cc" "src/analysis/CMakeFiles/simgraph_analysis.dir/distribution_fit.cc.o" "gcc" "src/analysis/CMakeFiles/simgraph_analysis.dir/distribution_fit.cc.o.d"
+  "/root/repo/src/analysis/homophily.cc" "src/analysis/CMakeFiles/simgraph_analysis.dir/homophily.cc.o" "gcc" "src/analysis/CMakeFiles/simgraph_analysis.dir/homophily.cc.o.d"
+  "/root/repo/src/analysis/retweet_stats.cc" "src/analysis/CMakeFiles/simgraph_analysis.dir/retweet_stats.cc.o" "gcc" "src/analysis/CMakeFiles/simgraph_analysis.dir/retweet_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/simgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataset/CMakeFiles/simgraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/simgraph_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_analysis.dir/distribution_fit.cc.o"
+  "CMakeFiles/simgraph_analysis.dir/distribution_fit.cc.o.d"
+  "CMakeFiles/simgraph_analysis.dir/homophily.cc.o"
+  "CMakeFiles/simgraph_analysis.dir/homophily.cc.o.d"
+  "CMakeFiles/simgraph_analysis.dir/retweet_stats.cc.o"
+  "CMakeFiles/simgraph_analysis.dir/retweet_stats.cc.o.d"
+  "libsimgraph_analysis.a"
+  "libsimgraph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bayes_recommender.cc" "src/baselines/CMakeFiles/simgraph_baselines.dir/bayes_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/simgraph_baselines.dir/bayes_recommender.cc.o.d"
+  "/root/repo/src/baselines/cf_recommender.cc" "src/baselines/CMakeFiles/simgraph_baselines.dir/cf_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/simgraph_baselines.dir/cf_recommender.cc.o.d"
+  "/root/repo/src/baselines/graphjet_recommender.cc" "src/baselines/CMakeFiles/simgraph_baselines.dir/graphjet_recommender.cc.o" "gcc" "src/baselines/CMakeFiles/simgraph_baselines.dir/graphjet_recommender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/simgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataset/CMakeFiles/simgraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/simgraph_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

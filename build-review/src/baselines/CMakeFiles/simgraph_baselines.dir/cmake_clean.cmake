@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_baselines.dir/bayes_recommender.cc.o"
+  "CMakeFiles/simgraph_baselines.dir/bayes_recommender.cc.o.d"
+  "CMakeFiles/simgraph_baselines.dir/cf_recommender.cc.o"
+  "CMakeFiles/simgraph_baselines.dir/cf_recommender.cc.o.d"
+  "CMakeFiles/simgraph_baselines.dir/graphjet_recommender.cc.o"
+  "CMakeFiles/simgraph_baselines.dir/graphjet_recommender.cc.o.d"
+  "libsimgraph_baselines.a"
+  "libsimgraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

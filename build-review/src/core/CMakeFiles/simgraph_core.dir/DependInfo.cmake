@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bubbles.cc" "src/core/CMakeFiles/simgraph_core.dir/bubbles.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/bubbles.cc.o.d"
+  "/root/repo/src/core/candidate_store.cc" "src/core/CMakeFiles/simgraph_core.dir/candidate_store.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/candidate_store.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/simgraph_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/core/CMakeFiles/simgraph_core.dir/propagation.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/propagation.cc.o.d"
+  "/root/repo/src/core/simgraph.cc" "src/core/CMakeFiles/simgraph_core.dir/simgraph.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/simgraph.cc.o.d"
+  "/root/repo/src/core/simgraph_recommender.cc" "src/core/CMakeFiles/simgraph_core.dir/simgraph_recommender.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/simgraph_recommender.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/simgraph_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/topic_similarity.cc" "src/core/CMakeFiles/simgraph_core.dir/topic_similarity.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/topic_similarity.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/simgraph_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/simgraph_core.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/dataset/CMakeFiles/simgraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/simgraph_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

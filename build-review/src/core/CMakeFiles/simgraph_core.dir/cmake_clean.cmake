@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_core.dir/bubbles.cc.o"
+  "CMakeFiles/simgraph_core.dir/bubbles.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/candidate_store.cc.o"
+  "CMakeFiles/simgraph_core.dir/candidate_store.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/incremental.cc.o"
+  "CMakeFiles/simgraph_core.dir/incremental.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/propagation.cc.o"
+  "CMakeFiles/simgraph_core.dir/propagation.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/simgraph.cc.o"
+  "CMakeFiles/simgraph_core.dir/simgraph.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/simgraph_recommender.cc.o"
+  "CMakeFiles/simgraph_core.dir/simgraph_recommender.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/similarity.cc.o"
+  "CMakeFiles/simgraph_core.dir/similarity.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/topic_similarity.cc.o"
+  "CMakeFiles/simgraph_core.dir/topic_similarity.cc.o.d"
+  "CMakeFiles/simgraph_core.dir/update.cc.o"
+  "CMakeFiles/simgraph_core.dir/update.cc.o.d"
+  "libsimgraph_core.a"
+  "libsimgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

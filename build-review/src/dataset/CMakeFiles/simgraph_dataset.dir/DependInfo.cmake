@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/cascade_generator.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/cascade_generator.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/cascade_generator.cc.o.d"
+  "/root/repo/src/dataset/config.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/config.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/config.cc.o.d"
+  "/root/repo/src/dataset/dataset.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/dataset.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/dataset.cc.o.d"
+  "/root/repo/src/dataset/generator.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/generator.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/generator.cc.o.d"
+  "/root/repo/src/dataset/interest_model.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/interest_model.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/interest_model.cc.o.d"
+  "/root/repo/src/dataset/social_graph_generator.cc" "src/dataset/CMakeFiles/simgraph_dataset.dir/social_graph_generator.cc.o" "gcc" "src/dataset/CMakeFiles/simgraph_dataset.dir/social_graph_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

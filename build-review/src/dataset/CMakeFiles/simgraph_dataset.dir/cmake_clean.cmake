@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_dataset.dir/cascade_generator.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/cascade_generator.cc.o.d"
+  "CMakeFiles/simgraph_dataset.dir/config.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/config.cc.o.d"
+  "CMakeFiles/simgraph_dataset.dir/dataset.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/dataset.cc.o.d"
+  "CMakeFiles/simgraph_dataset.dir/generator.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/generator.cc.o.d"
+  "CMakeFiles/simgraph_dataset.dir/interest_model.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/interest_model.cc.o.d"
+  "CMakeFiles/simgraph_dataset.dir/social_graph_generator.cc.o"
+  "CMakeFiles/simgraph_dataset.dir/social_graph_generator.cc.o.d"
+  "libsimgraph_dataset.a"
+  "libsimgraph_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_eval.dir/harness.cc.o"
+  "CMakeFiles/simgraph_eval.dir/harness.cc.o.d"
+  "CMakeFiles/simgraph_eval.dir/protocol.cc.o"
+  "CMakeFiles/simgraph_eval.dir/protocol.cc.o.d"
+  "CMakeFiles/simgraph_eval.dir/sweep.cc.o"
+  "CMakeFiles/simgraph_eval.dir/sweep.cc.o.d"
+  "libsimgraph_eval.a"
+  "libsimgraph_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cc" "src/graph/CMakeFiles/simgraph_graph.dir/bfs.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/bfs.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/simgraph_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/simgraph_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/simgraph_graph.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_graph.dir/bfs.cc.o"
+  "CMakeFiles/simgraph_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/simgraph_graph.dir/digraph.cc.o"
+  "CMakeFiles/simgraph_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/simgraph_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/simgraph_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/simgraph_graph.dir/graph_io.cc.o"
+  "CMakeFiles/simgraph_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/simgraph_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/simgraph_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/simgraph_graph.dir/union_find.cc.o"
+  "CMakeFiles/simgraph_graph.dir/union_find.cc.o.d"
+  "libsimgraph_graph.a"
+  "libsimgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

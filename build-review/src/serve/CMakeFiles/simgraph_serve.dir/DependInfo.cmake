@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/result_cache.cc" "src/serve/CMakeFiles/simgraph_serve.dir/result_cache.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/result_cache.cc.o.d"
+  "/root/repo/src/serve/service.cc" "src/serve/CMakeFiles/simgraph_serve.dir/service.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/service.cc.o.d"
+  "/root/repo/src/serve/serving_recommender.cc" "src/serve/CMakeFiles/simgraph_serve.dir/serving_recommender.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/serving_recommender.cc.o.d"
+  "/root/repo/src/serve/simgraph_serving_recommender.cc" "src/serve/CMakeFiles/simgraph_serve.dir/simgraph_serving_recommender.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/simgraph_serving_recommender.cc.o.d"
+  "/root/repo/src/serve/tcp_server.cc" "src/serve/CMakeFiles/simgraph_serve.dir/tcp_server.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/tcp_server.cc.o.d"
+  "/root/repo/src/serve/wire_protocol.cc" "src/serve/CMakeFiles/simgraph_serve.dir/wire_protocol.cc.o" "gcc" "src/serve/CMakeFiles/simgraph_serve.dir/wire_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/simgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataset/CMakeFiles/simgraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/simgraph_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

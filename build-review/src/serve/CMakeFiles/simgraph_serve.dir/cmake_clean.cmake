@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_serve.dir/result_cache.cc.o"
+  "CMakeFiles/simgraph_serve.dir/result_cache.cc.o.d"
+  "CMakeFiles/simgraph_serve.dir/service.cc.o"
+  "CMakeFiles/simgraph_serve.dir/service.cc.o.d"
+  "CMakeFiles/simgraph_serve.dir/serving_recommender.cc.o"
+  "CMakeFiles/simgraph_serve.dir/serving_recommender.cc.o.d"
+  "CMakeFiles/simgraph_serve.dir/simgraph_serving_recommender.cc.o"
+  "CMakeFiles/simgraph_serve.dir/simgraph_serving_recommender.cc.o.d"
+  "CMakeFiles/simgraph_serve.dir/tcp_server.cc.o"
+  "CMakeFiles/simgraph_serve.dir/tcp_server.cc.o.d"
+  "CMakeFiles/simgraph_serve.dir/wire_protocol.cc.o"
+  "CMakeFiles/simgraph_serve.dir/wire_protocol.cc.o.d"
+  "libsimgraph_serve.a"
+  "libsimgraph_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/iterative_solvers.cc" "src/solver/CMakeFiles/simgraph_solver.dir/iterative_solvers.cc.o" "gcc" "src/solver/CMakeFiles/simgraph_solver.dir/iterative_solvers.cc.o.d"
+  "/root/repo/src/solver/sparse_matrix.cc" "src/solver/CMakeFiles/simgraph_solver.dir/sparse_matrix.cc.o" "gcc" "src/solver/CMakeFiles/simgraph_solver.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

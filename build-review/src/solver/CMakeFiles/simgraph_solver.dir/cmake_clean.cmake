@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_solver.dir/iterative_solvers.cc.o"
+  "CMakeFiles/simgraph_solver.dir/iterative_solvers.cc.o.d"
+  "CMakeFiles/simgraph_solver.dir/sparse_matrix.cc.o"
+  "CMakeFiles/simgraph_solver.dir/sparse_matrix.cc.o.d"
+  "libsimgraph_solver.a"
+  "libsimgraph_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

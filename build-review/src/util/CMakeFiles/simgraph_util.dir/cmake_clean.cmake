@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_util.dir/env.cc.o"
+  "CMakeFiles/simgraph_util.dir/env.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/histogram.cc.o"
+  "CMakeFiles/simgraph_util.dir/histogram.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/logging.cc.o"
+  "CMakeFiles/simgraph_util.dir/logging.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/metrics.cc.o"
+  "CMakeFiles/simgraph_util.dir/metrics.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/random.cc.o"
+  "CMakeFiles/simgraph_util.dir/random.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/status.cc.o"
+  "CMakeFiles/simgraph_util.dir/status.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/table_writer.cc.o"
+  "CMakeFiles/simgraph_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/thread_pool.cc.o"
+  "CMakeFiles/simgraph_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/timer.cc.o"
+  "CMakeFiles/simgraph_util.dir/timer.cc.o.d"
+  "CMakeFiles/simgraph_util.dir/trace.cc.o"
+  "CMakeFiles/simgraph_util.dir/trace.cc.o.d"
+  "libsimgraph_util.a"
+  "libsimgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

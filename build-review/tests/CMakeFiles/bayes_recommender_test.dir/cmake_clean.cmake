@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_recommender_test.dir/baselines/bayes_recommender_test.cc.o"
+  "CMakeFiles/bayes_recommender_test.dir/baselines/bayes_recommender_test.cc.o.d"
+  "bayes_recommender_test"
+  "bayes_recommender_test.pdb"
+  "bayes_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_test.dir/graph/bfs_test.cc.o"
+  "CMakeFiles/bfs_test.dir/graph/bfs_test.cc.o.d"
+  "bfs_test"
+  "bfs_test.pdb"
+  "bfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bubbles_test.dir/core/bubbles_test.cc.o"
+  "CMakeFiles/bubbles_test.dir/core/bubbles_test.cc.o.d"
+  "bubbles_test"
+  "bubbles_test.pdb"
+  "bubbles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bubbles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

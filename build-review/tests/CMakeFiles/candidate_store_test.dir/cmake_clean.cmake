@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_store_test.dir/core/candidate_store_test.cc.o"
+  "CMakeFiles/candidate_store_test.dir/core/candidate_store_test.cc.o.d"
+  "candidate_store_test"
+  "candidate_store_test.pdb"
+  "candidate_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_generator_test.dir/dataset/cascade_generator_test.cc.o"
+  "CMakeFiles/cascade_generator_test.dir/dataset/cascade_generator_test.cc.o.d"
+  "cascade_generator_test"
+  "cascade_generator_test.pdb"
+  "cascade_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

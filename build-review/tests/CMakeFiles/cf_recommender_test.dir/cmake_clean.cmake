@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_recommender_test.dir/baselines/cf_recommender_test.cc.o"
+  "CMakeFiles/cf_recommender_test.dir/baselines/cf_recommender_test.cc.o.d"
+  "cf_recommender_test"
+  "cf_recommender_test.pdb"
+  "cf_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_start_test.dir/core/cold_start_test.cc.o"
+  "CMakeFiles/cold_start_test.dir/core/cold_start_test.cc.o.d"
+  "cold_start_test"
+  "cold_start_test.pdb"
+  "cold_start_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_stats_test.dir/graph/graph_stats_test.cc.o"
+  "CMakeFiles/graph_stats_test.dir/graph/graph_stats_test.cc.o.d"
+  "graph_stats_test"
+  "graph_stats_test.pdb"
+  "graph_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphjet_recommender_test.dir/baselines/graphjet_recommender_test.cc.o"
+  "CMakeFiles/graphjet_recommender_test.dir/baselines/graphjet_recommender_test.cc.o.d"
+  "graphjet_recommender_test"
+  "graphjet_recommender_test.pdb"
+  "graphjet_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphjet_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

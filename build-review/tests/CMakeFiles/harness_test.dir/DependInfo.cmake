@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/harness_test.cc" "tests/CMakeFiles/harness_test.dir/eval/harness_test.cc.o" "gcc" "tests/CMakeFiles/harness_test.dir/eval/harness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/analysis/CMakeFiles/simgraph_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/eval/CMakeFiles/simgraph_eval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/simgraph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serve/CMakeFiles/simgraph_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/simgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/solver/CMakeFiles/simgraph_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataset/CMakeFiles/simgraph_dataset.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/simgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/simgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

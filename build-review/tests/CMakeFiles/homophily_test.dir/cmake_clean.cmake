@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homophily_test.dir/analysis/homophily_test.cc.o"
+  "CMakeFiles/homophily_test.dir/analysis/homophily_test.cc.o.d"
+  "homophily_test"
+  "homophily_test.pdb"
+  "homophily_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homophily_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_model_test.dir/dataset/interest_model_test.cc.o"
+  "CMakeFiles/interest_model_test.dir/dataset/interest_model_test.cc.o.d"
+  "interest_model_test"
+  "interest_model_test.pdb"
+  "interest_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

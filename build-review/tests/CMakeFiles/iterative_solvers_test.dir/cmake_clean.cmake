@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_solvers_test.dir/solver/iterative_solvers_test.cc.o"
+  "CMakeFiles/iterative_solvers_test.dir/solver/iterative_solvers_test.cc.o.d"
+  "iterative_solvers_test"
+  "iterative_solvers_test.pdb"
+  "iterative_solvers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_test.dir/core/propagation_test.cc.o"
+  "CMakeFiles/propagation_test.dir/core/propagation_test.cc.o.d"
+  "propagation_test"
+  "propagation_test.pdb"
+  "propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_determinism_test.dir/core/recommend_determinism_test.cc.o"
+  "CMakeFiles/recommend_determinism_test.dir/core/recommend_determinism_test.cc.o.d"
+  "recommend_determinism_test"
+  "recommend_determinism_test.pdb"
+  "recommend_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

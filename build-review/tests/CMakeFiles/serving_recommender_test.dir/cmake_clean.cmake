@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_recommender_test.dir/serve/serving_recommender_test.cc.o"
+  "CMakeFiles/serving_recommender_test.dir/serve/serving_recommender_test.cc.o.d"
+  "serving_recommender_test"
+  "serving_recommender_test.pdb"
+  "serving_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

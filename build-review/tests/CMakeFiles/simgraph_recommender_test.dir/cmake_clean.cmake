@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_recommender_test.dir/core/simgraph_recommender_test.cc.o"
+  "CMakeFiles/simgraph_recommender_test.dir/core/simgraph_recommender_test.cc.o.d"
+  "simgraph_recommender_test"
+  "simgraph_recommender_test.pdb"
+  "simgraph_recommender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

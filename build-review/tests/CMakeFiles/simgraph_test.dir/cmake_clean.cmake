@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_test.dir/core/simgraph_test.cc.o"
+  "CMakeFiles/simgraph_test.dir/core/simgraph_test.cc.o.d"
+  "simgraph_test"
+  "simgraph_test.pdb"
+  "simgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_matrix_test.dir/solver/sparse_matrix_test.cc.o"
+  "CMakeFiles/sparse_matrix_test.dir/solver/sparse_matrix_test.cc.o.d"
+  "sparse_matrix_test"
+  "sparse_matrix_test.pdb"
+  "sparse_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_writer_test.dir/util/table_writer_test.cc.o"
+  "CMakeFiles/table_writer_test.dir/util/table_writer_test.cc.o.d"
+  "table_writer_test"
+  "table_writer_test.pdb"
+  "table_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_server_test.dir/serve/tcp_server_test.cc.o"
+  "CMakeFiles/tcp_server_test.dir/serve/tcp_server_test.cc.o.d"
+  "tcp_server_test"
+  "tcp_server_test.pdb"
+  "tcp_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

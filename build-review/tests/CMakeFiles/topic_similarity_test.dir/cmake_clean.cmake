@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_similarity_test.dir/core/topic_similarity_test.cc.o"
+  "CMakeFiles/topic_similarity_test.dir/core/topic_similarity_test.cc.o.d"
+  "topic_similarity_test"
+  "topic_similarity_test.pdb"
+  "topic_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

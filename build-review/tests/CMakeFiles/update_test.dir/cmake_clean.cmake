@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_test.dir/core/update_test.cc.o"
+  "CMakeFiles/update_test.dir/core/update_test.cc.o.d"
+  "update_test"
+  "update_test.pdb"
+  "update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_protocol_test.dir/serve/wire_protocol_test.cc.o"
+  "CMakeFiles/wire_protocol_test.dir/serve/wire_protocol_test.cc.o.d"
+  "wire_protocol_test"
+  "wire_protocol_test.pdb"
+  "wire_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_cli.dir/simgraph_cli.cc.o"
+  "CMakeFiles/simgraph_cli.dir/simgraph_cli.cc.o.d"
+  "simgraph_cli"
+  "simgraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgraph_served.dir/simgraph_served.cc.o"
+  "CMakeFiles/simgraph_served.dir/simgraph_served.cc.o.d"
+  "simgraph_served"
+  "simgraph_served.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgraph_served.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
