@@ -20,13 +20,27 @@
 //   SIMGRAPH_BENCH_SERVE_TTL      result-cache TTL in simulated s (86400)
 //   SIMGRAPH_BENCH_SERVE_DEADLINE_US  per-request budget, 0 = off (0)
 //   SIMGRAPH_BENCH_SERVE_REFRESH  snapshot refresh cadence in events (2000)
+//   SIMGRAPH_BENCH_SERVE_TCP      1 = drive the service through the NDJSON
+//                                 TCP front-end instead of in-process calls,
+//                                 exercising the full parse->serialize
+//                                 request path (0)
+//   SIMGRAPH_BENCH_SERVE_SNAPSHOT  path of the machine-readable summary
+//                                 written after the run (BENCH_serving.json;
+//                                 empty disables) — diff two of these with
+//                                 tools/metrics_diff to gate regressions
 // plus the usual --metrics-json= / --trace-json= flags. Without
 // --metrics-json the metrics snapshot is written to
 // /tmp/simgraph_serving_load_metrics.json.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -45,6 +59,73 @@ struct WorkerTally {
   int64_t hits = 0;
 };
 
+/// Minimal blocking NDJSON line client for the TCP mode (mirrors the
+/// wire protocol in docs/serving.md).
+class LineClient {
+ public:
+  explicit LineClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  std::string RoundTrip(const std::string& request) {
+    const std::string framed = request + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return "";
+      sent += static_cast<size_t>(n);
+    }
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+struct RequestResult {
+  bool ok = true;
+  bool degraded = false;
+  bool hit = false;
+};
+
+RequestResult TcpRecommend(LineClient& client, UserId user, Timestamp now,
+                           int32_t k) {
+  const std::string reply = client.RoundTrip(
+      "{\"op\":\"recommend\",\"user\":" + std::to_string(user) +
+      ",\"now\":" + std::to_string(now) + ",\"k\":" + std::to_string(k) +
+      "}");
+  RequestResult result;
+  result.ok = reply.find("\"ok\":true") != std::string::npos;
+  result.degraded = reply.find("\"degraded\":true") != std::string::npos;
+  result.hit = reply.find("\"cache_hit\":true") != std::string::npos;
+  return result;
+}
+
 int Run(int argc, char** argv) {
   const bench::ObservabilityGuard observability(argc, argv);
   // This bench reports through the metrics registry, so collection is
@@ -61,6 +142,9 @@ int Run(int argc, char** argv) {
       GetEnvInt64("SIMGRAPH_BENCH_SERVE_DEADLINE_US", 0);
   const int64_t refresh_events =
       GetEnvInt64("SIMGRAPH_BENCH_SERVE_REFRESH", 2000);
+  const bool use_tcp = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TCP", 0) != 0;
+  const std::string snapshot_path =
+      GetEnvString("SIMGRAPH_BENCH_SERVE_SNAPSHOT", "BENCH_serving.json");
 
   const Dataset& dataset = bench::BenchDataset();
   const EvalProtocol& protocol = bench::BenchProtocol();
@@ -84,6 +168,18 @@ int Run(int argc, char** argv) {
   }
   service.Start();
 
+  std::unique_ptr<serve::TcpServer> server;
+  if (use_tcp) {
+    server = std::make_unique<serve::TcpServer>(&service);
+    const Status started = server->Start(0);
+    if (!started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "TCP mode: driving the NDJSON front-end on port "
+              << server->port() << "\n";
+  }
+
   const int64_t num_events = dataset.num_retweets() - protocol.train_end;
   const int64_t closed_requests = total_requests * 2 / 3;
   const int64_t open_requests = total_requests - closed_requests;
@@ -95,9 +191,21 @@ int Run(int argc, char** argv) {
 
   // --- phase 1: closed loop concurrent with the full event replay -----
   std::thread producer([&] {
+    std::unique_ptr<LineClient> client;
+    if (use_tcp) {
+      client = std::make_unique<LineClient>(server->port());
+      if (!client->connected()) client = nullptr;
+    }
     for (int64_t i = protocol.train_end; i < dataset.num_retweets(); ++i) {
       const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
-      service.Publish(e);
+      if (client != nullptr) {
+        client->RoundTrip("{\"op\":\"event\",\"tweet\":" +
+                          std::to_string(e.tweet) + ",\"user\":" +
+                          std::to_string(e.user) + ",\"time\":" +
+                          std::to_string(e.time) + "}");
+      } else {
+        service.Publish(e);
+      }
       sim_now.store(e.time, std::memory_order_relaxed);
     }
     replay_done.store(true);
@@ -112,6 +220,14 @@ int Run(int argc, char** argv) {
       workers.emplace_back([&, t] {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0x5eed5 + static_cast<uint64_t>(t));
+        std::unique_ptr<LineClient> client;
+        if (use_tcp) {
+          client = std::make_unique<LineClient>(server->port());
+          if (!client->connected()) {
+            ++tally.failures;
+            return;
+          }
+        }
         while (true) {
           const int64_t i = issued.fetch_add(1);
           // Keep the load generator running until the replay finishes,
@@ -121,12 +237,21 @@ int Run(int argc, char** argv) {
           const UserId user =
               protocol.panel[static_cast<size_t>(rng.NextBounded(
                   static_cast<uint64_t>(protocol.panel.size())))];
-          const serve::RecommendResponse response = service.Recommend(
-              {user, sim_now.load(std::memory_order_relaxed), 30});
+          const Timestamp now = sim_now.load(std::memory_order_relaxed);
+          RequestResult result;
+          if (client != nullptr) {
+            result = TcpRecommend(*client, user, now, 30);
+          } else {
+            const serve::RecommendResponse response =
+                service.Recommend({user, now, 30});
+            result.ok = response.status.ok();
+            result.degraded = response.degraded;
+            result.hit = response.cache_hit;
+          }
           ++tally.requests;
-          if (!response.status.ok()) ++tally.failures;
-          if (response.degraded) ++tally.degraded;
-          if (response.cache_hit) ++tally.hits;
+          if (!result.ok) ++tally.failures;
+          if (result.degraded) ++tally.degraded;
+          if (result.hit) ++tally.hits;
         }
       });
     }
@@ -152,6 +277,14 @@ int Run(int argc, char** argv) {
       workers.emplace_back([&, t] {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0xfeed5 + static_cast<uint64_t>(t));
+        std::unique_ptr<LineClient> client;
+        if (use_tcp) {
+          client = std::make_unique<LineClient>(server->port());
+          if (!client->connected()) {
+            ++tally.failures;
+            return;
+          }
+        }
         const int64_t mine = open_requests / num_threads +
                              (t < open_requests % num_threads ? 1 : 0);
         const double interval_s = num_threads / open_rate;
@@ -170,8 +303,17 @@ int Run(int argc, char** argv) {
           const UserId user =
               protocol.panel[static_cast<size_t>(rng.NextBounded(
                   static_cast<uint64_t>(protocol.panel.size())))];
-          const serve::RecommendResponse response = service.Recommend(
-              {user, sim_now.load(std::memory_order_relaxed), 30});
+          const Timestamp now = sim_now.load(std::memory_order_relaxed);
+          RequestResult result;
+          if (client != nullptr) {
+            result = TcpRecommend(*client, user, now, 30);
+          } else {
+            const serve::RecommendResponse response =
+                service.Recommend({user, now, 30});
+            result.ok = response.status.ok();
+            result.degraded = response.degraded;
+            result.hit = response.cache_hit;
+          }
           const double sojourn =
               std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - scheduled)
@@ -179,9 +321,9 @@ int Run(int argc, char** argv) {
           SIMGRAPH_HISTOGRAM_RECORD("serve.open_loop.sojourn_seconds",
                                     sojourn);
           ++tally.requests;
-          if (!response.status.ok()) ++tally.failures;
-          if (response.degraded) ++tally.degraded;
-          if (response.cache_hit) ++tally.hits;
+          if (!result.ok) ++tally.failures;
+          if (result.degraded) ++tally.degraded;
+          if (result.hit) ++tally.hits;
         }
       });
     }
@@ -192,6 +334,11 @@ int Run(int argc, char** argv) {
                                     open_start)
           .count();
   service.Stop();
+  if (server != nullptr) server->Stop();
+  const double open_throughput =
+      open_requests / std::max(open_seconds, 1e-9);
+  SIMGRAPH_GAUGE_SET("serve.bench.closed_loop_req_per_s", closed_throughput);
+  SIMGRAPH_GAUGE_SET("serve.bench.open_loop_req_per_s", open_throughput);
 
   WorkerTally total;
   for (const WorkerTally& tally : tallies) {
@@ -221,9 +368,7 @@ int Run(int argc, char** argv) {
   table.AddRow({"degraded", TableWriter::Cell(total.degraded)});
   table.AddRow({"cache hit rate", TableWriter::Cell(hit_rate)});
   table.AddRow({"closed-loop req/s", TableWriter::Cell(closed_throughput)});
-  table.AddRow(
-      {"open-loop req/s",
-       TableWriter::Cell((open_requests) / std::max(open_seconds, 1e-9))});
+  table.AddRow({"open-loop req/s", TableWriter::Cell(open_throughput)});
   table.AddRow(
       {"latency p50 (ms)", TableWriter::Cell(request_latency.p50() * 1e3)});
   table.AddRow(
@@ -235,6 +380,36 @@ int Run(int argc, char** argv) {
       {"apply p50 (ms)", TableWriter::Cell(apply_latency.p50() * 1e3)});
   table.Print(std::cout);
 
+  if (!snapshot_path.empty()) {
+    // Machine-readable summary for tools/metrics_diff: numeric leaves
+    // flatten to e.g. closed_loop.req_per_s and latency_us.p99, whose
+    // names carry the better-direction (see the metrics_diff header).
+    std::ofstream snapshot(snapshot_path);
+    if (!snapshot) {
+      std::cerr << "cannot write " << snapshot_path << "\n";
+    } else {
+      const auto us = [](double seconds) { return seconds * 1e6; };
+      snapshot << "{\n"
+               << "  \"bench\": \"serving_load\",\n"
+               << "  \"mode\": \"" << (use_tcp ? "tcp" : "inproc") << "\",\n"
+               << "  \"requests\": " << total.requests << ",\n"
+               << "  \"degraded\": " << total.degraded << ",\n"
+               << "  \"hit_rate\": " << hit_rate << ",\n"
+               << "  \"closed_loop\": {\"req_per_s\": " << closed_throughput
+               << "},\n"
+               << "  \"open_loop\": {\"req_per_s\": " << open_throughput
+               << "},\n"
+               << "  \"latency_us\": {\"p50\": " << us(request_latency.p50())
+               << ", \"p95\": " << us(request_latency.p95())
+               << ", \"p99\": " << us(request_latency.p99()) << "},\n"
+               << "  \"sojourn_us\": {\"p99\": " << us(sojourn.p99())
+               << "},\n"
+               << "  \"queue_depth_max\": "
+               << registry.gauge("serve.ingest.queue_depth_max").value()
+               << "\n}\n";
+      std::cout << "bench snapshot written to " << snapshot_path << "\n";
+    }
+  }
   if (observability.metrics_path().empty()) {
     const std::string fallback = "/tmp/simgraph_serving_load_metrics.json";
     const Status written = registry.WriteJsonFile(fallback);

@@ -6,6 +6,10 @@
 #   SIMGRAPH_VERIFY_TSAN=1 scripts/verify.sh
 #       # additionally build the tsan preset and run the concurrency-
 #       # labelled tests under ThreadSanitizer
+#   SIMGRAPH_VERIFY_BENCH=1 scripts/verify.sh
+#       # additionally run the serving load bench and gate its snapshot
+#       # against the committed BENCH_serving.json baseline with
+#       # tools/metrics_diff
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +17,37 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# metrics_diff self-check: a snapshot diffed against itself must never
+# regress, and the gate must actually fire on a doctored regression.
+echo "== metrics_diff self-check =="
+selfcheck_dir="$(mktemp -d)"
+trap 'rm -rf "$selfcheck_dir"' EXIT
+cat > "$selfcheck_dir/base.json" <<'EOF'
+{"closed_loop": {"req_per_s": 1000.0}, "latency_us": {"p99": 500.0}}
+EOF
+cat > "$selfcheck_dir/bad.json" <<'EOF'
+{"closed_loop": {"req_per_s": 800.0}, "latency_us": {"p99": 500.0}}
+EOF
+./build/tools/metrics_diff "$selfcheck_dir/base.json" "$selfcheck_dir/base.json"
+if ./build/tools/metrics_diff "$selfcheck_dir/base.json" \
+    "$selfcheck_dir/bad.json" 2>/dev/null; then
+  echo "metrics_diff failed to flag a -20% throughput regression" >&2
+  exit 1
+fi
+
+if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
+  echo "== serving load bench gate =="
+  bench_snapshot="$selfcheck_dir/BENCH_serving.json"
+  SIMGRAPH_BENCH_SERVE_SNAPSHOT="$bench_snapshot" \
+    ./build/bench/bench_serving_load
+  if [[ -f BENCH_serving.json ]]; then
+    ./build/tools/metrics_diff BENCH_serving.json "$bench_snapshot" \
+      --threshold=0.5
+  else
+    echo "no committed BENCH_serving.json baseline; skipping diff"
+  fi
+fi
 
 if [[ "${SIMGRAPH_VERIFY_TSAN:-0}" == "1" ]]; then
   echo "== TSAN concurrency pass =="

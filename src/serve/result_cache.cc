@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace simgraph {
 namespace serve {
@@ -23,6 +24,7 @@ ResultCache::ResultCache(int32_t num_users, Timestamp ttl,
 }
 
 ResultCache::Lookup ResultCache::Get(UserId user, Timestamp now, int32_t k) {
+  SIMGRAPH_TRACE_SPAN("request/cache_lookup", "serve");
   std::shared_lock<std::shared_mutex> lock(stripe_of(user).mu);
   const Entry& entry = entries_[static_cast<size_t>(user)];
   Lookup result;

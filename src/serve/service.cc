@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "util/logging.h"
@@ -51,10 +52,27 @@ void RecommendationService::Stop() {
 
 uint64_t RecommendationService::Publish(const RetweetEvent& event) {
   SIMGRAPH_CHECK(started_.load()) << "Start must be called before Publish";
-  const auto ticket = queue_.Push(event);
+  IngestItem item;
+  item.event = event;
+  // Capture the publishing request's trace context so the applier thread
+  // can attribute the queue wait and the apply work to it.
+  if (trace::RequestScope* scope = trace::CurrentScope();
+      scope != nullptr && scope->collecting()) {
+    item.request_id = scope->request_id();
+    item.traced = scope->recording();
+    item.enqueue_us = trace::NowMicros();
+  }
+  const auto ticket = queue_.Push(item);
   if (!ticket.has_value()) return 0;  // stopped; event rejected
-  SIMGRAPH_GAUGE_SET("serve.ingest.queue_depth",
-                     static_cast<double>(queue_.size()));
+  const auto depth = static_cast<int64_t>(queue_.size());
+  SIMGRAPH_GAUGE_SET("serve.ingest.queue_depth", static_cast<double>(depth));
+  int64_t max = queue_depth_max_.load(std::memory_order_relaxed);
+  while (depth > max && !queue_depth_max_.compare_exchange_weak(
+                            max, depth, std::memory_order_relaxed)) {
+  }
+  SIMGRAPH_GAUGE_SET(
+      "serve.ingest.queue_depth_max",
+      static_cast<double>(queue_depth_max_.load(std::memory_order_relaxed)));
   return *ticket + 1;  // tickets are 0-based, sequence numbers 1-based
 }
 
@@ -71,17 +89,29 @@ void RecommendationService::WaitForApplied(uint64_t seq) {
 
 void RecommendationService::ApplierLoop() {
   while (true) {
-    std::optional<RetweetEvent> event = queue_.Pop();
-    if (!event.has_value()) break;  // closed and drained
+    std::optional<IngestItem> item = queue_.Pop();
+    if (!item.has_value()) break;  // closed and drained
+    if (item->request_id != 0 && item->traced) {
+      const int64_t now_us = trace::NowMicros();
+      trace::RecordRequestSpan("request/queue_wait", "serve",
+                               item->enqueue_us,
+                               now_us - item->enqueue_us, item->request_id);
+    }
+    // Adopt the publishing request on this thread so the apply span
+    // below joins its trace tree.
+    std::optional<trace::RequestScope> request_scope;
+    if (item->request_id != 0) {
+      request_scope.emplace("request/apply", item->request_id, item->traced);
+    }
     AffectedUsers affected;
     {
-      SIMGRAPH_TRACE_SPAN("RecommendationService::ApplyEvent", "serve");
+      SIMGRAPH_TRACE_SPAN("request/apply_event", "serve");
       SIMGRAPH_SCOPED_LATENCY("serve.ingest.apply_seconds");
       if (recommender_->concurrent_reads()) {
-        affected = recommender_->ObserveAffected(*event);
+        affected = recommender_->ObserveAffected(item->event);
       } else {
         std::lock_guard<std::mutex> lock(serial_mu_);
-        affected = recommender_->ObserveAffected(*event);
+        affected = recommender_->ObserveAffected(item->event);
       }
     }
     SIMGRAPH_COUNTER_ADD("serve.ingest.events", 1);
@@ -154,6 +184,10 @@ std::vector<RecommendResponse> RecommendationService::RecommendBatch(
 RecommendResponse RecommendationService::RecommendLocked(
     const RecommendRequest& request,
     std::chrono::steady_clock::time_point deadline) {
+  // Passive when the TCP front-end already opened a scope for this
+  // request; owning when the service API is called directly.
+  trace::RequestScope request_scope("request/recommend");
+  request_scope.SetAttribute("user", request.user);
   SIMGRAPH_TRACE_SPAN("RecommendationService::Recommend", "serve");
   SIMGRAPH_SCOPED_LATENCY("serve.request.seconds");
   SIMGRAPH_COUNTER_ADD("serve.requests", 1);

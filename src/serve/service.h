@@ -35,6 +35,23 @@ struct ServiceOptions {
   int32_t cache_stripes = 64;
 };
 
+/// One entry of the ingestion queue: the event plus the trace context of
+/// the publishing request, so the applier can attribute the queue wait
+/// and the apply work to the request that enqueued the event (the two
+/// run on different threads; see docs/observability.md).
+struct IngestItem {
+  RetweetEvent event;
+  /// Request id of the publishing RequestScope; 0 when the publisher ran
+  /// outside any request.
+  uint64_t request_id = 0;
+  /// trace::NowMicros() at enqueue; start of the queue-wait span.
+  int64_t enqueue_us = 0;
+  /// Whether the publishing scope was recording trace events — carried
+  /// alongside the id so the applier never records spans under a request
+  /// whose root span was dropped.
+  bool traced = false;
+};
+
 struct RecommendRequest {
   UserId user = 0;
   Timestamp now = 0;
@@ -127,7 +144,10 @@ class RecommendationService {
   std::unique_ptr<ResultCache> cache_;
   int32_t num_users_ = 0;
 
-  BoundedMpmcQueue<RetweetEvent> queue_;
+  BoundedMpmcQueue<IngestItem> queue_;
+  /// High-water mark of the ingestion queue depth, exported as the gauge
+  /// serve.ingest.queue_depth_max.
+  std::atomic<int64_t> queue_depth_max_{0};
   std::thread applier_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

@@ -175,7 +175,14 @@ RecommendOutcome SimGraphServingRecommender::RecommendUntil(
     std::chrono::steady_clock::time_point deadline) {
   SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
   RecommendOutcome outcome;
-  std::shared_lock<std::shared_mutex> lock(StripeOf(user));
+  std::shared_lock<std::shared_mutex> lock(StripeOf(user), std::defer_lock);
+  {
+    // Time spent waiting for the candidate stripe (contended with the
+    // applier depositing scores) shows as its own request stage.
+    SIMGRAPH_TRACE_SPAN("request/snapshot_pin", "serve");
+    lock.lock();
+  }
+  SIMGRAPH_TRACE_SPAN("request/candidate_scoring", "serve");
   const auto& raw = candidates_->CandidatesOf(user);
   std::vector<ScoredTweet> fresh;
   fresh.reserve(std::min<size_t>(raw.size(), 1024));

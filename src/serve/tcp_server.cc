@@ -8,27 +8,33 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "serve/simgraph_serving_recommender.h"
 #include "serve/wire_protocol.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/prom_export.h"
+#include "util/trace.h"
 
 namespace simgraph {
 namespace serve {
 namespace {
 
-bool SendAll(int fd, const std::string& line) {
-  const std::string framed = line + "\n";
+bool SendRaw(int fd, const std::string& payload) {
   size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent,
+                             payload.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+bool SendAll(int fd, const std::string& line) {
+  return SendRaw(fd, line + "\n");
 }
 
 }  // namespace
@@ -123,14 +129,24 @@ void TcpServer::ServeConnection(int fd) {
       buffer.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      StatusOr<WireRequest> parsed = ParseRequestLine(line);
+      // One line is one request: the scope assigns the request id and
+      // spans parse through serialize, so the exported trace renders the
+      // whole request as one connected tree (docs/observability.md).
+      trace::RequestScope scope("request/handle");
+      StatusOr<WireRequest> parsed = [&] {
+        SIMGRAPH_TRACE_SPAN("request/parse", "serve");
+        return ParseRequestLine(line);
+      }();
       std::string reply;
+      // Raw replies (Prometheus text) are multi-line and self-framed.
+      bool raw_reply = false;
       if (!parsed.ok()) {
         reply = FormatError(parsed.status().message());
       } else {
         const WireRequest& request = *parsed;
         switch (request.op) {
           case WireRequest::Op::kEvent: {
+            scope.set_op("request/event");
             const uint64_t seq = service_->Publish(
                 RetweetEvent{request.tweet, request.user, request.time});
             reply = seq > 0 ? FormatEventAck(seq)
@@ -138,23 +154,28 @@ void TcpServer::ServeConnection(int fd) {
             break;
           }
           case WireRequest::Op::kRecommend: {
+            scope.set_op("request/recommend");
+            scope.SetAttribute("user", request.user);
             const RecommendResponse response = service_->Recommend(
                 RecommendRequest{request.user, request.now, request.k});
             if (!response.status.ok()) {
               reply = FormatError(response.status.message());
             } else {
               reply = FormatRecommendResponse(
-                  request.user, response.tweets, response.cache_hit,
-                  response.degraded, response.applied_seq);
+                  request.user, scope.request_id(), response.tweets,
+                  response.cache_hit, response.degraded,
+                  response.applied_seq);
             }
             break;
           }
           case WireRequest::Op::kWaitApplied: {
+            scope.set_op("request/wait_applied");
             service_->WaitForApplied(request.seq);
             reply = FormatWaitAppliedAck(service_->AppliedSeq());
             break;
           }
           case WireRequest::Op::kStats: {
+            scope.set_op("request/stats");
             auto* serving = dynamic_cast<SimGraphServingRecommender*>(
                 &service_->recommender());
             const uint64_t epoch =
@@ -162,18 +183,35 @@ void TcpServer::ServeConnection(int fd) {
             const int64_t edges =
                 serving != nullptr ? serving->GraphSnapshot()->graph.num_edges()
                                    : 0;
+            std::ostringstream metrics_json;
+            metrics::Registry::Global().WriteJson(metrics_json,
+                                                  /*pretty=*/false);
             reply = FormatStats(
                 service_->AppliedSeq(),
                 service_->cache() != nullptr ? service_->cache()->size() : 0,
-                epoch, edges);
+                epoch, edges, metrics_json.str());
+            break;
+          }
+          case WireRequest::Op::kMetrics: {
+            scope.set_op("request/metrics");
+            // Prometheus text exposition, streamed verbatim; the
+            // "# EOF" terminator tells the client where it ends.
+            reply = metrics::PrometheusText(metrics::Registry::Global());
+            raw_reply = true;
             break;
           }
           case WireRequest::Op::kPing:
+            scope.set_op("request/ping");
             reply = FormatPong();
             break;
         }
       }
-      if (!SendAll(fd, reply)) goto done;
+      bool sent;
+      {
+        SIMGRAPH_TRACE_SPAN("request/serialize", "serve");
+        sent = raw_reply ? SendRaw(fd, reply) : SendAll(fd, reply);
+      }
+      if (!sent) goto done;
     }
   }
 done:

@@ -188,6 +188,8 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
     request.seq = static_cast<uint64_t>(GetInt(numbers, "seq", 0));
   } else if (op == "stats") {
     request.op = WireRequest::Op::kStats;
+  } else if (op == "metrics") {
+    request.op = WireRequest::Op::kMetrics;
   } else if (op == "ping") {
     request.op = WireRequest::Op::kPing;
   } else {
@@ -201,12 +203,14 @@ std::string FormatEventAck(uint64_t seq) {
   return "{\"ok\":true,\"op\":\"event\",\"seq\":" + std::to_string(seq) + "}";
 }
 
-std::string FormatRecommendResponse(UserId user,
+std::string FormatRecommendResponse(UserId user, uint64_t request_id,
                                     const std::vector<ScoredTweet>& tweets,
                                     bool cache_hit, bool degraded,
                                     uint64_t applied_seq) {
   std::string out = "{\"ok\":true,\"op\":\"recommend\",\"user\":";
   out += std::to_string(user);
+  out += ",\"request_id\":";
+  out += std::to_string(request_id);
   out += ",\"cache_hit\":";
   out += cache_hit ? "true" : "false";
   out += ",\"degraded\":";
@@ -232,12 +236,19 @@ std::string FormatWaitAppliedAck(uint64_t seq) {
 }
 
 std::string FormatStats(uint64_t applied_seq, int64_t cached_entries,
-                        uint64_t graph_epoch, int64_t graph_edges) {
-  return "{\"ok\":true,\"op\":\"stats\",\"applied_seq\":" +
-         std::to_string(applied_seq) +
-         ",\"cached_entries\":" + std::to_string(cached_entries) +
-         ",\"graph_epoch\":" + std::to_string(graph_epoch) +
-         ",\"graph_edges\":" + std::to_string(graph_edges) + "}";
+                        uint64_t graph_epoch, int64_t graph_edges,
+                        const std::string& metrics_json) {
+  std::string out = "{\"ok\":true,\"op\":\"stats\",\"applied_seq\":" +
+                    std::to_string(applied_seq) +
+                    ",\"cached_entries\":" + std::to_string(cached_entries) +
+                    ",\"graph_epoch\":" + std::to_string(graph_epoch) +
+                    ",\"graph_edges\":" + std::to_string(graph_edges);
+  if (!metrics_json.empty()) {
+    // Embedded verbatim: the compact registry snapshot is already JSON.
+    out += ",\"metrics\":" + metrics_json;
+  }
+  out += "}";
+  return out;
 }
 
 std::string FormatPong() { return "{\"ok\":true,\"op\":\"ping\"}"; }

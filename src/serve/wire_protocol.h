@@ -22,9 +22,10 @@ namespace serve {
 ///   {"op":"recommend","user":7,"now":100500,"k":10}
 ///   {"op":"wait_applied","seq":12}
 ///   {"op":"stats"}
+///   {"op":"metrics"}
 ///   {"op":"ping"}
 struct WireRequest {
-  enum class Op { kRecommend, kEvent, kWaitApplied, kStats, kPing };
+  enum class Op { kRecommend, kEvent, kWaitApplied, kStats, kMetrics, kPing };
   Op op = Op::kPing;
   // event
   TweetId tweet = 0;
@@ -45,10 +46,13 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line);
 /// {"ok":true,"op":"event","seq":12}
 std::string FormatEventAck(uint64_t seq);
 
-/// {"ok":true,"op":"recommend","user":7,"cache_hit":false,
+/// {"ok":true,"op":"recommend","user":7,"request_id":9,"cache_hit":false,
 ///  "degraded":false,"applied_seq":12,
 ///  "tweets":[{"id":3,"score":0.5}, ...]}
-std::string FormatRecommendResponse(UserId user,
+/// `request_id` is the server-assigned trace id of this request (0 when
+/// tracing infrastructure assigned none); clients correlate it with the
+/// slow-request log and exported traces.
+std::string FormatRecommendResponse(UserId user, uint64_t request_id,
                                     const std::vector<ScoredTweet>& tweets,
                                     bool cache_hit, bool degraded,
                                     uint64_t applied_seq);
@@ -57,9 +61,13 @@ std::string FormatRecommendResponse(UserId user,
 std::string FormatWaitAppliedAck(uint64_t seq);
 
 /// {"ok":true,"op":"stats","applied_seq":12,"cached_entries":3,
-///  "graph_epoch":1,"graph_edges":123}
+///  "graph_epoch":1,"graph_edges":123,"metrics":{...}}
+/// `metrics_json` must be a complete JSON value (the compact registry
+/// snapshot from metrics::Registry::WriteJson(out, /*pretty=*/false));
+/// when empty the "metrics" key is omitted.
 std::string FormatStats(uint64_t applied_seq, int64_t cached_entries,
-                        uint64_t graph_epoch, int64_t graph_edges);
+                        uint64_t graph_epoch, int64_t graph_edges,
+                        const std::string& metrics_json = "");
 
 /// {"ok":true,"op":"ping"}
 std::string FormatPong();

@@ -213,61 +213,92 @@ LatencyHistogram& Registry::histogram(const std::string& name) {
   return *slot;
 }
 
-void Registry::WriteJson(std::ostream& out) const {
+void Registry::WriteJson(std::ostream& out, bool pretty) const {
+  // Separator strings parameterised on `pretty`: compact mode emits the
+  // identical object with all whitespace removed (one NDJSON-safe line).
+  const char* open = pretty ? "{\n  " : "{";
+  const char* section_sep = pretty ? "},\n  " : "},";
+  const char* item_open = pretty ? "\n    " : "";
+  const char* item_sep = pretty ? ",\n    " : ",";
+  const char* item_close = pretty ? "\n  " : "";
+  const char* colon = pretty ? ": " : ":";
+  const char* comma = pretty ? ", " : ",";
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   out.precision(15);
-  out << "{\n  \"counters\": {";
+  out << open << "\"counters\"" << colon << "{";
   bool first = true;
   for (const auto& [name, c] : i.counters) {
-    out << (first ? "\n    " : ",\n    ");
+    out << (first ? item_open : item_sep);
     first = false;
     WriteJsonString(out, name);
-    out << ": " << c->value();
+    out << colon << c->value();
   }
-  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  out << (first ? "" : item_close) << section_sep << "\"gauges\"" << colon
+      << "{";
   first = true;
   for (const auto& [name, g] : i.gauges) {
-    out << (first ? "\n    " : ",\n    ");
+    out << (first ? item_open : item_sep);
     first = false;
     WriteJsonString(out, name);
-    out << ": ";
+    out << colon;
     WriteJsonNumber(out, g->value());
   }
-  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  out << (first ? "" : item_close) << section_sep << "\"histograms\""
+      << colon << "{";
   first = true;
   for (const auto& [name, h] : i.histograms) {
-    out << (first ? "\n    " : ",\n    ");
+    out << (first ? item_open : item_sep);
     first = false;
     WriteJsonString(out, name);
-    out << ": {\"count\": " << h->count() << ", \"sum\": ";
+    out << colon << "{\"count\"" << colon << h->count() << comma
+        << "\"sum\"" << colon;
     WriteJsonNumber(out, h->sum());
-    out << ", \"mean\": ";
+    out << comma << "\"mean\"" << colon;
     WriteJsonNumber(out, h->Mean());
-    out << ", \"min\": ";
+    out << comma << "\"min\"" << colon;
     WriteJsonNumber(out, h->Min());
-    out << ", \"max\": ";
+    out << comma << "\"max\"" << colon;
     WriteJsonNumber(out, h->Max());
-    out << ", \"p50\": ";
+    out << comma << "\"p50\"" << colon;
     WriteJsonNumber(out, h->p50());
-    out << ", \"p95\": ";
+    out << comma << "\"p95\"" << colon;
     WriteJsonNumber(out, h->p95());
-    out << ", \"p99\": ";
+    out << comma << "\"p99\"" << colon;
     WriteJsonNumber(out, h->p99());
-    out << ", \"buckets\": [";
+    out << comma << "\"buckets\"" << colon << "[";
     bool first_bucket = true;
     for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
       const int64_t n = h->bucket_count(b);
       if (n == 0) continue;  // sparse export: empty buckets are implicit
-      out << (first_bucket ? "" : ", ");
+      out << (first_bucket ? "" : comma);
       first_bucket = false;
-      out << "{\"le\": ";
+      out << "{\"le\"" << colon;
       WriteJsonNumber(out, LatencyHistogram::BucketUpperBound(b));
-      out << ", \"count\": " << n << "}";
+      out << comma << "\"count\"" << colon << n << "}";
     }
     out << "]}";
   }
-  out << (first ? "" : "\n  ") << "}\n}\n";
+  out << (first ? "" : item_close) << "}" << (pretty ? "\n}\n" : "}");
+}
+
+void Registry::ForEach(
+    const std::function<void(const std::string&, const Counter&)>&
+        on_counter,
+    const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+    const std::function<void(const std::string&, const LatencyHistogram&)>&
+        on_histogram) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (on_counter) {
+    for (const auto& [name, c] : i.counters) on_counter(name, *c);
+  }
+  if (on_gauge) {
+    for (const auto& [name, g] : i.gauges) on_gauge(name, *g);
+  }
+  if (on_histogram) {
+    for (const auto& [name, h] : i.histograms) on_histogram(name, *h);
+  }
 }
 
 Status Registry::WriteJsonFile(const std::string& path) const {
@@ -289,6 +320,55 @@ void Registry::Reset() {
   for (auto& [name, c] : i.counters) c->Reset();
   for (auto& [name, g] : i.gauges) g->Reset();
   for (auto& [name, h] : i.histograms) h->Reset();
+}
+
+PeriodicFlusher::PeriodicFlusher(std::string path,
+                                 std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  if (interval_.count() < 1) interval_ = std::chrono::milliseconds(1);
+}
+
+PeriodicFlusher::~PeriodicFlusher() { Stop(); }
+
+void PeriodicFlusher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PeriodicFlusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+}
+
+void PeriodicFlusher::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval_, [this] { return stopping_; });
+    }
+    const Status written = Registry::Global().WriteJsonFile(path_);
+    if (written.ok()) {
+      flushes_.fetch_add(1);
+    } else if (!warned_) {
+      warned_ = true;  // Loop-thread only; one warning per flusher.
+      SIMGRAPH_LOG(Warning) << "metrics flush failed: "
+                            << written.ToString();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;  // the pre-join write above was the final flush
+  }
 }
 
 }  // namespace metrics

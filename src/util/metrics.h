@@ -4,10 +4,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "util/status.h"
 
@@ -167,12 +171,25 @@ class Registry {
 
   /// Writes every metric as one JSON object with "counters", "gauges"
   /// and "histograms" sections, names sorted (see docs/observability.md
-  /// for the schema).
-  void WriteJson(std::ostream& out) const;
+  /// for the schema). `pretty` false emits the same object with no
+  /// whitespace at all — a single line, embeddable in NDJSON replies.
+  void WriteJson(std::ostream& out, bool pretty) const;
+  void WriteJson(std::ostream& out) const { WriteJson(out, true); }
 
   /// WriteJson to `path`; fails with kUnavailable when the file cannot
   /// be opened.
   Status WriteJsonFile(const std::string& path) const;
+
+  /// Visits every registered metric (sorted by name) under the registry
+  /// lock; callbacks must not call back into the registry. Null
+  /// callbacks skip that section. This is the export hook behind
+  /// util/prom_export.h.
+  void ForEach(
+      const std::function<void(const std::string&, const Counter&)>&
+          on_counter,
+      const std::function<void(const std::string&, const Gauge&)>& on_gauge,
+      const std::function<void(const std::string&, const LatencyHistogram&)>&
+          on_histogram) const;
 
   /// Zeroes every registered metric (values only; references returned by
   /// the accessors remain valid). Intended for tests and bench warm-up.
@@ -182,6 +199,44 @@ class Registry {
   Registry() = default;
   struct Impl;
   Impl& impl() const;
+};
+
+/// Periodically writes the global registry's JSON snapshot to a file
+/// from a background thread, so an external collector can tail live
+/// metrics without waiting for process exit (the serving front-end's
+/// `stats`/`metrics` commands read the registry directly; this is the
+/// file-based counterpart). Start() launches the thread, Stop() (also
+/// run by the destructor) performs one final flush and joins. Write
+/// failures are logged once per path, not fatal.
+class PeriodicFlusher {
+ public:
+  PeriodicFlusher(std::string path, std::chrono::milliseconds interval);
+  ~PeriodicFlusher();
+
+  PeriodicFlusher(const PeriodicFlusher&) = delete;
+  PeriodicFlusher& operator=(const PeriodicFlusher&) = delete;
+
+  /// Launches the flusher thread. Idempotent.
+  void Start();
+
+  /// Final flush + join. Idempotent.
+  void Stop();
+
+  /// Completed flushes so far (tests poll this).
+  int64_t flushes() const { return flushes_.load(); }
+
+ private:
+  void Loop();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::atomic<int64_t> flushes_{0};
+  bool warned_ = false;
 };
 
 /// RAII wall-clock timer recording elapsed seconds into a histogram on

@@ -1,0 +1,93 @@
+#include "util/prom_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace metrics {
+namespace {
+
+// Prometheus floats: %.17g round-trips doubles; +Inf spelling per the
+// text-format spec.
+void WriteNumber(std::ostream& out, double v) {
+  if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  if (std::isnan(v)) {
+    out << "NaN";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out << buffer;
+}
+
+void WriteHelpAndType(std::ostream& out, const std::string& prom_name,
+                      const std::string& raw_name, const char* type) {
+  out << "# HELP " << prom_name << " simgraph metric " << raw_name << "\n";
+  out << "# TYPE " << prom_name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "simgraph_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void WritePrometheusText(const Registry& registry, std::ostream& out) {
+  registry.ForEach(
+      [&out](const std::string& name, const Counter& c) {
+        const std::string prom = PrometheusName(name) + "_total";
+        WriteHelpAndType(out, prom, name, "counter");
+        out << prom << " " << c.value() << "\n";
+      },
+      [&out](const std::string& name, const Gauge& g) {
+        const std::string prom = PrometheusName(name);
+        WriteHelpAndType(out, prom, name, "gauge");
+        out << prom << " ";
+        WriteNumber(out, g.value());
+        out << "\n";
+      },
+      [&out](const std::string& name, const LatencyHistogram& h) {
+        const std::string prom = PrometheusName(name);
+        WriteHelpAndType(out, prom, name, "histogram");
+        // Cumulative bucket counts over the sparse non-empty buckets;
+        // the mandatory +Inf bucket always equals the total count.
+        int64_t cumulative = 0;
+        for (int b = 0; b < LatencyHistogram::kNumBuckets - 1; ++b) {
+          const int64_t n = h.bucket_count(b);
+          if (n == 0) continue;
+          cumulative += n;
+          out << prom << "_bucket{le=\"";
+          WriteNumber(out, LatencyHistogram::BucketUpperBound(b));
+          out << "\"} " << cumulative << "\n";
+        }
+        out << prom << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        out << prom << "_sum ";
+        WriteNumber(out, h.sum());
+        out << "\n" << prom << "_count " << h.count() << "\n";
+      });
+  out << "# EOF\n";
+}
+
+std::string PrometheusText(const Registry& registry) {
+  std::ostringstream out;
+  WritePrometheusText(registry, out);
+  return out.str();
+}
+
+}  // namespace metrics
+}  // namespace simgraph

@@ -1,0 +1,42 @@
+#ifndef SIMGRAPH_UTIL_PROM_EXPORT_H_
+#define SIMGRAPH_UTIL_PROM_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+/// \file
+/// Prometheus text exposition (format 0.0.4) for the metrics registry,
+/// served live by the `metrics` wire command of simgraph_served (see
+/// docs/observability.md for a scrape example).
+///
+/// Mapping from registry names to Prometheus names:
+///   * every character outside [a-zA-Z0-9_:] becomes '_'
+///     (`serve.request.seconds` -> `simgraph_serve_request_seconds`);
+///   * everything is prefixed `simgraph_`;
+///   * counters get the conventional `_total` suffix;
+///   * latency histograms expand to `_bucket{le="..."}` series with
+///     cumulative counts (always ending in `le="+Inf"`), plus `_sum`
+///     and `_count`.
+/// The output ends with the OpenMetrics `# EOF` terminator so streaming
+/// clients know where the exposition stops.
+
+namespace simgraph {
+namespace metrics {
+
+class Registry;
+
+/// Sanitises one registry metric name into a Prometheus metric name
+/// (prefix + charset mapping, no type-specific suffix).
+std::string PrometheusName(const std::string& name);
+
+/// Writes the whole registry in Prometheus text exposition format,
+/// terminated by "# EOF\n".
+void WritePrometheusText(const Registry& registry, std::ostream& out);
+
+/// WritePrometheusText into a string.
+std::string PrometheusText(const Registry& registry);
+
+}  // namespace metrics
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_PROM_EXPORT_H_

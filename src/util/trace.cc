@@ -1,13 +1,17 @@
 #include "util/trace.h"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "util/env.h"
+#include "util/logging.h"
 
 namespace simgraph {
 namespace trace {
@@ -23,6 +27,15 @@ bool SetEnabled(bool enabled) {
 
 namespace {
 
+std::atomic<uint64_t> g_next_request_id{1};
+std::atomic<int64_t> g_slow_request_threshold_us{
+    GetEnvInt64("SIMGRAPH_SLOW_REQUEST_US", 0)};
+
+// The RequestScope currently governing this thread (nullptr outside any
+// request). TraceSpan reads it to attach to the request id and feed the
+// stage breakdown.
+thread_local RequestScope* t_current_scope = nullptr;
+
 // One buffered event. Names are copied at record time, so span call
 // sites may pass literals without lifetime coupling to the export.
 struct TraceEvent {
@@ -31,6 +44,12 @@ struct TraceEvent {
   char phase;      // 'X' complete, 'i' instant
   int64_t ts_us;   // microseconds since the process trace epoch
   int64_t dur_us;  // for 'X' events
+  /// Nonzero attaches the event to a request tree; exported as an
+  /// async-nestable "b"/"e" pair instead of one 'X' event.
+  uint64_t request_id = 0;
+  /// True for the request's root span (the RequestScope itself); export
+  /// drops request-scoped events whose id has no root.
+  bool request_root = false;
 };
 
 // Per-thread event buffer. Buffers are owned by a leaked global list and
@@ -66,10 +85,10 @@ ThreadLog& LocalLog() {
   return *log;
 }
 
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - Global().epoch)
-      .count();
+void BufferEvent(TraceEvent event) {
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.push_back(std::move(event));
 }
 
 void WriteJsonString(std::ostream& out, const std::string& s) {
@@ -95,14 +114,73 @@ void WriteJsonString(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+void WriteHexId(std::ostream& out, uint64_t id) {
+  char buffer[2 + 16 + 1];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(id));
+  out << '"' << buffer << '"';
+}
+
+// Emits one request-scoped event as an async-nestable begin/end pair on
+// the "request" category, id'd by the request — chrome://tracing (and
+// Perfetto) render all pairs sharing an id as one nested track, so the
+// whole request reads as one connected tree even across threads. The
+// span's own category moves into args.
+void WriteAsyncPair(std::ostream& out, const TraceEvent& e, int64_t tid,
+                    bool* first) {
+  out << (*first ? "\n" : ",\n") << "{\"name\": ";
+  *first = false;
+  WriteJsonString(out, e.name);
+  out << ", \"cat\": \"request\", \"ph\": \"b\", \"ts\": " << e.ts_us
+      << ", \"pid\": 1, \"tid\": " << tid << ", \"id\": ";
+  WriteHexId(out, e.request_id);
+  out << ", \"args\": {\"cat\": ";
+  WriteJsonString(out, e.category);
+  if (e.request_root) out << ", \"root\": true";
+  out << "}},\n";
+  out << "{\"name\": ";
+  WriteJsonString(out, e.name);
+  out << ", \"cat\": \"request\", \"ph\": \"e\", \"ts\": "
+      << e.ts_us + e.dur_us << ", \"pid\": 1, \"tid\": " << tid
+      << ", \"id\": ";
+  WriteHexId(out, e.request_id);
+  out << "}";
+}
+
 }  // namespace
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Global().epoch)
+      .count();
+}
+
+uint64_t NewRequestId() {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+RequestScope* CurrentScope() { return t_current_scope; }
+
+int64_t SetSlowRequestThresholdUs(int64_t threshold_us) {
+  return g_slow_request_threshold_us.exchange(threshold_us,
+                                              std::memory_order_relaxed);
+}
+
+int64_t SlowRequestThresholdUs() {
+  return g_slow_request_threshold_us.load(std::memory_order_relaxed);
+}
 
 void Instant(const char* name, const char* category) {
   if (!Enabled()) return;
-  const int64_t now = NowMicros();
-  ThreadLog& log = LocalLog();
-  std::lock_guard<std::mutex> lock(log.mu);
-  log.events.push_back(TraceEvent{name, category, 'i', now, 0});
+  BufferEvent(TraceEvent{name, category, 'i', NowMicros(), 0, 0, false});
+}
+
+void RecordRequestSpan(const char* name, const char* category,
+                       int64_t start_us, int64_t dur_us,
+                       uint64_t request_id) {
+  if (!Enabled() || request_id == 0) return;
+  BufferEvent(TraceEvent{name, category, 'X', start_us, dur_us, request_id,
+                         false});
 }
 
 int64_t NumBufferedEvents() {
@@ -128,11 +206,28 @@ void Clear() {
 void WriteJson(std::ostream& out) {
   GlobalState& g = Global();
   std::lock_guard<std::mutex> lock(g.mu);
+  // Pass 1: the set of request ids that recorded a root span. Children
+  // of requests without a root (tracing toggled on mid-request, or the
+  // root dropped by a toggle-off) would render as orphan trees — they
+  // are dropped instead.
+  std::unordered_set<uint64_t> rooted;
+  for (const auto& log : g.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const TraceEvent& e : log->events) {
+      if (e.request_root) rooted.insert(e.request_id);
+    }
+  }
   out << "{\"traceEvents\": [";
   bool first = true;
   for (const auto& log : g.logs) {
     std::lock_guard<std::mutex> log_lock(log->mu);
     for (const TraceEvent& e : log->events) {
+      if (e.request_id != 0) {
+        if (rooted.contains(e.request_id)) {
+          WriteAsyncPair(out, e, log->tid, &first);
+        }
+        continue;
+      }
       out << (first ? "\n" : ",\n") << "{\"name\": ";
       first = false;
       WriteJsonString(out, e.name);
@@ -160,18 +255,108 @@ Status Export(const std::string& path) {
   return Status::Ok();
 }
 
+RequestScope::RequestScope(const char* op, uint64_t adopt_id,
+                           bool adopt_recorded)
+    : op_(op) {
+  prev_ = t_current_scope;
+  if (adopt_id == 0 && prev_ != nullptr) {
+    // Nested on the same thread: the outer scope owns the request; this
+    // one is a transparent passthrough.
+    passive_ = true;
+    return;
+  }
+  if (adopt_id != 0) {
+    id_ = adopt_id;
+    owner_ = false;
+    // Never record under an id whose root was not recorded — that would
+    // be a dangling parent in the exported tree.
+    recording_ = adopt_recorded && Enabled();
+  } else {
+    id_ = NewRequestId();
+    owner_ = true;
+    recording_ = Enabled();
+  }
+  collecting_ = recording_ || (owner_ && SlowRequestThresholdUs() > 0);
+  if (collecting_) start_us_ = NowMicros();
+  t_current_scope = this;
+}
+
+RequestScope::~RequestScope() {
+  if (passive_) return;
+  t_current_scope = prev_;
+  if (start_us_ < 0) return;
+  const int64_t end_us = NowMicros();
+  const int64_t total_us = end_us - start_us_;
+  if (owner_ && recording_ && Enabled()) {
+    BufferEvent(TraceEvent{op_, "serve", 'X', start_us_, total_us, id_,
+                           /*request_root=*/true});
+  }
+  const int64_t threshold = SlowRequestThresholdUs();
+  if (owner_ && threshold > 0 && total_us >= threshold) {
+    // One structured JSON line per slow request; stage names are the
+    // child span names (docs/observability.md documents the format).
+    std::ostringstream line;
+    line << "{\"slow_request\":{\"request_id\":" << id_ << ",\"op\":\""
+         << op_ << "\",\"total_us\":" << total_us;
+    for (int i = 0; i < num_attributes_; ++i) {
+      line << ",\"" << attributes_[i].key
+           << "\":" << attributes_[i].value;
+    }
+    line << ",\"stages\":{";
+    for (int i = 0; i < num_stages_; ++i) {
+      if (i > 0) line << ",";
+      line << "\"" << stages_[i].name << "\":" << stages_[i].micros;
+    }
+    line << "}}}";
+    SIMGRAPH_LOG(Warning) << line.str();
+  }
+}
+
+void RequestScope::SetAttribute(const char* key, int64_t value) {
+  if (passive_) {
+    if (prev_ != nullptr) prev_->SetAttribute(key, value);
+    return;
+  }
+  if (num_attributes_ >= kMaxAttributes) return;
+  attributes_[num_attributes_++] = Attribute{key, value};
+}
+
+int64_t RequestScope::ElapsedUs() const {
+  if (passive_) return prev_ != nullptr ? prev_->ElapsedUs() : 0;
+  return start_us_ >= 0 ? NowMicros() - start_us_ : 0;
+}
+
+void RequestScope::AddStage(const char* name, int64_t micros) {
+  if (num_stages_ >= kMaxStages) return;
+  stages_[num_stages_++] = StageLatency{name, micros};
+}
+
 TraceSpan::TraceSpan(const char* name, const char* category)
-    : name_(name), category_(category), start_us_(0), active_(Enabled()) {
-  if (active_) start_us_ = NowMicros();
+    : name_(name),
+      category_(category),
+      start_us_(0),
+      request_id_(0),
+      scope_(t_current_scope),
+      active_(Enabled()),
+      collect_(false) {
+  if (scope_ != nullptr && scope_->collecting()) {
+    collect_ = true;
+    if (active_ && scope_->recording()) request_id_ = scope_->request_id();
+  }
+  if (active_ || collect_) start_us_ = NowMicros();
 }
 
 TraceSpan::~TraceSpan() {
-  if (!active_ || !Enabled()) return;
+  if (!active_ && !collect_) return;
   const int64_t end_us = NowMicros();
-  ThreadLog& log = LocalLog();
-  std::lock_guard<std::mutex> lock(log.mu);
-  log.events.push_back(
-      TraceEvent{name_, category_, 'X', start_us_, end_us - start_us_});
+  // The scope pointer is only valid while that scope is still current
+  // on this thread (spans are expected to close inside their scope).
+  if (collect_ && t_current_scope == scope_) {
+    scope_->AddStage(name_, end_us - start_us_);
+  }
+  if (!active_ || !Enabled()) return;
+  BufferEvent(TraceEvent{name_, category_, 'X', start_us_,
+                         end_us - start_us_, request_id_, false});
 }
 
 }  // namespace trace

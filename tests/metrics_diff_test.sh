@@ -1,0 +1,76 @@
+#!/bin/sh
+# Contract of the metrics regression gate: identical snapshots pass,
+# regressions in the bad direction fail, improvements and neutral
+# counters never fail, thresholds and parse errors behave.
+set -eu
+
+DIFF="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/base.json" <<'EOF'
+{
+  "bench": "serving_load",
+  "requests": 60000,
+  "hit_rate": 0.5,
+  "closed_loop": {"req_per_s": 1000.0},
+  "open_loop": {"req_per_s": 800.0},
+  "latency_us": {"p50": 100.0, "p95": 400.0, "p99": 900.0},
+  "queue_depth_max": 32
+}
+EOF
+
+echo "== identity diff passes =="
+"$DIFF" "$TMP/base.json" "$TMP/base.json"
+
+echo "== -20% throughput fails =="
+sed 's/"req_per_s": 1000.0/"req_per_s": 800.0/' "$TMP/base.json" \
+  > "$TMP/slow.json"
+if "$DIFF" "$TMP/base.json" "$TMP/slow.json" 2>/dev/null; then
+  echo "throughput regression not flagged" >&2
+  exit 1
+fi
+
+echo "== +20% p99 latency fails =="
+sed 's/"p99": 900.0/"p99": 1080.0/' "$TMP/base.json" > "$TMP/lat.json"
+if "$DIFF" "$TMP/base.json" "$TMP/lat.json" 2>/dev/null; then
+  echo "latency regression not flagged" >&2
+  exit 1
+fi
+
+echo "== improvements pass =="
+sed -e 's/"req_per_s": 1000.0/"req_per_s": 1500.0/' \
+    -e 's/"p99": 900.0/"p99": 500.0/' "$TMP/base.json" > "$TMP/fast.json"
+"$DIFF" "$TMP/base.json" "$TMP/fast.json"
+
+echo "== neutral counters never regress =="
+sed -e 's/"requests": 60000/"requests": 100/' \
+    -e 's/"queue_depth_max": 32/"queue_depth_max": 4096/' \
+    "$TMP/base.json" > "$TMP/neutral.json"
+"$DIFF" "$TMP/base.json" "$TMP/neutral.json"
+
+echo "== loose threshold tolerates the same -20% =="
+"$DIFF" "$TMP/base.json" "$TMP/slow.json" --threshold=0.5
+
+echo "== per-metric threshold overrides the default =="
+if "$DIFF" "$TMP/base.json" "$TMP/slow.json" --threshold=0.5 \
+    --threshold=req_per_s:0.05 2>/dev/null; then
+  echo "per-metric threshold not applied" >&2
+  exit 1
+fi
+
+echo "== parse errors exit 2 =="
+echo "not json" > "$TMP/broken.json"
+set +e
+"$DIFF" "$TMP/base.json" "$TMP/broken.json" 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = "2" ] || { echo "expected exit 2 for bad JSON, got $RC" >&2; exit 1; }
+
+set +e
+"$DIFF" "$TMP/base.json" 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = "2" ] || { echo "expected exit 2 for usage error, got $RC" >&2; exit 1; }
+
+echo "metrics_diff_test: OK"

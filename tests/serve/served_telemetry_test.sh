@@ -1,0 +1,124 @@
+#!/bin/bash
+# Live telemetry over the wire: starts simgraph_served on an ephemeral
+# loopback port, issues stats / metrics / recommend commands through
+# /dev/tcp, and validates the replies — in particular that the metrics
+# command streams well-formed Prometheus text exposition ending in the
+# "# EOF" terminator, and that stats embeds the registry snapshot.
+set -eu
+
+SERVED="$1"
+TMP="$(mktemp -d)"
+SERVED_PID=""
+cleanup() {
+  # Closing stdin stops the server; kill is the fallback.
+  [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== start server =="
+mkfifo "$TMP/stdin"
+"$SERVED" --users 200 --tweets 1500 --seed 5 --port 0 \
+  --metrics-json "$TMP/metrics.json" --metrics-flush-ms 200 \
+  --slow-request-us 1 \
+  < "$TMP/stdin" > "$TMP/served.out" 2> "$TMP/served.err" &
+SERVED_PID=$!
+exec 9> "$TMP/stdin"   # hold the write end so stdin stays open
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' "$TMP/served.out")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server never reported its port" >&2; exit 1; }
+echo "port $PORT"
+
+roundtrip() {
+  # One NDJSON request, one reply line.
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf '%s\n' "$1" >&3
+  IFS= read -r reply <&3
+  exec 3<&- 3>&-
+  printf '%s\n' "$reply"
+}
+
+echo "== recommend over the wire =="
+REPLY="$(roundtrip '{"op":"recommend","user":3,"now":100000,"k":5}')"
+echo "$REPLY" | grep -q '"ok":true'
+echo "$REPLY" | grep -q '"request_id":'
+
+echo "== stats embeds the registry snapshot =="
+STATS="$(roundtrip '{"op":"stats"}')"
+echo "$STATS" | grep -q '"ok":true'
+echo "$STATS" | grep -q '"applied_seq":'
+echo "$STATS" | grep -q '"metrics":{'
+echo "$STATS" | grep -q '"counters":'
+
+echo "== metrics streams Prometheus exposition =="
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"metrics"}\n' >&3
+: > "$TMP/prom.txt"
+while IFS= read -r line <&3; do
+  printf '%s\n' "$line" >> "$TMP/prom.txt"
+  [ "$line" = "# EOF" ] && break
+done
+exec 3<&- 3>&-
+
+grep -q '^# EOF$' "$TMP/prom.txt"
+grep -q '^# TYPE simgraph_serve_requests_total counter$' "$TMP/prom.txt"
+grep -q '^simgraph_serve_requests_total [0-9][0-9]*$' "$TMP/prom.txt"
+grep -q '^# TYPE simgraph_serve_request_seconds histogram$' "$TMP/prom.txt"
+grep -q '^simgraph_serve_request_seconds_bucket{le="+Inf"} [0-9][0-9]*$' \
+  "$TMP/prom.txt"
+grep -q '^simgraph_serve_request_seconds_count [0-9][0-9]*$' "$TMP/prom.txt"
+
+# Every non-comment line is "name[{labels}] value" with the simgraph_
+# prefix; every comment is HELP/TYPE/EOF. This is the 0.0.4 text format
+# a Prometheus scraper accepts.
+if grep -vE '^(# (HELP|TYPE) simgraph_[a-zA-Z0-9_:]+( .*)?$|# EOF$|simgraph_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+.eEinfNa][^ ]*$)' \
+    "$TMP/prom.txt" | grep -q .; then
+  echo "malformed exposition line(s):" >&2
+  grep -vE '^(# (HELP|TYPE) simgraph_[a-zA-Z0-9_:]+( .*)?$|# EOF$|simgraph_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+.eEinfNa][^ ]*$)' \
+    "$TMP/prom.txt" >&2
+  exit 1
+fi
+
+echo "== periodic flusher wrote the snapshot file =="
+FLUSHED=0
+for _ in $(seq 1 50); do
+  if [ -s "$TMP/metrics.json" ] && grep -q '"counters"' "$TMP/metrics.json"
+  then
+    FLUSHED=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$FLUSHED" = "1" ] || { echo "periodic flusher never wrote" >&2; exit 1; }
+
+echo "== slow-request log fired (threshold 1us) =="
+SLOW=0
+for _ in $(seq 1 20); do
+  if grep -q '"slow_request":{' "$TMP/served.err"; then
+    SLOW=1
+    break
+  fi
+  roundtrip '{"op":"recommend","user":4,"now":100000,"k":5}' > /dev/null
+  sleep 0.1
+done
+[ "$SLOW" = "1" ] || { echo "no slow-request log line" >&2; exit 1; }
+grep -q '"stages":{' "$TMP/served.err"
+
+echo "== clean shutdown =="
+exec 9>&-
+for _ in $(seq 1 100); do
+  kill -0 "$SERVED_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVED_PID" 2>/dev/null; then
+  echo "server did not exit on stdin EOF" >&2
+  exit 1
+fi
+SERVED_PID=""
+
+echo "served_telemetry_test: OK"

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -130,10 +131,17 @@ TEST_F(TcpServerTest, EventAckWaitRecommendRoundTrip) {
   const RecommendResponse expected =
       service_->Recommend({user, now, 10});
   ASSERT_TRUE(expected.status.ok());
-  EXPECT_EQ(client.RoundTrip("{\"op\":\"recommend\",\"user\":" +
-                             std::to_string(user) + ",\"now\":" +
-                             std::to_string(now) + ",\"k\":10}"),
-            FormatRecommendResponse(user, expected.tweets,
+  const std::string reply =
+      client.RoundTrip("{\"op\":\"recommend\",\"user\":" +
+                       std::to_string(user) + ",\"now\":" +
+                       std::to_string(now) + ",\"k\":10}");
+  // The server assigns the request id; echo it into the expected golden.
+  const size_t rid_pos = reply.find("\"request_id\":");
+  ASSERT_NE(rid_pos, std::string::npos) << reply;
+  const uint64_t request_id = std::strtoull(
+      reply.c_str() + rid_pos + std::strlen("\"request_id\":"), nullptr, 10);
+  EXPECT_EQ(reply,
+            FormatRecommendResponse(user, request_id, expected.tweets,
                                     expected.cache_hit, expected.degraded,
                                     expected.applied_seq));
 }

@@ -35,6 +35,8 @@ TEST(WireProtocolTest, ParsesControlOpsAndIgnoresUnknownKeys) {
   EXPECT_EQ(ParseRequestLine(R"({"op":"ping"})")->op, WireRequest::Op::kPing);
   EXPECT_EQ(ParseRequestLine(R"({"op":"stats"})")->op,
             WireRequest::Op::kStats);
+  EXPECT_EQ(ParseRequestLine(R"({"op":"metrics"})")->op,
+            WireRequest::Op::kMetrics);
   const auto wait =
       ParseRequestLine(R"({"op":"wait_applied","seq":12,"trace_id":"abc"})");
   ASSERT_TRUE(wait.ok());
@@ -68,6 +70,9 @@ TEST(WireProtocolTest, FormatsAreStableJson) {
   EXPECT_EQ(FormatStats(3, 2, 1, 99),
             R"({"ok":true,"op":"stats","applied_seq":3,"cached_entries":2,)"
             R"("graph_epoch":1,"graph_edges":99})");
+  EXPECT_EQ(FormatStats(3, 2, 1, 99, R"({"counters":{}})"),
+            R"({"ok":true,"op":"stats","applied_seq":3,"cached_entries":2,)"
+            R"("graph_epoch":1,"graph_edges":99,"metrics":{"counters":{}}})");
   EXPECT_EQ(FormatError("bad \"stuff\"\n"),
             R"({"ok":false,"error":"bad \"stuff\"\n"})");
 }
@@ -75,14 +80,15 @@ TEST(WireProtocolTest, FormatsAreStableJson) {
 TEST(WireProtocolTest, FormatRecommendResponseRoundsTripsScores) {
   const std::vector<ScoredTweet> tweets = {{3, 0.5}, {9, 0.25}};
   const std::string line =
-      FormatRecommendResponse(7, tweets, /*cache_hit=*/true,
+      FormatRecommendResponse(7, /*request_id=*/21, tweets,
+                              /*cache_hit=*/true,
                               /*degraded=*/false, /*applied_seq=*/4);
   EXPECT_EQ(line,
-            R"({"ok":true,"op":"recommend","user":7,"cache_hit":true,)"
-            R"("degraded":false,"applied_seq":4,)"
+            R"({"ok":true,"op":"recommend","user":7,"request_id":21,)"
+            R"("cache_hit":true,"degraded":false,"applied_seq":4,)"
             R"("tweets":[{"id":3,"score":0.5},{"id":9,"score":0.25}]})");
   const std::string empty =
-      FormatRecommendResponse(1, {}, false, true, 0);
+      FormatRecommendResponse(1, 0, {}, false, true, 0);
   EXPECT_NE(empty.find("\"tweets\":[]"), std::string::npos);
   EXPECT_NE(empty.find("\"degraded\":true"), std::string::npos);
 }

@@ -1,0 +1,122 @@
+// Percentile accuracy of the lock-free power-of-two LatencyHistogram:
+// estimates must land within bucket resolution (one octave — a factor of
+// two bracket around the exact sample quantile) for distributions with
+// very different shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace metrics {
+namespace {
+
+class LatencyHistogramPercentileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = SetEnabled(true); }
+  void TearDown() override { SetEnabled(previous_); }
+
+  /// Nearest-rank quantile of the exact samples.
+  static double ExactPercentile(std::vector<double> samples, double p) {
+    std::sort(samples.begin(), samples.end());
+    const size_t rank = static_cast<size_t>(std::ceil(
+        p / 100.0 * static_cast<double>(samples.size())));
+    return samples[std::min(samples.size() - 1,
+                            rank == 0 ? 0 : rank - 1)];
+  }
+
+  /// The histogram quantizes to power-of-two buckets, so an estimate is
+  /// accurate when it falls within a factor-of-two bracket of the exact
+  /// quantile (one octave of error, per the class contract).
+  static void ExpectWithinOctave(double estimate, double exact,
+                                 const char* label) {
+    ASSERT_GT(exact, 0.0);
+    EXPECT_GE(estimate, exact / 2.0) << label << ": estimate " << estimate
+                                     << " vs exact " << exact;
+    EXPECT_LE(estimate, exact * 2.0) << label << ": estimate " << estimate
+                                     << " vs exact " << exact;
+  }
+
+  static void CheckAll(const LatencyHistogram& histogram,
+                       const std::vector<double>& samples) {
+    ExpectWithinOctave(histogram.p50(), ExactPercentile(samples, 50), "p50");
+    ExpectWithinOctave(histogram.p95(), ExactPercentile(samples, 95), "p95");
+    ExpectWithinOctave(histogram.p99(), ExactPercentile(samples, 99), "p99");
+  }
+
+  bool previous_ = false;
+};
+
+TEST_F(LatencyHistogramPercentileTest, UniformDistribution) {
+  LatencyHistogram histogram;
+  Rng rng(42);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Uniform over [1ms, 9ms] — typical request latencies.
+    const double v = 1e-3 + 8e-3 * rng.NextDouble();
+    samples.push_back(v);
+    histogram.Record(v);
+  }
+  CheckAll(histogram, samples);
+}
+
+TEST_F(LatencyHistogramPercentileTest, TwoPointDistribution) {
+  LatencyHistogram histogram;
+  std::vector<double> samples;
+  // 90% fast (100us), 10% slow (50ms): p50 must sit on the fast mode,
+  // p95 and p99 on the slow one.
+  for (int i = 0; i < 9000; ++i) {
+    samples.push_back(100e-6);
+    histogram.Record(100e-6);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(50e-3);
+    histogram.Record(50e-3);
+  }
+  CheckAll(histogram, samples);
+  EXPECT_LT(histogram.p50(), 1e-3);
+  EXPECT_GT(histogram.p95(), 10e-3);
+}
+
+TEST_F(LatencyHistogramPercentileTest, HeavyTailDistribution) {
+  LatencyHistogram histogram;
+  Rng rng(7);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Pareto-like: 100us * U^(-0.7) stretches across several octaves.
+    const double u = std::max(1e-12, rng.NextDouble());
+    const double v = 100e-6 * std::pow(u, -0.7);
+    samples.push_back(v);
+    histogram.Record(v);
+  }
+  CheckAll(histogram, samples);
+  // Tail ordering is preserved despite bucketing.
+  EXPECT_LT(histogram.p50(), histogram.p95());
+  EXPECT_LE(histogram.p95(), histogram.p99());
+}
+
+TEST_F(LatencyHistogramPercentileTest, ExtremePercentilesClampToRange) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.Record(i * 1e-3);
+  EXPECT_GE(histogram.Percentile(0.0), 0.0);
+  // p100 may exceed the largest sample by at most one bucket bound.
+  EXPECT_LE(histogram.Percentile(100.0), 0.2);
+  EXPECT_GE(histogram.Percentile(100.0), 0.05);
+}
+
+TEST_F(LatencyHistogramPercentileTest, EmptyHistogramReportsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.p50(), 0.0);
+  EXPECT_EQ(histogram.p99(), 0.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace simgraph

@@ -1,0 +1,134 @@
+#include "util/prom_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace metrics {
+namespace {
+
+class PromExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = SetEnabled(true);
+    Registry::Global().Reset();
+  }
+  void TearDown() override {
+    Registry::Global().Reset();
+    SetEnabled(previous_);
+  }
+
+  bool previous_ = false;
+};
+
+TEST_F(PromExportTest, NameSanitization) {
+  EXPECT_EQ(PrometheusName("serve.request.seconds"),
+            "simgraph_serve_request_seconds");
+  EXPECT_EQ(PrometheusName("already_fine"), "simgraph_already_fine");
+  EXPECT_EQ(PrometheusName("with:colon"), "simgraph_with:colon");
+  EXPECT_EQ(PrometheusName("weird-chars /x"), "simgraph_weird_chars__x");
+}
+
+TEST_F(PromExportTest, CounterGetsTotalSuffixAndTypeLine) {
+  Registry::Global().counter("serve.requests").Add(41);
+  Registry::Global().counter("serve.requests").Add(1);
+  const std::string text = PrometheusText(Registry::Global());
+  EXPECT_NE(text.find("# TYPE simgraph_serve_requests_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nsimgraph_serve_requests_total 42\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PromExportTest, GaugeExports) {
+  Registry::Global().gauge("serve.ingest.queue_depth").Set(17.5);
+  const std::string text = PrometheusText(Registry::Global());
+  EXPECT_NE(text.find("# TYPE simgraph_serve_ingest_queue_depth gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nsimgraph_serve_ingest_queue_depth 17.5\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PromExportTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  auto& histogram = Registry::Global().histogram("serve.request.seconds");
+  histogram.Record(1e-3);
+  histogram.Record(1e-3);
+  histogram.Record(1.0);
+  const std::string text = PrometheusText(Registry::Global());
+  EXPECT_NE(
+      text.find("# TYPE simgraph_serve_request_seconds histogram\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("simgraph_serve_request_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("simgraph_serve_request_seconds_count 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("simgraph_serve_request_seconds_sum"),
+            std::string::npos)
+      << text;
+
+  // Bucket counts are cumulative: parse every _bucket line in order and
+  // check the counts never decrease and end at the total.
+  std::istringstream lines(text);
+  std::string line;
+  long long previous = -1;
+  long long last = -1;
+  while (std::getline(lines, line)) {
+    const std::string needle = "simgraph_serve_request_seconds_bucket{";
+    if (line.rfind(needle, 0) != 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const long long count = std::stoll(line.substr(space + 1));
+    EXPECT_GE(count, previous) << text;
+    previous = count;
+    last = count;
+  }
+  EXPECT_EQ(last, 3) << text;
+}
+
+TEST_F(PromExportTest, EndsWithEofTerminator) {
+  Registry::Global().counter("a").Add(1);
+  const std::string text = PrometheusText(Registry::Global());
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(PromExportTest, EveryExpositionLineIsWellFormed) {
+  Registry::Global().counter("serve.requests").Add(3);
+  Registry::Global().gauge("serve.cache_hit_rate").Set(0.5);
+  Registry::Global().histogram("serve.request.seconds").Record(1e-3);
+  const std::string text = PrometheusText(Registry::Global());
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0 || line == "# EOF")
+          << line;
+      continue;
+    }
+    // Sample lines: metric_name[{labels}] value
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.rfind("simgraph_", 0), 0u) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+  }
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace simgraph

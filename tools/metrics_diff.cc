@@ -1,0 +1,328 @@
+// metrics_diff: regression gate over two metrics JSON snapshots.
+//
+//   metrics_diff BASELINE.json CANDIDATE.json [--threshold=0.10]
+//                [--threshold=METRIC_SUBSTR:0.05 ...]
+//
+// Both files are registry snapshots (metrics::Registry::WriteJson) or
+// bench summaries (bench_serving_load's BENCH_serving.json): arbitrary
+// JSON objects whose numeric leaves are flattened to dotted paths, e.g.
+// histograms.serve.request.seconds.p99. Each numeric leaf present in
+// both snapshots is compared by relative change; a change past the
+// metric's threshold in its *bad* direction is a regression.
+//
+// Direction is inferred from the metric name:
+//   * lower is better:  latency/duration quantiles and sums
+//     (.p50/.p95/.p99/.max/.mean, *seconds*, *latency*, *_us)
+//   * higher is better: *per_s, *throughput*, *hit_rate*, *qps*
+//   * everything else is neutral — reported informationally, never a
+//     regression (counters like requests served depend on run length).
+//
+// Exit codes: 0 no regression, 1 at least one regression, 2 usage or
+// parse error. scripts/verify.sh runs the identity diff as a self-check
+// and CI can diff a fresh bench snapshot against the committed baseline.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Minimal recursive-descent JSON reader, sufficient for the snapshots we
+// produce ourselves: objects, arrays, numbers, strings, literals. Only
+// numeric leaves are kept, flattened to dotted paths (array elements
+// index as .0, .1, ...).
+class FlattenParser {
+ public:
+  explicit FlattenParser(std::string text) : text_(std::move(text)) {}
+
+  bool Parse(std::map<std::string, double>* out) {
+    out_ = out;
+    SkipSpace();
+    if (!ParseValue("")) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(const std::string& path) {
+    SkipSpace();
+    const char c = Peek();
+    if (c == '{') return ParseObject(path);
+    if (c == '[') return ParseArray(path);
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == 't') return ConsumeWord("true");
+    if (c == 'f') return ConsumeWord("false");
+    if (c == 'n') return ConsumeWord("null");
+    return ParseNumber(path);
+  }
+
+  bool ParseObject(const std::string& path) {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return false;
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (!ParseValue(child)) return false;
+      SkipSpace();
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(const std::string& path) {
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    int index = 0;
+    while (true) {
+      if (!ParseValue(path + "." + std::to_string(index++))) return false;
+      SkipSpace();
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u':
+            // Snapshot producers never emit \u escapes; skip the four
+            // digits and substitute '?' so parsing can continue.
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;
+            out->push_back('?');
+            break;
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(const std::string& path) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    (*out_)[path] = value;
+    return true;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::map<std::string, double>* out_ = nullptr;
+};
+
+enum class Direction { kLowerIsBetter, kHigherIsBetter, kNeutral };
+
+bool ContainsAny(const std::string& name,
+                 const std::vector<const char*>& needles) {
+  for (const char* needle : needles) {
+    if (name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& name, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return name.size() >= len &&
+         name.compare(name.size() - len, len, suffix) == 0;
+}
+
+Direction DirectionOf(const std::string& name) {
+  if (ContainsAny(name, {"per_s", "throughput", "hit_rate", "qps"})) {
+    return Direction::kHigherIsBetter;
+  }
+  const bool latency_like =
+      ContainsAny(name, {"seconds", "latency"}) || EndsWith(name, "_us");
+  const bool quantile_like =
+      EndsWith(name, ".p50") || EndsWith(name, ".p95") ||
+      EndsWith(name, ".p99") || EndsWith(name, ".max") ||
+      EndsWith(name, ".mean") || EndsWith(name, ".sum") ||
+      EndsWith(name, "_p50") || EndsWith(name, "_p95") ||
+      EndsWith(name, "_p99");
+  if (latency_like && quantile_like) return Direction::kLowerIsBetter;
+  return Direction::kNeutral;
+}
+
+struct ThresholdRule {
+  std::string substring;  // empty matches every metric
+  double value;
+};
+
+double ThresholdFor(const std::string& name,
+                    const std::vector<ThresholdRule>& rules,
+                    double fallback) {
+  // Last matching rule wins, so later flags override earlier ones.
+  double threshold = fallback;
+  for (const ThresholdRule& rule : rules) {
+    if (rule.substring.empty() ||
+        name.find(rule.substring) != std::string::npos) {
+      threshold = rule.value;
+    }
+  }
+  return threshold;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: metrics_diff BASELINE.json CANDIDATE.json\n"
+      "       [--threshold=REL] [--threshold=METRIC_SUBSTR:REL ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<ThresholdRule> rules;
+  double default_threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      const std::string spec = arg.substr(std::strlen("--threshold="));
+      const size_t colon = spec.rfind(':');
+      char* end = nullptr;
+      if (colon == std::string::npos) {
+        default_threshold = std::strtod(spec.c_str(), &end);
+        if (end != spec.c_str() + spec.size() || default_threshold < 0) {
+          return Usage();
+        }
+      } else {
+        ThresholdRule rule;
+        rule.substring = spec.substr(0, colon);
+        const std::string value = spec.substr(colon + 1);
+        rule.value = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size() || rule.value < 0) {
+          return Usage();
+        }
+        rules.push_back(std::move(rule));
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> candidate;
+  for (int i = 0; i < 2; ++i) {
+    std::string text;
+    if (!ReadFile(paths[static_cast<size_t>(i)], &text)) {
+      std::fprintf(stderr, "metrics_diff: cannot read %s\n",
+                   paths[static_cast<size_t>(i)].c_str());
+      return 2;
+    }
+    FlattenParser parser(std::move(text));
+    if (!parser.Parse(i == 0 ? &baseline : &candidate)) {
+      std::fprintf(stderr, "metrics_diff: %s is not valid JSON\n",
+                   paths[static_cast<size_t>(i)].c_str());
+      return 2;
+    }
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, base] : baseline) {
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) continue;
+    const double cand = it->second;
+    ++compared;
+    const Direction direction = DirectionOf(name);
+    if (direction == Direction::kNeutral) continue;
+    if (base == 0.0) {
+      // No meaningful relative change from zero; a candidate that is
+      // also ~0 is fine, anything else is only reported.
+      continue;
+    }
+    const double rel = (cand - base) / base;
+    const double threshold = ThresholdFor(name, rules, default_threshold);
+    const bool bad = direction == Direction::kLowerIsBetter
+                         ? rel > threshold
+                         : rel < -threshold;
+    if (bad) {
+      ++regressions;
+      std::fprintf(stderr,
+                   "REGRESSION %s: %.6g -> %.6g (%+.1f%%, threshold "
+                   "%.1f%%, %s is better)\n",
+                   name.c_str(), base, cand, rel * 100.0, threshold * 100.0,
+                   direction == Direction::kLowerIsBetter ? "lower"
+                                                          : "higher");
+    }
+  }
+  std::fprintf(stderr, "metrics_diff: %d metric(s) compared, %d regression(s)\n",
+               compared, regressions);
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "metrics_diff: snapshots share no numeric metrics\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -15,6 +15,12 @@
 //                   [--deadline-us N]    per-request budget; 0 = unlimited
 //                   [--refresh-events N] SimGraph snapshot refresh cadence
 //                   [--metrics-json PATH] [--trace-json PATH]
+//                   [--metrics-flush-ms N] flush --metrics-json every N ms
+//                                        from a background thread (default
+//                                        0: write once at shutdown)
+//                   [--slow-request-us N] log requests slower than N us as
+//                                        one structured JSON line (default
+//                                        0: off; see docs/observability.md)
 //
 // Prints "listening on port P" once ready — harnesses parse this line to
 // find an ephemeral port.
@@ -85,6 +91,19 @@ int Run(int argc, char** argv) {
   const std::string trace_path = FlagString(flags, "trace-json");
   if (!metrics_path.empty()) metrics::SetEnabled(true);
   if (!trace_path.empty()) trace::SetEnabled(true);
+  const int64_t slow_request_us = FlagInt(flags, "slow-request-us", 0);
+  if (slow_request_us > 0) trace::SetSlowRequestThresholdUs(slow_request_us);
+  const int64_t metrics_flush_ms = FlagInt(flags, "metrics-flush-ms", 0);
+  std::unique_ptr<metrics::PeriodicFlusher> flusher;
+  if (metrics_flush_ms > 0) {
+    if (metrics_path.empty()) {
+      std::cerr << "--metrics-flush-ms needs --metrics-json PATH\n";
+      return 2;
+    }
+    flusher = std::make_unique<metrics::PeriodicFlusher>(
+        metrics_path, std::chrono::milliseconds(metrics_flush_ms));
+    flusher->Start();
+  }
 
   Dataset dataset;
   const std::string data_dir = FlagString(flags, "data");
@@ -149,6 +168,7 @@ int Run(int argc, char** argv) {
   // then answers their final acks before closing.
   service.Stop();
   server.Stop();
+  if (flusher != nullptr) flusher->Stop();
 
   int rc = 0;
   if (!metrics_path.empty()) {
