@@ -1,8 +1,8 @@
 // bench_serving_load — load generator for the online serving subsystem.
 //
-// Replays the full test-period retweet stream through a
-// RecommendationService while worker threads issue recommendation
-// requests, in two phases:
+// Replays the full test-period retweet stream through a ShardedService
+// (one or more RecommendationService shards behind the hash router)
+// while worker threads issue recommendation requests, in two phases:
 //
 //   1. closed-loop: each worker fires its next request as soon as the
 //      previous one returns, concurrently with the event replay —
@@ -20,13 +20,21 @@
 //   SIMGRAPH_BENCH_SERVE_TTL      result-cache TTL in simulated s (86400)
 //   SIMGRAPH_BENCH_SERVE_DEADLINE_US  per-request budget, 0 = off (0)
 //   SIMGRAPH_BENCH_SERVE_REFRESH  snapshot refresh cadence in events (2000)
+//   SIMGRAPH_BENCH_SERVE_SHARDS   service shards behind the router (1)
+//   SIMGRAPH_BENCH_SERVE_SHARD_SWEEP  comma-separated shard counts, e.g.
+//                                 "1,2,4,8": run the whole load once per
+//                                 count and report scaling (also the
+//                                 --shard-sweep=1,2,4,8 flag; overrides
+//                                 SIMGRAPH_BENCH_SERVE_SHARDS)
 //   SIMGRAPH_BENCH_SERVE_TCP      1 = drive the service through the NDJSON
 //                                 TCP front-end instead of in-process calls,
 //                                 exercising the full parse->serialize
 //                                 request path (0)
 //   SIMGRAPH_BENCH_SERVE_SNAPSHOT  path of the machine-readable summary
-//                                 written after the run (BENCH_serving.json;
-//                                 empty disables) — diff two of these with
+//                                 written after the run (empty = not
+//                                 written; set it explicitly — the bench
+//                                 never rewrites an in-tree baseline on
+//                                 its own) — diff two of these with
 //                                 tools/metrics_diff to gate regressions
 // plus the usual --metrics-json= / --trace-json= flags. Without
 // --metrics-json the metrics snapshot is written to
@@ -43,6 +51,8 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -126,41 +136,55 @@ RequestResult TcpRecommend(LineClient& client, UserId user, Timestamp now,
   return result;
 }
 
-int Run(int argc, char** argv) {
-  const bench::ObservabilityGuard observability(argc, argv);
-  // This bench reports through the metrics registry, so collection is
-  // always on here regardless of SIMGRAPH_METRICS.
-  metrics::SetEnabled(true);
+/// One full two-phase run against a fixed shard count.
+struct LoadConfig {
+  int64_t total_requests = 60000;
+  int32_t num_threads = 4;
+  Timestamp cache_ttl = kSecondsPerDay;
+  int64_t deadline_us = 0;
+  int64_t refresh_events = 2000;
+  int32_t num_shards = 1;
+  bool use_tcp = false;
+};
 
-  const int64_t total_requests =
-      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_REQUESTS", 60000));
-  const int32_t num_threads = static_cast<int32_t>(
-      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_THREADS", 4)));
-  const Timestamp cache_ttl =
-      GetEnvInt64("SIMGRAPH_BENCH_SERVE_TTL", kSecondsPerDay);
-  const int64_t deadline_us =
-      GetEnvInt64("SIMGRAPH_BENCH_SERVE_DEADLINE_US", 0);
-  const int64_t refresh_events =
-      GetEnvInt64("SIMGRAPH_BENCH_SERVE_REFRESH", 2000);
-  const bool use_tcp = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TCP", 0) != 0;
-  const std::string snapshot_path =
-      GetEnvString("SIMGRAPH_BENCH_SERVE_SNAPSHOT", "BENCH_serving.json");
+struct LoadResult {
+  int32_t num_shards = 1;
+  WorkerTally total;
+  double hit_rate = 0;
+  double closed_throughput = 0;
+  double open_throughput = 0;
+  double latency_p50_us = 0;
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+  double sojourn_p99_us = 0;
+  double queue_depth_max = 0;
+};
 
+/// Runs both load phases against a freshly built ShardedService and
+/// fills `out` from the (per-run; the caller resets it) metrics
+/// registry. Returns non-zero on setup failure.
+int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   const Dataset& dataset = bench::BenchDataset();
   const EvalProtocol& protocol = bench::BenchProtocol();
-  bench::PrintPreamble("serving load");
 
   serve::ServingSimGraphOptions rec_options;
   rec_options.graph = bench::BenchSimGraphOptions();
-  rec_options.snapshot_refresh_events = refresh_events;
-  serve::ServiceOptions options;
-  options.cache_ttl = cache_ttl;
-  options.deadline = std::chrono::microseconds(deadline_us);
-  serve::RecommendationService service(
-      std::make_unique<serve::SimGraphServingRecommender>(rec_options),
+  rec_options.snapshot_refresh_events = config.refresh_events;
+  serve::ShardedServiceOptions options;
+  options.num_shards = config.num_shards;
+  options.shard_options.cache_ttl = config.cache_ttl;
+  options.shard_options.deadline =
+      std::chrono::microseconds(config.deadline_us);
+  serve::ShardedService service(
+      [&rec_options] {
+        return std::make_unique<serve::SimGraphServingRecommender>(
+            rec_options);
+      },
       options);
 
-  std::cout << "training on " << protocol.train_end << " events...\n";
+  std::cout << "training " << config.num_shards << " shard"
+            << (config.num_shards == 1 ? "" : "s") << " on "
+            << protocol.train_end << " events...\n";
   const Status trained = service.Train(dataset, protocol.train_end);
   if (!trained.ok()) {
     std::cerr << trained.ToString() << "\n";
@@ -169,7 +193,7 @@ int Run(int argc, char** argv) {
   service.Start();
 
   std::unique_ptr<serve::TcpServer> server;
-  if (use_tcp) {
+  if (config.use_tcp) {
     server = std::make_unique<serve::TcpServer>(&service);
     const Status started = server->Start(0);
     if (!started.ok()) {
@@ -181,8 +205,9 @@ int Run(int argc, char** argv) {
   }
 
   const int64_t num_events = dataset.num_retweets() - protocol.train_end;
-  const int64_t closed_requests = total_requests * 2 / 3;
-  const int64_t open_requests = total_requests - closed_requests;
+  const int64_t closed_requests = config.total_requests * 2 / 3;
+  const int64_t open_requests = config.total_requests - closed_requests;
+  const int32_t num_threads = config.num_threads;
 
   // The simulated "now" tracks the last published event so requests ask
   // about the stream's current edge, like a live system would.
@@ -192,7 +217,7 @@ int Run(int argc, char** argv) {
   // --- phase 1: closed loop concurrent with the full event replay -----
   std::thread producer([&] {
     std::unique_ptr<LineClient> client;
-    if (use_tcp) {
+    if (config.use_tcp) {
       client = std::make_unique<LineClient>(server->port());
       if (!client->connected()) client = nullptr;
     }
@@ -221,7 +246,7 @@ int Run(int argc, char** argv) {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0x5eed5 + static_cast<uint64_t>(t));
         std::unique_ptr<LineClient> client;
-        if (use_tcp) {
+        if (config.use_tcp) {
           client = std::make_unique<LineClient>(server->port());
           if (!client->connected()) {
             ++tally.failures;
@@ -278,7 +303,7 @@ int Run(int argc, char** argv) {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0xfeed5 + static_cast<uint64_t>(t));
         std::unique_ptr<LineClient> client;
-        if (use_tcp) {
+        if (config.use_tcp) {
           client = std::make_unique<LineClient>(server->port());
           if (!client->connected()) {
             ++tally.failures;
@@ -359,7 +384,8 @@ int Run(int argc, char** argv) {
   const auto& apply_latency =
       registry.histogram("serve.ingest.apply_seconds");
 
-  TableWriter table("Serving load (" + std::to_string(num_threads) +
+  TableWriter table("Serving load (" + std::to_string(config.num_shards) +
+                    " shards, " + std::to_string(num_threads) +
                     " workers, " + std::to_string(num_events) +
                     " events replayed)");
   table.SetHeader({"metric", "value"});
@@ -380,47 +406,181 @@ int Run(int argc, char** argv) {
       {"apply p50 (ms)", TableWriter::Cell(apply_latency.p50() * 1e3)});
   table.Print(std::cout);
 
+  const auto us = [](double seconds) { return seconds * 1e6; };
+  out->num_shards = config.num_shards;
+  out->total = total;
+  out->hit_rate = hit_rate;
+  out->closed_throughput = closed_throughput;
+  out->open_throughput = open_throughput;
+  out->latency_p50_us = us(request_latency.p50());
+  out->latency_p95_us = us(request_latency.p95());
+  out->latency_p99_us = us(request_latency.p99());
+  out->sojourn_p99_us = us(sojourn.p99());
+  out->queue_depth_max =
+      registry.gauge("serve.ingest.queue_depth_max").value();
+  return 0;
+}
+
+std::vector<int32_t> ParseShardSweep(const std::string& spec) {
+  std::vector<int32_t> counts;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const int32_t n = static_cast<int32_t>(std::stoll(item));
+    if (n >= 1) counts.push_back(n);
+  }
+  return counts;
+}
+
+void WriteLegJson(std::ostream& out, const LoadResult& leg,
+                  const std::string& indent) {
+  out << indent << "\"requests\": " << leg.total.requests << ",\n"
+      << indent << "\"degraded\": " << leg.total.degraded << ",\n"
+      << indent << "\"hit_rate\": " << leg.hit_rate << ",\n"
+      << indent << "\"closed_loop\": {\"req_per_s\": "
+      << leg.closed_throughput << "},\n"
+      << indent << "\"open_loop\": {\"req_per_s\": " << leg.open_throughput
+      << "},\n"
+      << indent << "\"latency_us\": {\"p50\": " << leg.latency_p50_us
+      << ", \"p95\": " << leg.latency_p95_us
+      << ", \"p99\": " << leg.latency_p99_us << "},\n"
+      << indent << "\"sojourn_us\": {\"p99\": " << leg.sojourn_p99_us
+      << "},\n"
+      << indent << "\"queue_depth_max\": " << leg.queue_depth_max;
+}
+
+int Run(int argc, char** argv) {
+  const bench::ObservabilityGuard observability(argc, argv);
+  // This bench reports through the metrics registry, so collection is
+  // always on here regardless of SIMGRAPH_METRICS.
+  metrics::SetEnabled(true);
+
+  LoadConfig config;
+  config.total_requests =
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_REQUESTS", 60000));
+  config.num_threads = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_THREADS", 4)));
+  config.cache_ttl = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TTL", kSecondsPerDay);
+  config.deadline_us = GetEnvInt64("SIMGRAPH_BENCH_SERVE_DEADLINE_US", 0);
+  config.refresh_events = GetEnvInt64("SIMGRAPH_BENCH_SERVE_REFRESH", 2000);
+  config.num_shards = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_SHARDS", 1)));
+  config.use_tcp = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TCP", 0) != 0;
+  const std::string snapshot_path =
+      GetEnvString("SIMGRAPH_BENCH_SERVE_SNAPSHOT", "");
+
+  std::string sweep_spec = GetEnvString("SIMGRAPH_BENCH_SERVE_SHARD_SWEEP", "");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--shard-sweep=";
+    if (arg.rfind(prefix, 0) == 0) sweep_spec = arg.substr(prefix.size());
+  }
+  std::vector<int32_t> shard_counts = ParseShardSweep(sweep_spec);
+  const bool sweeping = shard_counts.size() > 1;
+  if (shard_counts.empty()) shard_counts = {config.num_shards};
+
+  bench::PrintPreamble("serving load");
+
+  std::vector<LoadResult> legs;
+  for (const int32_t shards : shard_counts) {
+    // Each leg reads its own percentiles, so the shared registry must
+    // start clean (values are zeroed; instruments stay registered).
+    metrics::Registry::Global().Reset();
+    LoadConfig leg_config = config;
+    leg_config.num_shards = shards;
+    LoadResult result;
+    if (const int rc = RunLoadPhases(leg_config, &result); rc != 0) {
+      return rc;
+    }
+    legs.push_back(result);
+  }
+
+  if (sweeping) {
+    // Scaling relative to the first (fewest-shard) leg. The metric names
+    // carry the better-direction for tools/metrics_diff: throughput
+    // speedup is higher-better, the p99 latency ratio lower-better.
+    const LoadResult& base = legs.front();
+    const LoadResult& top = legs.back();
+    const double speedup =
+        top.closed_throughput / std::max(base.closed_throughput, 1e-9);
+    const double latency_ratio =
+        top.latency_p99_us / std::max(base.latency_p99_us, 1e-9);
+    SIMGRAPH_GAUGE_SET("serve.bench.scaling_speedup_throughput", speedup);
+    TableWriter table("Shard sweep scaling (vs " +
+                      std::to_string(base.num_shards) + " shard baseline)");
+    table.SetHeader({"shards", "closed req/s", "speedup", "p99 (us)"});
+    for (const LoadResult& leg : legs) {
+      table.AddRow({TableWriter::Cell(static_cast<int64_t>(leg.num_shards)),
+                    TableWriter::Cell(leg.closed_throughput),
+                    TableWriter::Cell(leg.closed_throughput /
+                                      std::max(base.closed_throughput, 1e-9)),
+                    TableWriter::Cell(leg.latency_p99_us)});
+    }
+    table.Print(std::cout);
+    std::cout << "scaling: " << top.num_shards << " shards reach " << speedup
+              << "x closed-loop throughput, " << latency_ratio
+              << "x p99 latency of the " << base.num_shards
+              << "-shard baseline\n";
+  }
+
+  int64_t failures = 0;
+  for (const LoadResult& leg : legs) failures += leg.total.failures;
+
   if (!snapshot_path.empty()) {
     // Machine-readable summary for tools/metrics_diff: numeric leaves
     // flatten to e.g. closed_loop.req_per_s and latency_us.p99, whose
     // names carry the better-direction (see the metrics_diff header).
+    // The top-level fields describe the first leg, so a no-sweep run
+    // keeps the schema of the committed baseline; a sweep appends one
+    // "shard_sweep.sN" section per leg plus the "scaling" ratios.
     std::ofstream snapshot(snapshot_path);
     if (!snapshot) {
       std::cerr << "cannot write " << snapshot_path << "\n";
     } else {
-      const auto us = [](double seconds) { return seconds * 1e6; };
+      const LoadResult& head = legs.front();
       snapshot << "{\n"
                << "  \"bench\": \"serving_load\",\n"
-               << "  \"mode\": \"" << (use_tcp ? "tcp" : "inproc") << "\",\n"
-               << "  \"requests\": " << total.requests << ",\n"
-               << "  \"degraded\": " << total.degraded << ",\n"
-               << "  \"hit_rate\": " << hit_rate << ",\n"
-               << "  \"closed_loop\": {\"req_per_s\": " << closed_throughput
-               << "},\n"
-               << "  \"open_loop\": {\"req_per_s\": " << open_throughput
-               << "},\n"
-               << "  \"latency_us\": {\"p50\": " << us(request_latency.p50())
-               << ", \"p95\": " << us(request_latency.p95())
-               << ", \"p99\": " << us(request_latency.p99()) << "},\n"
-               << "  \"sojourn_us\": {\"p99\": " << us(sojourn.p99())
-               << "},\n"
-               << "  \"queue_depth_max\": "
-               << registry.gauge("serve.ingest.queue_depth_max").value()
-               << "\n}\n";
+               << "  \"mode\": \"" << (config.use_tcp ? "tcp" : "inproc")
+               << "\",\n"
+               << "  \"num_shards\": " << head.num_shards << ",\n";
+      WriteLegJson(snapshot, head, "  ");
+      if (sweeping) {
+        const LoadResult& base = legs.front();
+        const LoadResult& top = legs.back();
+        snapshot << ",\n  \"shard_sweep\": {\n";
+        for (size_t i = 0; i < legs.size(); ++i) {
+          snapshot << "    \"s" << legs[i].num_shards << "\": {\n";
+          WriteLegJson(snapshot, legs[i], "      ");
+          snapshot << "\n    }" << (i + 1 < legs.size() ? "," : "") << "\n";
+        }
+        snapshot << "  },\n"
+                 << "  \"scaling\": {\n"
+                 << "    \"shards\": " << top.num_shards << ",\n"
+                 << "    \"closed_loop_speedup_throughput\": "
+                 << top.closed_throughput /
+                        std::max(base.closed_throughput, 1e-9)
+                 << ",\n"
+                 << "    \"latency_ratio_p99\": "
+                 << top.latency_p99_us / std::max(base.latency_p99_us, 1e-9)
+                 << "\n  }";
+      }
+      snapshot << "\n}\n";
       std::cout << "bench snapshot written to " << snapshot_path << "\n";
     }
   }
   if (observability.metrics_path().empty()) {
     const std::string fallback = "/tmp/simgraph_serving_load_metrics.json";
-    const Status written = registry.WriteJsonFile(fallback);
+    const Status written =
+        metrics::Registry::Global().WriteJsonFile(fallback);
     if (written.ok()) {
       std::cout << "metrics written to " << fallback << "\n";
     } else {
       std::cerr << written.ToString() << "\n";
     }
   }
-  if (total.failures > 0) {
-    std::cerr << total.failures << " requests failed\n";
+  if (failures > 0) {
+    std::cerr << failures << " requests failed\n";
     return 1;
   }
   return 0;

@@ -3,6 +3,8 @@
 #
 # Usage:
 #   scripts/verify.sh                 # build + full ctest
+#   SIMGRAPH_VERIFY_JOBS=N scripts/verify.sh
+#       # parallelism for build and ctest (default: nproc)
 #   SIMGRAPH_VERIFY_TSAN=1 scripts/verify.sh
 #       # additionally build the tsan preset and run the concurrency-
 #       # labelled tests under ThreadSanitizer
@@ -10,17 +12,56 @@
 #       # additionally run the serving load bench and gate its snapshot
 #       # against the committed BENCH_serving.json baseline with
 #       # tools/metrics_diff
-set -euo pipefail
+#
+# Exit codes (so CI can tell the failure stages apart):
+#   0  everything passed
+#   2  configure or build failed
+#   3  a test failed
+#   4  a regression gate failed (metrics_diff self-check or bench gate)
+#
+# Under GitHub Actions (GITHUB_ACTIONS=true) each stage is wrapped in
+# ::group::/::endgroup:: markers so the log folds per stage.
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+jobs="${SIMGRAPH_VERIFY_JOBS:-$(nproc)}"
+
+group() {
+  if [[ "${GITHUB_ACTIONS:-}" == "true" ]]; then
+    echo "::group::$1"
+  else
+    echo "== $1 =="
+  fi
+}
+
+endgroup() {
+  if [[ "${GITHUB_ACTIONS:-}" == "true" ]]; then
+    echo "::endgroup::"
+  fi
+}
+
+fail() {  # fail <exit-code> <message>
+  echo "verify: $2" >&2
+  exit "$1"
+}
+
+group "configure"
+cmake -B build -S . || fail 2 "configure failed"
+endgroup
+
+group "build (-j $jobs)"
+cmake --build build -j "$jobs" || fail 2 "build failed"
+endgroup
+
+group "ctest (-j $jobs)"
+ctest --test-dir build --output-on-failure -j "$jobs" \
+  || fail 3 "test suite failed"
+endgroup
 
 # metrics_diff self-check: a snapshot diffed against itself must never
 # regress, and the gate must actually fire on a doctored regression.
-echo "== metrics_diff self-check =="
+group "metrics_diff self-check"
 selfcheck_dir="$(mktemp -d)"
 trap 'rm -rf "$selfcheck_dir"' EXIT
 cat > "$selfcheck_dir/base.json" <<'EOF'
@@ -29,32 +70,39 @@ EOF
 cat > "$selfcheck_dir/bad.json" <<'EOF'
 {"closed_loop": {"req_per_s": 800.0}, "latency_us": {"p99": 500.0}}
 EOF
-./build/tools/metrics_diff "$selfcheck_dir/base.json" "$selfcheck_dir/base.json"
+./build/tools/metrics_diff "$selfcheck_dir/base.json" \
+  "$selfcheck_dir/base.json" \
+  || fail 4 "metrics_diff flagged a self-diff as a regression"
 if ./build/tools/metrics_diff "$selfcheck_dir/base.json" \
     "$selfcheck_dir/bad.json" 2>/dev/null; then
-  echo "metrics_diff failed to flag a -20% throughput regression" >&2
-  exit 1
+  fail 4 "metrics_diff failed to flag a -20% throughput regression"
 fi
+endgroup
 
 if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
-  echo "== serving load bench gate =="
+  group "serving load bench gate"
   bench_snapshot="$selfcheck_dir/BENCH_serving.json"
   SIMGRAPH_BENCH_SERVE_SNAPSHOT="$bench_snapshot" \
-    ./build/bench/bench_serving_load
+    ./build/bench/bench_serving_load \
+    || fail 3 "serving load bench failed"
   if [[ -f BENCH_serving.json ]]; then
     ./build/tools/metrics_diff BENCH_serving.json "$bench_snapshot" \
-      --threshold=0.5
+      --threshold=0.5 \
+      || fail 4 "serving bench regressed against BENCH_serving.json"
   else
     echo "no committed BENCH_serving.json baseline; skipping diff"
   fi
+  endgroup
 fi
 
 if [[ "${SIMGRAPH_VERIFY_TSAN:-0}" == "1" ]]; then
-  echo "== TSAN concurrency pass =="
-  cmake -B build-tsan -S . -DSIMGRAPH_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$(nproc)"
+  group "TSAN concurrency pass"
+  cmake -B build-tsan -S . -DSIMGRAPH_TSAN=ON \
+    || fail 2 "tsan configure failed"
+  cmake --build build-tsan -j "$jobs" || fail 2 "tsan build failed"
   ctest --test-dir build-tsan -L concurrency --output-on-failure \
-    -j "$(nproc)"
+    -j "$jobs" || fail 3 "tsan concurrency tests failed"
+  endgroup
 fi
 
 echo "verify: OK"

@@ -1,0 +1,86 @@
+#ifndef SIMGRAPH_SERVE_BACKEND_H_
+#define SIMGRAPH_SERVE_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recommender.h"
+#include "dataset/types.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+struct RecommendRequest {
+  UserId user = 0;
+  Timestamp now = 0;
+  int32_t k = 10;
+};
+
+struct RecommendResponse {
+  Status status = Status::Ok();
+  std::vector<ScoredTweet> tweets;
+  /// Served straight from the result cache.
+  bool cache_hit = false;
+  /// The deadline expired mid-computation; `tweets` is a best-so-far
+  /// truncated list and was NOT cached.
+  bool degraded = false;
+  /// Events applied before this answer was computed (monotonic sequence;
+  /// see ServingBackend::AppliedSeq).
+  uint64_t applied_seq = 0;
+};
+
+/// One shard's slice of a BackendStats snapshot. An unsharded backend
+/// reports exactly one entry.
+struct ShardStats {
+  uint64_t applied_seq = 0;
+  int64_t cached_entries = 0;
+  uint64_t graph_epoch = 0;
+  int64_t graph_edges = 0;
+};
+
+/// Snapshot answering the wire protocol's `stats` op. The top-level
+/// fields aggregate across shards: `applied_seq` is the minimum (the
+/// event prefix every shard has applied), `cached_entries` the sum,
+/// `graph_epoch` / `graph_edges` the maximum.
+struct BackendStats {
+  uint64_t applied_seq = 0;
+  int64_t cached_entries = 0;
+  uint64_t graph_epoch = 0;
+  int64_t graph_edges = 0;
+  std::vector<ShardStats> shards;
+};
+
+/// The request-facing contract of a recommendation backend, implemented
+/// by both the single RecommendationService and the per-core
+/// ShardedService. The TCP front-end (tcp_server.h) and the load bench
+/// speak only this interface, so sharding is invisible on the wire
+/// beyond the extra fields in `stats`.
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+
+  /// Enqueues one event; blocks while the ingestion path is saturated
+  /// (backpressure). Returns the event's global sequence number
+  /// (1-based), or 0 when the backend has been stopped.
+  virtual uint64_t Publish(const RetweetEvent& event) = 0;
+
+  /// Sequence number up to which every answer reflects the published
+  /// stream (0 before any event was applied).
+  virtual uint64_t AppliedSeq() const = 0;
+
+  /// Blocks until AppliedSeq() >= seq (returns immediately once the
+  /// backend is stopped and drained).
+  virtual void WaitForApplied(uint64_t seq) = 0;
+
+  /// Thread-safe recommendation entry point.
+  virtual RecommendResponse Recommend(const RecommendRequest& request) = 0;
+
+  /// Aggregated counters for the wire protocol's `stats` op.
+  virtual BackendStats Stats() const = 0;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_BACKEND_H_

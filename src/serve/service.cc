@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "serve/simgraph_serving_recommender.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -17,6 +18,15 @@ RecommendationService::RecommendationService(
       options_(options),
       queue_(options.ingest_queue_capacity) {
   SIMGRAPH_CHECK(recommender_ != nullptr);
+  if (options_.shard >= 0) {
+    auto& registry = metrics::Registry::Global();
+    shard_requests_ = &registry.counter(
+        metrics::ShardMetricName("serve.requests", options_.shard));
+    shard_applied_seq_ = &registry.gauge(
+        metrics::ShardMetricName("serve.ingest.applied_seq", options_.shard));
+    shard_queue_depth_max_ = &registry.gauge(metrics::ShardMetricName(
+        "serve.ingest.queue_depth_max", options_.shard));
+  }
 }
 
 RecommendationService::~RecommendationService() { Stop(); }
@@ -70,9 +80,12 @@ uint64_t RecommendationService::Publish(const RetweetEvent& event) {
   while (depth > max && !queue_depth_max_.compare_exchange_weak(
                             max, depth, std::memory_order_relaxed)) {
   }
-  SIMGRAPH_GAUGE_SET(
-      "serve.ingest.queue_depth_max",
-      static_cast<double>(queue_depth_max_.load(std::memory_order_relaxed)));
+  const double depth_max =
+      static_cast<double>(queue_depth_max_.load(std::memory_order_relaxed));
+  SIMGRAPH_GAUGE_SET("serve.ingest.queue_depth_max", depth_max);
+  if (shard_queue_depth_max_ != nullptr) {
+    shard_queue_depth_max_->Set(depth_max);
+  }
   return *ticket + 1;  // tickets are 0-based, sequence numbers 1-based
 }
 
@@ -131,6 +144,9 @@ void RecommendationService::ApplierLoop() {
       ++applied_seq_;
       SIMGRAPH_GAUGE_SET("serve.ingest.applied_seq",
                          static_cast<double>(applied_seq_));
+      if (shard_applied_seq_ != nullptr) {
+        shard_applied_seq_->Set(static_cast<double>(applied_seq_));
+      }
     }
     applied_cv_.notify_all();
   }
@@ -139,6 +155,25 @@ void RecommendationService::ApplierLoop() {
     drained_ = true;
   }
   applied_cv_.notify_all();
+}
+
+BackendStats RecommendationService::Stats() const {
+  ShardStats shard;
+  shard.applied_seq = AppliedSeq();
+  shard.cached_entries = cache_ != nullptr ? cache_->size() : 0;
+  if (const auto* serving = dynamic_cast<const SimGraphServingRecommender*>(
+          recommender_.get());
+      serving != nullptr) {
+    shard.graph_epoch = serving->graph_epoch();
+    shard.graph_edges = serving->GraphSnapshot()->graph.num_edges();
+  }
+  BackendStats stats;
+  stats.applied_seq = shard.applied_seq;
+  stats.cached_entries = shard.cached_entries;
+  stats.graph_epoch = shard.graph_epoch;
+  stats.graph_edges = shard.graph_edges;
+  stats.shards.push_back(shard);
+  return stats;
 }
 
 RecommendResponse RecommendationService::Recommend(
@@ -191,6 +226,7 @@ RecommendResponse RecommendationService::RecommendLocked(
   SIMGRAPH_TRACE_SPAN("RecommendationService::Recommend", "serve");
   SIMGRAPH_SCOPED_LATENCY("serve.request.seconds");
   SIMGRAPH_COUNTER_ADD("serve.requests", 1);
+  if (shard_requests_ != nullptr) shard_requests_->Add(1);
   RecommendResponse response;
   response.applied_seq = AppliedSeq();
   if (request.user < 0 || request.user >= num_users_) {

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "dataset/dataset.h"
+#include "serve/backend.h"
 #include "serve/result_cache.h"
 #include "serve/serving_recommender.h"
+#include "util/metrics.h"
 #include "util/mpmc_queue.h"
 #include "util/status.h"
 
@@ -33,6 +35,11 @@ struct ServiceOptions {
   std::chrono::microseconds deadline{0};
   /// Lock stripes of the result cache.
   int32_t cache_stripes = 64;
+  /// Index of this service within a sharded deployment (see
+  /// sharded_service.h). >= 0 additionally records per-shard metrics
+  /// under metrics::ShardMetricName(base, shard); -1 (the default,
+  /// standalone service) records only the unlabelled names.
+  int32_t shard = -1;
 };
 
 /// One entry of the ingestion queue: the event plus the trace context of
@@ -52,25 +59,6 @@ struct IngestItem {
   bool traced = false;
 };
 
-struct RecommendRequest {
-  UserId user = 0;
-  Timestamp now = 0;
-  int32_t k = 10;
-};
-
-struct RecommendResponse {
-  Status status = Status::Ok();
-  std::vector<ScoredTweet> tweets;
-  /// Served straight from the result cache.
-  bool cache_hit = false;
-  /// The deadline expired mid-computation; `tweets` is a best-so-far
-  /// truncated list and was NOT cached.
-  bool degraded = false;
-  /// Events applied before this answer was computed (monotonic sequence;
-  /// see AppliedSeq).
-  uint64_t applied_seq = 0;
-};
-
 /// In-process recommendation service: one ServingRecommender behind a
 /// concurrent request engine.
 ///
@@ -87,11 +75,11 @@ struct RecommendResponse {
 ///     cached).
 ///
 /// See docs/serving.md for the full design.
-class RecommendationService {
+class RecommendationService : public ServingBackend {
  public:
   RecommendationService(std::unique_ptr<ServingRecommender> recommender,
                         ServiceOptions options = {});
-  ~RecommendationService();
+  ~RecommendationService() override;
 
   RecommendationService(const RecommendationService&) = delete;
   RecommendationService& operator=(const RecommendationService&) = delete;
@@ -110,16 +98,20 @@ class RecommendationService {
   /// Enqueues one event; blocks while the queue is full. Returns the
   /// event's sequence number (1-based), or 0 when the service has been
   /// stopped and the event was rejected.
-  uint64_t Publish(const RetweetEvent& event);
+  uint64_t Publish(const RetweetEvent& event) override;
 
   /// Sequence number of the last applied event (0 before any).
-  uint64_t AppliedSeq() const;
+  uint64_t AppliedSeq() const override;
 
   /// Blocks until AppliedSeq() >= seq. Returns immediately when the
   /// service is stopped and the queue has drained below seq.
-  void WaitForApplied(uint64_t seq);
+  void WaitForApplied(uint64_t seq) override;
 
-  RecommendResponse Recommend(const RecommendRequest& request);
+  RecommendResponse Recommend(const RecommendRequest& request) override;
+
+  /// One-shard stats snapshot (graph epoch/edges are reported when the
+  /// recommender is a SimGraphServingRecommender, 0 otherwise).
+  BackendStats Stats() const override;
 
   /// Serves a batch of requests. With a non-concurrent recommender the
   /// internal lock is taken once for the whole batch; deadlines are
@@ -143,6 +135,11 @@ class RecommendationService {
   ServiceOptions options_;
   std::unique_ptr<ResultCache> cache_;
   int32_t num_users_ = 0;
+
+  /// Per-shard labelled metrics (null unless options_.shard >= 0).
+  metrics::Counter* shard_requests_ = nullptr;
+  metrics::Gauge* shard_applied_seq_ = nullptr;
+  metrics::Gauge* shard_queue_depth_max_ = nullptr;
 
   BoundedMpmcQueue<IngestItem> queue_;
   /// High-water mark of the ingestion queue depth, exported as the gauge

@@ -1,0 +1,45 @@
+#ifndef SIMGRAPH_SERVE_SHARD_ROUTER_H_
+#define SIMGRAPH_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/types.h"
+
+namespace simgraph {
+namespace serve {
+
+/// Hash-based request router of the sharded serving path: maps every
+/// user id to its home shard with a stable mixing hash, so the
+/// assignment is uniform even when user ids are dense and sequential
+/// (plain `user % shards` would put consecutive users on consecutive
+/// shards, which correlates with community structure in the generator).
+///
+/// Recommend requests go to exactly ShardOf(user). Events fan out to
+/// ShardsForEvent(event): per-shard graph state is *replicated* (a
+/// similarity deposit can touch users on any shard), so today that is
+/// every shard — the method exists as the seam where a recommender with
+/// provably confined event effects could narrow the fan-out. See
+/// docs/serving.md for the consistency discussion.
+class ShardRouter {
+ public:
+  /// `num_shards` below 1 is clamped to 1.
+  explicit ShardRouter(int32_t num_shards);
+
+  int32_t num_shards() const { return num_shards_; }
+
+  /// Home shard of `user` (stable across processes and runs).
+  int32_t ShardOf(UserId user) const;
+
+  /// Shards that must apply `event`, each exactly once, in ascending
+  /// order. Currently all shards (replicated graph state).
+  std::vector<int32_t> ShardsForEvent(const RetweetEvent& event) const;
+
+ private:
+  int32_t num_shards_;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_SHARD_ROUTER_H_

@@ -1,0 +1,130 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace simgraph {
+namespace serve {
+
+ShardedService::ShardedService(const RecommenderFactory& factory,
+                               ShardedServiceOptions options)
+    : options_(options), router_(options.num_shards) {
+  SIMGRAPH_CHECK(factory != nullptr);
+  shards_.reserve(static_cast<size_t>(router_.num_shards()));
+  for (int32_t i = 0; i < router_.num_shards(); ++i) {
+    ServiceOptions shard_options = options_.shard_options;
+    shard_options.shard = i;
+    std::unique_ptr<ServingRecommender> recommender = factory();
+    SIMGRAPH_CHECK(recommender != nullptr)
+        << "recommender factory returned null for shard " << i;
+    shards_.push_back(std::make_unique<RecommendationService>(
+        std::move(recommender), shard_options));
+  }
+}
+
+ShardedService::~ShardedService() { Stop(); }
+
+Status ShardedService::Train(const Dataset& dataset, int64_t train_end) {
+  // Shards are independent replicas; train them in parallel.
+  std::vector<Status> statuses(shards_.size(), Status::Ok());
+  std::vector<std::thread> trainers;
+  trainers.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    trainers.emplace_back([this, &dataset, train_end, &statuses, i] {
+      statuses[i] = shards_[i]->Train(dataset, train_end);
+    });
+  }
+  for (std::thread& t : trainers) t.join();
+  for (const Status& status : statuses) {
+    SIMGRAPH_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+void ShardedService::Start() {
+  for (const auto& shard : shards_) shard->Start();
+  SIMGRAPH_GAUGE_SET("serve.shards",
+                     static_cast<double>(router_.num_shards()));
+}
+
+void ShardedService::Stop() {
+  for (const auto& shard : shards_) shard->Stop();
+}
+
+uint64_t ShardedService::Publish(const RetweetEvent& event) {
+  // One lock around the whole fan-out: every shard receives every event
+  // in the same order, so the per-shard ticket sequences stay in
+  // lockstep and the first shard's sequence number is THE global
+  // sequence number. Queue pushes are O(1); when a shard's queue is
+  // full, backpressure propagates to all publishers, which is the
+  // behaviour a saturated unsharded service has too.
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  uint64_t seq = 0;
+  for (const int32_t shard : router_.ShardsForEvent(event)) {
+    const uint64_t shard_seq =
+        shards_[static_cast<size_t>(shard)]->Publish(event);
+    if (shard_seq == 0) return 0;  // stopped; event rejected
+    if (seq == 0) {
+      seq = shard_seq;
+    } else {
+      SIMGRAPH_CHECK(shard_seq == seq)
+          << "shard " << shard << " sequence " << shard_seq
+          << " diverged from " << seq
+          << " (was a shard published to directly?)";
+    }
+  }
+  return seq;
+}
+
+uint64_t ShardedService::AppliedSeq() const {
+  uint64_t min_seq = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t seq = shards_[i]->AppliedSeq();
+    if (i == 0 || seq < min_seq) min_seq = seq;
+  }
+  return min_seq;
+}
+
+void ShardedService::WaitForApplied(uint64_t seq) {
+  for (const auto& shard : shards_) shard->WaitForApplied(seq);
+}
+
+RecommendResponse ShardedService::Recommend(const RecommendRequest& request) {
+  // Passive under the TCP front-end's scope (same request id), owning
+  // when the sharded API is called directly — either way the route span
+  // and the downstream shard's spans land in one connected tree.
+  trace::RequestScope scope("request/recommend");
+  int32_t shard;
+  {
+    SIMGRAPH_TRACE_SPAN("request/route", "serve");
+    shard = router_.ShardOf(request.user);
+  }
+  scope.SetAttribute("shard", shard);
+  SIMGRAPH_COUNTER_ADD("serve.router.requests", 1);
+  return shards_[static_cast<size_t>(shard)]->Recommend(request);
+}
+
+BackendStats ShardedService::Stats() const {
+  BackendStats stats;
+  stats.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const BackendStats shard = shards_[i]->Stats();
+    const ShardStats& entry = shard.shards.front();
+    stats.shards.push_back(entry);
+    stats.cached_entries += entry.cached_entries;
+    stats.graph_epoch = std::max(stats.graph_epoch, entry.graph_epoch);
+    stats.graph_edges = std::max(stats.graph_edges, entry.graph_edges);
+    if (i == 0 || entry.applied_seq < stats.applied_seq) {
+      stats.applied_seq = entry.applied_seq;
+    }
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,115 @@
+#ifndef SIMGRAPH_SERVE_SHARDED_SERVICE_H_
+#define SIMGRAPH_SERVE_SHARDED_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "serve/backend.h"
+#include "serve/service.h"
+#include "serve/shard_router.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+struct ShardedServiceOptions {
+  /// Number of shards (clamped to >= 1). One per core is the intended
+  /// deployment; 1 degenerates to a routed single RecommendationService.
+  int32_t num_shards = 1;
+  /// Options applied to every shard's RecommendationService; the `shard`
+  /// field is overwritten per shard (it labels per-shard metrics).
+  ServiceOptions shard_options;
+};
+
+/// The recommendation service partitioned into per-core shards behind a
+/// hash router. Each shard is a full RecommendationService — its own
+/// ingestion queue, applier thread, result cache, recommender (and, for
+/// SimGraph, IncrementalSimGraph + snapshot epoch) — so shards share no
+/// mutable state and never contend on locks.
+///
+///   * Recommend(request) routes to the single shard owning the user
+///     (router_.ShardOf), where it runs exactly as on an unsharded
+///     service.
+///   * Publish(event) fans the event out to every shard named by
+///     router_.ShardsForEvent — all of them today, because similarity
+///     deposits can affect users on any shard, so per-shard graph state
+///     is replicated. The fan-out runs under one publish mutex, which
+///     keeps every shard's local ticket sequence in lockstep: the global
+///     sequence number IS each shard's local sequence number, and
+///     read-your-acked-writes holds per shard exactly as it does
+///     unsharded (tests/serve/sharded_service_test.cc proves it against
+///     a single-threaded prefix recompute).
+///   * WaitForApplied(seq) waits on every shard, so after it returns any
+///     user's answer — whichever shard owns them — reflects the full
+///     acked prefix. AppliedSeq() is correspondingly the minimum across
+///     shards.
+///   * Stats() aggregates the per-shard registries into one
+///     BackendStats (sum of cache entries, min applied seq, per-shard
+///     breakdown for the wire's `stats` reply).
+///
+/// Do not Publish directly to an individual shard() of a live
+/// ShardedService: it would desynchronise the lockstep sequence
+/// numbers. The accessor exists for tests and read-only inspection.
+///
+/// See docs/serving.md ("Sharded serving") for the full design and the
+/// consistency caveats.
+class ShardedService : public ServingBackend {
+ public:
+  using RecommenderFactory =
+      std::function<std::unique_ptr<ServingRecommender>()>;
+
+  /// Calls `factory` once per shard to build the per-shard recommender
+  /// replicas.
+  explicit ShardedService(const RecommenderFactory& factory,
+                          ShardedServiceOptions options = {});
+  ~ShardedService() override;
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Trains every shard (in parallel, one thread per shard). Call before
+  /// Start.
+  Status Train(const Dataset& dataset, int64_t train_end);
+
+  /// Starts every shard's applier thread. Idempotent.
+  void Start();
+
+  /// Stops every shard (drains queues, joins appliers). Idempotent;
+  /// also called by the destructor.
+  void Stop();
+
+  uint64_t Publish(const RetweetEvent& event) override;
+  uint64_t AppliedSeq() const override;
+  void WaitForApplied(uint64_t seq) override;
+  RecommendResponse Recommend(const RecommendRequest& request) override;
+  BackendStats Stats() const override;
+
+  const ShardRouter& router() const { return router_; }
+  int32_t num_shards() const { return router_.num_shards(); }
+  int32_t ShardOf(UserId user) const { return router_.ShardOf(user); }
+
+  /// Direct access to one shard (tests / inspection; see the class
+  /// comment about Publish).
+  RecommendationService& shard(int32_t i) {
+    return *shards_[static_cast<size_t>(i)];
+  }
+  const RecommendationService& shard(int32_t i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+ private:
+  ShardedServiceOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<RecommendationService>> shards_;
+  /// Serialises event fan-out so every shard sees the same event order
+  /// and assigns the same local sequence number (see class comment).
+  std::mutex publish_mu_;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_SHARDED_SERVICE_H_

@@ -11,7 +11,6 @@
 #include <sstream>
 #include <string>
 
-#include "serve/simgraph_serving_recommender.h"
 #include "serve/wire_protocol.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -39,7 +38,7 @@ bool SendAll(int fd, const std::string& line) {
 
 }  // namespace
 
-TcpServer::TcpServer(RecommendationService* service) : service_(service) {
+TcpServer::TcpServer(ServingBackend* service) : service_(service) {
   SIMGRAPH_CHECK(service != nullptr);
 }
 
@@ -118,6 +117,11 @@ void TcpServer::AcceptLoop() {
 
 void TcpServer::ServeConnection(int fd) {
   std::string buffer;
+  // An oversized request line is discarded as it streams in (the buffer
+  // never grows past the cap) and answered with one structured error
+  // once its terminating newline arrives — so the connection survives
+  // and stays correctly framed no matter how the bytes were chunked.
+  bool discarding_oversized = false;
   char chunk[4096];
   while (!stopping_.load()) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -127,8 +131,29 @@ void TcpServer::ServeConnection(int fd) {
     while ((newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (discarding_oversized) {
+        // The tail of a line whose head was already thrown away.
+        discarding_oversized = false;
+        if (!SendAll(fd, FormatError("request line exceeds " +
+                                     std::to_string(kMaxLineBytes) +
+                                     " bytes"))) {
+          goto done;
+        }
+        continue;
+      }
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      if (line.size() > kMaxLineBytes) {
+        // The whole line arrived in one buffer before the cap check saw
+        // it; reject it exactly like the streamed case.
+        SIMGRAPH_COUNTER_ADD("serve.tcp.oversized_lines", 1);
+        if (!SendAll(fd, FormatError("request line exceeds " +
+                                     std::to_string(kMaxLineBytes) +
+                                     " bytes"))) {
+          goto done;
+        }
+        continue;
+      }
       // One line is one request: the scope assigns the request id and
       // spans parse through serialize, so the exported trace renders the
       // whole request as one connected tree (docs/observability.md).
@@ -176,20 +201,10 @@ void TcpServer::ServeConnection(int fd) {
           }
           case WireRequest::Op::kStats: {
             scope.set_op("request/stats");
-            auto* serving = dynamic_cast<SimGraphServingRecommender*>(
-                &service_->recommender());
-            const uint64_t epoch =
-                serving != nullptr ? serving->graph_epoch() : 0;
-            const int64_t edges =
-                serving != nullptr ? serving->GraphSnapshot()->graph.num_edges()
-                                   : 0;
             std::ostringstream metrics_json;
             metrics::Registry::Global().WriteJson(metrics_json,
                                                   /*pretty=*/false);
-            reply = FormatStats(
-                service_->AppliedSeq(),
-                service_->cache() != nullptr ? service_->cache()->size() : 0,
-                epoch, edges, metrics_json.str());
+            reply = FormatStats(service_->Stats(), metrics_json.str());
             break;
           }
           case WireRequest::Op::kMetrics: {
@@ -212,6 +227,16 @@ void TcpServer::ServeConnection(int fd) {
         sent = raw_reply ? SendRaw(fd, reply) : SendAll(fd, reply);
       }
       if (!sent) goto done;
+    }
+    if (!discarding_oversized && buffer.size() > kMaxLineBytes) {
+      // The line under assembly already blew the cap: drop what is
+      // buffered and keep eating bytes until its newline shows up.
+      SIMGRAPH_COUNTER_ADD("serve.tcp.oversized_lines", 1);
+      discarding_oversized = true;
+      buffer.clear();
+    } else if (discarding_oversized) {
+      // Still inside the oversized line; nothing here is a request.
+      buffer.clear();
     }
   }
 done:

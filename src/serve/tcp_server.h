@@ -7,24 +7,35 @@
 #include <thread>
 #include <vector>
 
-#include "serve/service.h"
+#include "serve/backend.h"
 #include "util/status.h"
 
 namespace simgraph {
 namespace serve {
 
-/// Newline-delimited-JSON front-end of a RecommendationService over a
-/// loopback TCP socket (wire_protocol.h defines the line format). One
-/// thread per connection; connections are independent, so a client
-/// blocked in wait_applied never stalls another client's recommends.
+/// Newline-delimited-JSON front-end of a ServingBackend — a single
+/// RecommendationService or a ShardedService — over a loopback TCP
+/// socket (wire_protocol.h defines the line format). One thread per
+/// connection; connections are independent, so a client blocked in
+/// wait_applied never stalls another client's recommends.
+///
+/// A request line longer than kMaxLineBytes gets exactly one structured
+/// error and the connection continues: the overflow is discarded as it
+/// streams in (holding at most kMaxLineBytes + one recv chunk in
+/// memory) and the error is sent once the line's terminating newline
+/// arrives, so framing survives regardless of how the bytes were
+/// chunked in transit.
 ///
 /// Binds 127.0.0.1 only: this is an in-process serving harness for
 /// benchmarks and tools, not a hardened network daemon.
 class TcpServer {
  public:
-  /// `service` must outlive the server and must already be Train()ed and
-  /// Start()ed.
-  explicit TcpServer(RecommendationService* service);
+  /// Longest accepted request line (bytes, excluding the newline).
+  static constexpr size_t kMaxLineBytes = 64 * 1024;
+
+  /// `service` must outlive the server and must already be trained and
+  /// started.
+  explicit TcpServer(ServingBackend* service);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -45,7 +56,7 @@ class TcpServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  RecommendationService* service_;
+  ServingBackend* service_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

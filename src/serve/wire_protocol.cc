@@ -235,14 +235,25 @@ std::string FormatWaitAppliedAck(uint64_t seq) {
          std::to_string(seq) + "}";
 }
 
-std::string FormatStats(uint64_t applied_seq, int64_t cached_entries,
-                        uint64_t graph_epoch, int64_t graph_edges,
+std::string FormatStats(const BackendStats& stats,
                         const std::string& metrics_json) {
   std::string out = "{\"ok\":true,\"op\":\"stats\",\"applied_seq\":" +
-                    std::to_string(applied_seq) +
-                    ",\"cached_entries\":" + std::to_string(cached_entries) +
-                    ",\"graph_epoch\":" + std::to_string(graph_epoch) +
-                    ",\"graph_edges\":" + std::to_string(graph_edges);
+                    std::to_string(stats.applied_seq) +
+                    ",\"cached_entries\":" +
+                    std::to_string(stats.cached_entries) +
+                    ",\"graph_epoch\":" + std::to_string(stats.graph_epoch) +
+                    ",\"graph_edges\":" + std::to_string(stats.graph_edges) +
+                    ",\"num_shards\":" + std::to_string(stats.shards.size()) +
+                    ",\"shards\":[";
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& shard = stats.shards[i];
+    if (i > 0) out += ",";
+    out += "{\"applied_seq\":" + std::to_string(shard.applied_seq) +
+           ",\"cached_entries\":" + std::to_string(shard.cached_entries) +
+           ",\"graph_epoch\":" + std::to_string(shard.graph_epoch) +
+           ",\"graph_edges\":" + std::to_string(shard.graph_edges) + "}";
+  }
+  out += "]";
   if (!metrics_json.empty()) {
     // Embedded verbatim: the compact registry snapshot is already JSON.
     out += ",\"metrics\":" + metrics_json;

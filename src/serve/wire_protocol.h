@@ -8,6 +8,7 @@
 
 #include "core/recommender.h"
 #include "dataset/types.h"
+#include "serve/backend.h"
 #include "util/status.h"
 
 namespace simgraph {
@@ -61,12 +62,15 @@ std::string FormatRecommendResponse(UserId user, uint64_t request_id,
 std::string FormatWaitAppliedAck(uint64_t seq);
 
 /// {"ok":true,"op":"stats","applied_seq":12,"cached_entries":3,
-///  "graph_epoch":1,"graph_edges":123,"metrics":{...}}
+///  "graph_epoch":1,"graph_edges":123,"num_shards":2,
+///  "shards":[{"applied_seq":12,"cached_entries":1,...}, ...],
+///  "metrics":{...}}
+/// The top-level fields are the aggregates from `stats` (min applied
+/// seq, summed cache entries); "shards" breaks them down per shard.
 /// `metrics_json` must be a complete JSON value (the compact registry
 /// snapshot from metrics::Registry::WriteJson(out, /*pretty=*/false));
 /// when empty the "metrics" key is omitted.
-std::string FormatStats(uint64_t applied_seq, int64_t cached_entries,
-                        uint64_t graph_epoch, int64_t graph_edges,
+std::string FormatStats(const BackendStats& stats,
                         const std::string& metrics_json = "");
 
 /// {"ok":true,"op":"ping"}

@@ -49,9 +49,12 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "graph/union_find.h"
+#include "serve/backend.h"
 #include "serve/result_cache.h"
 #include "serve/service.h"
 #include "serve/serving_recommender.h"
+#include "serve/shard_router.h"
+#include "serve/sharded_service.h"
 #include "serve/simgraph_serving_recommender.h"
 #include "serve/tcp_server.h"
 #include "serve/wire_protocol.h"

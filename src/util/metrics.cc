@@ -22,6 +22,10 @@ bool SetEnabled(bool enabled) {
                                               std::memory_order_relaxed);
 }
 
+std::string ShardMetricName(const std::string& base, int32_t shard) {
+  return base + ".shard" + std::to_string(shard);
+}
+
 namespace {
 
 // Atomic min/max via CAS; `first` distinguishes "no sample yet" from a

@@ -57,6 +57,13 @@ inline bool Enabled() {
 /// variable (default off).
 bool SetEnabled(bool enabled);
 
+/// Name of the per-shard variant of a metric in a sharded deployment:
+/// ShardMetricName("serve.requests", 3) == "serve.requests.shard3".
+/// Shard-labelled names are dynamic, so call sites cache the returned
+/// metric reference themselves instead of using the literal-name macros
+/// below (see serve/service.cc for the pattern).
+std::string ShardMetricName(const std::string& base, int32_t shard);
+
 /// A monotonically increasing counter. Thread-safe; increments from
 /// concurrent threads are never lost.
 class Counter {

@@ -14,6 +14,7 @@
 #include "dataset/config.h"
 #include "dataset/generator.h"
 #include "eval/protocol.h"
+#include "serve/service.h"
 #include "serve/simgraph_serving_recommender.h"
 #include "serve/wire_protocol.h"
 

@@ -67,12 +67,22 @@ TEST(WireProtocolTest, FormatsAreStableJson) {
   EXPECT_EQ(FormatWaitAppliedAck(5),
             R"({"ok":true,"op":"wait_applied","seq":5})");
   EXPECT_EQ(FormatPong(), R"({"ok":true,"op":"ping"})");
-  EXPECT_EQ(FormatStats(3, 2, 1, 99),
+  BackendStats stats;
+  stats.applied_seq = 3;
+  stats.cached_entries = 2;
+  stats.graph_epoch = 1;
+  stats.graph_edges = 99;
+  stats.shards = {{3, 2, 1, 99}};
+  EXPECT_EQ(FormatStats(stats),
             R"({"ok":true,"op":"stats","applied_seq":3,"cached_entries":2,)"
-            R"("graph_epoch":1,"graph_edges":99})");
-  EXPECT_EQ(FormatStats(3, 2, 1, 99, R"({"counters":{}})"),
+            R"("graph_epoch":1,"graph_edges":99,"num_shards":1,)"
+            R"("shards":[{"applied_seq":3,"cached_entries":2,)"
+            R"("graph_epoch":1,"graph_edges":99}]})");
+  stats.shards.clear();
+  EXPECT_EQ(FormatStats(stats, R"({"counters":{}})"),
             R"({"ok":true,"op":"stats","applied_seq":3,"cached_entries":2,)"
-            R"("graph_epoch":1,"graph_edges":99,"metrics":{"counters":{}}})");
+            R"("graph_epoch":1,"graph_edges":99,"num_shards":0,"shards":[],)"
+            R"("metrics":{"counters":{}}})");
   EXPECT_EQ(FormatError("bad \"stuff\"\n"),
             R"({"ok":false,"error":"bad \"stuff\"\n"})");
 }

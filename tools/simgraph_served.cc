@@ -9,6 +9,9 @@
 //                   [--train F]          train fraction (default 0.9)
 //                   [--port P]           0 picks an ephemeral port (default)
 //                   [--method M]         simgraph | cf | bayes | graphjet
+//                   [--shards N]         per-core service shards behind the
+//                                        hash router (default 1; see
+//                                        docs/serving.md "Sharded serving")
 //                   [--ttl SECONDS]      result-cache TTL in simulated
 //                                        seconds; -1 disables the cache
 //                                        (default 86400)
@@ -40,10 +43,18 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      continue;
+    }
+    // Both "--flag value" and "--flag=value" spellings are accepted.
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc) {
       flags[arg.substr(2)] = argv[++i];
     } else {
-      std::cerr << "unexpected argument: " << arg << "\n";
+      std::cerr << "missing value for " << arg << "\n";
     }
   }
   return flags;
@@ -127,19 +138,24 @@ int Run(int argc, char** argv) {
   const int64_t train_end = dataset.SplitIndex(train_fraction);
 
   const std::string method = FlagString(flags, "method", "simgraph");
-  std::unique_ptr<serve::ServingRecommender> recommender =
-      MakeRecommender(method, FlagInt(flags, "refresh-events", 0));
-  if (recommender == nullptr) {
+  const int64_t refresh_events = FlagInt(flags, "refresh-events", 0);
+  if (MakeRecommender(method, refresh_events) == nullptr) {
     std::cerr << "unknown --method " << method
               << " (want simgraph|cf|bayes|graphjet)\n";
     return 2;
   }
 
-  serve::ServiceOptions options;
-  options.cache_ttl = FlagInt(flags, "ttl", kSecondsPerDay);
-  options.deadline =
+  serve::ShardedServiceOptions options;
+  options.num_shards = static_cast<int32_t>(FlagInt(flags, "shards", 1));
+  if (options.num_shards < 1) {
+    std::cerr << "--shards must be >= 1\n";
+    return 2;
+  }
+  options.shard_options.cache_ttl = FlagInt(flags, "ttl", kSecondsPerDay);
+  options.shard_options.deadline =
       std::chrono::microseconds(FlagInt(flags, "deadline-us", 0));
-  serve::RecommendationService service(std::move(recommender), options);
+  serve::ShardedService service(
+      [&] { return MakeRecommender(method, refresh_events); }, options);
   const Status trained = service.Train(dataset, train_end);
   if (!trained.ok()) {
     std::cerr << trained.ToString() << "\n";
@@ -155,7 +171,9 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::cout << "serving " << method << " over " << dataset.num_users()
-            << " users (" << train_end << " train events)\n"
+            << " users (" << train_end << " train events, "
+            << service.num_shards() << " shard"
+            << (service.num_shards() == 1 ? "" : "s") << ")\n"
             << "listening on port " << server.port() << std::endl;
 
   // Park until the parent closes stdin (the conventional way to stop a
