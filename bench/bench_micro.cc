@@ -6,8 +6,23 @@
 //                        (the DESIGN.md ablation 3 cost comparison)
 //   BM_Propagation     - Algorithm 1 on a live SimGraph
 //   BM_Solver*         - Jacobi / Gauss-Seidel / SOR on a propagation system
+//
+// Propagation kernel sweep (seeds x fan-out), gated on an env var in the
+// same explicit-only convention as the serving snapshot:
+//
+//   SIMGRAPH_BENCH_PROP_SNAPSHOT  path of a machine-readable JSON summary
+//                                 of the sweep (runs/s, updates/s,
+//                                 ns/update, mean latency per leg) for
+//                                 tools/metrics_diff; unset = no sweep
+//   SIMGRAPH_BENCH_PROP_SECONDS   measured wall-time per sweep leg (0.25)
+//
+// The sweep runs before the google-benchmark suite; pass
+// --benchmark_filter=^$ to run only the sweep.
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
 
 #include "simgraph/simgraph.h"
 
@@ -159,6 +174,156 @@ void BM_CandidateStoreTopK(benchmark::State& state) {
 BENCHMARK(BM_CandidateStoreTopK);
 
 }  // namespace
+
+// One measured leg of the propagation sweep.
+struct PropagationLegResult {
+  std::string name;
+  double runs_per_s = 0.0;
+  double updates_per_s = 0.0;
+  double ns_per_update = 0.0;
+  double mean_latency_us = 0.0;
+  double mean_iterations = 0.0;
+  double mean_updates = 0.0;
+};
+
+namespace {
+
+// Measures PropagateInto over `num_seeds`-sized seed sets on `sg`,
+// rotating through 16 deterministic seed sets so the numbers are not an
+// artefact of one lucky frontier. The scratch/result pair is reused, so
+// this measures the allocation-free steady state of the serving path.
+PropagationLegResult RunPropagationLeg(const std::string& name,
+                                       const SimGraph& sg, int32_t num_seeds,
+                                       double measure_seconds) {
+  PropagationLegResult leg;
+  leg.name = name;
+
+  std::vector<UserId> present;
+  for (NodeId u = 0; u < sg.graph.num_nodes(); ++u) {
+    if (sg.graph.InDegree(u) > 0) present.push_back(u);
+  }
+  if (present.empty()) return leg;
+
+  constexpr int kNumSets = 16;
+  std::vector<std::vector<UserId>> seed_sets(kNumSets);
+  for (int i = 0; i < kNumSets; ++i) {
+    for (int32_t j = 0; j < num_seeds; ++j) {
+      seed_sets[static_cast<size_t>(i)].push_back(
+          present[static_cast<size_t>(i * num_seeds + j * 7) %
+                  present.size()]);
+    }
+  }
+
+  Propagator prop(sg);
+  PropagationOptions opts;
+  PropagationScratch scratch;
+  PropagationResult result;
+  for (const auto& seeds : seed_sets) {  // warm the scratch
+    prop.PropagateInto(seeds, static_cast<int64_t>(seeds.size()), opts,
+                       scratch, &result);
+  }
+
+  int64_t runs = 0, updates = 0, iterations = 0;
+  WallTimer timer;
+  double elapsed = 0.0;
+  while (elapsed < measure_seconds) {
+    for (const auto& seeds : seed_sets) {
+      prop.PropagateInto(seeds, static_cast<int64_t>(seeds.size()), opts,
+                         scratch, &result);
+      ++runs;
+      updates += result.updates;
+      iterations += result.iterations;
+    }
+    elapsed = timer.ElapsedSeconds();
+  }
+
+  const double n_runs = static_cast<double>(runs);
+  leg.runs_per_s = n_runs / elapsed;
+  leg.updates_per_s = static_cast<double>(updates) / elapsed;
+  leg.ns_per_update =
+      updates > 0 ? elapsed * 1e9 / static_cast<double>(updates) : 0.0;
+  leg.mean_latency_us = elapsed * 1e6 / n_runs;
+  leg.mean_iterations = static_cast<double>(iterations) / n_runs;
+  leg.mean_updates = static_cast<double>(updates) / n_runs;
+  return leg;
+}
+
+}  // namespace
+
+// Seeds x fan-out sweep of the propagation kernel, written as JSON for
+// tools/metrics_diff. Fan-out varies via tau: the micro graph at
+// tau=0.002 ("fanhi") is ~4x denser than at tau=0.008 ("fanlo").
+int RunPropagationSweep(const std::string& snapshot_path) {
+  const double measure_seconds =
+      std::max(0.01, GetEnvDouble("SIMGRAPH_BENCH_PROP_SECONDS", 0.25));
+
+  struct GraphSpec {
+    const char* label;
+    double tau;
+  };
+  const GraphSpec graph_specs[] = {{"fanhi", 0.002}, {"fanlo", 0.008}};
+  const int32_t seed_counts[] = {1, 4, 16, 64};
+
+  std::vector<PropagationLegResult> legs;
+  std::cout << "propagation kernel sweep (" << measure_seconds
+            << " s/leg)\n";
+  for (const GraphSpec& spec : graph_specs) {
+    SimGraphOptions opts;
+    opts.tau = spec.tau;
+    const SimGraph sg =
+        BuildSimGraph(MicroDataset().follow_graph, MicroProfiles(), opts);
+    for (const int32_t seeds : seed_counts) {
+      PropagationLegResult leg = RunPropagationLeg(
+          std::string(spec.label) + "_seeds" + std::to_string(seeds), sg,
+          seeds, measure_seconds);
+      std::cout << "  " << leg.name << ": " << leg.runs_per_s << " runs/s, "
+                << leg.ns_per_update << " ns/update, "
+                << leg.mean_latency_us << " us/run\n";
+      legs.push_back(std::move(leg));
+    }
+  }
+
+  std::ofstream snapshot(snapshot_path);
+  if (!snapshot) {
+    std::cerr << "cannot write " << snapshot_path << "\n";
+    return 1;
+  }
+  // Leaf names carry the better-direction for tools/metrics_diff:
+  // *_per_s is higher-better, latency_us.mean lower-better, the rest
+  // neutral shape descriptors.
+  snapshot << "{\n  \"bench\": \"propagation_micro\",\n  \"legs\": {\n";
+  for (size_t i = 0; i < legs.size(); ++i) {
+    const PropagationLegResult& leg = legs[i];
+    snapshot << "    \"" << leg.name << "\": {\n"
+             << "      \"runs_per_s\": " << leg.runs_per_s << ",\n"
+             << "      \"updates_per_s\": " << leg.updates_per_s << ",\n"
+             << "      \"ns_per_update\": " << leg.ns_per_update << ",\n"
+             << "      \"latency_us\": {\"mean\": " << leg.mean_latency_us
+             << "},\n"
+             << "      \"iterations_per_run\": " << leg.mean_iterations
+             << ",\n"
+             << "      \"updates_per_run\": " << leg.mean_updates << "\n"
+             << "    }" << (i + 1 < legs.size() ? "," : "") << "\n";
+  }
+  snapshot << "  }\n}\n";
+  std::cout << "propagation sweep snapshot written to " << snapshot_path
+            << "\n";
+  return 0;
+}
+
 }  // namespace simgraph
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string prop_snapshot =
+      simgraph::GetEnvString("SIMGRAPH_BENCH_PROP_SNAPSHOT", "");
+  if (!prop_snapshot.empty()) {
+    if (const int rc = simgraph::RunPropagationSweep(prop_snapshot); rc != 0) {
+      return rc;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -48,6 +48,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -158,6 +159,9 @@ struct LoadResult {
   double latency_p99_us = 0;
   double sojourn_p99_us = 0;
   double queue_depth_max = 0;
+  double apply_p50_us = 0;
+  double apply_p99_us = 0;
+  double drain_wait_seconds = 0;
 };
 
 /// Runs both load phases against a freshly built ShardedService and
@@ -213,6 +217,7 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   // about the stream's current edge, like a live system would.
   std::atomic<Timestamp> sim_now{protocol.split_time};
   std::atomic<bool> replay_done{false};
+  std::atomic<uint64_t> last_seq{0};
 
   // --- phase 1: closed loop concurrent with the full event replay -----
   std::thread producer([&] {
@@ -224,12 +229,18 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
     for (int64_t i = protocol.train_end; i < dataset.num_retweets(); ++i) {
       const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
       if (client != nullptr) {
-        client->RoundTrip("{\"op\":\"event\",\"tweet\":" +
-                          std::to_string(e.tweet) + ",\"user\":" +
-                          std::to_string(e.user) + ",\"time\":" +
-                          std::to_string(e.time) + "}");
+        const std::string ack = client->RoundTrip(
+            "{\"op\":\"event\",\"tweet\":" + std::to_string(e.tweet) +
+            ",\"user\":" + std::to_string(e.user) + ",\"time\":" +
+            std::to_string(e.time) + "}");
+        const size_t pos = ack.find("\"seq\":");
+        if (pos != std::string::npos) {
+          last_seq.store(static_cast<uint64_t>(std::strtoull(
+                             ack.c_str() + pos + 6, nullptr, 10)),
+                         std::memory_order_relaxed);
+        }
       } else {
-        service.Publish(e);
+        last_seq.store(service.Publish(e), std::memory_order_relaxed);
       }
       sim_now.store(e.time, std::memory_order_relaxed);
     }
@@ -358,6 +369,16 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     open_start)
           .count();
+  // The request phases can finish while the applier is still draining
+  // the replay burst; waiting here pins the residual ingest lag down as
+  // its own number instead of letting it hide inside Stop().
+  const auto drain_start = std::chrono::steady_clock::now();
+  service.WaitForApplied(last_seq.load(std::memory_order_relaxed));
+  const double drain_wait_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_start)
+          .count();
+  SIMGRAPH_GAUGE_SET("serve.bench.drain_wait_seconds", drain_wait_seconds);
   service.Stop();
   if (server != nullptr) server->Stop();
   const double open_throughput =
@@ -404,6 +425,9 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   table.AddRow({"sojourn p99 (ms)", TableWriter::Cell(sojourn.p99() * 1e3)});
   table.AddRow(
       {"apply p50 (ms)", TableWriter::Cell(apply_latency.p50() * 1e3)});
+  table.AddRow(
+      {"apply p99 (ms)", TableWriter::Cell(apply_latency.p99() * 1e3)});
+  table.AddRow({"drain wait (s)", TableWriter::Cell(drain_wait_seconds)});
   table.Print(std::cout);
 
   const auto us = [](double seconds) { return seconds * 1e6; };
@@ -418,6 +442,9 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   out->sojourn_p99_us = us(sojourn.p99());
   out->queue_depth_max =
       registry.gauge("serve.ingest.queue_depth_max").value();
+  out->apply_p50_us = us(apply_latency.p50());
+  out->apply_p99_us = us(apply_latency.p99());
+  out->drain_wait_seconds = drain_wait_seconds;
   return 0;
 }
 
@@ -447,6 +474,9 @@ void WriteLegJson(std::ostream& out, const LoadResult& leg,
       << ", \"p99\": " << leg.latency_p99_us << "},\n"
       << indent << "\"sojourn_us\": {\"p99\": " << leg.sojourn_p99_us
       << "},\n"
+      << indent << "\"ingest\": {\"apply_us\": {\"p50\": "
+      << leg.apply_p50_us << ", \"p99\": " << leg.apply_p99_us
+      << "}, \"drain_seconds\": " << leg.drain_wait_seconds << "},\n"
       << indent << "\"queue_depth_max\": " << leg.queue_depth_max;
 }
 

@@ -9,8 +9,9 @@
 #       # additionally build the tsan preset and run the concurrency-
 #       # labelled tests under ThreadSanitizer
 #   SIMGRAPH_VERIFY_BENCH=1 scripts/verify.sh
-#       # additionally run the serving load bench and gate its snapshot
-#       # against the committed BENCH_serving.json baseline with
+#       # additionally run the serving load bench and the propagation
+#       # kernel sweep, gating their snapshots against the committed
+#       # BENCH_serving.json / BENCH_propagation.json baselines with
 #       # tools/metrics_diff
 #
 # Exit codes (so CI can tell the failure stages apart):
@@ -91,6 +92,22 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
       || fail 4 "serving bench regressed against BENCH_serving.json"
   else
     echo "no committed BENCH_serving.json baseline; skipping diff"
+  fi
+  endgroup
+
+  group "propagation kernel bench gate"
+  prop_snapshot="$selfcheck_dir/BENCH_propagation.json"
+  # --benchmark_filter=^$ skips the google-benchmark suite so only the
+  # env-gated propagation sweep runs.
+  SIMGRAPH_BENCH_PROP_SNAPSHOT="$prop_snapshot" \
+    ./build/bench/bench_micro --benchmark_filter='^$' \
+    || fail 3 "propagation kernel bench failed"
+  if [[ -f BENCH_propagation.json ]]; then
+    ./build/tools/metrics_diff BENCH_propagation.json "$prop_snapshot" \
+      --threshold=0.5 \
+      || fail 4 "propagation bench regressed against BENCH_propagation.json"
+  else
+    echo "no committed BENCH_propagation.json baseline; skipping diff"
   fi
   endgroup
 fi

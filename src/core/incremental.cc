@@ -188,6 +188,9 @@ SimGraph IncrementalSimGraph::Snapshot() const {
   }
   SimGraph sg;
   sg.graph = builder.Build(/*weighted=*/true);
+  // Prime the cached present-node count while the snapshot is still
+  // thread-private; readers then never pay the O(n) scan.
+  sg.NumPresentNodes();
   return sg;
 }
 

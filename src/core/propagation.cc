@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -19,45 +18,110 @@ double DynamicThreshold::Evaluate(int64_t m) const {
   return mp / (std::pow(k, p) + mp);
 }
 
+void PropagationScratch::Reserve(NodeId num_nodes) {
+  const size_t n = static_cast<size_t>(num_nodes);
+  if (score_.size() >= n) return;
+  score_.resize(n, 0.0);
+  score_stamp_.resize(n, 0);
+  seed_stamp_.resize(n, 0);
+  gen_stamp_.resize(n, 0);
+  row_.resize(n, 0);
+  SIMGRAPH_COUNTER_ADD("propagation.scratch.grows", 1);
+  SIMGRAPH_GAUGE_SET("propagation.scratch.bytes",
+                     static_cast<double>(MemoryBytes()));
+}
+
+int64_t PropagationScratch::MemoryBytes() const {
+  auto bytes = [](const auto& v) {
+    return static_cast<int64_t>(
+        v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type));
+  };
+  return bytes(score_) + bytes(score_stamp_) + bytes(seed_stamp_) +
+         bytes(gen_stamp_) + bytes(row_) + bytes(frontier_) +
+         bytes(next_frontier_) + bytes(affected_) + bytes(update_) +
+         bytes(touched_);
+}
+
+void PropagationScratch::BeginRun(NodeId num_nodes) {
+  Reserve(num_nodes);
+  if (run_epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(score_stamp_.begin(), score_stamp_.end(), 0);
+    std::fill(seed_stamp_.begin(), seed_stamp_.end(), 0);
+    run_epoch_ = 0;
+    ++epoch_resets_;
+    SIMGRAPH_COUNTER_ADD("propagation.scratch.epoch_resets", 1);
+  }
+  ++run_epoch_;
+}
+
+uint32_t PropagationScratch::BeginGeneration() {
+  if (gen_epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(gen_stamp_.begin(), gen_stamp_.end(), 0);
+    gen_epoch_ = 0;
+    ++epoch_resets_;
+    SIMGRAPH_COUNTER_ADD("propagation.scratch.epoch_resets", 1);
+  }
+  return ++gen_epoch_;
+}
+
 Propagator::Propagator(const SimGraph& sim_graph) : sim_graph_(&sim_graph) {}
 
 PropagationResult Propagator::Propagate(
     const std::vector<UserId>& seeds, int64_t popularity,
     const PropagationOptions& options) const {
+  PropagationScratch scratch;
+  return Propagate(seeds, popularity, options, scratch);
+}
+
+PropagationResult Propagator::Propagate(const std::vector<UserId>& seeds,
+                                        int64_t popularity,
+                                        const PropagationOptions& options,
+                                        PropagationScratch& scratch) const {
+  PropagationResult result;
+  PropagateInto(seeds, popularity, options, scratch, &result);
+  return result;
+}
+
+void Propagator::PropagateInto(const std::vector<UserId>& seeds,
+                               int64_t popularity,
+                               const PropagationOptions& options,
+                               PropagationScratch& scratch,
+                               PropagationResult* result) const {
   SIMGRAPH_TRACE_SPAN("Propagator::Propagate", "propagation");
   SIMGRAPH_SCOPED_LATENCY("propagation.run_seconds");
   const Digraph& g = sim_graph_->graph;
-  PropagationResult result;
+  result->scores.clear();
+  result->iterations = 0;
+  result->updates = 0;
+  result->converged = false;
 
-  std::unordered_set<UserId> seed_set;
+  scratch.BeginRun(g.num_nodes());
+  auto& frontier = scratch.frontier_;
+  auto& next_frontier = scratch.next_frontier_;
+  auto& affected = scratch.affected_;
+  auto& update = scratch.update_;
+  auto& touched = scratch.touched_;
+  frontier.clear();
+  touched.clear();
+
   for (UserId s : seeds) {
     SIMGRAPH_CHECK_GE(s, 0);
     SIMGRAPH_CHECK_LT(s, g.num_nodes());
-    seed_set.insert(s);
+    if (!scratch.IsSeed(s)) {
+      scratch.MarkSeed(s);
+      frontier.push_back(s);
+    }
   }
-  if (seed_set.empty()) {
-    result.converged = true;
-    return result;
+  if (frontier.empty()) {
+    result->converged = true;
+    return;
   }
+  std::sort(frontier.begin(), frontier.end());
 
   const double propagation_threshold =
       options.dynamic.enabled
           ? options.dynamic.Evaluate(popularity) * options.dynamic_scale
           : options.beta;
-
-  // Sparse scores; absent means 0. Seeds are pinned at 1 and never stored
-  // here (ScoreOf special-cases them).
-  std::unordered_map<UserId, double> score;
-  auto score_of = [&](UserId v) -> double {
-    if (seed_set.contains(v)) return 1.0;
-    const auto it = score.find(v);
-    return it == score.end() ? 0.0 : it->second;
-  };
-
-  // Users whose score changed enough last round to justify re-evaluating
-  // their influencees this round.
-  std::vector<UserId> frontier(seed_set.begin(), seed_set.end());
-  std::sort(frontier.begin(), frontier.end());
 
   // Per-iteration convergence stats are only worth their clock calls
   // when someone is listening; the flag is sampled once per run.
@@ -74,37 +138,49 @@ PropagationResult Propagator::Propagate(
     }
     // Affected users: those influenced by a frontier member, i.e. the
     // in-neighbours in the SimGraph (edge u->v means v influences u).
-    std::unordered_set<UserId> affected;
+    // Deduplicated by generation stamp; one generation per iteration.
+    const uint32_t gen = scratch.BeginGeneration();
+    affected.clear();
     for (UserId v : frontier) {
       for (UserId u : g.InNeighbors(v)) {
-        if (!seed_set.contains(u)) affected.insert(u);
+        if (scratch.IsSeed(u)) continue;
+        uint32_t& stamp = scratch.gen_stamp_[static_cast<size_t>(u)];
+        if (stamp == gen) continue;
+        stamp = gen;
+        affected.push_back(u);
       }
     }
 
     // Jacobi-style round: evaluate all affected users against the scores
-    // of the previous round (Algorithm 1 line 10).
-    std::vector<std::pair<UserId, double>> updates;
-    updates.reserve(affected.size());
+    // of the previous round (Algorithm 1 line 10). The per-round values
+    // do not depend on the enumeration order of `affected` because reads
+    // go through ScoreOf, which is only written in the apply loop below.
+    update.clear();
     for (UserId u : affected) {
       const auto nbrs = g.OutNeighbors(u);
       const auto weights = g.OutWeights(u);
       double acc = 0.0;
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        acc += score_of(nbrs[i]) * weights[i];
+        acc += scratch.ScoreOf(nbrs[i]) * weights[i];
       }
-      const double p_new = acc / static_cast<double>(nbrs.size());
-      updates.emplace_back(u, p_new);
+      update.push_back(acc / static_cast<double>(nbrs.size()));
     }
 
-    std::vector<UserId> next_frontier;
+    next_frontier.clear();
     double residual = 0.0;  // largest score move this iteration
-    for (const auto& [u, p_new] : updates) {
-      const double p_old = score_of(u);
+    for (size_t k = 0; k < affected.size(); ++k) {
+      const UserId u = affected[k];
+      const double p_new = update[k];
+      const double p_old = scratch.ScoreOf(u);
       const double delta = std::abs(p_new - p_old);
       residual = std::max(residual, delta);
       if (delta <= options.epsilon) continue;
-      score[u] = p_new;
-      ++result.updates;
+      if (!scratch.HasScore(u)) {
+        scratch.score_stamp_[static_cast<size_t>(u)] = scratch.run_epoch_;
+        touched.push_back(u);
+      }
+      scratch.score_[static_cast<size_t>(u)] = p_new;
+      ++result->updates;
       // The static/dynamic threshold gates further propagation, not the
       // score update itself (Section 5.4).
       if (delta >= propagation_threshold) next_frontier.push_back(u);
@@ -120,33 +196,46 @@ PropagationResult Propagator::Propagate(
       break;
     }
     std::sort(next_frontier.begin(), next_frontier.end());
-    frontier = std::move(next_frontier);
+    frontier.swap(next_frontier);
   }
 
-  result.iterations = it;
-  result.converged = converged || frontier.empty();
+  result->iterations = it;
+  result->converged = converged || frontier.empty();
   SIMGRAPH_COUNTER_ADD("propagation.runs", 1);
   SIMGRAPH_COUNTER_ADD("propagation.iterations", it);
-  SIMGRAPH_COUNTER_ADD("propagation.updates", result.updates);
-  if (result.converged) SIMGRAPH_COUNTER_ADD("propagation.converged", 1);
-  result.scores.reserve(score.size());
-  for (const auto& [u, p] : score) {
-    if (p > 0.0) result.scores.push_back(UserScore{u, p});
+  SIMGRAPH_COUNTER_ADD("propagation.updates", result->updates);
+  if (result->converged) SIMGRAPH_COUNTER_ADD("propagation.converged", 1);
+  // `touched` holds exactly the users with a stored score this run; sort it
+  // so the reported scores are deterministically ordered by user id.
+  std::sort(touched.begin(), touched.end());
+  for (UserId u : touched) {
+    const double p = scratch.score_[static_cast<size_t>(u)];
+    if (p > 0.0) result->scores.push_back(UserScore{u, p});
   }
-  return result;
 }
 
 std::vector<PropagationResult> Propagator::PropagateBatch(
     const std::vector<std::vector<UserId>>& seed_sets,
     const PropagationOptions& options, ThreadPool& pool) const {
   SIMGRAPH_TRACE_SPAN("Propagator::PropagateBatch", "propagation");
+  SIMGRAPH_SCOPED_LATENCY("propagation.batch.seconds");
   std::vector<PropagationResult> results(seed_sets.size());
+  // One scratch per pool worker: chunks on the same worker run
+  // sequentially, so each scratch is only ever touched by one thread.
+  std::vector<PropagationScratch> scratches(
+      static_cast<size_t>(pool.num_threads()));
   ParallelFor(pool, static_cast<int64_t>(seed_sets.size()),
               [&](int64_t begin, int64_t end) {
+                const int worker = ThreadPool::CurrentWorkerIndex();
+                PropagationScratch fallback;
+                PropagationScratch& scratch =
+                    worker >= 0 ? scratches[static_cast<size_t>(worker)]
+                                : fallback;
                 for (int64_t i = begin; i < end; ++i) {
                   const auto& seeds = seed_sets[static_cast<size_t>(i)];
-                  results[static_cast<size_t>(i)] = Propagate(
-                      seeds, static_cast<int64_t>(seeds.size()), options);
+                  PropagateInto(seeds, static_cast<int64_t>(seeds.size()),
+                                options, scratch,
+                                &results[static_cast<size_t>(i)]);
                 }
               });
   return results;
@@ -155,32 +244,46 @@ std::vector<PropagationResult> Propagator::PropagateBatch(
 SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
                                     const std::vector<UserId>& seeds,
                                     std::vector<UserId>* users,
-                                    std::vector<double>* b) {
+                                    std::vector<double>* b,
+                                    PropagationScratch* scratch) {
   SIMGRAPH_CHECK(users != nullptr);
   SIMGRAPH_CHECK(b != nullptr);
   const Digraph& g = sim_graph.graph;
 
-  std::unordered_set<UserId> seed_set(seeds.begin(), seeds.end());
+  PropagationScratch local;
+  PropagationScratch& s = scratch != nullptr ? *scratch : local;
+  s.BeginRun(g.num_nodes());
+
+  // Deduplicated, sorted seed list; membership via seed stamps.
+  auto& sorted_seeds = s.frontier_;
+  sorted_seeds.clear();
+  for (UserId v : seeds) {
+    SIMGRAPH_CHECK_GE(v, 0);
+    SIMGRAPH_CHECK_LT(v, g.num_nodes());
+    if (!s.IsSeed(v)) {
+      s.MarkSeed(v);
+      sorted_seeds.push_back(v);
+    }
+  }
+  std::sort(sorted_seeds.begin(), sorted_seeds.end());
 
   // Reverse-reachable closure from the seeds: everyone whose score can be
   // non-zero. Edge u->v means v influences u, so influence flows along
   // in-neighbour chains. Rows are assigned in BFS discovery order from the
-  // sorted seed list, which is deterministic.
-  std::vector<UserId> sorted_seeds(seed_set.begin(), seed_set.end());
-  std::sort(sorted_seeds.begin(), sorted_seeds.end());
-  std::unordered_map<UserId, int32_t> row_of;
-  std::vector<UserId> final_order;
-  std::deque<UserId> queue;
+  // sorted seed list, which is deterministic. The output vector doubles as
+  // the BFS queue (push order == discovery order); row membership reuses
+  // the score stamps, row indices live in the dense row_ array.
+  std::vector<UserId>& final_order = *users;
+  final_order.clear();
   auto visit = [&](UserId v) {
-    if (row_of.emplace(v, static_cast<int32_t>(final_order.size())).second) {
-      final_order.push_back(v);
-      queue.push_back(v);
-    }
+    if (s.HasScore(v)) return;
+    s.score_stamp_[static_cast<size_t>(v)] = s.run_epoch_;
+    s.row_[static_cast<size_t>(v)] = static_cast<int32_t>(final_order.size());
+    final_order.push_back(v);
   };
-  for (UserId s : sorted_seeds) visit(s);
-  while (!queue.empty()) {
-    const UserId v = queue.front();
-    queue.pop_front();
+  for (UserId v : sorted_seeds) visit(v);
+  for (size_t head = 0; head < final_order.size(); ++head) {
+    const UserId v = final_order[head];
     for (UserId u : g.InNeighbors(v)) visit(u);
   }
 
@@ -190,7 +293,7 @@ SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
   b->assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     const UserId u = final_order[i];
-    if (seed_set.contains(u)) {
+    if (s.IsSeed(u)) {
       (*b)[i] = 1.0;  // clamped identity row
       continue;
     }
@@ -199,12 +302,12 @@ SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
     const double inv_deg =
         nbrs.empty() ? 0.0 : 1.0 / static_cast<double>(nbrs.size());
     for (size_t j = 0; j < nbrs.size(); ++j) {
-      const auto it = row_of.find(nbrs[j]);
-      if (it == row_of.end()) continue;  // influencer with provably-zero score
-      rows[i].push_back(MatrixEntry{it->second, -weights[j] * inv_deg});
+      const UserId w = nbrs[j];
+      if (!s.HasScore(w)) continue;  // influencer with provably-zero score
+      rows[i].push_back(MatrixEntry{s.row_[static_cast<size_t>(w)],
+                                    -weights[j] * inv_deg});
     }
   }
-  *users = std::move(final_order);
   return SparseMatrix(std::move(diag), rows);
 }
 

@@ -54,12 +54,120 @@ struct UserScore {
 
 /// Result of propagating one tweet through the similarity graph.
 struct PropagationResult {
-  /// Non-zero scores for users not in the seed set D, unsorted.
+  /// Non-zero scores for users not in the seed set D, sorted by user id.
   std::vector<UserScore> scores;
   int32_t iterations = 0;
   /// Number of score updates applied (work measure for the ablations).
   int64_t updates = 0;
   bool converged = false;
+};
+
+class Propagator;
+class PropagationScratch;
+
+/// Builds the linear system A p = b of Section 5.2 restricted to the
+/// subgraph reachable (against edge direction) from the seeds:
+///   a_ii = 1,
+///   a_ij = -sim(u_i, u_j)/|F_{u_i}| for SimGraph edges u_i -> u_j,
+///   b_i  = 1 if u_i retweeted t else 0.
+/// Seed rows are clamped (identity row, b = 1) so the solution matches the
+/// iterative algorithm, which never re-computes seed scores.
+/// `users` receives the user id of each matrix row. Pass a
+/// PropagationScratch to reuse the seed/row membership arrays across
+/// calls; with nullptr a call-local scratch is used.
+SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
+                                    const std::vector<UserId>& seeds,
+                                    std::vector<UserId>* users,
+                                    std::vector<double>* b,
+                                    PropagationScratch* scratch = nullptr);
+
+/// Reusable dense workspace for the propagation kernel.
+///
+/// The original implementation built fresh `unordered_set`/`unordered_map`
+/// instances per Propagate call and per iteration; at serving rates that
+/// hashing and allocation dominated the ingest hot path. The scratch
+/// replaces every hash container with flat arrays sized to the graph's
+/// node count, invalidated in O(1) by bumping a 32-bit epoch instead of
+/// clearing:
+///
+///   * seed membership        -> seed_stamp_[u] == run_epoch_
+///   * sparse score map       -> score_[u], valid iff
+///                               score_stamp_[u] == run_epoch_
+///   * per-iteration affected -> gen_stamp_[u] == gen_epoch_
+///     dedup                     (gen_epoch_ bumps every iteration)
+///   * BuildPropagationSystem -> row_[u], valid iff
+///     row map                   score_stamp_[u] == run_epoch_
+///
+/// plus reusable frontier/update/touched vectors whose capacity sticks
+/// across calls. After a warm-up call on a given graph, Propagate with
+/// the same scratch performs zero heap allocations
+/// (tests/core/propagation_alloc_test.cc asserts this).
+///
+/// A scratch is single-threaded state: one per worker/applier thread.
+/// It may be reused freely across Propagator instances and graphs of any
+/// size (the arrays grow monotonically). Epoch wraparound — once every
+/// 2^32 - 1 runs — triggers a full O(n) stamp clear, counted by
+/// epoch_resets() and the propagation.scratch.epoch_resets metric.
+class PropagationScratch {
+ public:
+  PropagationScratch() = default;
+  PropagationScratch(const PropagationScratch&) = delete;
+  PropagationScratch& operator=(const PropagationScratch&) = delete;
+  PropagationScratch(PropagationScratch&&) = default;
+  PropagationScratch& operator=(PropagationScratch&&) = default;
+
+  /// Grows the dense arrays to cover `num_nodes` nodes (never shrinks).
+  /// Propagate calls this automatically; calling it up front merely
+  /// front-loads the allocation.
+  void Reserve(NodeId num_nodes);
+
+  /// Bytes currently held by the dense arrays and reusable vectors.
+  int64_t MemoryBytes() const;
+
+  /// Number of O(n) epoch-wraparound clears performed so far.
+  int64_t epoch_resets() const { return epoch_resets_; }
+
+ private:
+  friend class Propagator;
+  friend SparseMatrix BuildPropagationSystem(const SimGraph&,
+                                             const std::vector<UserId>&,
+                                             std::vector<UserId>*,
+                                             std::vector<double>*,
+                                             PropagationScratch*);
+
+  /// Starts a new run: grows the arrays and bumps the run epoch.
+  void BeginRun(NodeId num_nodes);
+  /// Starts a new dedup generation (one per iteration) within a run.
+  uint32_t BeginGeneration();
+
+  bool IsSeed(NodeId u) const {
+    return seed_stamp_[static_cast<size_t>(u)] == run_epoch_;
+  }
+  void MarkSeed(NodeId u) {
+    seed_stamp_[static_cast<size_t>(u)] = run_epoch_;
+  }
+  bool HasScore(NodeId u) const {
+    return score_stamp_[static_cast<size_t>(u)] == run_epoch_;
+  }
+  /// Score under the seeds-pinned-at-1 convention of Algorithm 1.
+  double ScoreOf(NodeId u) const {
+    if (IsSeed(u)) return 1.0;
+    return HasScore(u) ? score_[static_cast<size_t>(u)] : 0.0;
+  }
+
+  std::vector<double> score_;
+  std::vector<uint32_t> score_stamp_;
+  std::vector<uint32_t> seed_stamp_;
+  std::vector<uint32_t> gen_stamp_;
+  std::vector<int32_t> row_;  // BuildPropagationSystem row indices
+  std::vector<UserId> frontier_;
+  std::vector<UserId> next_frontier_;
+  std::vector<UserId> affected_;
+  std::vector<double> update_;   // parallel to affected_
+  std::vector<UserId> touched_;  // users scored this run, insertion order
+  uint32_t run_epoch_ = 0;  // 0 is never valid: fresh stamps are 0
+  uint32_t gen_epoch_ = 0;
+  int64_t epoch_resets_ = 0;
 };
 
 /// Iterative propagation engine over a SimGraph (Algorithm 1).
@@ -73,7 +181,8 @@ struct PropagationResult {
 /// until no score moves by more than epsilon. The implementation is
 /// frontier-based: only users whose inputs changed are re-evaluated, which
 /// is what makes per-message propagation cheap (Table 5's 38 ms/message at
-/// the paper's scale).
+/// the paper's scale). The kernel is allocation-free in steady state when
+/// the caller supplies a warm PropagationScratch.
 class Propagator {
  public:
   /// The SimGraph must outlive the propagator.
@@ -81,14 +190,31 @@ class Propagator {
 
   /// Propagates from the seed set `seeds` (users with p = 1). Duplicate
   /// seeds are ignored. `popularity` is m(t), used by the dynamic
-  /// threshold (pass seeds.size() when in doubt).
+  /// threshold (pass seeds.size() when in doubt). This convenience
+  /// overload allocates a call-local scratch; hot paths should hold a
+  /// PropagationScratch and use the overloads below.
   PropagationResult Propagate(const std::vector<UserId>& seeds,
                               int64_t popularity,
                               const PropagationOptions& options) const;
 
+  /// Same, reusing `scratch` (the result vector is still fresh per call).
+  PropagationResult Propagate(const std::vector<UserId>& seeds,
+                              int64_t popularity,
+                              const PropagationOptions& options,
+                              PropagationScratch& scratch) const;
+
+  /// The zero-allocation form: reuses both `scratch` and `result`
+  /// (cleared and refilled; its capacity sticks across calls). This is
+  /// the per-event ingest hot path of the serving layer.
+  void PropagateInto(const std::vector<UserId>& seeds, int64_t popularity,
+                     const PropagationOptions& options,
+                     PropagationScratch& scratch,
+                     PropagationResult* result) const;
+
   /// Propagates many messages concurrently on `pool` (the paper processes
   /// the message stream on 70 cores). results[i] corresponds to
-  /// seed_sets[i]; identical to calling Propagate per set.
+  /// seed_sets[i]; identical to calling Propagate per set. Each pool
+  /// worker reuses one PropagationScratch across all its chunks.
   std::vector<PropagationResult> PropagateBatch(
       const std::vector<std::vector<UserId>>& seed_sets,
       const PropagationOptions& options, ThreadPool& pool) const;
@@ -98,19 +224,6 @@ class Propagator {
  private:
   const SimGraph* sim_graph_;
 };
-
-/// Builds the linear system A p = b of Section 5.2 restricted to the
-/// subgraph reachable (against edge direction) from the seeds:
-///   a_ii = 1,
-///   a_ij = -sim(u_i, u_j)/|F_{u_i}| for SimGraph edges u_i -> u_j,
-///   b_i  = 1 if u_i retweeted t else 0.
-/// Seed rows are clamped (identity row, b = 1) so the solution matches the
-/// iterative algorithm, which never re-computes seed scores.
-/// `users` receives the user id of each matrix row.
-SparseMatrix BuildPropagationSystem(const SimGraph& sim_graph,
-                                    const std::vector<UserId>& seeds,
-                                    std::vector<UserId>* users,
-                                    std::vector<double>* b);
 
 }  // namespace simgraph
 

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <unordered_set>
 
 #include "graph/bfs.h"
 #include "graph/graph_builder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/stamped_set.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -40,19 +40,23 @@ int64_t CandidatesTwoHop(const Digraph& follow_graph,
 }
 
 // Candidate edges via the inverted index intersected with N2(u).
+// `ball` is a reusable per-worker stamped visited array (O(1) clear), so
+// the per-user N2(u) membership test allocates nothing once warm.
 int64_t CandidatesInvertedIndex(const Digraph& follow_graph,
                                 const ProfileStore& profiles, UserId u,
                                 const SimGraphOptions& options,
+                                StampedSet& ball,
                                 std::vector<WeightedEdge>& out) {
   std::vector<std::pair<UserId, double>> sims = profiles.SimilaritiesOf(u);
   if (sims.empty()) return 0;
-  std::unordered_set<UserId> ball;
+  ball.Reserve(static_cast<size_t>(follow_graph.num_nodes()));
+  ball.Clear();
   for (const HopNode& hop : KHopNeighborhood(follow_graph, u, options.hops,
                                              TraversalDirection::kOut)) {
-    ball.insert(hop.node);
+    ball.Insert(static_cast<size_t>(hop.node));
   }
   for (const auto& [w, sim] : sims) {
-    if (sim >= options.tau && ball.contains(w)) {
+    if (sim >= options.tau && ball.Contains(static_cast<size_t>(w))) {
       out.push_back(WeightedEdge{u, w, sim});
     }
   }
@@ -62,10 +66,13 @@ int64_t CandidatesInvertedIndex(const Digraph& follow_graph,
 }  // namespace
 
 int64_t SimGraph::NumPresentNodes() const {
+  const int64_t cached = CachedPresentNodes();
+  if (cached >= 0) return cached;
   int64_t present = 0;
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     if (graph.OutDegree(u) > 0 || graph.InDegree(u) > 0) ++present;
   }
+  present_nodes_.store(present, std::memory_order_relaxed);
   return present;
 }
 
@@ -101,6 +108,9 @@ SimGraph BuildSimGraph(const Digraph& follow_graph,
       static_cast<size_t>(pool.num_threads() * 4));
   std::atomic<size_t> shard_counter{0};
   std::atomic<int64_t> candidates_scored{0};
+  // One stamped N2(u) visited array per pool worker (chunks on the same
+  // worker run sequentially, so no synchronisation is needed).
+  std::vector<StampedSet> balls(static_cast<size_t>(pool.num_threads()));
 
   {
     SIMGRAPH_TRACE_SPAN("SimGraph::Build/candidates", "build");
@@ -108,6 +118,10 @@ SimGraph BuildSimGraph(const Digraph& follow_graph,
     ParallelFor(pool, n, [&](int64_t begin, int64_t end) {
       const size_t shard = shard_counter.fetch_add(1) % shards.size();
       auto& local = shards[shard];
+      const int worker = ThreadPool::CurrentWorkerIndex();
+      StampedSet fallback_ball;
+      StampedSet& ball =
+          worker >= 0 ? balls[static_cast<size_t>(worker)] : fallback_ball;
       int64_t scored = 0;
       for (int64_t i = begin; i < end; ++i) {
         const UserId u = static_cast<UserId>(i);
@@ -119,7 +133,7 @@ SimGraph BuildSimGraph(const Digraph& follow_graph,
             break;
           case CandidateMode::kInvertedIndex:
             scored += CandidatesInvertedIndex(follow_graph, profiles, u,
-                                              options, local);
+                                              options, ball, local);
             break;
         }
       }

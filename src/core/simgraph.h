@@ -1,7 +1,9 @@
 #ifndef SIMGRAPH_CORE_SIMGRAPH_H_
 #define SIMGRAPH_CORE_SIMGRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/similarity.h"
@@ -39,15 +41,56 @@ struct SimGraphOptions {
 struct SimGraph {
   Digraph graph;
 
+  SimGraph() = default;
+  // The cached present-node count is an atomic (lazy compute may race with
+  // itself across reader threads), which deletes the default copy/move
+  // operations; re-instate them by copying the cache value through a load.
+  SimGraph(const SimGraph& other)
+      : graph(other.graph), present_nodes_(other.CachedPresentNodes()) {}
+  SimGraph(SimGraph&& other) noexcept
+      : graph(std::move(other.graph)),
+        present_nodes_(other.CachedPresentNodes()) {}
+  SimGraph& operator=(const SimGraph& other) {
+    graph = other.graph;
+    present_nodes_.store(other.CachedPresentNodes(),
+                         std::memory_order_relaxed);
+    return *this;
+  }
+  SimGraph& operator=(SimGraph&& other) noexcept {
+    graph = std::move(other.graph);
+    present_nodes_.store(other.CachedPresentNodes(),
+                         std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Users with at least one incident edge — the paper's |V'| (roughly
-  /// half of all users on their crawl; cold users are absent).
+  /// half of all users on their crawl; cold users are absent). Computed
+  /// lazily on first call and cached (it is an O(n) scan that summaries
+  /// and MeanOutDegreePresent() used to redo every call); assign `graph`
+  /// before the first query, or call InvalidatePresentNodesCache() after
+  /// mutating `graph` on an already-queried SimGraph.
   int64_t NumPresentNodes() const;
+
+  /// Drops the cached present-node count; the next NumPresentNodes()
+  /// recomputes it from `graph`.
+  void InvalidatePresentNodesCache() {
+    present_nodes_.store(-1, std::memory_order_relaxed);
+  }
 
   /// Mean edge weight (the paper reports 0.0078).
   double MeanSimilarity() const;
 
   /// Mean out-degree over present nodes (the paper reports 5.9).
   double MeanOutDegreePresent() const;
+
+ private:
+  int64_t CachedPresentNodes() const {
+    return present_nodes_.load(std::memory_order_relaxed);
+  }
+
+  // -1 = not yet computed. Relaxed is enough: concurrent first readers
+  // each compute the same value and the store is idempotent.
+  mutable std::atomic<int64_t> present_nodes_{-1};
 };
 
 /// Builds the SimGraph from the follow graph and the retweet profiles.

@@ -80,9 +80,11 @@ void SimGraphRecommender::Observe(const RetweetEvent& event) {
 
 void SimGraphRecommender::PropagateTweet(TweetId tweet, TweetState& state) {
   state.pending = 0;
-  const PropagationResult result = propagator_->Propagate(
-      state.seeds, static_cast<int64_t>(state.seeds.size()),
-      options_.propagation);
+  propagator_->PropagateInto(state.seeds,
+                             static_cast<int64_t>(state.seeds.size()),
+                             options_.propagation, propagation_scratch_,
+                             &propagation_result_);
+  const PropagationResult& result = propagation_result_;
   ++num_propagations_;
   for (const UserScore& us : result.scores) {
     if (us.score >= options_.min_deposit_score) {

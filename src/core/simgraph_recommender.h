@@ -90,6 +90,10 @@ class SimGraphRecommender : public Recommender {
   const Digraph* follow_graph_ = nullptr;  // borrowed from the Train dataset
   SimGraph sim_graph_;
   std::unique_ptr<Propagator> propagator_;
+  // Reused across PropagateTweet calls so steady-state Observe ingest is
+  // allocation-free (Observe is single-threaded per Recommender contract).
+  PropagationScratch propagation_scratch_;
+  PropagationResult propagation_result_;
   std::unique_ptr<CandidateStore> candidates_;
   std::unordered_map<TweetId, TweetState> tweet_state_;
   std::vector<UserId> tweet_author_;  // indexed by tweet id

@@ -26,6 +26,7 @@ RecommendationService::RecommendationService(
         metrics::ShardMetricName("serve.ingest.applied_seq", options_.shard));
     shard_queue_depth_max_ = &registry.gauge(metrics::ShardMetricName(
         "serve.ingest.queue_depth_max", options_.shard));
+    recommender_->BindShard(options_.shard);
   }
 }
 

@@ -63,6 +63,12 @@ class ServingRecommender : public Recommender {
   /// True when Observe*/Recommend* are internally synchronised and may be
   /// called from multiple threads concurrently.
   virtual bool concurrent_reads() const { return false; }
+
+  /// Called once by RecommendationService when the recommender serves a
+  /// shard of a sharded deployment (the shard index is only known there:
+  /// ShardedService assigns it after the factory runs). Implementations
+  /// may cache per-shard metric handles; default is a no-op.
+  virtual void BindShard(int32_t shard) { (void)shard; }
 };
 
 /// Wraps any plain Recommender as a ServingRecommender. Every event

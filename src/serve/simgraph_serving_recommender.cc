@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace simgraph {
@@ -95,6 +96,12 @@ void SimGraphServingRecommender::RefreshSnapshot() {
   SIMGRAPH_COUNTER_ADD("serve.snapshot.refreshes", 1);
 }
 
+void SimGraphServingRecommender::BindShard(int32_t shard) {
+  if (shard < 0) return;
+  shard_propagation_us_ = &metrics::Registry::Global().histogram(
+      metrics::ShardMetricName("serve.apply.propagation_us", shard));
+}
+
 AffectedUsers SimGraphServingRecommender::ObserveAffected(
     const RetweetEvent& event) {
   SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
@@ -134,9 +141,18 @@ AffectedUsers SimGraphServingRecommender::ObserveAffected(
   TweetState& state = tweet_state_[event.tweet];
   state.seeds.push_back(event.user);
 
-  const PropagationResult result = propagator_->Propagate(
-      state.seeds, static_cast<int64_t>(state.seeds.size()),
-      options_.propagation);
+  const bool metrics_on = metrics::Enabled();
+  WallTimer propagation_timer;
+  propagator_->PropagateInto(state.seeds,
+                             static_cast<int64_t>(state.seeds.size()),
+                             options_.propagation, propagation_scratch_,
+                             &propagation_result_);
+  if (metrics_on) {
+    const double us = propagation_timer.ElapsedSeconds() * 1e6;
+    SIMGRAPH_HISTOGRAM_RECORD("serve.apply.propagation_us", us);
+    if (shard_propagation_us_ != nullptr) shard_propagation_us_->Record(us);
+  }
+  const PropagationResult& result = propagation_result_;
   ++num_propagations_;
   for (const UserScore& us : result.scores) {
     if (us.score < options_.min_deposit_score) continue;

@@ -13,6 +13,7 @@
 #include "core/propagation.h"
 #include "core/simgraph.h"
 #include "serve/serving_recommender.h"
+#include "util/metrics.h"
 
 namespace simgraph {
 namespace serve {
@@ -58,6 +59,10 @@ class SimGraphServingRecommender final : public ServingRecommender {
   std::string name() const override { return "SimGraphServing"; }
   Status Train(const Dataset& dataset, int64_t train_end) override;
   AffectedUsers ObserveAffected(const RetweetEvent& event) override;
+  /// Caches the shard-qualified serve.apply.propagation_us histogram so
+  /// the ingest loop records per-shard propagation latency without a
+  /// registry lookup per event.
+  void BindShard(int32_t shard) override;
   std::vector<ScoredTweet> Recommend(UserId user, Timestamp now,
                                      int32_t k) override;
   RecommendOutcome RecommendUntil(
@@ -99,6 +104,14 @@ class SimGraphServingRecommender final : public ServingRecommender {
   int32_t num_users_ = 0;
   int64_t observed_ = 0;          // ingest-only
   int64_t num_propagations_ = 0;  // ingest-only
+  // Reused by the single ingest thread across ObserveAffected calls so
+  // steady-state propagation allocates nothing (survives snapshot swaps:
+  // the scratch is propagator-independent).
+  PropagationScratch propagation_scratch_;  // ingest-only
+  PropagationResult propagation_result_;    // ingest-only
+  // Shard-qualified propagation-latency histogram, cached by BindShard;
+  // null outside sharded deployments.
+  metrics::LatencyHistogram* shard_propagation_us_ = nullptr;
 
   /// Guards snapshot_ / propagator_ / graph_epoch_ publication; the
   /// ingest thread holds it only for the pointer swap, never during the

@@ -66,6 +66,7 @@
 #include "util/metrics.h"
 #include "util/mpmc_queue.h"
 #include "util/random.h"
+#include "util/stamped_set.h"
 #include "util/status.h"
 #include "util/table_writer.h"
 #include "util/thread_pool.h"

@@ -1,0 +1,66 @@
+#ifndef SIMGRAPH_UTIL_STAMPED_SET_H_
+#define SIMGRAPH_UTIL_STAMPED_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace simgraph {
+
+/// A reusable set over a dense integer key space [0, n), cleared in O(1)
+/// by bumping a 32-bit epoch instead of touching the backing array: an
+/// element is a member iff its stamp equals the current epoch. This is
+/// the membership structure behind the allocation-free hot paths
+/// (propagation scratch, the SimGraph builder's 2-hop ball): after the
+/// backing array has grown to the key-space size once, Clear/Insert/
+/// Contains never allocate. The O(n) zero-fill happens only when the
+/// epoch wraps around, i.e. once every 2^32 - 1 clears.
+class StampedSet {
+ public:
+  StampedSet() = default;
+  explicit StampedSet(size_t n) { Reserve(n); }
+
+  /// Grows the backing array to cover keys [0, n). Never shrinks.
+  void Reserve(size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+  }
+
+  /// Empties the set. O(1) except once every 2^32 - 1 calls.
+  void Clear() {
+    if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 0;
+      ++epoch_resets_;
+    }
+    ++epoch_;
+  }
+
+  /// Adds `key`; returns true when it was not yet a member.
+  /// Precondition: key < capacity (call Reserve first).
+  bool Insert(size_t key) {
+    if (stamp_[key] == epoch_) return false;
+    stamp_[key] = epoch_;
+    return true;
+  }
+
+  bool Contains(size_t key) const {
+    return key < stamp_.size() && stamp_[key] == epoch_;
+  }
+
+  size_t capacity() const { return stamp_.size(); }
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(stamp_.capacity() * sizeof(uint32_t));
+  }
+  /// Number of O(n) wraparound clears performed so far.
+  int64_t epoch_resets() const { return epoch_resets_; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 1;  // 0 is never a valid epoch: fresh stamps are 0
+  int64_t epoch_resets_ = 0;
+};
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_STAMPED_SET_H_

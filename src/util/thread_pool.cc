@@ -8,6 +8,13 @@
 
 namespace simgraph {
 
+namespace {
+// Set once at worker startup; -1 on every thread that is not a pool worker.
+thread_local int t_worker_index = -1;
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -15,7 +22,10 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_index = i;
+      WorkerLoop();
+    });
   }
 }
 

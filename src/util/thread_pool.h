@@ -33,6 +33,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Index of the calling pool worker in [0, num_threads()), or -1 when the
+  /// caller is not a pool worker. Tasks running on the same worker execute
+  /// sequentially, so per-worker state indexed by this (e.g. a
+  /// PropagationScratch per worker) needs no synchronisation.
+  static int CurrentWorkerIndex();
+
  private:
   // A queued task plus its enqueue instant; the timestamp is only taken
   // (and queue-wait latency only recorded) while metrics collection is

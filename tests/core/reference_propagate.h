@@ -1,0 +1,107 @@
+#ifndef SIMGRAPH_TESTS_CORE_REFERENCE_PROPAGATE_H_
+#define SIMGRAPH_TESTS_CORE_REFERENCE_PROPAGATE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/propagation.h"
+#include "core/simgraph.h"
+
+namespace simgraph {
+namespace testing {
+
+/// The pre-scratch hash-container implementation of Propagator::Propagate,
+/// kept verbatim (minus metrics/trace plumbing) as the equivalence oracle
+/// for the epoch-stamped kernel. Do not "improve" this code: its value is
+/// being exactly the algorithm the optimised kernel must reproduce
+/// bit-for-bit (scores, iteration counts, update counts, convergence).
+inline PropagationResult ReferencePropagate(
+    const SimGraph& sim_graph, const std::vector<UserId>& seeds,
+    int64_t popularity, const PropagationOptions& options) {
+  const Digraph& g = sim_graph.graph;
+  PropagationResult result;
+
+  std::unordered_set<UserId> seed_set;
+  for (UserId s : seeds) seed_set.insert(s);
+  if (seed_set.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  const double propagation_threshold =
+      options.dynamic.enabled
+          ? options.dynamic.Evaluate(popularity) * options.dynamic_scale
+          : options.beta;
+
+  // Sparse scores; absent means 0. Seeds are pinned at 1 and never stored
+  // here (score_of special-cases them).
+  std::unordered_map<UserId, double> score;
+  auto score_of = [&](UserId v) -> double {
+    if (seed_set.contains(v)) return 1.0;
+    const auto it = score.find(v);
+    return it == score.end() ? 0.0 : it->second;
+  };
+
+  std::vector<UserId> frontier(seed_set.begin(), seed_set.end());
+  std::sort(frontier.begin(), frontier.end());
+
+  bool converged = false;
+  int32_t it = 0;
+  for (; it < options.max_iterations && !frontier.empty(); ++it) {
+    std::unordered_set<UserId> affected;
+    for (UserId v : frontier) {
+      for (UserId u : g.InNeighbors(v)) {
+        if (!seed_set.contains(u)) affected.insert(u);
+      }
+    }
+
+    std::vector<std::pair<UserId, double>> updates;
+    updates.reserve(affected.size());
+    for (UserId u : affected) {
+      const auto nbrs = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      double acc = 0.0;
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        acc += score_of(nbrs[i]) * weights[i];
+      }
+      const double p_new = acc / static_cast<double>(nbrs.size());
+      updates.emplace_back(u, p_new);
+    }
+
+    std::vector<UserId> next_frontier;
+    for (const auto& [u, p_new] : updates) {
+      const double p_old = score_of(u);
+      const double delta = std::abs(p_new - p_old);
+      if (delta <= options.epsilon) continue;
+      score[u] = p_new;
+      ++result.updates;
+      if (delta >= propagation_threshold) next_frontier.push_back(u);
+    }
+    if (next_frontier.empty()) {
+      converged = true;
+      ++it;
+      break;
+    }
+    std::sort(next_frontier.begin(), next_frontier.end());
+    frontier = std::move(next_frontier);
+  }
+
+  result.iterations = it;
+  result.converged = converged || frontier.empty();
+  result.scores.reserve(score.size());
+  for (const auto& [u, p] : score) {
+    if (p > 0.0) result.scores.push_back(UserScore{u, p});
+  }
+  return result;
+}
+
+}  // namespace testing
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_TESTS_CORE_REFERENCE_PROPAGATE_H_

@@ -1,0 +1,60 @@
+#include "util/stamped_set.h"
+
+#include <gtest/gtest.h>
+
+namespace simgraph {
+namespace {
+
+TEST(StampedSet, InsertContainsClear) {
+  StampedSet s(10);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_FALSE(s.Insert(3));  // already a member
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+
+  s.Clear();
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(s.Insert(3));
+}
+
+TEST(StampedSet, ContainsOutOfRangeIsFalse) {
+  StampedSet s(4);
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(1000));
+}
+
+TEST(StampedSet, ReserveGrowsNeverShrinks) {
+  StampedSet s;
+  EXPECT_EQ(s.capacity(), 0u);
+  s.Reserve(8);
+  EXPECT_EQ(s.capacity(), 8u);
+  s.Reserve(4);
+  EXPECT_EQ(s.capacity(), 8u);
+  // Growth preserves membership: stamps move with the array.
+  ASSERT_TRUE(s.Insert(2));
+  s.Reserve(100);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(50));
+}
+
+TEST(StampedSet, ManyClearsStayIndependent) {
+  StampedSet s(16);
+  for (int round = 0; round < 1000; ++round) {
+    const size_t key = static_cast<size_t>(round % 16);
+    EXPECT_TRUE(s.Insert(key));
+    EXPECT_TRUE(s.Contains(key));
+    const size_t other = static_cast<size_t>((round + 1) % 16);
+    EXPECT_FALSE(s.Contains(other));
+    s.Clear();
+  }
+  EXPECT_EQ(s.epoch_resets(), 0);
+}
+
+TEST(StampedSet, MemoryBytesTracksCapacity) {
+  StampedSet s(100);
+  EXPECT_GE(s.MemoryBytes(), static_cast<int64_t>(100 * sizeof(uint32_t)));
+}
+
+}  // namespace
+}  // namespace simgraph
