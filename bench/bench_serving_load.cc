@@ -21,6 +21,14 @@
 //   SIMGRAPH_BENCH_SERVE_DEADLINE_US  per-request budget, 0 = off (0)
 //   SIMGRAPH_BENCH_SERVE_REFRESH  snapshot refresh cadence in events (2000)
 //   SIMGRAPH_BENCH_SERVE_SHARDS   service shards behind the router (1)
+//   SIMGRAPH_BENCH_SERVE_INGEST   ingest pipeline mode (docs/ingest.md):
+//                                 "delta" (default) = one DeltaBuilder
+//                                 computes the SimGraph update once and
+//                                 ships deltas to every shard;
+//                                 "replicated" = the legacy path, every
+//                                 shard re-runs the full update;
+//                                 "ab" = run every leg in both modes and
+//                                 report the old-vs-new apply-cost ratio
 //   SIMGRAPH_BENCH_SERVE_SHARD_SWEEP  comma-separated shard counts, e.g.
 //                                 "1,2,4,8": run the whole load once per
 //                                 count and report scaling (also the
@@ -146,10 +154,13 @@ struct LoadConfig {
   int64_t refresh_events = 2000;
   int32_t num_shards = 1;
   bool use_tcp = false;
+  /// Delta-shipping ingest (docs/ingest.md) vs legacy replicated apply.
+  bool delta_ingest = true;
 };
 
 struct LoadResult {
   int32_t num_shards = 1;
+  bool delta_ingest = true;
   WorkerTally total;
   double hit_rate = 0;
   double closed_throughput = 0;
@@ -162,6 +173,20 @@ struct LoadResult {
   double apply_p50_us = 0;
   double apply_p99_us = 0;
   double drain_wait_seconds = 0;
+  /// Delta-ingest pipeline stats (0 in replicated mode): one-time build
+  /// cost on the builder thread, per-shard replay cost, wire size, and
+  /// how many events each shipped delta covered.
+  double build_p50_us = 0;
+  double build_p99_us = 0;
+  double delta_apply_p50_us = 0;
+  double delta_apply_p99_us = 0;
+  double delta_bytes_p50 = 0;
+  double batch_events_mean = 0;
+  /// Total ingest CPU per published event, summed over builder + every
+  /// shard. Replicated apply makes this ~linear in the shard count (N
+  /// full updates per event); delta-shipping holds it ~flat (one build
+  /// plus N cheap replays) — the headline number of docs/ingest.md.
+  double apply_per_event_us = 0;
 };
 
 /// Runs both load phases against a freshly built ShardedService and
@@ -179,16 +204,24 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   options.shard_options.cache_ttl = config.cache_ttl;
   options.shard_options.deadline =
       std::chrono::microseconds(config.deadline_us);
-  serve::ShardedService service(
-      [&rec_options] {
-        return std::make_unique<serve::SimGraphServingRecommender>(
-            rec_options);
-      },
-      options);
+  std::unique_ptr<serve::ShardedService> service_ptr;
+  if (config.delta_ingest) {
+    service_ptr =
+        std::make_unique<serve::ShardedService>(rec_options, options);
+  } else {
+    service_ptr = std::make_unique<serve::ShardedService>(
+        [&rec_options] {
+          return std::make_unique<serve::SimGraphServingRecommender>(
+              rec_options);
+        },
+        options);
+  }
+  serve::ShardedService& service = *service_ptr;
 
   std::cout << "training " << config.num_shards << " shard"
-            << (config.num_shards == 1 ? "" : "s") << " on "
-            << protocol.train_end << " events...\n";
+            << (config.num_shards == 1 ? "" : "s") << " ("
+            << (config.delta_ingest ? "delta" : "replicated")
+            << " ingest) on " << protocol.train_end << " events...\n";
   const Status trained = service.Train(dataset, protocol.train_end);
   if (!trained.ok()) {
     std::cerr << trained.ToString() << "\n";
@@ -404,9 +437,16 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   const auto& sojourn = registry.histogram("serve.open_loop.sojourn_seconds");
   const auto& apply_latency =
       registry.histogram("serve.ingest.apply_seconds");
+  const auto& delta_build = registry.histogram("serve.ingest.delta.build_us");
+  const auto& delta_apply = registry.histogram("serve.ingest.delta.apply_us");
+  const auto& delta_bytes = registry.histogram("serve.ingest.delta.bytes");
+  const auto& delta_batch =
+      registry.histogram("serve.ingest.delta.batch_events");
 
   TableWriter table("Serving load (" + std::to_string(config.num_shards) +
-                    " shards, " + std::to_string(num_threads) +
+                    " shards, " +
+                    (config.delta_ingest ? "delta" : "replicated") +
+                    std::string(" ingest, ") + std::to_string(num_threads) +
                     " workers, " + std::to_string(num_events) +
                     " events replayed)");
   table.SetHeader({"metric", "value"});
@@ -427,11 +467,23 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
       {"apply p50 (ms)", TableWriter::Cell(apply_latency.p50() * 1e3)});
   table.AddRow(
       {"apply p99 (ms)", TableWriter::Cell(apply_latency.p99() * 1e3)});
+  if (config.delta_ingest) {
+    table.AddRow(
+        {"delta build p50 (us)", TableWriter::Cell(delta_build.p50())});
+    table.AddRow(
+        {"delta bytes p50", TableWriter::Cell(delta_bytes.p50())});
+    table.AddRow({"delta batch mean",
+                  TableWriter::Cell(delta_batch.count() > 0
+                                        ? delta_batch.sum() /
+                                              delta_batch.count()
+                                        : 0.0)});
+  }
   table.AddRow({"drain wait (s)", TableWriter::Cell(drain_wait_seconds)});
   table.Print(std::cout);
 
   const auto us = [](double seconds) { return seconds * 1e6; };
   out->num_shards = config.num_shards;
+  out->delta_ingest = config.delta_ingest;
   out->total = total;
   out->hit_rate = hit_rate;
   out->closed_throughput = closed_throughput;
@@ -445,6 +497,21 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   out->apply_p50_us = us(apply_latency.p50());
   out->apply_p99_us = us(apply_latency.p99());
   out->drain_wait_seconds = drain_wait_seconds;
+  // The delta histograms already record microseconds (and bytes/counts),
+  // so no unit conversion here; all four are empty in replicated mode.
+  out->build_p50_us = delta_build.p50();
+  out->build_p99_us = delta_build.p99();
+  out->delta_apply_p50_us = delta_apply.p50();
+  out->delta_apply_p99_us = delta_apply.p99();
+  out->delta_bytes_p50 = delta_bytes.p50();
+  out->batch_events_mean =
+      delta_batch.count() > 0 ? delta_batch.sum() / delta_batch.count() : 0.0;
+  // apply_seconds sums every shard's apply work (replicated: N full
+  // updates per event; delta: N replays), build_us the builder's
+  // one-time update — together the system's ingest cost per event.
+  const double total_apply_us = apply_latency.sum() * 1e6 + delta_build.sum();
+  out->apply_per_event_us =
+      num_events > 0 ? total_apply_us / static_cast<double>(num_events) : 0.0;
   return 0;
 }
 
@@ -476,6 +543,16 @@ void WriteLegJson(std::ostream& out, const LoadResult& leg,
       << "},\n"
       << indent << "\"ingest\": {\"apply_us\": {\"p50\": "
       << leg.apply_p50_us << ", \"p99\": " << leg.apply_p99_us
+      << "}, \"delta_mode\": " << (leg.delta_ingest ? 1 : 0)
+      << ", \"build_us\": {\"p50\": " << leg.build_p50_us
+      << ", \"p99\": " << leg.build_p99_us
+      << "}, \"delta\": {\"apply_us_p50\": " << leg.delta_apply_p50_us
+      << ", \"apply_us_p99\": " << leg.delta_apply_p99_us
+      << ", \"bytes_p50\": " << leg.delta_bytes_p50
+      << ", \"batch_events_mean\": " << leg.batch_events_mean
+      // Flattens to ingest.apply_latency_us.mean: "latency" + ".mean"
+      // makes it a lower-is-better gate in tools/metrics_diff.
+      << "}, \"apply_latency_us\": {\"mean\": " << leg.apply_per_event_us
       << "}, \"drain_seconds\": " << leg.drain_wait_seconds << "},\n"
       << indent << "\"queue_depth_max\": " << leg.queue_depth_max;
 }
@@ -497,6 +574,16 @@ int Run(int argc, char** argv) {
   config.num_shards = static_cast<int32_t>(
       std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_SHARDS", 1)));
   config.use_tcp = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TCP", 0) != 0;
+  const std::string ingest_mode =
+      GetEnvString("SIMGRAPH_BENCH_SERVE_INGEST", "delta");
+  if (ingest_mode != "delta" && ingest_mode != "replicated" &&
+      ingest_mode != "ab") {
+    std::cerr << "unknown SIMGRAPH_BENCH_SERVE_INGEST " << ingest_mode
+              << " (want delta|replicated|ab)\n";
+    return 2;
+  }
+  config.delta_ingest = ingest_mode != "replicated";
+  const bool ab_ingest = ingest_mode == "ab";
   const std::string snapshot_path =
       GetEnvString("SIMGRAPH_BENCH_SERVE_SNAPSHOT", "");
 
@@ -513,7 +600,21 @@ int Run(int argc, char** argv) {
   bench::PrintPreamble("serving load");
 
   std::vector<LoadResult> legs;
+  std::vector<LoadResult> replicated_legs;  // ab mode only
   for (const int32_t shards : shard_counts) {
+    if (ab_ingest) {
+      // Old-vs-new A/B: the replicated leg runs first, against the same
+      // shard count and the same load, into its own registry epoch.
+      metrics::Registry::Global().Reset();
+      LoadConfig leg_config = config;
+      leg_config.num_shards = shards;
+      leg_config.delta_ingest = false;
+      LoadResult result;
+      if (const int rc = RunLoadPhases(leg_config, &result); rc != 0) {
+        return rc;
+      }
+      replicated_legs.push_back(result);
+    }
     // Each leg reads its own percentiles, so the shared registry must
     // start clean (values are zeroed; instruments stay registered).
     metrics::Registry::Global().Reset();
@@ -526,6 +627,21 @@ int Run(int argc, char** argv) {
     legs.push_back(result);
   }
 
+  if (ab_ingest) {
+    TableWriter table("Ingest A/B (replicated vs delta-shipping)");
+    table.SetHeader({"shards", "old apply p50 (us)", "new apply p50 (us)",
+                     "old drain (s)", "new drain (s)"});
+    for (size_t i = 0; i < legs.size(); ++i) {
+      table.AddRow(
+          {TableWriter::Cell(static_cast<int64_t>(legs[i].num_shards)),
+           TableWriter::Cell(replicated_legs[i].apply_p50_us),
+           TableWriter::Cell(legs[i].apply_p50_us),
+           TableWriter::Cell(replicated_legs[i].drain_wait_seconds),
+           TableWriter::Cell(legs[i].drain_wait_seconds)});
+    }
+    table.Print(std::cout);
+  }
+
   if (sweeping) {
     // Scaling relative to the first (fewest-shard) leg. The metric names
     // carry the better-direction for tools/metrics_diff: throughput
@@ -536,7 +652,13 @@ int Run(int argc, char** argv) {
         top.closed_throughput / std::max(base.closed_throughput, 1e-9);
     const double latency_ratio =
         top.latency_p99_us / std::max(base.latency_p99_us, 1e-9);
+    // With delta-shipping ingest this ratio must stay ~1: per-event
+    // ingest cost is one build + cheap replays, not one full update per
+    // shard, so it no longer grows with the shard count.
+    const double apply_ratio =
+        top.apply_per_event_us / std::max(base.apply_per_event_us, 1e-9);
     SIMGRAPH_GAUGE_SET("serve.bench.scaling_speedup_throughput", speedup);
+    SIMGRAPH_GAUGE_SET("serve.bench.scaling_ingest_apply_ratio", apply_ratio);
     TableWriter table("Shard sweep scaling (vs " +
                       std::to_string(base.num_shards) + " shard baseline)");
     table.SetHeader({"shards", "closed req/s", "speedup", "p99 (us)"});
@@ -550,7 +672,8 @@ int Run(int argc, char** argv) {
     table.Print(std::cout);
     std::cout << "scaling: " << top.num_shards << " shards reach " << speedup
               << "x closed-loop throughput, " << latency_ratio
-              << "x p99 latency of the " << base.num_shards
+              << "x p99 latency, " << apply_ratio
+              << "x per-event ingest cost of the " << base.num_shards
               << "-shard baseline\n";
   }
 
@@ -593,7 +716,15 @@ int Run(int argc, char** argv) {
                  << ",\n"
                  << "    \"latency_ratio_p99\": "
                  << top.latency_p99_us / std::max(base.latency_p99_us, 1e-9)
-                 << "\n  }";
+                 << ",\n"
+                 // Flattens to scaling.ingest_apply_latency_ratio.mean —
+                 // lower-is-better in tools/metrics_diff: the gate that
+                 // proves per-event ingest cost stopped growing with the
+                 // shard count.
+                 << "    \"ingest_apply_latency_ratio\": {\"mean\": "
+                 << top.apply_per_event_us /
+                        std::max(base.apply_per_event_us, 1e-9)
+                 << "}\n  }";
       }
       snapshot << "\n}\n";
       std::cout << "bench snapshot written to " << snapshot_path << "\n";

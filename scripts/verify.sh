@@ -9,10 +9,13 @@
 #       # additionally build the tsan preset and run the concurrency-
 #       # labelled tests under ThreadSanitizer
 #   SIMGRAPH_VERIFY_BENCH=1 scripts/verify.sh
-#       # additionally run the serving load bench and the propagation
-#       # kernel sweep, gating their snapshots against the committed
+#       # additionally run the serving load bench, an ingest-focused
+#       # delta-shipping smoke sweep, and the propagation kernel sweep,
+#       # gating their snapshots against the committed
 #       # BENCH_serving.json / BENCH_propagation.json baselines with
 #       # tools/metrics_diff
+#   SIMGRAPH_VERIFY_INGEST_REQUESTS=N scripts/verify.sh
+#       # request count for the ingest smoke sweep (default: 6000)
 #
 # Exit codes (so CI can tell the failure stages apart):
 #   0  everything passed
@@ -90,6 +93,31 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
     ./build/tools/metrics_diff BENCH_serving.json "$bench_snapshot" \
       --threshold=0.5 \
       || fail 4 "serving bench regressed against BENCH_serving.json"
+  else
+    echo "no committed BENCH_serving.json baseline; skipping diff"
+  fi
+  endgroup
+
+  group "ingest delta smoke gate"
+  # A reduced-request shard sweep focused on the write path: the event
+  # stream it replays is dataset-fixed (independent of the request
+  # count), so the ingest.* and scaling.ingest_* keys are comparable
+  # against the committed full-size baseline. The default threshold is
+  # huge on purpose — read-side metrics are not meaningful at this size;
+  # only the ingest keys gate (last matching rule wins in metrics_diff),
+  # and scaling.ingest_apply_latency_ratio.mean is the one that fires if
+  # per-event ingest cost ever grows with the shard count again.
+  ingest_snapshot="$selfcheck_dir/BENCH_ingest_smoke.json"
+  SIMGRAPH_BENCH_SERVE_SNAPSHOT="$ingest_snapshot" \
+    SIMGRAPH_BENCH_SERVE_REQUESTS="${SIMGRAPH_VERIFY_INGEST_REQUESTS:-6000}" \
+    ./build/bench/bench_serving_load --shard-sweep=1,4 \
+    || fail 3 "ingest delta smoke bench failed"
+  if [[ -f BENCH_serving.json ]]; then
+    ./build/tools/metrics_diff BENCH_serving.json "$ingest_snapshot" \
+      --threshold=9 \
+      --threshold=ingest:1.0 \
+      --threshold=scaling.ingest:0.75 \
+      || fail 4 "ingest delta smoke regressed against BENCH_serving.json"
   else
     echo "no committed BENCH_serving.json baseline; skipping diff"
   fi

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/simgraph.h"
+#include "core/simgraph_delta.h"
 #include "dataset/dataset.h"
 
 namespace simgraph {
@@ -93,7 +94,16 @@ class IncrementalSimGraph {
 
   /// Applies one retweet event (must follow the initialisation prefix in
   /// time; duplicates are ignored).
-  void Apply(const RetweetEvent& event);
+  void Apply(const RetweetEvent& event) { Apply(event, nullptr); }
+
+  /// Like Apply, additionally appending every resulting edge upsert/drop
+  /// to `delta` (in rescoring order; an edge rescored twice appears
+  /// twice — ordered replay is last-wins). Unchanged weights are not
+  /// recorded. This is the extraction hook of the delta-shipping ingest
+  /// pipeline (docs/ingest.md): replaying the recorded ops against a
+  /// replica of the pre-event adjacency reproduces this graph exactly.
+  /// `delta` may be null; other delta fields are left untouched.
+  void Apply(const RetweetEvent& event, SimGraphDelta* delta);
 
   /// Materialises the current graph (CSR) for propagation / inspection.
   SimGraph Snapshot() const;
@@ -113,7 +123,8 @@ class IncrementalSimGraph {
   bool WithinHops(UserId u, UserId w) const;
 
   /// Recomputes sim(u, v) and upserts/drops the edge u->v (only; callers
-  /// handle the reverse direction).
+  /// handle the reverse direction). Records the op into `record_` when a
+  /// delta is being extracted.
   void RescoreEdge(UserId u, UserId v);
 
   const Digraph* follow_graph_;
@@ -126,6 +137,9 @@ class IncrementalSimGraph {
   int64_t num_edges_ = 0;
   uint64_t version_ = 0;
   IncrementalStats stats_;
+  /// Destination of edge ops while Apply(event, delta) runs; null
+  /// outside delta extraction.
+  SimGraphDelta* record_ = nullptr;
 };
 
 }  // namespace simgraph

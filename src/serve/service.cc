@@ -4,7 +4,6 @@
 #include <optional>
 #include <utility>
 
-#include "serve/simgraph_serving_recommender.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -62,7 +61,6 @@ void RecommendationService::Stop() {
 }
 
 uint64_t RecommendationService::Publish(const RetweetEvent& event) {
-  SIMGRAPH_CHECK(started_.load()) << "Start must be called before Publish";
   IngestItem item;
   item.event = event;
   // Capture the publishing request's trace context so the applier thread
@@ -73,7 +71,12 @@ uint64_t RecommendationService::Publish(const RetweetEvent& event) {
     item.traced = scope->recording();
     item.enqueue_us = trace::NowMicros();
   }
-  const auto ticket = queue_.Push(item);
+  return PublishItem(std::move(item));
+}
+
+uint64_t RecommendationService::PublishItem(IngestItem item) {
+  SIMGRAPH_CHECK(started_.load()) << "Start must be called before Publish";
+  const auto ticket = queue_.Push(std::move(item));
   if (!ticket.has_value()) return 0;  // stopped; event rejected
   const auto depth = static_cast<int64_t>(queue_.size());
   SIMGRAPH_GAUGE_SET("serve.ingest.queue_depth", static_cast<double>(depth));
@@ -121,14 +124,20 @@ void RecommendationService::ApplierLoop() {
     {
       SIMGRAPH_TRACE_SPAN("request/apply_event", "serve");
       SIMGRAPH_SCOPED_LATENCY("serve.ingest.apply_seconds");
-      if (recommender_->concurrent_reads()) {
+      if (item->delta != nullptr) {
+        // Delta-applying shard (docs/ingest.md): replay the builder's
+        // recorded ops instead of re-running the incremental update.
+        affected = recommender_->ApplyDelta(*item->delta);
+      } else if (recommender_->concurrent_reads()) {
         affected = recommender_->ObserveAffected(item->event);
       } else {
         std::lock_guard<std::mutex> lock(serial_mu_);
         affected = recommender_->ObserveAffected(item->event);
       }
     }
-    SIMGRAPH_COUNTER_ADD("serve.ingest.events", 1);
+    SIMGRAPH_COUNTER_ADD(
+        "serve.ingest.events",
+        item->delta != nullptr ? item->delta->num_events() : 1);
     if (cache_ != nullptr) {
       int64_t dropped = 0;
       if (affected.all) {
@@ -142,7 +151,14 @@ void RecommendationService::ApplierLoop() {
     }
     {
       std::lock_guard<std::mutex> lock(applied_mu_);
-      ++applied_seq_;
+      // A stamped item carries the global sequence the pipeline assigned
+      // (a delta jumps the counter across its whole batch); unstamped
+      // items count one by one, matching the local queue ticket.
+      if (item->seq != 0) {
+        applied_seq_ = std::max(applied_seq_, item->seq);
+      } else {
+        ++applied_seq_;
+      }
       SIMGRAPH_GAUGE_SET("serve.ingest.applied_seq",
                          static_cast<double>(applied_seq_));
       if (shard_applied_seq_ != nullptr) {
@@ -162,12 +178,7 @@ BackendStats RecommendationService::Stats() const {
   ShardStats shard;
   shard.applied_seq = AppliedSeq();
   shard.cached_entries = cache_ != nullptr ? cache_->size() : 0;
-  if (const auto* serving = dynamic_cast<const SimGraphServingRecommender*>(
-          recommender_.get());
-      serving != nullptr) {
-    shard.graph_epoch = serving->graph_epoch();
-    shard.graph_edges = serving->GraphSnapshot()->graph.num_edges();
-  }
+  recommender_->GraphStats(&shard.graph_epoch, &shard.graph_edges);
   BackendStats stats;
   stats.applied_seq = shard.applied_seq;
   stats.cached_entries = shard.cached_entries;

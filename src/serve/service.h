@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/simgraph_delta.h"
 #include "dataset/dataset.h"
 #include "serve/backend.h"
 #include "serve/result_cache.h"
@@ -42,12 +43,23 @@ struct ServiceOptions {
   int32_t shard = -1;
 };
 
-/// One entry of the ingestion queue: the event plus the trace context of
-/// the publishing request, so the applier can attribute the queue wait
-/// and the apply work to the request that enqueued the event (the two
-/// run on different threads; see docs/observability.md).
+/// One entry of the ingestion queue: the work unit (a raw event, or a
+/// pre-built SimGraphDelta when this service is a delta-applying shard
+/// behind the pipeline — docs/ingest.md) plus the trace context of the
+/// publishing request, so the applier can attribute the queue wait and
+/// the apply work to the request that enqueued the event (the two run on
+/// different threads; see docs/observability.md).
 struct IngestItem {
   RetweetEvent event;
+  /// Non-null: this item is a delta covering [delta->seq_begin,
+  /// delta->seq_end]; `event` is ignored and the applier routes to
+  /// ServingRecommender::ApplyDelta instead of ObserveAffected.
+  std::shared_ptr<const SimGraphDelta> delta;
+  /// Externally assigned global sequence number the applied-seq counter
+  /// jumps to after this item (a pipeline fan-out stamps it; see
+  /// DeltaBuilder). 0 = standalone service: the counter increments by
+  /// one per item, matching the local queue ticket.
+  uint64_t seq = 0;
   /// Request id of the publishing RequestScope; 0 when the publisher ran
   /// outside any request.
   uint64_t request_id = 0;
@@ -99,6 +111,12 @@ class RecommendationService : public ServingBackend {
   /// event's sequence number (1-based), or 0 when the service has been
   /// stopped and the event was rejected.
   uint64_t Publish(const RetweetEvent& event) override;
+
+  /// Enqueues a pre-assembled item (pipeline fan-out: the DeltaBuilder
+  /// forwards deltas — or, in replicated mode, raw events — with the
+  /// global sequence number already stamped). Returns the local queue
+  /// ticket + 1, or 0 when stopped. Direct API users want Publish.
+  uint64_t PublishItem(IngestItem item);
 
   /// Sequence number of the last applied event (0 before any).
   uint64_t AppliedSeq() const override;

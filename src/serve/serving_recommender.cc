@@ -37,6 +37,14 @@ class GenericServingAdapter final : public ServingRecommender {
 
 }  // namespace
 
+AffectedUsers ServingRecommender::ApplyDelta(const SimGraphDelta& delta) {
+  (void)delta;
+  SIMGRAPH_CHECK(false) << name()
+                        << " does not support delta application; only "
+                           "DeltaApplierRecommender shards do";
+  return AffectedUsers{};
+}
+
 std::unique_ptr<ServingRecommender> WrapForServing(
     std::unique_ptr<Recommender> inner) {
   SIMGRAPH_CHECK(inner != nullptr);

@@ -10,6 +10,9 @@
 #include "dataset/types.h"
 
 namespace simgraph {
+
+struct SimGraphDelta;
+
 namespace serve {
 
 /// Which cached recommendation lists an applied event may have changed.
@@ -69,6 +72,22 @@ class ServingRecommender : public Recommender {
   /// ShardedService assigns it after the factory runs). Implementations
   /// may cache per-shard metric handles; default is a no-op.
   virtual void BindShard(int32_t shard) { (void)shard; }
+
+  /// Applies one delta shipped by the DeltaBuilder pipeline
+  /// (docs/ingest.md) and reports the users whose cached answers it may
+  /// have changed. Only recommenders constructed as delta appliers
+  /// support this; the default CHECK-fails — the serving layer never
+  /// routes deltas to a recommender that expects raw events.
+  virtual AffectedUsers ApplyDelta(const SimGraphDelta& delta);
+
+  /// Reports the recommender's similarity-graph snapshot stats for the
+  /// wire `stats` reply. Returns false when the recommender serves no
+  /// graph (generic adapters); outputs are untouched then.
+  virtual bool GraphStats(uint64_t* epoch, int64_t* edges) const {
+    (void)epoch;
+    (void)edges;
+    return false;
+  }
 };
 
 /// Wraps any plain Recommender as a ServingRecommender. Every event

@@ -11,9 +11,32 @@
 namespace simgraph {
 namespace serve {
 
+ShardedService::ShardedService(const ServingSimGraphOptions& simgraph_options,
+                               ShardedServiceOptions options)
+    : options_(std::move(options)), router_(options_.num_shards) {
+  source_ =
+      std::make_unique<SimGraphServingRecommender>(simgraph_options);
+  // Applier-side candidate state must mirror the builder's exactly —
+  // same freshness window, same stripe count — or replay diverges.
+  DeltaApplierOptions applier_options;
+  applier_options.freshness_window = simgraph_options.freshness_window;
+  applier_options.num_stripes = simgraph_options.num_stripes;
+  shards_.reserve(static_cast<size_t>(router_.num_shards()));
+  appliers_.reserve(static_cast<size_t>(router_.num_shards()));
+  for (int32_t i = 0; i < router_.num_shards(); ++i) {
+    ServiceOptions shard_options = options_.shard_options;
+    shard_options.shard = i;
+    auto applier = std::make_unique<DeltaApplierRecommender>(applier_options);
+    appliers_.push_back(applier.get());
+    shards_.push_back(std::make_unique<RecommendationService>(
+        std::move(applier), shard_options));
+  }
+  BuildPipeline();
+}
+
 ShardedService::ShardedService(const RecommenderFactory& factory,
                                ShardedServiceOptions options)
-    : options_(options), router_(options.num_shards) {
+    : options_(std::move(options)), router_(options_.num_shards) {
   SIMGRAPH_CHECK(factory != nullptr);
   shards_.reserve(static_cast<size_t>(router_.num_shards()));
   for (int32_t i = 0; i < router_.num_shards(); ++i) {
@@ -25,60 +48,76 @@ ShardedService::ShardedService(const RecommenderFactory& factory,
     shards_.push_back(std::make_unique<RecommendationService>(
         std::move(recommender), shard_options));
   }
+  BuildPipeline();
+}
+
+void ShardedService::BuildPipeline() {
+  std::vector<RecommendationService*> shard_ptrs;
+  shard_ptrs.reserve(shards_.size());
+  for (const auto& shard : shards_) shard_ptrs.push_back(shard.get());
+  DeltaBuilderOptions builder_options;
+  builder_options.queue_capacity = options_.ingest_queue_capacity;
+  builder_options.max_batch_events = options_.max_batch_events;
+  builder_options.delta_observer = options_.delta_observer;
+  pipeline_ = std::make_unique<DeltaBuilder>(
+      source_.get(), std::move(shard_ptrs), std::move(builder_options));
 }
 
 ShardedService::~ShardedService() { Stop(); }
 
 Status ShardedService::Train(const Dataset& dataset, int64_t train_end) {
-  // Shards are independent replicas; train them in parallel.
-  std::vector<Status> statuses(shards_.size(), Status::Ok());
+  // The builder source and the shards are independent until seeding;
+  // train them all in parallel, one thread each.
+  const size_t jobs = shards_.size() + (source_ != nullptr ? 1 : 0);
+  std::vector<Status> statuses(jobs, Status::Ok());
   std::vector<std::thread> trainers;
-  trainers.reserve(shards_.size());
+  trainers.reserve(jobs);
   for (size_t i = 0; i < shards_.size(); ++i) {
     trainers.emplace_back([this, &dataset, train_end, &statuses, i] {
       statuses[i] = shards_[i]->Train(dataset, train_end);
+    });
+  }
+  if (source_ != nullptr) {
+    trainers.emplace_back([this, &dataset, train_end, &statuses] {
+      statuses.back() = source_->Train(dataset, train_end);
     });
   }
   for (std::thread& t : trainers) t.join();
   for (const Status& status : statuses) {
     SIMGRAPH_RETURN_IF_ERROR(status);
   }
+  // Appliers never build a graph of their own: hand each the source's
+  // trained snapshot so propagation state starts from the same epoch
+  // the builder will record refreshes against.
+  if (source_ != nullptr) {
+    for (DeltaApplierRecommender* applier : appliers_) {
+      applier->SeedSnapshot(source_->GraphSnapshot(), source_->graph_epoch());
+    }
+  }
   return Status::Ok();
 }
 
 void ShardedService::Start() {
+  // Shards first: the pipeline's fan-out lands in live shard queues.
   for (const auto& shard : shards_) shard->Start();
+  pipeline_->Start();
   SIMGRAPH_GAUGE_SET("serve.shards",
                      static_cast<double>(router_.num_shards()));
 }
 
 void ShardedService::Stop() {
+  // Pipeline first so everything still buffered in the global queue is
+  // built and fanned out into the (still running) shard queues; then
+  // the shards drain those.
+  pipeline_->Stop();
   for (const auto& shard : shards_) shard->Stop();
 }
 
 uint64_t ShardedService::Publish(const RetweetEvent& event) {
-  // One lock around the whole fan-out: every shard receives every event
-  // in the same order, so the per-shard ticket sequences stay in
-  // lockstep and the first shard's sequence number is THE global
-  // sequence number. Queue pushes are O(1); when a shard's queue is
-  // full, backpressure propagates to all publishers, which is the
-  // behaviour a saturated unsharded service has too.
-  std::lock_guard<std::mutex> lock(publish_mu_);
-  uint64_t seq = 0;
-  for (const int32_t shard : router_.ShardsForEvent(event)) {
-    const uint64_t shard_seq =
-        shards_[static_cast<size_t>(shard)]->Publish(event);
-    if (shard_seq == 0) return 0;  // stopped; event rejected
-    if (seq == 0) {
-      seq = shard_seq;
-    } else {
-      SIMGRAPH_CHECK(shard_seq == seq)
-          << "shard " << shard << " sequence " << shard_seq
-          << " diverged from " << seq
-          << " (was a shard published to directly?)";
-    }
-  }
-  return seq;
+  // No publish mutex: the pipeline's global queue assigns the sequence
+  // number and its single builder thread is the only shard publisher,
+  // so per-shard order is preserved by construction (docs/ingest.md).
+  return pipeline_->Publish(event);
 }
 
 uint64_t ShardedService::AppliedSeq() const {
@@ -122,6 +161,14 @@ BackendStats ShardedService::Stats() const {
     if (i == 0 || entry.applied_seq < stats.applied_seq) {
       stats.applied_seq = entry.applied_seq;
     }
+  }
+  if (source_ != nullptr) {
+    // How far the slowest shard trails the builder, in events.
+    const uint64_t built = pipeline_->built_seq();
+    const uint64_t lag =
+        built > stats.applied_seq ? built - stats.applied_seq : 0;
+    SIMGRAPH_GAUGE_SET("serve.ingest.delta.lag_events",
+                       static_cast<double>(lag));
   }
   return stats;
 }

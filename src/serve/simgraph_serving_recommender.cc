@@ -10,18 +10,6 @@
 
 namespace simgraph {
 namespace serve {
-namespace {
-
-/// Deadline checks happen once per this many candidates scanned, keeping
-/// the steady_clock overhead off the per-candidate fast path.
-constexpr int64_t kDeadlineCheckStride = 128;
-
-bool Better(const ScoredTweet& a, const ScoredTweet& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.tweet < b.tweet;
-}
-
-}  // namespace
 
 SimGraphServingRecommender::SimGraphServingRecommender(
     ServingSimGraphOptions options)
@@ -41,35 +29,22 @@ Status SimGraphServingRecommender::Train(const Dataset& dataset,
   SIMGRAPH_RETURN_IF_ERROR(incremental_->Initialize(dataset, train_end));
   RefreshSnapshot();
 
-  std::vector<Timestamp> tweet_times;
-  tweet_times.reserve(dataset.tweets.size());
   tweet_author_.clear();
   tweet_author_.reserve(dataset.tweets.size());
-  for (const Tweet& t : dataset.tweets) {
-    tweet_times.push_back(t.time);
-    tweet_author_.push_back(t.author);
-  }
-  candidates_ = std::make_unique<CandidateStore>(
-      num_users_, std::move(tweet_times), options_.freshness_window);
+  for (const Tweet& t : dataset.tweets) tweet_author_.push_back(t.author);
+  SIMGRAPH_RETURN_IF_ERROR(state_.Init(dataset, train_end,
+                                       options_.freshness_window,
+                                       options_.num_stripes));
 
-  stripes_.clear();
-  const size_t num_stripes = std::min<size_t>(
-      static_cast<size_t>(options_.num_stripes),
-      std::max<size_t>(1, static_cast<size_t>(num_users_)));
-  stripes_.reserve(num_stripes);
-  for (size_t i = 0; i < num_stripes; ++i) {
-    stripes_.push_back(std::make_unique<std::shared_mutex>());
-  }
-
-  // Mirror SimGraphRecommender::Train: training retweets are consumed,
-  // and seed sets of tweets still fresh at the split carry over.
+  // Mirror SimGraphRecommender::Train: training retweets are consumed
+  // (CandidateState::Init did that), and seed sets of tweets still fresh
+  // at the split carry over.
   const Timestamp split_time =
       train_end > 0 ? dataset.retweets[static_cast<size_t>(train_end - 1)].time
                     : 0;
   tweet_state_.clear();
   for (int64_t i = 0; i < train_end; ++i) {
     const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
-    candidates_->MarkConsumed(e.user, e.tweet);
     const Timestamp tweet_time =
         dataset.tweets[static_cast<size_t>(e.tweet)].time;
     if (tweet_time + options_.freshness_window >= split_time) {
@@ -104,18 +79,28 @@ void SimGraphServingRecommender::BindShard(int32_t shard) {
 
 AffectedUsers SimGraphServingRecommender::ObserveAffected(
     const RetweetEvent& event) {
-  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
+  return ObserveRecordingDelta(event, nullptr);
+}
+
+AffectedUsers SimGraphServingRecommender::ObserveRecordingDelta(
+    const RetweetEvent& event, SimGraphDelta* delta) {
+  SIMGRAPH_CHECK(state_.initialized()) << "Train must be called first";
   AffectedUsers affected;
 
   // The similarity graph absorbs every event, known tweet or not: new
   // posts keep shaping user-user similarity even before they are part of
   // the recommendable catalogue.
-  incremental_->Apply(event);
+  incremental_->Apply(event, delta);
   ++observed_;
   if (options_.snapshot_refresh_events > 0 &&
       observed_ % options_.snapshot_refresh_events == 0) {
     SIMGRAPH_SCOPED_LATENCY("serve.snapshot.refresh_seconds");
     RefreshSnapshot();
+    if (delta != nullptr) {
+      delta->flags |= SimGraphDelta::kFlagSnapshotRefresh;
+      delta->snapshot_epoch = graph_epoch();
+      delta->snapshot = GraphSnapshot();
+    }
   }
 
   if (event.tweet < 0 ||
@@ -127,16 +112,14 @@ AffectedUsers SimGraphServingRecommender::ObserveAffected(
   }
 
   const UserId author = tweet_author_[static_cast<size_t>(event.tweet)];
-  {
-    std::unique_lock<std::shared_mutex> lock(StripeOf(event.user));
-    candidates_->MarkConsumed(event.user, event.tweet);
-  }
+  state_.MarkConsumed(event.user, event.tweet);
   affected.users.push_back(event.user);
-  {
-    std::unique_lock<std::shared_mutex> lock(StripeOf(author));
-    candidates_->MarkConsumed(author, event.tweet);
-  }
+  state_.MarkConsumed(author, event.tweet);
   affected.users.push_back(author);
+  if (delta != nullptr) {
+    delta->consumed.push_back({event.user, event.tweet});
+    delta->consumed.push_back({author, event.tweet});
+  }
 
   TweetState& state = tweet_state_[event.tweet];
   state.seeds.push_back(event.user);
@@ -156,25 +139,29 @@ AffectedUsers SimGraphServingRecommender::ObserveAffected(
   ++num_propagations_;
   for (const UserScore& us : result.scores) {
     if (us.score < options_.min_deposit_score) continue;
-    std::unique_lock<std::shared_mutex> lock(StripeOf(us.user));
-    if (candidates_->Deposit(us.user, event.tweet, us.score)) {
+    if (state_.Deposit(us.user, event.tweet, us.score)) {
       affected.users.push_back(us.user);
+      if (delta != nullptr) {
+        delta->deposits.push_back({us.user, event.tweet, us.score});
+      }
     }
   }
 
   // Stale candidates are invisible to TopK, so evicting them never
   // changes an answer — no invalidation needed.
   if (observed_ % options_.evict_every == 0) {
-    for (UserId u = 0; u < num_users_; ++u) {
-      std::unique_lock<std::shared_mutex> lock(StripeOf(u));
-      candidates_->EvictStaleForUser(u, event.time);
-    }
+    state_.EvictStale(event.time);
+    if (delta != nullptr) delta->evict_before = event.time;
   }
 
   std::sort(affected.users.begin(), affected.users.end());
   affected.users.erase(
       std::unique(affected.users.begin(), affected.users.end()),
       affected.users.end());
+  if (delta != nullptr) {
+    delta->invalidated.insert(delta->invalidated.end(),
+                              affected.users.begin(), affected.users.end());
+  }
   return affected;
 }
 
@@ -189,40 +176,8 @@ std::vector<ScoredTweet> SimGraphServingRecommender::Recommend(UserId user,
 RecommendOutcome SimGraphServingRecommender::RecommendUntil(
     UserId user, Timestamp now, int32_t k,
     std::chrono::steady_clock::time_point deadline) {
-  SIMGRAPH_CHECK(candidates_ != nullptr) << "Train must be called first";
-  RecommendOutcome outcome;
-  std::shared_lock<std::shared_mutex> lock(StripeOf(user), std::defer_lock);
-  {
-    // Time spent waiting for the candidate stripe (contended with the
-    // applier depositing scores) shows as its own request stage.
-    SIMGRAPH_TRACE_SPAN("request/snapshot_pin", "serve");
-    lock.lock();
-  }
-  SIMGRAPH_TRACE_SPAN("request/candidate_scoring", "serve");
-  const auto& raw = candidates_->CandidatesOf(user);
-  std::vector<ScoredTweet> fresh;
-  fresh.reserve(std::min<size_t>(raw.size(), 1024));
-  int64_t scanned = 0;
-  for (const auto& [tweet, score] : raw) {
-    if (scanned++ % kDeadlineCheckStride == 0 &&
-        std::chrono::steady_clock::now() >= deadline) {
-      outcome.complete = false;
-      break;
-    }
-    if (score > 0.0 && candidates_->IsFresh(tweet, now) &&
-        candidates_->TweetTime(tweet) <= now) {
-      fresh.push_back(ScoredTweet{tweet, score});
-    }
-  }
-  lock.unlock();
-  if (static_cast<int64_t>(fresh.size()) > k) {
-    std::partial_sort(fresh.begin(), fresh.begin() + k, fresh.end(), Better);
-    fresh.resize(static_cast<size_t>(k));
-  } else {
-    std::sort(fresh.begin(), fresh.end(), Better);
-  }
-  outcome.tweets = std::move(fresh);
-  return outcome;
+  SIMGRAPH_CHECK(state_.initialized()) << "Train must be called first";
+  return state_.ScanTopK(user, now, k, deadline);
 }
 
 std::shared_ptr<const SimGraph> SimGraphServingRecommender::GraphSnapshot()
@@ -234,6 +189,15 @@ std::shared_ptr<const SimGraph> SimGraphServingRecommender::GraphSnapshot()
 uint64_t SimGraphServingRecommender::graph_epoch() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return graph_epoch_;
+}
+
+bool SimGraphServingRecommender::GraphStats(uint64_t* epoch,
+                                            int64_t* edges) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_ == nullptr) return false;
+  *epoch = graph_epoch_;
+  *edges = snapshot_->graph.num_edges();
+  return true;
 }
 
 }  // namespace serve

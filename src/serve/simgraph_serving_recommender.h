@@ -4,14 +4,14 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
-#include "core/candidate_store.h"
 #include "core/incremental.h"
 #include "core/propagation.h"
 #include "core/simgraph.h"
+#include "core/simgraph_delta.h"
+#include "serve/candidate_state.h"
 #include "serve/serving_recommender.h"
 #include "util/metrics.h"
 
@@ -45,13 +45,18 @@ struct ServingSimGraphOptions {
 /// that is swapped atomically every `snapshot_refresh_events` events —
 /// so reads never block on graph maintenance.
 ///
-/// Threading model (enforced by RecommendationService):
-///   * ObserveAffected is called from exactly one ingest thread;
+/// Under the delta-shipping pipeline (docs/ingest.md) exactly one of
+/// these is the DeltaBuilder's source of truth: ObserveRecordingDelta
+/// runs the update once and records everything downstream
+/// DeltaApplierRecommender shards need to follow along.
+///
+/// Threading model (enforced by RecommendationService / DeltaBuilder):
+///   * ObserveAffected / ObserveRecordingDelta run on exactly one ingest
+///     thread;
 ///   * Recommend / RecommendUntil may run concurrently from any number
 ///     of reader threads (concurrent_reads() is true).
-/// Candidate and consumed state is guarded by locks striped over users,
-/// so the ingest thread writing user u's candidates only blocks readers
-/// whose query user shares u's stripe.
+/// Candidate and consumed state is guarded by locks striped over users
+/// (see CandidateState).
 class SimGraphServingRecommender final : public ServingRecommender {
  public:
   explicit SimGraphServingRecommender(ServingSimGraphOptions options = {});
@@ -59,6 +64,16 @@ class SimGraphServingRecommender final : public ServingRecommender {
   std::string name() const override { return "SimGraphServing"; }
   Status Train(const Dataset& dataset, int64_t train_end) override;
   AffectedUsers ObserveAffected(const RetweetEvent& event) override;
+
+  /// ObserveAffected, additionally recording every side effect of the
+  /// event into `delta` (appending to its op vectors; the caller owns
+  /// batching and seq stamping): graph edge ops, consumed marks, changed
+  /// deposits, the eviction watermark, snapshot-refresh epoch swaps, and
+  /// the affected users (appended to delta->invalidated unsorted — the
+  /// builder finalises). `delta` may be null.
+  AffectedUsers ObserveRecordingDelta(const RetweetEvent& event,
+                                      SimGraphDelta* delta);
+
   /// Caches the shard-qualified serve.apply.propagation_us histogram so
   /// the ingest loop records per-shard propagation latency without a
   /// registry lookup per event.
@@ -69,6 +84,7 @@ class SimGraphServingRecommender final : public ServingRecommender {
       UserId user, Timestamp now, int32_t k,
       std::chrono::steady_clock::time_point deadline) override;
   bool concurrent_reads() const override { return true; }
+  bool GraphStats(uint64_t* epoch, int64_t* edges) const override;
 
   /// The CSR snapshot propagation currently runs over. The returned
   /// shared_ptr keeps the snapshot alive across epoch swaps.
@@ -92,13 +108,11 @@ class SimGraphServingRecommender final : public ServingRecommender {
   /// publishes them (epoch swap). Ingest-thread only.
   void RefreshSnapshot();
 
-  std::shared_mutex& StripeOf(UserId user) const {
-    return *stripes_[static_cast<size_t>(user) % stripes_.size()];
-  }
-
   ServingSimGraphOptions options_;
   std::unique_ptr<IncrementalSimGraph> incremental_;
-  std::unique_ptr<CandidateStore> candidates_;
+  /// Striped candidate/consumed state shared (by construction, not by
+  /// reference) with DeltaApplierRecommender replicas.
+  CandidateState state_;
   std::unordered_map<TweetId, TweetState> tweet_state_;  // ingest-only
   std::vector<UserId> tweet_author_;  // immutable after Train
   int32_t num_users_ = 0;
@@ -120,10 +134,6 @@ class SimGraphServingRecommender final : public ServingRecommender {
   std::shared_ptr<const SimGraph> snapshot_;
   std::unique_ptr<Propagator> propagator_;  // over *snapshot_; ingest-only use
   uint64_t graph_epoch_ = 0;
-
-  /// Striped user locks: exclusive for ingest writes to a user's
-  /// candidate/consumed state, shared for reads.
-  std::vector<std::unique_ptr<std::shared_mutex>> stripes_;
 };
 
 }  // namespace serve

@@ -29,6 +29,7 @@
 #include "core/propagation.h"
 #include "core/recommender.h"
 #include "core/simgraph.h"
+#include "core/simgraph_delta.h"
 #include "core/simgraph_recommender.h"
 #include "core/similarity.h"
 #include "core/topic_similarity.h"
@@ -50,6 +51,9 @@
 #include "graph/graph_stats.h"
 #include "graph/union_find.h"
 #include "serve/backend.h"
+#include "serve/candidate_state.h"
+#include "serve/delta_applier.h"
+#include "serve/delta_builder.h"
 #include "serve/result_cache.h"
 #include "serve/service.h"
 #include "serve/serving_recommender.h"

@@ -5,7 +5,11 @@
 #   2. every metric name documented in docs/observability.md appears as a
 #      string literal somewhere under src/, bench/, or tools/;
 #   3. every SIMGRAPH_* environment variable documented there is consumed
-#      somewhere in the code.
+#      somewhere in the code;
+#   4. docs/ingest.md exists and the files and qualified C++ names it
+#      backticks still exist in the tree;
+#   5. every serve.ingest.delta.* metric emitted by the code is
+#      documented in docs/observability.md (the reverse of check 2).
 set -eu
 
 REPO="$1"
@@ -61,12 +65,50 @@ else
   done
 fi
 
+# --- 4. docs/ingest.md tracks the delta pipeline code ------------------
+ING="$REPO/docs/ingest.md"
+if [ ! -f "$ING" ]; then
+  echo "MISSING: docs/ingest.md"
+  status=1
+else
+  # Backticked source files must exist somewhere in the tree.
+  for name in $(grep -o '`[A-Za-z0-9_/.]*\.\(h\|cc\)`' "$ING" |
+                sed 's/`//g' | sort -u); do
+    base="$(basename "$name")"
+    if ! find "$REPO/src" "$REPO/bench" "$REPO/tools" "$REPO/tests" \
+         -name "$base" | grep -q .; then
+      echo "STALE FILE in ingest.md: $name"
+      status=1
+    fi
+  done
+  # Backticked qualified names (Foo::Bar) must mention a real identifier.
+  for sym in $(grep -o '`[A-Za-z_][A-Za-z0-9_]*::[A-Za-z0-9_]*`' "$ING" |
+               sed 's/`//g' | sort -u); do
+    tail_sym="${sym##*::}"
+    if ! grep -rq "$tail_sym" "$REPO/src"; then
+      echo "STALE SYMBOL in ingest.md: $sym"
+      status=1
+    fi
+  done
+fi
+
+# --- 5. every delta-ingest metric the code emits is documented ---------
+if [ -f "$OBS" ]; then
+  for name in $(grep -rho '"serve\.ingest\.delta\.[A-Za-z0-9_.]*"' \
+                "$REPO/src" "$REPO/bench" | sed 's/"//g' | sort -u); do
+    if ! grep -qF "\`$name\`" "$OBS"; then
+      echo "UNDOCUMENTED METRIC: $name (add to docs/observability.md)"
+      status=1
+    fi
+  done
+fi
+
 # The link loop runs in a subshell (pipe); pick up its failures here.
 if [ -f "$TMP/link_failed" ]; then
   status=1
 fi
 
 if [ "$status" -eq 0 ]; then
-  echo "docs_check: links resolve; documented names match the code"
+  echo "docs_check: links resolve; documented names match the code both ways"
 fi
 exit "$status"

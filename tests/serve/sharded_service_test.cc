@@ -182,6 +182,41 @@ TEST_F(ShardedServiceTest, PanelUsersSpreadAcrossShards) {
   EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
 }
 
+// Delta-shipping construction: the same front-door invariants hold
+// when the shards are DeltaApplierRecommenders behind the builder
+// pipeline, and the service reports the builder's progress.
+// (Bit-exact answer equivalence is proven separately in
+// delta_equivalence_test.cc.)
+TEST_F(ShardedServiceTest, DeltaModeKeepsFrontDoorInvariants) {
+  ShardedServiceOptions options;
+  options.num_shards = 4;
+  options.shard_options.cache_ttl = 0;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  EXPECT_TRUE(service.delta_shipping());
+  ASSERT_NE(service.builder_recommender(), nullptr);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  const int64_t num_test = dataset_.num_retweets() - protocol_.train_end;
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < num_test; ++i) {
+    seq = service.Publish(
+        dataset_.retweets[static_cast<size_t>(protocol_.train_end + i)]);
+  }
+  EXPECT_EQ(seq, static_cast<uint64_t>(num_test));
+  service.WaitForApplied(seq);
+  EXPECT_EQ(service.AppliedSeq(), seq);
+  EXPECT_EQ(service.BuiltSeq(), seq);
+  for (int32_t s = 0; s < service.num_shards(); ++s) {
+    EXPECT_GE(service.shard(s).AppliedSeq(), seq) << "shard " << s;
+  }
+  const BackendStats stats = service.Stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_EQ(stats.applied_seq, seq);
+  EXPECT_GT(stats.graph_edges, 0);  // appliers carry the seeded snapshot
+  service.Stop();
+}
+
 TEST_F(ShardedServiceTest, StopIsIdempotentAndRejectsFurtherPublishes) {
   ShardedServiceOptions options;
   options.num_shards = 2;

@@ -12,6 +12,11 @@
 //                   [--shards N]         per-core service shards behind the
 //                                        hash router (default 1; see
 //                                        docs/serving.md "Sharded serving")
+//                   [--ingest MODE]      delta | replicated. simgraph
+//                                        defaults to delta-shipping ingest
+//                                        (one builder, delta-applying
+//                                        shards; docs/ingest.md); other
+//                                        methods always replicate.
 //                   [--ttl SECONDS]      result-cache TTL in simulated
 //                                        seconds; -1 disables the cache
 //                                        (default 86400)
@@ -144,6 +149,11 @@ int Run(int argc, char** argv) {
               << " (want simgraph|cf|bayes|graphjet)\n";
     return 2;
   }
+  const std::string ingest = FlagString(flags, "ingest", "delta");
+  if (ingest != "delta" && ingest != "replicated") {
+    std::cerr << "unknown --ingest " << ingest << " (want delta|replicated)\n";
+    return 2;
+  }
 
   serve::ShardedServiceOptions options;
   options.num_shards = static_cast<int32_t>(FlagInt(flags, "shards", 1));
@@ -154,16 +164,26 @@ int Run(int argc, char** argv) {
   options.shard_options.cache_ttl = FlagInt(flags, "ttl", kSecondsPerDay);
   options.shard_options.deadline =
       std::chrono::microseconds(FlagInt(flags, "deadline-us", 0));
-  serve::ShardedService service(
-      [&] { return MakeRecommender(method, refresh_events); }, options);
-  const Status trained = service.Train(dataset, train_end);
+  std::unique_ptr<serve::ShardedService> service;
+  if (method == "simgraph" && ingest == "delta") {
+    // Delta-shipping ingest: one builder recommender, cheap
+    // delta-applying shards (docs/ingest.md).
+    serve::ServingSimGraphOptions simgraph_options;
+    simgraph_options.snapshot_refresh_events = refresh_events;
+    service = std::make_unique<serve::ShardedService>(simgraph_options,
+                                                      options);
+  } else {
+    service = std::make_unique<serve::ShardedService>(
+        [&] { return MakeRecommender(method, refresh_events); }, options);
+  }
+  const Status trained = service->Train(dataset, train_end);
   if (!trained.ok()) {
     std::cerr << trained.ToString() << "\n";
     return 1;
   }
-  service.Start();
+  service->Start();
 
-  serve::TcpServer server(&service);
+  serve::TcpServer server(service.get());
   const Status started =
       server.Start(static_cast<uint16_t>(FlagInt(flags, "port", 0)));
   if (!started.ok()) {
@@ -172,8 +192,8 @@ int Run(int argc, char** argv) {
   }
   std::cout << "serving " << method << " over " << dataset.num_users()
             << " users (" << train_end << " train events, "
-            << service.num_shards() << " shard"
-            << (service.num_shards() == 1 ? "" : "s") << ")\n"
+            << service->num_shards() << " shard"
+            << (service->num_shards() == 1 ? "" : "s") << ")\n"
             << "listening on port " << server.port() << std::endl;
 
   // Park until the parent closes stdin (the conventional way to stop a
@@ -184,7 +204,7 @@ int Run(int argc, char** argv) {
 
   // Stop the service first so wait_applied clients unblock; the server
   // then answers their final acks before closing.
-  service.Stop();
+  service->Stop();
   server.Stop();
   if (flusher != nullptr) flusher->Stop();
 
