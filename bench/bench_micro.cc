@@ -6,6 +6,9 @@
 //                        (the DESIGN.md ablation 3 cost comparison)
 //   BM_Propagation     - Algorithm 1 on a live SimGraph
 //   BM_Solver*         - Jacobi / Gauss-Seidel / SOR on a propagation system
+//   BM_Snapshot*       - SGCS store (docs/store.md): serialize the follow
+//                        graph, mmap+validate it back, per-node varint
+//                        decode, and full rematerialization
 //
 // Propagation kernel sweep (seeds x fan-out), gated on an env var in the
 // same explicit-only convention as the serving snapshot:
@@ -149,6 +152,59 @@ void BM_Solver(benchmark::State& state) {
   state.SetLabel(std::string(SolverMethodName(opts.method)));
 }
 BENCHMARK(BM_Solver)->Arg(0)->Arg(1)->Arg(2);
+
+const std::string& MicroSnapshotPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string("/tmp/simgraph_bench_micro.sgcs");
+    const StatusOr<store::SnapshotBuildStats> written =
+        store::WriteDigraphSnapshot(MicroDataset().follow_graph, *p);
+    SIMGRAPH_CHECK(written.ok()) << written.status().ToString();
+    return p;
+  }();
+  return *path;
+}
+
+void BM_SnapshotWrite(benchmark::State& state) {
+  const Digraph& g = MicroDataset().follow_graph;
+  const std::string path = "/tmp/simgraph_bench_micro_write.sgcs";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::WriteDigraphSnapshot(g, path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotWrite)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotOpenValidated(benchmark::State& state) {
+  const std::string& path = MicroSnapshotPath();
+  store::SnapshotOpenOptions options;  // checksums verified, the default
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::MappedSnapshot::Open(path, options));
+  }
+}
+BENCHMARK(BM_SnapshotOpenValidated);
+
+void BM_SnapshotDecodeNode(benchmark::State& state) {
+  const StatusOr<std::shared_ptr<const store::MappedSnapshot>> snapshot =
+      store::MappedSnapshot::Open(MicroSnapshotPath());
+  SIMGRAPH_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  std::vector<NodeId> scratch;
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*snapshot)->OutNeighbors(u, &scratch));
+    u = (u + 97) % (*snapshot)->num_nodes();
+  }
+}
+BENCHMARK(BM_SnapshotDecodeNode);
+
+void BM_SnapshotMaterialize(benchmark::State& state) {
+  const StatusOr<std::shared_ptr<const store::MappedSnapshot>> snapshot =
+      store::MappedSnapshot::Open(MicroSnapshotPath());
+  SIMGRAPH_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*snapshot)->Materialize());
+  }
+}
+BENCHMARK(BM_SnapshotMaterialize)->Unit(benchmark::kMillisecond);
 
 void BM_CandidateStoreTopK(benchmark::State& state) {
   const Dataset& d = MicroDataset();

@@ -38,6 +38,12 @@
 //                                 TCP front-end instead of in-process calls,
 //                                 exercising the full parse->serialize
 //                                 request path (0)
+//   SIMGRAPH_BENCH_SERVE_GRAPH_IMAGE  path of an SGCS graph image
+//                                 (docs/store.md): the bench writes the
+//                                 dataset's follow graph there, mmaps it
+//                                 back, and serves every leg from that
+//                                 ONE pinned image instead of the in-RAM
+//                                 Digraph (empty = classic in-RAM path)
 //   SIMGRAPH_BENCH_SERVE_SNAPSHOT  path of the machine-readable summary
 //                                 written after the run (empty = not
 //                                 written; set it explicitly — the bench
@@ -156,6 +162,11 @@ struct LoadConfig {
   bool use_tcp = false;
   /// Delta-shipping ingest (docs/ingest.md) vs legacy replicated apply.
   bool delta_ingest = true;
+  /// When set, every leg serves from this one pinned mmap'd graph image
+  /// and `dataset_override` (the graph-stripped dataset) replaces
+  /// bench::BenchDataset().
+  std::shared_ptr<const store::GraphImage> graph_image;
+  const Dataset* dataset_override = nullptr;
 };
 
 struct LoadResult {
@@ -193,12 +204,15 @@ struct LoadResult {
 /// fills `out` from the (per-run; the caller resets it) metrics
 /// registry. Returns non-zero on setup failure.
 int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
-  const Dataset& dataset = bench::BenchDataset();
+  const Dataset& dataset = config.dataset_override != nullptr
+                               ? *config.dataset_override
+                               : bench::BenchDataset();
   const EvalProtocol& protocol = bench::BenchProtocol();
 
   serve::ServingSimGraphOptions rec_options;
   rec_options.graph = bench::BenchSimGraphOptions();
   rec_options.snapshot_refresh_events = config.refresh_events;
+  rec_options.graph_image = config.graph_image;
   serve::ShardedServiceOptions options;
   options.num_shards = config.num_shards;
   options.shard_options.cache_ttl = config.cache_ttl;
@@ -586,6 +600,35 @@ int Run(int argc, char** argv) {
   const bool ab_ingest = ingest_mode == "ab";
   const std::string snapshot_path =
       GetEnvString("SIMGRAPH_BENCH_SERVE_SNAPSHOT", "");
+
+  // Graph-image mode: snapshot the bench follow graph once, mmap it
+  // back, and hand every leg the same pinned image plus a dataset that
+  // carries no in-RAM graph at all.
+  const std::string image_path =
+      GetEnvString("SIMGRAPH_BENCH_SERVE_GRAPH_IMAGE", "");
+  Dataset image_dataset;
+  if (!image_path.empty()) {
+    const Dataset& dataset = bench::BenchDataset();
+    const StatusOr<store::SnapshotBuildStats> written =
+        store::WriteDigraphSnapshot(dataset.follow_graph, image_path);
+    if (!written.ok()) {
+      std::cerr << written.status().ToString() << "\n";
+      return 1;
+    }
+    const StatusOr<std::shared_ptr<const store::GraphImage>> image =
+        store::GraphImage::Load(image_path);
+    if (!image.ok()) {
+      std::cerr << image.status().ToString() << "\n";
+      return 1;
+    }
+    config.graph_image = *image;
+    image_dataset.tweets = dataset.tweets;
+    image_dataset.retweets = dataset.retweets;
+    image_dataset.num_users_hint = dataset.num_users();
+    config.dataset_override = &image_dataset;
+    std::cout << "serving from graph image " << image_path << " ("
+              << (*image)->file_bytes() << " bytes mapped)\n";
+  }
 
   std::string sweep_spec = GetEnvString("SIMGRAPH_BENCH_SERVE_SHARD_SWEEP", "");
   for (int i = 1; i < argc; ++i) {

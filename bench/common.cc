@@ -102,8 +102,7 @@ void SaveSweeps(const std::string& path,
 
 DatasetConfig BenchConfig() {
   DatasetConfig c;
-  c.num_users =
-      static_cast<int32_t>(GetEnvInt64("SIMGRAPH_BENCH_USERS", 6000));
+  c.num_users = GetEnvInt64("SIMGRAPH_BENCH_USERS", 6000);
   c.num_tweets = GetEnvInt64("SIMGRAPH_BENCH_TWEETS",
                              static_cast<int64_t>(c.num_users) * 8);
   c.horizon_days = 120;

@@ -107,9 +107,13 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
   # only the ingest keys gate (last matching rule wins in metrics_diff),
   # and scaling.ingest_apply_latency_ratio.mean is the one that fires if
   # per-event ingest cost ever grows with the shard count again.
+  # Served from a mmap'd SGCS graph image (docs/store.md) so the smoke
+  # also covers the image-backed bootstrap; recommendations are
+  # bit-identical to the in-RAM path, so the baseline stays comparable.
   ingest_snapshot="$selfcheck_dir/BENCH_ingest_smoke.json"
   SIMGRAPH_BENCH_SERVE_SNAPSHOT="$ingest_snapshot" \
     SIMGRAPH_BENCH_SERVE_REQUESTS="${SIMGRAPH_VERIFY_INGEST_REQUESTS:-6000}" \
+    SIMGRAPH_BENCH_SERVE_GRAPH_IMAGE="$selfcheck_dir/ingest_image.sgcs" \
     ./build/bench/bench_serving_load --shard-sweep=1,4 \
     || fail 3 "ingest delta smoke bench failed"
   if [[ -f BENCH_serving.json ]]; then

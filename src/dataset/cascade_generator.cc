@@ -45,7 +45,8 @@ std::vector<Tweet> GenerateTweets(const DatasetConfig& config,
     const UserId author =
         static_cast<UserId>(it - weight_cdf.begin());
     Tweet t;
-    t.author = std::min<UserId>(author, config.num_users - 1);
+    t.author =
+        std::min(author, static_cast<UserId>(config.num_users - 1));
     t.time = static_cast<Timestamp>(
         rng.NextBounded(static_cast<uint64_t>(horizon)));
     t.topic = interests.SampleTopic(t.author, rng);

@@ -1,10 +1,53 @@
 #include "dataset/config.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/env.h"
 
 namespace simgraph {
+namespace {
+
+bool IsProbability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+Status DatasetConfig::Validate() const {
+  // Node ids are int32_t throughout the library.
+  constexpr int64_t kMaxUsers = std::numeric_limits<int32_t>::max();
+  if (num_users < 2 || num_users > kMaxUsers) {
+    return Status::InvalidArgument("num_users must be in [2, 2^31)");
+  }
+  if (num_topics <= 0 || num_communities <= 0) {
+    return Status::InvalidArgument("num_topics/num_communities must be > 0");
+  }
+  if (min_out_degree < 1 || max_out_degree < min_out_degree) {
+    return Status::InvalidArgument(
+        "need 1 <= min_out_degree <= max_out_degree");
+  }
+  // The generator's worst case touches num_users * (max_out_degree * 8 +
+  // 32) attempt slots; require that product to fit int64_t with margin so
+  // no intermediate count can wrap.
+  constexpr int64_t kMaxProduct = std::numeric_limits<int64_t>::max() / 16;
+  if (max_out_degree > kMaxProduct / std::max<int64_t>(num_users, 1)) {
+    return Status::InvalidArgument(
+        "num_users * max_out_degree would overflow");
+  }
+  if (!IsProbability(intra_community_prob) ||
+      !IsProbability(reciprocity_prob) ||
+      !IsProbability(uniform_attachment_prob) ||
+      !IsProbability(never_retweet_fraction) ||
+      !IsProbability(base_retweet_prob)) {
+    return Status::InvalidArgument("probabilities must be in [0, 1]");
+  }
+  if (out_degree_alpha <= 1.0) {
+    return Status::InvalidArgument("out_degree_alpha must be > 1");
+  }
+  if (num_tweets < 0 || horizon_days < 1 || max_cascade_size < 1) {
+    return Status::InvalidArgument("tweet/cascade sizes out of range");
+  }
+  return Status::Ok();
+}
 
 DatasetConfig TinyConfig() {
   DatasetConfig c;
@@ -21,7 +64,7 @@ DatasetConfig TinyConfig() {
 DatasetConfig DefaultConfig() {
   DatasetConfig c;
   const double scale = std::max(0.01, GetEnvDouble("SIMGRAPH_SCALE", 1.0));
-  c.num_users = static_cast<int32_t>(c.num_users * scale);
+  c.num_users = static_cast<int64_t>(static_cast<double>(c.num_users) * scale);
   c.num_tweets = static_cast<int64_t>(c.num_tweets * scale);
   c.num_communities =
       std::max(4, static_cast<int32_t>(c.num_communities * scale));

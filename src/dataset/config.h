@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace simgraph {
 
 /// Parameters of the synthetic microblogging platform. Defaults are sized
@@ -11,7 +13,10 @@ namespace simgraph {
 /// DESIGN.md section 1 for the substitution rationale.
 struct DatasetConfig {
   // --- population -----------------------------------------------------
-  int32_t num_users = 20000;
+  /// int64_t so million-user configs and intermediate products
+  /// (num_users * degree caps, attempt budgets) can never wrap; node ids
+  /// themselves stay int32_t and Validate() enforces the NodeId ceiling.
+  int64_t num_users = 20000;
   /// Topic space of the interest model.
   int32_t num_topics = 25;
   /// Number of homophilous communities users are grouped into.
@@ -20,8 +25,8 @@ struct DatasetConfig {
   // --- follow graph (Table 1 shape) ------------------------------------
   /// Power-law exponent of the out-degree (followee count) distribution.
   double out_degree_alpha = 1.7;
-  int32_t min_out_degree = 3;
-  int32_t max_out_degree = 1500;
+  int64_t min_out_degree = 3;
+  int64_t max_out_degree = 1500;
   /// Probability that a followee is picked inside the user's own
   /// community (homophily wiring) rather than globally.
   double intra_community_prob = 0.7;
@@ -58,6 +63,12 @@ struct DatasetConfig {
 
   // --- misc -------------------------------------------------------------
   uint64_t seed = 42;
+
+  /// Checks the population fields are usable: num_users fits in NodeId,
+  /// degree caps are ordered and positive, probabilities are in [0, 1],
+  /// and the worst-case edge count num_users * max_out_degree (plus the
+  /// generator's attempt budget) cannot overflow int64_t.
+  Status Validate() const;
 };
 
 /// A CI-sized configuration for unit tests (a few hundred users).

@@ -24,7 +24,18 @@ struct Dataset {
   std::vector<Tweet> tweets;
   std::vector<RetweetEvent> retweets;
 
-  int32_t num_users() const { return follow_graph.num_nodes(); }
+  /// Population of an image-backed dataset: when the follow graph lives
+  /// out-of-band (an mmap'd SGCS graph image bound via
+  /// ServingSimGraphOptions::graph_image — see docs/store.md) the
+  /// in-RAM `follow_graph` stays empty and this field carries the user
+  /// count so profile/candidate sizing still works. Ignored whenever
+  /// `follow_graph` is non-empty.
+  int32_t num_users_hint = 0;
+
+  int32_t num_users() const {
+    return follow_graph.num_nodes() > 0 ? follow_graph.num_nodes()
+                                        : num_users_hint;
+  }
   int64_t num_tweets() const { return static_cast<int64_t>(tweets.size()); }
   int64_t num_retweets() const {
     return static_cast<int64_t>(retweets.size());

@@ -29,7 +29,8 @@ class AttachmentUrn {
 
 Digraph GenerateSocialGraph(const DatasetConfig& config,
                             const InterestModel& interests, Rng& rng) {
-  const int32_t n = config.num_users;
+  SIMGRAPH_CHECK_OK(config.Validate());
+  const NodeId n = static_cast<NodeId>(config.num_users);
   SIMGRAPH_CHECK_GT(n, 1);
   GraphBuilder builder(n);
 

@@ -1,0 +1,385 @@
+#include "dataset/streaming_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dataset/interest_model.h"
+#include "store/snapshot_writer.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stamped_set.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace simgraph {
+namespace {
+
+/// Stream salts keep each user's edge stream independent of its
+/// popularity-weight stream.
+constexpr uint64_t kEdgeStreamSalt = 0x9D2C5680u;
+constexpr uint64_t kWeightStreamSalt = 0xEFC60000u;
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Private RNG stream for one user: a pure function of (seed, u, salt),
+/// so generation is identical for any thread count or pass order.
+Rng UserRng(uint64_t seed, UserId u, uint64_t salt) {
+  return Rng(SplitMix(seed ^ SplitMix(static_cast<uint64_t>(u) * 2 + salt)));
+}
+
+/// A reciprocal follow-back intent: `src` follows `dst` back.
+struct Intent {
+  UserId src;
+  UserId dst;
+};
+
+/// Static preferential-attachment index. The sequential generator's
+/// follower urn grows as edges land, which is inherently serial; here
+/// every user gets a fixed Pareto popularity weight drawn from its own
+/// stream, and targets are sampled by binary search over prefix sums.
+/// The resulting in-degree distribution keeps the same heavy tail.
+struct AttachmentIndex {
+  std::vector<double> global_cum;                // n + 1
+  std::vector<std::vector<double>> community_cum;  // per community, m_c + 1
+
+  static AttachmentIndex Build(const DatasetConfig& config,
+                               const InterestModel& interests) {
+    const int64_t n = config.num_users;
+    AttachmentIndex index;
+    std::vector<double> weight(static_cast<size_t>(n));
+    for (UserId u = 0; u < n; ++u) {
+      Rng rng = UserRng(config.seed, u, kWeightStreamSalt);
+      // Pareto(1, 1.5): heavy-tailed popularity, finite mean.
+      const double uniform = std::max(1e-12, 1.0 - rng.NextDouble());
+      weight[static_cast<size_t>(u)] = std::pow(uniform, -1.0 / 1.5);
+    }
+    index.global_cum.resize(static_cast<size_t>(n) + 1, 0.0);
+    for (int64_t u = 0; u < n; ++u) {
+      index.global_cum[static_cast<size_t>(u) + 1] =
+          index.global_cum[static_cast<size_t>(u)] +
+          weight[static_cast<size_t>(u)];
+    }
+    index.community_cum.resize(
+        static_cast<size_t>(interests.num_communities()));
+    for (int32_t c = 0; c < interests.num_communities(); ++c) {
+      const std::vector<UserId>& members = interests.CommunityMembers(c);
+      std::vector<double>& cum = index.community_cum[static_cast<size_t>(c)];
+      cum.resize(members.size() + 1, 0.0);
+      for (size_t i = 0; i < members.size(); ++i) {
+        cum[i + 1] = cum[i] + weight[static_cast<size_t>(members[i])];
+      }
+    }
+    return index;
+  }
+};
+
+/// Draws index i with probability proportional to cum[i+1] - cum[i].
+size_t SampleCumulative(const std::vector<double>& cum, Rng& rng) {
+  const double x = rng.NextDouble() * cum.back();
+  const size_t idx = static_cast<size_t>(
+      std::upper_bound(cum.begin(), cum.end(), x) - cum.begin());
+  // x == cum.back() can fall one past the end; clamp into range.
+  return std::min(idx > 0 ? idx - 1 : 0, cum.size() - 2);
+}
+
+/// Everything shared (read-only) by the generation passes.
+struct GenContext {
+  const DatasetConfig* config;
+  const InterestModel* interests;
+  const AttachmentIndex* attachment;
+  NodeId n;
+};
+
+/// Per-worker reusable scratch.
+struct WorkerScratch {
+  StampedSet seen;
+  std::vector<NodeId> generated;
+  std::vector<NodeId> merged;
+};
+
+/// Generates user u's raw followee list (sorted, deduped) into
+/// scratch.generated — a pure function of (config.seed, u). When
+/// `intents` is non-null, reciprocal follow-back intents are appended;
+/// the RNG stream is consumed identically either way, so every pass
+/// sees the same draws.
+void GenerateRawTargets(const GenContext& ctx, UserId u,
+                        WorkerScratch& scratch, std::vector<Intent>* intents) {
+  const DatasetConfig& config = *ctx.config;
+  Rng rng = UserRng(config.seed, u, kEdgeStreamSalt);
+  const int64_t cap = std::min<int64_t>(config.max_out_degree, ctx.n - 1);
+  const int64_t budget = SamplePowerLaw(
+      rng, config.out_degree_alpha,
+      std::min<int64_t>(config.min_out_degree, cap), cap);
+  scratch.seen.Reserve(static_cast<size_t>(ctx.n));
+  scratch.seen.Clear();
+  scratch.generated.clear();
+  const int32_t community = ctx.interests->Community(u);
+  const std::vector<UserId>& members =
+      ctx.interests->CommunityMembers(community);
+  const std::vector<double>& community_cum =
+      ctx.attachment->community_cum[static_cast<size_t>(community)];
+
+  int64_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = budget * 8 + 32;
+  while (added < budget && attempts < max_attempts) {
+    ++attempts;
+    UserId target = kInvalidNode;
+    const bool intra = rng.NextBernoulli(config.intra_community_prob);
+    const bool uniform = rng.NextBernoulli(config.uniform_attachment_prob);
+    if (intra && members.size() > 1) {
+      target = uniform
+                   ? members[rng.NextBounded(members.size())]
+                   : members[SampleCumulative(community_cum, rng)];
+    }
+    if (target == kInvalidNode) {
+      target = uniform
+                   ? static_cast<UserId>(
+                         rng.NextBounded(static_cast<uint64_t>(ctx.n)))
+                   : static_cast<UserId>(
+                         SampleCumulative(ctx.attachment->global_cum, rng));
+    }
+    if (target == u) continue;
+    if (!scratch.seen.Insert(static_cast<size_t>(target))) continue;
+    scratch.generated.push_back(target);
+    ++added;
+    if (rng.NextBernoulli(config.reciprocity_prob) && intents != nullptr) {
+      intents->push_back(Intent{target, u});
+    }
+  }
+  std::sort(scratch.generated.begin(), scratch.generated.end());
+}
+
+/// Merges u's raw targets with its sorted follow-back targets into
+/// scratch.merged (sorted union, capped at max_out_degree by dropping
+/// the largest follow-back-only ids first — deterministic).
+void MergeFollowBacks(const GenContext& ctx, WorkerScratch& scratch,
+                      std::span<const NodeId> follow_backs) {
+  scratch.merged.clear();
+  std::set_union(scratch.generated.begin(), scratch.generated.end(),
+                 follow_backs.begin(), follow_backs.end(),
+                 std::back_inserter(scratch.merged));
+  int64_t excess = static_cast<int64_t>(scratch.merged.size()) -
+                   ctx.config->max_out_degree;
+  if (excess <= 0) return;
+  std::vector<NodeId>& merged = scratch.merged;
+  for (size_t i = merged.size(); i-- > 0 && excess > 0;) {
+    const bool generated =
+        std::binary_search(scratch.generated.begin(),
+                           scratch.generated.end(), merged[i]);
+    if (!generated) {
+      merged.erase(merged.begin() + static_cast<int64_t>(i));
+      --excess;
+    }
+  }
+}
+
+/// Wrapper used by the regeneration passes: raw targets + merge.
+void GenerateFinalList(const GenContext& ctx, UserId u,
+                       WorkerScratch& scratch,
+                       std::span<const NodeId> follow_backs) {
+  GenerateRawTargets(ctx, u, scratch, /*intents=*/nullptr);
+  MergeFollowBacks(ctx, scratch, follow_backs);
+}
+
+}  // namespace
+
+StatusOr<StreamingGraphStats> StreamSocialGraphSnapshot(
+    const DatasetConfig& config, const std::string& path,
+    const StreamingGraphOptions& options) {
+  SIMGRAPH_RETURN_IF_ERROR(config.Validate());
+  if (options.chunk_users < 1) {
+    return Status::InvalidArgument("chunk_users must be >= 1");
+  }
+  WallTimer timer;
+  const NodeId n = static_cast<NodeId>(config.num_users);
+
+  // The interest model is O(n) and deterministic from the seed.
+  Rng model_rng(config.seed);
+  const InterestModel interests(config, model_rng);
+  const AttachmentIndex attachment = AttachmentIndex::Build(config, interests);
+  GenContext ctx{&config, &interests, &attachment, n};
+
+  ThreadPool pool(options.num_threads);
+  const int workers = pool.num_threads();
+  std::vector<WorkerScratch> scratch(static_cast<size_t>(workers));
+  const int64_t chunk = options.chunk_users;
+
+  auto parallel_over_users = [&](auto&& body) {
+    for (NodeId begin = 0; begin < n;
+         begin = static_cast<NodeId>(std::min<int64_t>(begin + chunk, n))) {
+      const NodeId end =
+          static_cast<NodeId>(std::min<int64_t>(begin + chunk, n));
+      const NodeId span = end - begin;
+      const NodeId stride =
+          std::max<NodeId>(1, (span + workers - 1) / workers);
+      for (NodeId lo = begin; lo < end;
+           lo = static_cast<NodeId>(std::min<int64_t>(lo + stride, end))) {
+        const NodeId hi =
+            static_cast<NodeId>(std::min<int64_t>(lo + stride, end));
+        pool.Schedule([&body, lo, hi]() { body(lo, hi); });
+      }
+      pool.Wait();
+    }
+  };
+
+  // --- Pass 1: collect reciprocal follow-back intents -----------------
+  std::vector<std::vector<Intent>> worker_intents(
+      static_cast<size_t>(workers));
+  parallel_over_users([&](NodeId lo, NodeId hi) {
+    const int w = ThreadPool::CurrentWorkerIndex();
+    for (NodeId u = lo; u < hi; ++u) {
+      GenerateRawTargets(ctx, u, scratch[static_cast<size_t>(w)],
+                         &worker_intents[static_cast<size_t>(w)]);
+    }
+  });
+
+  // Group intents by source with a counting sort; per-source targets are
+  // then sorted ascending, which erases any trace of thread scheduling.
+  std::vector<int64_t> fb_offsets(static_cast<size_t>(n) + 1, 0);
+  int64_t total_intents = 0;
+  for (const auto& intents : worker_intents) {
+    total_intents += static_cast<int64_t>(intents.size());
+    for (const Intent& intent : intents) {
+      ++fb_offsets[static_cast<size_t>(intent.src) + 1];
+    }
+  }
+  for (size_t i = 1; i < fb_offsets.size(); ++i) {
+    fb_offsets[i] += fb_offsets[i - 1];
+  }
+  std::vector<NodeId> fb_targets(static_cast<size_t>(total_intents));
+  {
+    std::vector<int64_t> cursor(fb_offsets.begin(), fb_offsets.end() - 1);
+    for (const auto& intents : worker_intents) {
+      for (const Intent& intent : intents) {
+        fb_targets[static_cast<size_t>(
+            cursor[static_cast<size_t>(intent.src)]++)] = intent.dst;
+      }
+    }
+  }
+  worker_intents.clear();
+  worker_intents.shrink_to_fit();
+  parallel_over_users([&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      std::sort(fb_targets.begin() + fb_offsets[static_cast<size_t>(u)],
+                fb_targets.begin() + fb_offsets[static_cast<size_t>(u) + 1]);
+    }
+  });
+  auto follow_backs_of = [&](NodeId u) {
+    return std::span<const NodeId>(
+        fb_targets.data() + fb_offsets[static_cast<size_t>(u)],
+        static_cast<size_t>(fb_offsets[static_cast<size_t>(u) + 1] -
+                            fb_offsets[static_cast<size_t>(u)]));
+  };
+
+  // --- Pass 2: stream the out-adjacency, count in-degrees -------------
+  store::SnapshotWriter writer(path, n);
+  std::vector<std::vector<NodeId>> chunk_lists(
+      static_cast<size_t>(std::min<int64_t>(chunk, n)));
+  std::vector<int64_t> in_degree(static_cast<size_t>(n), 0);
+  int64_t num_edges = 0;
+  int64_t reciprocal_kept = 0;
+  for (NodeId begin = 0; begin < n;
+       begin = static_cast<NodeId>(std::min<int64_t>(begin + chunk, n))) {
+    const NodeId end =
+        static_cast<NodeId>(std::min<int64_t>(begin + chunk, n));
+    const NodeId span = end - begin;
+    const NodeId stride = std::max<NodeId>(1, (span + workers - 1) / workers);
+    for (NodeId lo = begin; lo < end;
+         lo = static_cast<NodeId>(std::min<int64_t>(lo + stride, end))) {
+      const NodeId hi =
+          static_cast<NodeId>(std::min<int64_t>(lo + stride, end));
+      pool.Schedule([&, lo, hi]() {
+        const int w = ThreadPool::CurrentWorkerIndex();
+        WorkerScratch& s = scratch[static_cast<size_t>(w)];
+        for (NodeId u = lo; u < hi; ++u) {
+          GenerateFinalList(ctx, u, s, follow_backs_of(u));
+          chunk_lists[static_cast<size_t>(u - begin)] = s.merged;
+        }
+      });
+    }
+    pool.Wait();
+    for (NodeId u = begin; u < end; ++u) {
+      const std::vector<NodeId>& list =
+          chunk_lists[static_cast<size_t>(u - begin)];
+      SIMGRAPH_RETURN_IF_ERROR(writer.AppendOutNode(u, list));
+      num_edges += static_cast<int64_t>(list.size());
+      for (const NodeId v : list) {
+        ++in_degree[static_cast<size_t>(v)];
+      }
+    }
+  }
+
+  // --- Pass 3: scatter the transpose, 4 bytes per edge ----------------
+  std::vector<int64_t> in_offsets(static_cast<size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    in_offsets[static_cast<size_t>(v) + 1] =
+        in_offsets[static_cast<size_t>(v)] + in_degree[static_cast<size_t>(v)];
+  }
+  std::vector<NodeId> in_sources(static_cast<size_t>(num_edges));
+  std::unique_ptr<std::atomic<int64_t>[]> cursor(
+      new std::atomic<int64_t>[static_cast<size_t>(n)]);
+  for (NodeId v = 0; v < n; ++v) {
+    cursor[static_cast<size_t>(v)].store(in_offsets[static_cast<size_t>(v)],
+                                         std::memory_order_relaxed);
+  }
+  std::atomic<int64_t> reciprocal_total{0};
+  parallel_over_users([&](NodeId lo, NodeId hi) {
+    const int w = ThreadPool::CurrentWorkerIndex();
+    WorkerScratch& s = scratch[static_cast<size_t>(w)];
+    int64_t local_reciprocal = 0;
+    for (NodeId u = lo; u < hi; ++u) {
+      GenerateFinalList(ctx, u, s, follow_backs_of(u));
+      local_reciprocal += static_cast<int64_t>(s.merged.size()) -
+                          static_cast<int64_t>(s.generated.size());
+      for (const NodeId v : s.merged) {
+        const int64_t pos = cursor[static_cast<size_t>(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        in_sources[static_cast<size_t>(pos)] = u;
+      }
+    }
+    reciprocal_total.fetch_add(local_reciprocal, std::memory_order_relaxed);
+  });
+  reciprocal_kept = reciprocal_total.load();
+  // Bucket fill order depends on scheduling; sorting restores determinism.
+  parallel_over_users([&](NodeId lo, NodeId hi) {
+    for (NodeId v = lo; v < hi; ++v) {
+      std::sort(in_sources.begin() + in_offsets[static_cast<size_t>(v)],
+                in_sources.begin() + in_offsets[static_cast<size_t>(v) + 1]);
+    }
+  });
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const NodeId> sources(
+        in_sources.data() + in_offsets[static_cast<size_t>(v)],
+        static_cast<size_t>(in_degree[static_cast<size_t>(v)]));
+    SIMGRAPH_RETURN_IF_ERROR(writer.AppendInNode(v, sources));
+  }
+
+  StatusOr<store::SnapshotBuildStats> build = writer.Finalize();
+  if (!build.ok()) return build.status();
+
+  StreamingGraphStats stats;
+  stats.num_users = n;
+  stats.num_edges = num_edges;
+  stats.reciprocal_edges = reciprocal_kept;
+  stats.file_bytes = build->file_bytes;
+  stats.generate_seconds = timer.ElapsedSeconds();
+  SIMGRAPH_LOG(Info) << "streamed follow graph: " << stats.num_users
+                     << " users, " << stats.num_edges << " edges ("
+                     << stats.reciprocal_edges << " reciprocal) -> "
+                     << path << " (" << stats.file_bytes << " bytes) in "
+                     << FormatDuration(stats.generate_seconds);
+  return stats;
+}
+
+}  // namespace simgraph

@@ -1,0 +1,64 @@
+#ifndef SIMGRAPH_DATASET_STREAMING_GENERATOR_H_
+#define SIMGRAPH_DATASET_STREAMING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/config.h"
+#include "util/status.h"
+
+namespace simgraph {
+
+/// Tuning knobs of the streaming follow-graph pipeline.
+struct StreamingGraphOptions {
+  /// Worker threads for the generation passes; 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Users generated per parallel batch. Peak memory holds one batch of
+  /// adjacency lists (chunk_users * avg_degree ids) on top of the O(n)
+  /// index state, so smaller chunks trade speed for memory.
+  int64_t chunk_users = 1 << 16;
+};
+
+/// What the pipeline produced (also logged and reflected in the
+/// store.snapshot.* metrics via the underlying SnapshotWriter).
+struct StreamingGraphStats {
+  int64_t num_users = 0;
+  int64_t num_edges = 0;
+  /// Reciprocal follow-back edges that survived the merge.
+  int64_t reciprocal_edges = 0;
+  uint64_t file_bytes = 0;
+  double generate_seconds = 0.0;
+};
+
+/// Generates the synthetic follow graph of `config` and streams it
+/// directly into an SGCS snapshot at `path` — the million-user
+/// counterpart of GenerateSocialGraph, which materialises the whole
+/// graph in RAM first.
+///
+/// The statistical model matches GenerateSocialGraph (power-law
+/// out-degree budgets, community homophily, preferential attachment,
+/// reciprocal follow-backs) but the mechanics differ so the pipeline
+/// can run multi-threaded with bounded memory:
+///
+///  - Each user's followee list is a pure function of (config.seed, u):
+///    users draw from private SplitMix-derived RNG streams, so results
+///    are byte-identical for ANY thread count.
+///  - Preferential attachment uses a static Pareto popularity weight
+///    per user (sampled from its own stream) with prefix-sum binary
+///    search, instead of the sequential follower urn.
+///  - Reciprocal follow-backs are buffered as (source, target) intents
+///    in pass one and merged into the followee lists in pass two.
+///  - Adjacency is emitted chunk by chunk straight into a
+///    SnapshotWriter; the transpose is filled into a 4-bytes-per-edge
+///    scatter buffer. Peak memory is O(num_users) + ~4 bytes per edge +
+///    one chunk of lists — never the full Digraph.
+///
+/// Returns the stats on success; the snapshot at `path` is complete and
+/// validated-loadable iff the status is OK.
+StatusOr<StreamingGraphStats> StreamSocialGraphSnapshot(
+    const DatasetConfig& config, const std::string& path,
+    const StreamingGraphOptions& options = {});
+
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_DATASET_STREAMING_GENERATOR_H_

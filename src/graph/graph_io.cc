@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -34,9 +35,9 @@ bool WriteVec(std::ofstream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+bool ReadVec(std::ifstream& in, std::vector<T>* v, int64_t max_elems) {
   int64_t n = 0;
-  if (!ReadPod(in, &n) || n < 0) return false;
+  if (!ReadPod(in, &n) || n < 0 || n > max_elems) return false;
   v->resize(static_cast<size_t>(n));
   in.read(reinterpret_cast<char*>(v->data()),
           static_cast<std::streamsize>(n * sizeof(T)));
@@ -149,13 +150,23 @@ StatusOr<Digraph> ReadBinaryGraph(const std::string& path) {
       (weighted != 0 && weighted != 1)) {
     return Status::IoError("bad binary header: " + path);
   }
+  // A hostile header must not drive vector sizes: every section length is
+  // bounded by what the file could physically hold, so a forged count
+  // fails cleanly instead of attempting a multi-exabyte allocation.
+  std::error_code ec;
+  const auto file_bytes =
+      static_cast<int64_t>(std::filesystem::file_size(path, ec));
+  if (ec) return Status::IoError("cannot stat: " + path);
+  if (num_nodes > file_bytes || num_edges > file_bytes) {
+    return Status::IoError("implausible binary header counts: " + path);
+  }
   std::vector<int64_t> degrees;
   std::vector<NodeId> targets;
   std::vector<double> weights;
-  if (!ReadVec(in, &degrees) || !ReadVec(in, &targets)) {
+  if (!ReadVec(in, &degrees, num_nodes) || !ReadVec(in, &targets, num_edges)) {
     return Status::IoError("truncated binary graph: " + path);
   }
-  if (weighted == 1 && !ReadVec(in, &weights)) {
+  if (weighted == 1 && !ReadVec(in, &weights, num_edges)) {
     return Status::IoError("truncated weights: " + path);
   }
   if (static_cast<int64_t>(degrees.size()) != num_nodes ||

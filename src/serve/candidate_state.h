@@ -30,7 +30,8 @@ class CandidateState {
  public:
   /// Builds the store over the dataset's tweet catalogue, creates
   /// min(num_stripes, num_users) stripes, and marks every training
-  /// retweet consumed — the state every replica starts from.
+  /// retweet consumed — the state every replica starts from. Image-backed
+  /// datasets report their population via Dataset::num_users_hint.
   Status Init(const Dataset& dataset, int64_t train_end,
               Timestamp freshness_window, int32_t num_stripes);
 

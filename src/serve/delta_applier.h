@@ -10,6 +10,7 @@
 #include "core/simgraph_delta.h"
 #include "serve/candidate_state.h"
 #include "serve/serving_recommender.h"
+#include "store/graph_image.h"
 #include "util/metrics.h"
 
 namespace simgraph {
@@ -21,6 +22,12 @@ namespace serve {
 struct DeltaApplierOptions {
   Timestamp freshness_window = 72 * kSecondsPerHour;
   int32_t num_stripes = 64;
+  /// When serving image-backed (docs/store.md), every applier shard pins
+  /// the SAME shared mmap'd graph image here — shards never decode it on
+  /// the hot path (deltas carry everything they replay), but pinning
+  /// keeps the map alive for the shard's whole life and lets Train
+  /// cross-check the dataset population against the image.
+  std::shared_ptr<const store::GraphImage> graph_image;
 };
 
 /// The cheap shard-side half of the delta-shipping ingest pipeline

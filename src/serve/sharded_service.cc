@@ -21,6 +21,9 @@ ShardedService::ShardedService(const ServingSimGraphOptions& simgraph_options,
   DeltaApplierOptions applier_options;
   applier_options.freshness_window = simgraph_options.freshness_window;
   applier_options.num_stripes = simgraph_options.num_stripes;
+  // Image-backed serving: every shard pins the builder's shared mmap'd
+  // graph image — one image per process, never per-shard copies.
+  applier_options.graph_image = simgraph_options.graph_image;
   shards_.reserve(static_cast<size_t>(router_.num_shards()));
   appliers_.reserve(static_cast<size_t>(router_.num_shards()));
   for (int32_t i = 0; i < router_.num_shards(); ++i) {

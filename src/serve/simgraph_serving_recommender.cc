@@ -23,9 +23,19 @@ Status SimGraphServingRecommender::Train(const Dataset& dataset,
   if (train_end < 0 || train_end > dataset.num_retweets()) {
     return Status::InvalidArgument("train_end out of range");
   }
-  num_users_ = dataset.num_users();
-  incremental_ = std::make_unique<IncrementalSimGraph>(dataset.follow_graph,
-                                                       options_.graph);
+  // The follow graph is either carried by the dataset or pinned
+  // out-of-band as an mmap'd SGCS image every shard shares.
+  const Digraph& follow_graph = options_.graph_image != nullptr
+                                    ? options_.graph_image->graph()
+                                    : dataset.follow_graph;
+  if (options_.graph_image != nullptr && dataset.num_users() != 0 &&
+      dataset.num_users() != follow_graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "dataset population disagrees with the bound graph image");
+  }
+  num_users_ = follow_graph.num_nodes();
+  incremental_ =
+      std::make_unique<IncrementalSimGraph>(follow_graph, options_.graph);
   SIMGRAPH_RETURN_IF_ERROR(incremental_->Initialize(dataset, train_end));
   RefreshSnapshot();
 

@@ -13,6 +13,7 @@
 #include "core/simgraph_delta.h"
 #include "serve/candidate_state.h"
 #include "serve/serving_recommender.h"
+#include "store/graph_image.h"
 #include "util/metrics.h"
 
 namespace simgraph {
@@ -37,6 +38,12 @@ struct ServingSimGraphOptions {
   /// Evict stale candidates every this many observed events (mirrors
   /// SimGraphRecommender's fixed 50000 cadence).
   int64_t evict_every = 50000;
+  /// When set, Train takes the follow graph from this pinned mmap'd
+  /// SGCS image instead of dataset.follow_graph (which may then be
+  /// empty — the million-user deployments never materialise graph.txt).
+  /// All shards of a ShardedService share the SAME image; see
+  /// docs/store.md.
+  std::shared_ptr<const store::GraphImage> graph_image;
 };
 
 /// The SimGraph recommender restructured for online serving: the

@@ -40,6 +40,7 @@
 #include "dataset/generator.h"
 #include "dataset/interest_model.h"
 #include "dataset/social_graph_generator.h"
+#include "dataset/streaming_generator.h"
 #include "dataset/types.h"
 #include "eval/harness.h"
 #include "eval/sweep.h"
@@ -64,6 +65,10 @@
 #include "serve/wire_protocol.h"
 #include "solver/iterative_solvers.h"
 #include "solver/sparse_matrix.h"
+#include "store/graph_image.h"
+#include "store/snapshot_format.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
 #include "util/env.h"
 #include "util/histogram.h"
 #include "util/logging.h"

@@ -1,0 +1,31 @@
+#include "store/graph_image.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace simgraph {
+namespace store {
+
+StatusOr<std::shared_ptr<const GraphImage>> GraphImage::Load(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snapshot =
+      MappedSnapshot::Open(path, options);
+  SIMGRAPH_RETURN_IF_ERROR(snapshot.status());
+  StatusOr<Digraph> graph = (*snapshot)->Materialize();
+  SIMGRAPH_RETURN_IF_ERROR(graph.status());
+
+  // No make_shared: the constructor is private.
+  auto image = std::shared_ptr<GraphImage>(new GraphImage());
+  image->path_ = path;
+  image->snapshot_ = std::move(*snapshot);
+  image->graph_ = std::move(*graph);
+  SIMGRAPH_LOG(Info) << "pinned graph image " << path << ": "
+                     << image->num_nodes() << " nodes, "
+                     << image->num_edges() << " edges, "
+                     << image->file_bytes() << " mapped bytes";
+  return std::shared_ptr<const GraphImage>(std::move(image));
+}
+
+}  // namespace store
+}  // namespace simgraph

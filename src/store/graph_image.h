@@ -1,0 +1,62 @@
+#ifndef SIMGRAPH_STORE_GRAPH_IMAGE_H_
+#define SIMGRAPH_STORE_GRAPH_IMAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/digraph.h"
+#include "store/snapshot_reader.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace store {
+
+/// A follow graph served out of an SGCS snapshot file: ONE mmap'd image
+/// plus the adjacency decoded ONCE into a Digraph, wrapped in a
+/// shared_ptr so every consumer in the process — the delta builder's
+/// source recommender, all shards, benches — pins the same object
+/// instead of holding per-shard copies.
+///
+/// What is shared with the kernel page cache (and therefore across
+/// processes mapping the same file): the raw snapshot bytes — offsets,
+/// ranks, popularity, profile sections are read straight from the map.
+/// What is per-process: the varint-compressed adjacency must be decoded
+/// into `graph()` once, because graph algorithms need random access to
+/// plain NodeId arrays. See docs/store.md ("Sharing model").
+class GraphImage {
+ public:
+  /// Opens (and fully validates) the snapshot at `path`, decodes the
+  /// adjacency, and returns the pinned image.
+  static StatusOr<std::shared_ptr<const GraphImage>> Load(
+      const std::string& path, const SnapshotOpenOptions& options = {});
+
+  /// The decoded follow graph. Valid for the image's lifetime.
+  const Digraph& graph() const { return graph_; }
+
+  /// The underlying mmap'd snapshot (zero-copy popularity / profile /
+  /// index access).
+  const MappedSnapshot& snapshot() const { return *snapshot_; }
+  const std::shared_ptr<const MappedSnapshot>& snapshot_ptr() const {
+    return snapshot_;
+  }
+
+  const std::string& path() const { return path_; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  int64_t num_edges() const { return graph_.num_edges(); }
+  uint64_t file_bytes() const { return snapshot_->file_bytes(); }
+
+  GraphImage(const GraphImage&) = delete;
+  GraphImage& operator=(const GraphImage&) = delete;
+
+ private:
+  GraphImage() = default;
+
+  std::string path_;
+  std::shared_ptr<const MappedSnapshot> snapshot_;
+  Digraph graph_;
+};
+
+}  // namespace store
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_STORE_GRAPH_IMAGE_H_

@@ -1,0 +1,65 @@
+#include "store/snapshot_format.h"
+
+namespace simgraph {
+namespace store {
+
+std::string_view SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kOutAdjacency: return "out_adjacency";
+    case SectionId::kOutOffsets: return "out_offsets";
+    case SectionId::kOutRanks: return "out_ranks";
+    case SectionId::kOutWeights: return "out_weights";
+    case SectionId::kInAdjacency: return "in_adjacency";
+    case SectionId::kInOffsets: return "in_offsets";
+    case SectionId::kInRanks: return "in_ranks";
+    case SectionId::kProfileAdjacency: return "profile_adjacency";
+    case SectionId::kProfileOffsets: return "profile_offsets";
+    case SectionId::kProfileRanks: return "profile_ranks";
+    case SectionId::kPopularity: return "popularity";
+  }
+  return "unknown";
+}
+
+uint64_t SnapshotChecksum(const void* data, size_t size) {
+  ChecksumStream stream;
+  stream.Update(data, size);
+  return stream.digest();
+}
+
+void ChecksumStream::Update(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h_ ^= bytes[i];
+    h_ *= 0x100000001B3ull;
+  }
+}
+
+void AppendVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+const uint8_t* DecodeVarint(const uint8_t* p, const uint8_t* end,
+                            uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject a 10th byte carrying bits past the 64th — an overflowing
+      // encoding a hostile writer could use to smuggle huge values.
+      if (shift == 63 && (byte & 0x7E) != 0) return nullptr;
+      *value = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // truncated or > 10 bytes
+}
+
+}  // namespace store
+}  // namespace simgraph

@@ -1,0 +1,126 @@
+#ifndef SIMGRAPH_STORE_SNAPSHOT_FORMAT_H_
+#define SIMGRAPH_STORE_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// The SGCS ("SimGraph Compressed Snapshot") on-disk image format — the
+/// binary, memory-mappable graph substrate one builder process writes
+/// once and any number of shard / bench processes mmap read-only
+/// (docs/store.md is the full reference).
+///
+/// Layout (everything little-endian, sections 8-byte aligned):
+///
+///   [FileHeader][SectionEntry x section_count][section blobs...]
+///
+/// Adjacency is CSR with the target lists delta/varint-encoded: node
+/// u's sorted targets t0 < t1 < ... are stored as
+/// varint(t0), varint(t1 - t0), ... so dense neighbourhoods cost ~1-2
+/// bytes per edge instead of 4. Two parallel (num_nodes + 1) u64 index
+/// arrays give random access: *_offsets[u] is the byte offset of u's
+/// first varint inside the blob, *_ranks[u] the cumulative edge count
+/// (so degree(u) = ranks[u+1] - ranks[u], and ranks also index the raw
+/// weight array of weighted graphs).
+
+namespace simgraph {
+namespace store {
+
+/// First four bytes of every snapshot, "SGCS" read as a LE u32.
+inline constexpr uint32_t kSnapshotMagic = 0x53434753u;
+
+/// Current layout version; the reader rejects anything else.
+inline constexpr uint16_t kSnapshotVersion = 1;
+
+/// Header flag: the image carries in-adjacency (followers) sections.
+inline constexpr uint16_t kSnapshotFlagHasIn = 1u << 0;
+/// Header flag: the image carries per-edge out weights.
+inline constexpr uint16_t kSnapshotFlagWeighted = 1u << 1;
+/// Header flag: the image carries retweet profiles and popularity.
+inline constexpr uint16_t kSnapshotFlagHasProfiles = 1u << 2;
+/// Every flag the v1 reader understands; unknown bits are rejected.
+inline constexpr uint16_t kSnapshotKnownFlags =
+    kSnapshotFlagHasIn | kSnapshotFlagWeighted | kSnapshotFlagHasProfiles;
+
+/// Section identifiers. v1 readers reject unknown or duplicate ids.
+enum class SectionId : uint32_t {
+  kOutAdjacency = 1,     // delta/varint target blob
+  kOutOffsets = 2,       // (n+1) u64 byte offsets into kOutAdjacency
+  kOutRanks = 3,         // (n+1) u64 cumulative edge counts
+  kOutWeights = 4,       // num_edges f64, indexed by edge rank
+  kInAdjacency = 5,      // delta/varint source blob
+  kInOffsets = 6,        // (n+1) u64
+  kInRanks = 7,          // (n+1) u64
+  kProfileAdjacency = 8, // delta/varint tweet-id blob (per user)
+  kProfileOffsets = 9,   // (n+1) u64
+  kProfileRanks = 10,    // (n+1) u64
+  kPopularity = 11,      // num_tweets i32 retweet counts
+};
+
+/// Stable name for `id` ("out_adjacency", ...); "unknown" otherwise.
+std::string_view SectionName(SectionId id);
+
+/// Fixed 64-byte file header. POD, memcpy'd to/from the file.
+struct FileHeader {
+  uint32_t magic = kSnapshotMagic;
+  uint16_t version = kSnapshotVersion;
+  uint16_t flags = 0;
+  uint32_t section_count = 0;
+  uint32_t reserved0 = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  /// Length of the popularity array (0 when kSnapshotFlagHasProfiles is
+  /// clear); profile tweet ids must be < num_tweets.
+  int64_t num_tweets = 0;
+  /// Total file size in bytes — a cheap whole-file truncation check
+  /// before any section is touched.
+  uint64_t file_bytes = 0;
+  uint64_t reserved1 = 0;
+  uint64_t reserved2 = 0;
+};
+static_assert(sizeof(FileHeader) == 64, "SGCS header layout drifted");
+
+/// One section-table entry (32 bytes each, directly after the header).
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t reserved = 0;
+  /// Absolute byte offset from the start of the file; 8-byte aligned.
+  uint64_t offset = 0;
+  /// Exact payload size (excluding alignment padding after it).
+  uint64_t bytes = 0;
+  /// FNV-1a 64 checksum of the payload bytes.
+  uint64_t checksum = 0;
+};
+static_assert(sizeof(SectionEntry) == 32, "SGCS section entry drifted");
+
+/// FNV-1a 64-bit over `size` bytes — the section checksum. Chosen for
+/// zero dependencies and byte-order independence, not cryptography; it
+/// catches truncation, bit rot, and mid-file edits.
+uint64_t SnapshotChecksum(const void* data, size_t size);
+
+/// Streaming form of SnapshotChecksum for writers that never hold a
+/// whole section in memory: Update in any chunking, same digest.
+class ChecksumStream {
+ public:
+  void Update(const void* data, size_t size);
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+/// Appends the LEB128 varint encoding of `value` to `out` (max 10 bytes).
+void AppendVarint(std::string* out, uint64_t value);
+
+/// Decodes one varint from [p, end). Returns the byte just past the
+/// varint, or nullptr on truncation/overflow (more than 10 bytes or a
+/// 10th byte with high bits set).
+const uint8_t* DecodeVarint(const uint8_t* p, const uint8_t* end,
+                            uint64_t* value);
+
+}  // namespace store
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_STORE_SNAPSHOT_FORMAT_H_

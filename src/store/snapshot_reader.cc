@@ -1,0 +1,393 @@
+#include "store/snapshot_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "graph/graph_builder.h"
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace store {
+namespace {
+
+/// Every section id the v1 layout defines, used for duplicate and
+/// required-section bookkeeping (bit i ↔ section id i).
+constexpr uint32_t kMaxSectionId = 11;
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("SGCS " + path + ": " + what);
+}
+
+/// Casts a validated, 8-aligned section to a typed zero-copy span.
+template <typename T>
+std::span<const T> TypedSpan(std::span<const uint8_t> bytes) {
+  return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
+/// Checks an index array: (n+1) entries, starts at 0, nondecreasing,
+/// ends at `total`.
+Status CheckIndexArray(const std::string& path, std::string_view name,
+                       std::span<const uint64_t> index, int64_t num_nodes,
+                       uint64_t total) {
+  if (index.size() != static_cast<size_t>(num_nodes) + 1) {
+    return Corrupt(path, std::string(name) + " has wrong entry count");
+  }
+  if (index.front() != 0) {
+    return Corrupt(path, std::string(name) + " does not start at 0");
+  }
+  for (size_t i = 1; i < index.size(); ++i) {
+    if (index[i] < index[i - 1]) {
+      return Corrupt(path, std::string(name) + " is not nondecreasing");
+    }
+  }
+  if (index.back() != total) {
+    return Corrupt(path, std::string(name) + " total mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const MappedSnapshot>> MappedSnapshot::Open(
+    const std::string& path, SnapshotOpenOptions options) {
+  // shared_ptr with a plain-new: the constructor is private.
+  std::shared_ptr<MappedSnapshot> snap(new MappedSnapshot());
+  snap->path_ = path;
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open snapshot: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat snapshot: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    SIMGRAPH_COUNTER_ADD("store.snapshot.validate_failures", 1);
+    return Corrupt(path, "smaller than the file header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path);
+  }
+  snap->map_ = map;
+  snap->map_size_ = size;
+
+  Status status = snap->Validate(options);
+  if (!status.ok()) {
+    SIMGRAPH_COUNTER_ADD("store.snapshot.validate_failures", 1);
+    return status;  // ~MappedSnapshot unmaps
+  }
+  SIMGRAPH_COUNTER_ADD("store.snapshot.opens", 1);
+  SIMGRAPH_GAUGE_SET("store.snapshot.mmap_bytes",
+                     static_cast<double>(size));
+  return std::shared_ptr<const MappedSnapshot>(std::move(snap));
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+Status MappedSnapshot::Validate(const SnapshotOpenOptions& options) {
+  const uint8_t* base = static_cast<const uint8_t*>(map_);
+  std::memcpy(&header_, base, sizeof(header_));
+  if (header_.magic != kSnapshotMagic) return Corrupt(path_, "bad magic");
+  if (header_.version != kSnapshotVersion) {
+    return Corrupt(path_, "unsupported version");
+  }
+  if ((header_.flags & ~kSnapshotKnownFlags) != 0) {
+    return Corrupt(path_, "unknown header flags");
+  }
+  if (header_.file_bytes != map_size_) {
+    return Corrupt(path_, "file size mismatch (truncated or padded)");
+  }
+  if (header_.num_nodes < 0 ||
+      header_.num_nodes >
+          static_cast<int64_t>(std::numeric_limits<NodeId>::max()) ||
+      header_.num_edges < 0 || header_.num_tweets < 0) {
+    return Corrupt(path_, "negative or oversized header counts");
+  }
+  if (!has_profiles() && header_.num_tweets != 0) {
+    return Corrupt(path_, "num_tweets set without profile flag");
+  }
+
+  // Section table: fully inside the file, known unique ids, 8-aligned
+  // in-bounds payloads that overlap neither the table nor each other.
+  const uint64_t table_end =
+      sizeof(FileHeader) +
+      static_cast<uint64_t>(header_.section_count) * sizeof(SectionEntry);
+  if (header_.section_count > kMaxSectionId || table_end > map_size_) {
+    return Corrupt(path_, "section table out of bounds");
+  }
+  table_.resize(header_.section_count);
+  std::memcpy(table_.data(), base + sizeof(FileHeader),
+              table_.size() * sizeof(SectionEntry));
+  uint32_t seen_ids = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> extents;
+  for (const SectionEntry& entry : table_) {
+    if (entry.id < 1 || entry.id > kMaxSectionId) {
+      return Corrupt(path_, "unknown section id");
+    }
+    if ((seen_ids >> entry.id) & 1) {
+      return Corrupt(path_, "duplicate section id");
+    }
+    seen_ids |= 1u << entry.id;
+    if (entry.reserved != 0) return Corrupt(path_, "reserved field set");
+    if (entry.offset % 8 != 0) return Corrupt(path_, "misaligned section");
+    if (entry.offset < table_end || entry.offset > map_size_ ||
+        entry.bytes > map_size_ - entry.offset) {
+      return Corrupt(path_, "section out of bounds");
+    }
+    extents.emplace_back(entry.offset, entry.bytes);
+  }
+  std::sort(extents.begin(), extents.end());
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].first < extents[i - 1].first + extents[i - 1].second) {
+      return Corrupt(path_, "overlapping sections");
+    }
+  }
+
+  // The section set must match the header flags exactly.
+  auto required = [](SectionId id) { return 1u << static_cast<uint32_t>(id); };
+  uint32_t expect = required(SectionId::kOutAdjacency) |
+                    required(SectionId::kOutOffsets) |
+                    required(SectionId::kOutRanks);
+  if (weighted()) expect |= required(SectionId::kOutWeights);
+  if (has_in()) {
+    expect |= required(SectionId::kInAdjacency) |
+              required(SectionId::kInOffsets) | required(SectionId::kInRanks);
+  }
+  if (has_profiles()) {
+    expect |= required(SectionId::kProfileAdjacency) |
+              required(SectionId::kProfileOffsets) |
+              required(SectionId::kProfileRanks) |
+              required(SectionId::kPopularity);
+  }
+  if (seen_ids != expect) {
+    return Corrupt(path_, "section set does not match header flags");
+  }
+
+  if (options.verify_checksums) {
+    for (const SectionEntry& entry : table_) {
+      if (SnapshotChecksum(base + entry.offset,
+                           static_cast<size_t>(entry.bytes)) !=
+          entry.checksum) {
+        return Corrupt(path_, "checksum mismatch in section " +
+                                  std::string(SectionName(
+                                      static_cast<SectionId>(entry.id))));
+      }
+    }
+  }
+
+  auto section = [&](SectionId id) -> std::span<const uint8_t> {
+    for (const SectionEntry& entry : table_) {
+      if (entry.id == static_cast<uint32_t>(id)) {
+        return {base + entry.offset, static_cast<size_t>(entry.bytes)};
+      }
+    }
+    return {};
+  };
+
+  const int64_t n = header_.num_nodes;
+  out_blob_ = section(SectionId::kOutAdjacency);
+  out_offsets_ = TypedSpan<uint64_t>(section(SectionId::kOutOffsets));
+  out_ranks_ = TypedSpan<uint64_t>(section(SectionId::kOutRanks));
+  SIMGRAPH_RETURN_IF_ERROR(CheckIndexArray(path_, "out_offsets", out_offsets_,
+                                           n, out_blob_.size()));
+  SIMGRAPH_RETURN_IF_ERROR(
+      CheckIndexArray(path_, "out_ranks", out_ranks_, n,
+                      static_cast<uint64_t>(header_.num_edges)));
+  if (weighted()) {
+    const auto bytes = section(SectionId::kOutWeights);
+    if (bytes.size() !=
+        static_cast<size_t>(header_.num_edges) * sizeof(double)) {
+      return Corrupt(path_, "out_weights has wrong entry count");
+    }
+    weights_ = TypedSpan<double>(bytes);
+  }
+  if (has_in()) {
+    in_blob_ = section(SectionId::kInAdjacency);
+    in_offsets_ = TypedSpan<uint64_t>(section(SectionId::kInOffsets));
+    in_ranks_ = TypedSpan<uint64_t>(section(SectionId::kInRanks));
+    SIMGRAPH_RETURN_IF_ERROR(CheckIndexArray(path_, "in_offsets", in_offsets_,
+                                             n, in_blob_.size()));
+    // Every directed edge appears exactly once in the transpose.
+    SIMGRAPH_RETURN_IF_ERROR(
+        CheckIndexArray(path_, "in_ranks", in_ranks_, n,
+                        static_cast<uint64_t>(header_.num_edges)));
+  }
+  if (has_profiles()) {
+    profile_blob_ = section(SectionId::kProfileAdjacency);
+    profile_offsets_ = TypedSpan<uint64_t>(section(SectionId::kProfileOffsets));
+    profile_ranks_ = TypedSpan<uint64_t>(section(SectionId::kProfileRanks));
+    SIMGRAPH_RETURN_IF_ERROR(CheckIndexArray(
+        path_, "profile_offsets", profile_offsets_, n, profile_blob_.size()));
+    SIMGRAPH_RETURN_IF_ERROR(CheckIndexArray(path_, "profile_ranks",
+                                             profile_ranks_, n,
+                                             profile_ranks_.back()));
+    const auto bytes = section(SectionId::kPopularity);
+    if (bytes.size() !=
+        static_cast<size_t>(header_.num_tweets) * sizeof(int32_t)) {
+      return Corrupt(path_, "popularity has wrong entry count");
+    }
+    popularity_ = TypedSpan<int32_t>(bytes);
+    for (const int32_t p : popularity_) {
+      if (p < 0) return Corrupt(path_, "negative popularity");
+    }
+  }
+
+  if (options.verify_adjacency) {
+    std::vector<NodeId> nodes;
+    std::vector<int64_t> tweets;
+    for (NodeId u = 0; u < n; ++u) {
+      SIMGRAPH_RETURN_IF_ERROR(
+          DecodeNodeList(out_blob_, out_offsets_, out_ranks_, u, &nodes));
+      if (has_in()) {
+        SIMGRAPH_RETURN_IF_ERROR(
+            DecodeNodeList(in_blob_, in_offsets_, in_ranks_, u, &nodes));
+      }
+      if (has_profiles()) {
+        SIMGRAPH_RETURN_IF_ERROR(DecodeTweetList(u, &tweets));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status MappedSnapshot::DecodeNodeList(std::span<const uint8_t> blob,
+                                      std::span<const uint64_t> offsets,
+                                      std::span<const uint64_t> ranks, NodeId u,
+                                      std::vector<NodeId>* scratch) const {
+  const uint64_t begin = offsets[u];
+  const uint64_t end = offsets[u + 1];
+  const size_t count = static_cast<size_t>(ranks[u + 1] - ranks[u]);
+  scratch->resize(count);
+  const uint8_t* p = blob.data() + begin;
+  const uint8_t* stop = blob.data() + end;
+  const uint64_t bound = static_cast<uint64_t>(header_.num_nodes);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    p = DecodeVarint(p, stop, &delta);
+    if (p == nullptr) return Corrupt(path_, "truncated adjacency varint");
+    // Reject before accumulating so `acc` can never wrap uint64.
+    if (delta > bound) return Corrupt(path_, "adjacency delta out of range");
+    if (i == 0) {
+      acc = delta;
+    } else {
+      if (delta == 0) return Corrupt(path_, "adjacency ids not ascending");
+      acc += delta;
+    }
+    if (acc >= bound) return Corrupt(path_, "adjacency id out of range");
+    if (acc == static_cast<uint64_t>(u)) {
+      return Corrupt(path_, "adjacency self-loop");
+    }
+    (*scratch)[i] = static_cast<NodeId>(acc);
+  }
+  if (p != stop) return Corrupt(path_, "trailing adjacency bytes");
+  return Status::Ok();
+}
+
+Status MappedSnapshot::DecodeTweetList(NodeId u,
+                                       std::vector<int64_t>* scratch) const {
+  const uint64_t begin = profile_offsets_[u];
+  const uint64_t end = profile_offsets_[u + 1];
+  const size_t count =
+      static_cast<size_t>(profile_ranks_[u + 1] - profile_ranks_[u]);
+  scratch->resize(count);
+  const uint8_t* p = profile_blob_.data() + begin;
+  const uint8_t* stop = profile_blob_.data() + end;
+  const uint64_t bound = static_cast<uint64_t>(header_.num_tweets);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    p = DecodeVarint(p, stop, &delta);
+    if (p == nullptr) return Corrupt(path_, "truncated profile varint");
+    if (delta > bound) return Corrupt(path_, "profile delta out of range");
+    if (i == 0) {
+      acc = delta;
+    } else {
+      if (delta == 0) return Corrupt(path_, "profile tweets not ascending");
+      acc += delta;
+    }
+    if (acc >= bound) return Corrupt(path_, "profile tweet id out of range");
+    (*scratch)[i] = static_cast<int64_t>(acc);
+  }
+  if (p != stop) return Corrupt(path_, "trailing profile bytes");
+  return Status::Ok();
+}
+
+StatusOr<std::span<const NodeId>> MappedSnapshot::OutNeighbors(
+    NodeId u, std::vector<NodeId>* scratch) const {
+  if (u < 0 || u >= header_.num_nodes) {
+    return Status::OutOfRange("node id out of range");
+  }
+  SIMGRAPH_RETURN_IF_ERROR(
+      DecodeNodeList(out_blob_, out_offsets_, out_ranks_, u, scratch));
+  return std::span<const NodeId>(*scratch);
+}
+
+StatusOr<std::span<const NodeId>> MappedSnapshot::InNeighbors(
+    NodeId u, std::vector<NodeId>* scratch) const {
+  if (u < 0 || u >= header_.num_nodes) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (!has_in()) {
+    return Status::FailedPrecondition("image has no in-adjacency");
+  }
+  SIMGRAPH_RETURN_IF_ERROR(
+      DecodeNodeList(in_blob_, in_offsets_, in_ranks_, u, scratch));
+  return std::span<const NodeId>(*scratch);
+}
+
+StatusOr<std::span<const int64_t>> MappedSnapshot::ProfileTweets(
+    NodeId u, std::vector<int64_t>* scratch) const {
+  if (u < 0 || u >= header_.num_nodes) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (!has_profiles()) {
+    return Status::FailedPrecondition("image has no profiles");
+  }
+  SIMGRAPH_RETURN_IF_ERROR(DecodeTweetList(u, scratch));
+  return std::span<const int64_t>(*scratch);
+}
+
+StatusOr<Digraph> MappedSnapshot::Materialize() const {
+  GraphBuilder builder(static_cast<NodeId>(header_.num_nodes));
+  std::vector<NodeId> targets;
+  for (NodeId u = 0; u < header_.num_nodes; ++u) {
+    SIMGRAPH_RETURN_IF_ERROR(
+        DecodeNodeList(out_blob_, out_offsets_, out_ranks_, u, &targets));
+    const std::span<const double> w = OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      builder.AddEdge(u, targets[i], w.empty() ? 1.0 : w[i]);
+    }
+  }
+  return builder.Build(weighted());
+}
+
+std::vector<MappedSnapshot::SectionInfo> MappedSnapshot::Sections() const {
+  std::vector<SectionInfo> out;
+  out.reserve(table_.size());
+  for (const SectionEntry& entry : table_) {
+    SectionInfo info;
+    info.id = static_cast<SectionId>(entry.id);
+    info.name = SectionName(info.id);
+    info.offset = entry.offset;
+    info.bytes = entry.bytes;
+    info.checksum = entry.checksum;
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace store
+}  // namespace simgraph

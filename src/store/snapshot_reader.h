@@ -1,0 +1,160 @@
+#ifndef SIMGRAPH_STORE_SNAPSHOT_READER_H_
+#define SIMGRAPH_STORE_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "store/snapshot_format.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace store {
+
+/// How hard MappedSnapshot::Open vets an image before exposing it.
+struct SnapshotOpenOptions {
+  /// Re-hash every section and compare against the table checksums.
+  /// Catches bit rot and mid-file edits; costs one sequential pass.
+  bool verify_checksums = true;
+  /// Decode every adjacency/profile list and check ids are strictly
+  /// ascending, in range, and match the rank counts. The strongest
+  /// guarantee (per-query decodes can then never fail on structure),
+  /// but a full decompression pass — leave off for trusted images.
+  bool verify_adjacency = false;
+};
+
+/// A read-only SGCS snapshot mapped into memory.
+///
+/// Open() validates the whole structure against hostile input before
+/// returning (see docs/store.md "Failure modes"): header magic/version/
+/// flags, exact file size, section table bounds/alignment/overlap,
+/// section presence matching the header flags, index-array invariants
+/// (offsets monotone and ending at the blob size, ranks monotone and
+/// ending at num_edges), plus optional checksum and full-decode passes.
+/// After a successful Open the u64/f64/i32 index sections are served
+/// zero-copy straight from the mapping; adjacency lists are
+/// delta/varint-compressed, so neighbour queries decode into a caller
+/// scratch buffer (still bounds-checked — a decode can only fail if the
+/// file mutates underneath the mapping).
+///
+/// The object is immutable and safe to share across threads; serving
+/// shards hold one std::shared_ptr<const MappedSnapshot> per process
+/// and the kernel shares the backing pages across processes.
+class MappedSnapshot {
+ public:
+  /// Maps and validates `path`. On any validation failure returns
+  /// InvalidArgument (and bumps store.snapshot.validate_failures);
+  /// on I/O failure returns IoError.
+  static StatusOr<std::shared_ptr<const MappedSnapshot>> Open(
+      const std::string& path, SnapshotOpenOptions options = {});
+
+  ~MappedSnapshot();
+
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  const std::string& path() const { return path_; }
+  const FileHeader& header() const { return header_; }
+  int64_t num_nodes() const { return header_.num_nodes; }
+  int64_t num_edges() const { return header_.num_edges; }
+  int64_t num_tweets() const { return header_.num_tweets; }
+  uint64_t file_bytes() const { return header_.file_bytes; }
+  bool has_in() const { return (header_.flags & kSnapshotFlagHasIn) != 0; }
+  bool weighted() const {
+    return (header_.flags & kSnapshotFlagWeighted) != 0;
+  }
+  bool has_profiles() const {
+    return (header_.flags & kSnapshotFlagHasProfiles) != 0;
+  }
+
+  /// O(1) degree lookups from the rank arrays.
+  int64_t OutDegree(NodeId u) const {
+    return static_cast<int64_t>(out_ranks_[u + 1] - out_ranks_[u]);
+  }
+  /// Precondition: has_in().
+  int64_t InDegree(NodeId u) const {
+    return static_cast<int64_t>(in_ranks_[u + 1] - in_ranks_[u]);
+  }
+  /// Precondition: has_profiles().
+  int64_t ProfileSize(NodeId u) const {
+    return static_cast<int64_t>(profile_ranks_[u + 1] - profile_ranks_[u]);
+  }
+
+  /// Decodes u's sorted out-targets into `*scratch` and returns a span
+  /// over it. The scratch buffer is reused across calls (no per-call
+  /// allocation once it reaches the max degree).
+  StatusOr<std::span<const NodeId>> OutNeighbors(
+      NodeId u, std::vector<NodeId>* scratch) const;
+  /// Same for in-sources. Precondition: has_in().
+  StatusOr<std::span<const NodeId>> InNeighbors(
+      NodeId u, std::vector<NodeId>* scratch) const;
+  /// Same for sorted profile tweet ids. Precondition: has_profiles().
+  StatusOr<std::span<const int64_t>> ProfileTweets(
+      NodeId u, std::vector<int64_t>* scratch) const;
+
+  /// u's out-edge weights, zero-copy from the mapping (parallel to
+  /// OutNeighbors). Empty when the image is unweighted.
+  std::span<const double> OutWeights(NodeId u) const {
+    if (weights_.empty()) return {};
+    return weights_.subspan(static_cast<size_t>(out_ranks_[u]),
+                            static_cast<size_t>(OutDegree(u)));
+  }
+
+  /// Per-tweet retweet counts, zero-copy. Empty without profiles.
+  std::span<const int32_t> popularity() const { return popularity_; }
+
+  /// Fully decodes the image back into an in-RAM CSR Digraph — the
+  /// bridge to every API that predates the store (and the basis of the
+  /// snapshot/in-RAM equivalence tests).
+  StatusOr<Digraph> Materialize() const;
+
+  /// Section-table row for inspection (simgraph_cli snapshot-info).
+  struct SectionInfo {
+    SectionId id;
+    std::string_view name;
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint64_t checksum = 0;
+  };
+  /// The validated section table, in file order.
+  std::vector<SectionInfo> Sections() const;
+
+ private:
+  MappedSnapshot() = default;
+
+  Status Validate(const SnapshotOpenOptions& options);
+  /// Decodes one delta/varint node list (shared by the out/in paths).
+  Status DecodeNodeList(std::span<const uint8_t> blob,
+                        std::span<const uint64_t> offsets,
+                        std::span<const uint64_t> ranks, NodeId u,
+                        std::vector<NodeId>* scratch) const;
+  /// Decodes one delta/varint tweet-id list (profile path).
+  Status DecodeTweetList(NodeId u, std::vector<int64_t>* scratch) const;
+
+  std::string path_;
+  void* map_ = nullptr;  // mmap base (whole file)
+  size_t map_size_ = 0;
+  FileHeader header_;
+  std::vector<SectionEntry> table_;
+
+  // Validated zero-copy views into the mapping.
+  std::span<const uint8_t> out_blob_;
+  std::span<const uint64_t> out_offsets_;
+  std::span<const uint64_t> out_ranks_;
+  std::span<const double> weights_;
+  std::span<const uint8_t> in_blob_;
+  std::span<const uint64_t> in_offsets_;
+  std::span<const uint64_t> in_ranks_;
+  std::span<const uint8_t> profile_blob_;
+  std::span<const uint64_t> profile_offsets_;
+  std::span<const uint64_t> profile_ranks_;
+  std::span<const int32_t> popularity_;
+};
+
+}  // namespace store
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_STORE_SNAPSHOT_READER_H_

@@ -1,0 +1,376 @@
+#include "store/snapshot_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace store {
+namespace {
+
+/// Fixed section-table capacity: every v1 section id fits, so blob
+/// offsets are independent of which optional sections an image carries
+/// and the writer never moves bytes once they are streamed.
+constexpr uint32_t kTableCapacity = 11;
+constexpr uint64_t kBlobStart =
+    sizeof(FileHeader) + kTableCapacity * sizeof(SectionEntry);
+static_assert(kBlobStart % 8 == 0, "blob start must stay 8-byte aligned");
+
+Status WriterError(const std::string& what) {
+  return Status::InvalidArgument("SnapshotWriter: " + what);
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(std::string path, int64_t num_nodes,
+                               SnapshotWriterOptions options)
+    : path_(std::move(path)), options_(options), num_nodes_(num_nodes) {
+  if (num_nodes_ < 0 ||
+      num_nodes_ > static_cast<int64_t>(std::numeric_limits<NodeId>::max())) {
+    status_ = WriterError("num_nodes out of NodeId range");
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for writing: " + path_);
+    return;
+  }
+  // The header and section table are patched in by Finalize; reserve
+  // their fixed space now so blobs stream from a stable offset.
+  const std::string zeros(kBlobStart, '\0');
+  AppendBlob(zeros.data(), zeros.size());
+  blob_checksum_ = ChecksumStream();  // reserved bytes are not a section
+  blob_begin_ = cursor_;
+  out_offsets_.reserve(static_cast<size_t>(num_nodes_) + 1);
+  out_offsets_.push_back(0);
+  out_ranks_.reserve(static_cast<size_t>(num_nodes_) + 1);
+  out_ranks_.push_back(0);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SnapshotWriter::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+  return status_;
+}
+
+void SnapshotWriter::AppendBlob(const void* data, size_t size) {
+  if (!status_.ok() || size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    status_ = Status::IoError("write failed: " + path_);
+    return;
+  }
+  blob_checksum_.Update(data, size);
+  cursor_ += size;
+}
+
+void SnapshotWriter::PadToAlignment() {
+  if (!status_.ok()) return;
+  static const char kZeros[8] = {};
+  const uint64_t misaligned = cursor_ % 8;
+  if (misaligned == 0) return;
+  const size_t pad = static_cast<size_t>(8 - misaligned);
+  if (std::fwrite(kZeros, 1, pad, file_) != pad) {
+    status_ = Status::IoError("write failed: " + path_);
+    return;
+  }
+  cursor_ += pad;  // padding sits outside every section checksum
+}
+
+void SnapshotWriter::CloseBlobSection(SectionId id) {
+  if (!status_.ok()) return;
+  SectionEntry entry;
+  entry.id = static_cast<uint32_t>(id);
+  entry.offset = blob_begin_;
+  entry.bytes = cursor_ - blob_begin_;
+  entry.checksum = blob_checksum_.digest();
+  sections_.push_back(entry);
+  blob_checksum_ = ChecksumStream();
+  PadToAlignment();
+  blob_begin_ = cursor_;
+}
+
+void SnapshotWriter::WriteIndexSection(SectionId id, const void* data,
+                                       uint64_t bytes) {
+  if (!status_.ok()) return;
+  const uint64_t begin = cursor_;
+  AppendBlob(data, static_cast<size_t>(bytes));
+  if (!status_.ok()) return;
+  SectionEntry entry;
+  entry.id = static_cast<uint32_t>(id);
+  entry.offset = begin;
+  entry.bytes = bytes;
+  entry.checksum = SnapshotChecksum(data, static_cast<size_t>(bytes));
+  sections_.push_back(entry);
+  blob_checksum_ = ChecksumStream();
+  PadToAlignment();
+  blob_begin_ = cursor_;
+}
+
+Status SnapshotWriter::EncodeNodeList(NodeId u, std::span<const NodeId> ids,
+                                      const char* what) {
+  encode_buf_.clear();
+  NodeId prev = -1;
+  for (const NodeId v : ids) {
+    if (v < 0 || v >= num_nodes_) {
+      return Fail(WriterError(std::string(what) + " id out of range"));
+    }
+    if (v == u) return Fail(WriterError(std::string(what) + " self-loop"));
+    if (v <= prev) {
+      return Fail(
+          WriterError(std::string(what) + " ids must be strictly ascending"));
+    }
+    AppendVarint(&encode_buf_, prev < 0 ? static_cast<uint64_t>(v)
+                                        : static_cast<uint64_t>(v - prev));
+    prev = v;
+  }
+  return status_;
+}
+
+Status SnapshotWriter::AppendOutNode(NodeId u, std::span<const NodeId> targets,
+                                     std::span<const double> weights) {
+  if (!status_.ok()) return status_;
+  if (out_closed_ || u != next_out_) {
+    return Fail(WriterError("out nodes must arrive exactly once, 0..n-1"));
+  }
+  if (options_.weighted ? weights.size() != targets.size()
+                        : !weights.empty()) {
+    return Fail(WriterError("weights must parallel targets iff weighted"));
+  }
+  SIMGRAPH_RETURN_IF_ERROR(EncodeNodeList(u, targets, "out target"));
+  AppendBlob(encode_buf_.data(), encode_buf_.size());
+  out_offsets_.push_back(cursor_ - blob_begin_);
+  out_ranks_.push_back(out_ranks_.back() + targets.size());
+  if (options_.weighted) {
+    weights_.insert(weights_.end(), weights.begin(), weights.end());
+  }
+  ++next_out_;
+  return status_;
+}
+
+Status SnapshotWriter::EnsureOutClosed() {
+  if (!status_.ok()) return status_;
+  if (next_out_ != num_nodes_) {
+    return Fail(WriterError("out phase incomplete"));
+  }
+  if (!out_closed_) {
+    CloseBlobSection(SectionId::kOutAdjacency);
+    out_closed_ = true;
+  }
+  return status_;
+}
+
+Status SnapshotWriter::AppendInNode(NodeId u, std::span<const NodeId> sources) {
+  if (!status_.ok()) return status_;
+  if (!options_.include_in_adjacency) {
+    return Fail(WriterError("image excludes in-adjacency"));
+  }
+  if (next_in_ < 0) {
+    SIMGRAPH_RETURN_IF_ERROR(EnsureOutClosed());
+    next_in_ = 0;
+    in_offsets_.reserve(static_cast<size_t>(num_nodes_) + 1);
+    in_offsets_.push_back(0);
+    in_ranks_.reserve(static_cast<size_t>(num_nodes_) + 1);
+    in_ranks_.push_back(0);
+  }
+  if (in_closed_ || u != next_in_) {
+    return Fail(WriterError("in nodes must arrive exactly once, 0..n-1"));
+  }
+  SIMGRAPH_RETURN_IF_ERROR(EncodeNodeList(u, sources, "in source"));
+  AppendBlob(encode_buf_.data(), encode_buf_.size());
+  in_offsets_.push_back(cursor_ - blob_begin_);
+  in_ranks_.push_back(in_ranks_.back() + sources.size());
+  ++next_in_;
+  return status_;
+}
+
+Status SnapshotWriter::EnsureInClosed() {
+  if (!status_.ok()) return status_;
+  if (!options_.include_in_adjacency) return status_;
+  if (next_in_ < 0) {
+    if (num_nodes_ > 0) return Fail(WriterError("in phase missing"));
+    // Zero-node image: the in phase is trivially complete.
+    SIMGRAPH_RETURN_IF_ERROR(EnsureOutClosed());
+    next_in_ = 0;
+    in_offsets_.push_back(0);
+    in_ranks_.push_back(0);
+  }
+  if (next_in_ != num_nodes_) {
+    return Fail(WriterError("in phase incomplete"));
+  }
+  if (!in_closed_) {
+    CloseBlobSection(SectionId::kInAdjacency);
+    in_closed_ = true;
+  }
+  return status_;
+}
+
+Status SnapshotWriter::AppendProfile(NodeId u,
+                                     std::span<const int64_t> tweets) {
+  if (!status_.ok()) return status_;
+  if (next_profile_ < 0) {
+    SIMGRAPH_RETURN_IF_ERROR(EnsureOutClosed());
+    SIMGRAPH_RETURN_IF_ERROR(EnsureInClosed());
+    next_profile_ = 0;
+    profile_offsets_.reserve(static_cast<size_t>(num_nodes_) + 1);
+    profile_offsets_.push_back(0);
+    profile_ranks_.reserve(static_cast<size_t>(num_nodes_) + 1);
+    profile_ranks_.push_back(0);
+  }
+  if (u != next_profile_ || next_profile_ >= num_nodes_) {
+    return Fail(WriterError("profiles must arrive exactly once, 0..n-1"));
+  }
+  encode_buf_.clear();
+  int64_t prev = -1;
+  for (const int64_t t : tweets) {
+    if (t < 0) return Fail(WriterError("negative tweet id in profile"));
+    if (t <= prev) {
+      return Fail(WriterError("profile tweets must be strictly ascending"));
+    }
+    AppendVarint(&encode_buf_, prev < 0 ? static_cast<uint64_t>(t)
+                                        : static_cast<uint64_t>(t - prev));
+    max_profile_tweet_ = std::max(max_profile_tweet_, t);
+    prev = t;
+  }
+  AppendBlob(encode_buf_.data(), encode_buf_.size());
+  profile_offsets_.push_back(cursor_ - blob_begin_);
+  profile_ranks_.push_back(profile_ranks_.back() + tweets.size());
+  ++next_profile_;
+  return status_;
+}
+
+Status SnapshotWriter::SetPopularity(std::span<const int32_t> popularity) {
+  if (!status_.ok()) return status_;
+  if (has_popularity_) return Fail(WriterError("popularity already set"));
+  for (const int32_t p : popularity) {
+    if (p < 0) return Fail(WriterError("negative popularity"));
+  }
+  popularity_.assign(popularity.begin(), popularity.end());
+  has_popularity_ = true;
+  return status_;
+}
+
+StatusOr<SnapshotBuildStats> SnapshotWriter::Finalize() {
+  if (finalized_) return WriterError("Finalize called twice");
+  finalized_ = true;
+  if (!status_.ok()) return status_;
+  SIMGRAPH_RETURN_IF_ERROR(EnsureOutClosed());
+  SIMGRAPH_RETURN_IF_ERROR(EnsureInClosed());
+
+  const bool has_profiles = next_profile_ >= 0 || has_popularity_;
+  if (has_profiles) {
+    if (next_profile_ < 0 && num_nodes_ > 0) {
+      return Fail(WriterError("popularity without profiles"));
+    }
+    if (next_profile_ >= 0 && next_profile_ != num_nodes_) {
+      return Fail(WriterError("profile phase incomplete"));
+    }
+    if (!has_popularity_) {
+      return Fail(WriterError("profiles need SetPopularity"));
+    }
+    if (max_profile_tweet_ >= static_cast<int64_t>(popularity_.size())) {
+      return Fail(WriterError("profile tweet id >= popularity size"));
+    }
+    if (next_profile_ < 0) {  // zero-node image with popularity only
+      next_profile_ = 0;
+      profile_offsets_.push_back(0);
+      profile_ranks_.push_back(0);
+    }
+    CloseBlobSection(SectionId::kProfileAdjacency);
+  }
+
+  const int64_t num_edges = static_cast<int64_t>(out_ranks_.back());
+  WriteIndexSection(SectionId::kOutOffsets, out_offsets_.data(),
+                    out_offsets_.size() * sizeof(uint64_t));
+  WriteIndexSection(SectionId::kOutRanks, out_ranks_.data(),
+                    out_ranks_.size() * sizeof(uint64_t));
+  if (options_.weighted) {
+    WriteIndexSection(SectionId::kOutWeights, weights_.data(),
+                      weights_.size() * sizeof(double));
+  }
+  if (options_.include_in_adjacency) {
+    WriteIndexSection(SectionId::kInOffsets, in_offsets_.data(),
+                      in_offsets_.size() * sizeof(uint64_t));
+    WriteIndexSection(SectionId::kInRanks, in_ranks_.data(),
+                      in_ranks_.size() * sizeof(uint64_t));
+  }
+  if (has_profiles) {
+    WriteIndexSection(SectionId::kProfileOffsets, profile_offsets_.data(),
+                      profile_offsets_.size() * sizeof(uint64_t));
+    WriteIndexSection(SectionId::kProfileRanks, profile_ranks_.data(),
+                      profile_ranks_.size() * sizeof(uint64_t));
+    WriteIndexSection(SectionId::kPopularity, popularity_.data(),
+                      popularity_.size() * sizeof(int32_t));
+  }
+  if (!status_.ok()) return status_;
+
+  FileHeader header;
+  header.flags = static_cast<uint16_t>(
+      (options_.weighted ? kSnapshotFlagWeighted : 0) |
+      (options_.include_in_adjacency ? kSnapshotFlagHasIn : 0) |
+      (has_profiles ? kSnapshotFlagHasProfiles : 0));
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.num_nodes = num_nodes_;
+  header.num_edges = num_edges;
+  header.num_tweets = static_cast<int64_t>(popularity_.size());
+  header.file_bytes = cursor_;
+
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Fail(Status::IoError("seek failed: " + path_));
+  }
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    return Fail(Status::IoError("header write failed: " + path_));
+  }
+  // Unused table slots stay zeroed; only section_count entries are read.
+  std::vector<SectionEntry> table(kTableCapacity);
+  std::copy(sections_.begin(), sections_.end(), table.begin());
+  if (std::fwrite(table.data(), sizeof(SectionEntry), table.size(), file_) !=
+      table.size()) {
+    return Fail(Status::IoError("section table write failed: " + path_));
+  }
+  const bool closed = std::fflush(file_) == 0 && std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!closed) return Fail(Status::IoError("flush failed: " + path_));
+
+  SnapshotBuildStats stats;
+  stats.num_nodes = num_nodes_;
+  stats.num_edges = num_edges;
+  stats.file_bytes = cursor_;
+  stats.build_seconds = timer_.ElapsedSeconds();
+  SIMGRAPH_HISTOGRAM_RECORD("store.snapshot.build_seconds",
+                            stats.build_seconds);
+  SIMGRAPH_GAUGE_SET("store.snapshot.file_bytes",
+                     static_cast<double>(stats.file_bytes));
+  return stats;
+}
+
+StatusOr<SnapshotBuildStats> WriteDigraphSnapshot(const Digraph& g,
+                                                  const std::string& path) {
+  SnapshotWriterOptions options;
+  options.weighted = g.has_weights();
+  return WriteDigraphSnapshot(g, path, options);
+}
+
+StatusOr<SnapshotBuildStats> WriteDigraphSnapshot(
+    const Digraph& g, const std::string& path,
+    const SnapshotWriterOptions& options) {
+  SnapshotWriter writer(path, g.num_nodes(), options);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    SIMGRAPH_RETURN_IF_ERROR(writer.AppendOutNode(
+        u, g.OutNeighbors(u),
+        options.weighted ? g.OutWeights(u) : std::span<const double>{}));
+  }
+  if (options.include_in_adjacency) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      SIMGRAPH_RETURN_IF_ERROR(writer.AppendInNode(u, g.InNeighbors(u)));
+    }
+  }
+  return writer.Finalize();
+}
+
+}  // namespace store
+}  // namespace simgraph

@@ -1,0 +1,160 @@
+#ifndef SIMGRAPH_STORE_SNAPSHOT_WRITER_H_
+#define SIMGRAPH_STORE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "store/snapshot_format.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace simgraph {
+namespace store {
+
+/// What a snapshot carries beyond the mandatory out-adjacency.
+struct SnapshotWriterOptions {
+  /// Store one f64 weight per out-edge (similarity graphs).
+  bool weighted = false;
+  /// Store the transposed (follower) adjacency too. Follow graphs need
+  /// it (cascade exposure walks followers); pure propagation images can
+  /// drop it and save ~40% of the file.
+  bool include_in_adjacency = true;
+};
+
+/// Shape and cost of a finished snapshot, returned by Finalize and
+/// mirrored into the store.snapshot.* metrics (docs/observability.md).
+struct SnapshotBuildStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  uint64_t file_bytes = 0;
+  double build_seconds = 0.0;
+};
+
+/// Streams a graph (and optionally retweet profiles) into an SGCS image
+/// (store/snapshot_format.h, docs/store.md) without ever materialising
+/// the edge list: adjacency bytes go straight to disk as nodes are
+/// appended, and the writer holds only the O(num_nodes) offset/rank
+/// index arrays (plus the raw weight array for weighted graphs, which
+/// only come from in-RAM similarity graphs anyway).
+///
+/// Call order (phases are enforced; any violation or I/O error sticks
+/// in status() and fails Finalize):
+///
+///   SnapshotWriter w(path, n, options);
+///   for u in 0..n:   w.AppendOutNode(u, sorted_targets[, weights]);
+///   for u in 0..n:   w.AppendInNode(u, sorted_sources);   // if included
+///   for u in 0..n:   w.AppendProfile(u, sorted_tweets);   // optional
+///   w.SetPopularity(popularity);                          // with profiles
+///   w.Finalize();
+///
+/// The output is byte-deterministic: the same graph always produces the
+/// same file (no timestamps), so images can be content-compared.
+class SnapshotWriter {
+ public:
+  /// Starts writing to `path` (created/truncated). `num_nodes` fixes the
+  /// node id space.
+  SnapshotWriter(std::string path, int64_t num_nodes,
+                 SnapshotWriterOptions options = {});
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// First error of the run; all appends after an error are no-ops.
+  const Status& status() const { return status_; }
+
+  /// Appends node `u`'s out-targets. Nodes must arrive exactly once, in
+  /// ascending order, with strictly ascending in-range targets and no
+  /// self-loop; `weights` is required (and must parallel `targets`) iff
+  /// options.weighted.
+  Status AppendOutNode(NodeId u, std::span<const NodeId> targets,
+                       std::span<const double> weights = {});
+
+  /// Appends node `u`'s in-sources (same ordering rules). Only legal
+  /// after the out phase completes and iff options.include_in_adjacency.
+  Status AppendInNode(NodeId u, std::span<const NodeId> sources);
+
+  /// Appends user `u`'s retweet profile (sorted tweet ids). Calling this
+  /// for user 0 opts the image into profile sections; then every user
+  /// must be appended and SetPopularity called before Finalize.
+  Status AppendProfile(NodeId u, std::span<const int64_t> tweets);
+
+  /// Sets the per-tweet popularity array (tweet ids in every profile
+  /// must be < popularity.size()).
+  Status SetPopularity(std::span<const int32_t> popularity);
+
+  /// Writes the index sections, patches the header/section table, and
+  /// flushes. The file is invalid until this succeeds.
+  StatusOr<SnapshotBuildStats> Finalize();
+
+ private:
+  Status Fail(Status status);
+  void AppendBlob(const void* data, size_t size);
+  void PadToAlignment();
+  /// Closes the blob streamed since blob_begin_ (checksum + table entry).
+  void CloseBlobSection(SectionId id);
+  /// Writes a whole index section at the current cursor.
+  void WriteIndexSection(SectionId id, const void* data, uint64_t bytes);
+  /// Validates one node's sorted id list and delta/varint-encodes it
+  /// into encode_buf_.
+  Status EncodeNodeList(NodeId u, std::span<const NodeId> ids,
+                        const char* what);
+  /// Checks the out phase covered every node and closes its blob.
+  Status EnsureOutClosed();
+  /// Same for the in phase (no-op when the image excludes in-adjacency).
+  Status EnsureInClosed();
+
+  std::string path_;
+  SnapshotWriterOptions options_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+  WallTimer timer_;
+
+  int64_t num_nodes_ = 0;
+  uint64_t cursor_ = 0;           // bytes written so far
+  uint64_t blob_begin_ = 0;       // start of the blob being streamed
+  ChecksumStream blob_checksum_;  // over the blob being streamed
+  std::string encode_buf_;        // per-node varint scratch
+
+  // Phase tracking: next node expected by each append phase; -1 = phase
+  // not started, num_nodes_ = phase complete.
+  int64_t next_out_ = 0;
+  int64_t next_in_ = -1;
+  int64_t next_profile_ = -1;
+
+  std::vector<SectionEntry> sections_;
+  std::vector<uint64_t> out_offsets_;  // built up to (n+1) entries
+  std::vector<uint64_t> out_ranks_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<uint64_t> in_ranks_;
+  std::vector<uint64_t> profile_offsets_;
+  std::vector<uint64_t> profile_ranks_;
+  std::vector<double> weights_;        // raw out-edge weights
+  std::vector<int32_t> popularity_;
+  int64_t max_profile_tweet_ = -1;
+  bool out_closed_ = false;
+  bool in_closed_ = false;
+  bool has_popularity_ = false;
+  bool finalized_ = false;
+};
+
+/// Serialises an existing CSR Digraph (both adjacency directions, and
+/// weights when `g.has_weights()`). The one-stop path for snapshotting a
+/// built follow graph or similarity graph; pass a SimGraph's `.graph`.
+StatusOr<SnapshotBuildStats> WriteDigraphSnapshot(const Digraph& g,
+                                                  const std::string& path);
+
+/// Like WriteDigraphSnapshot with explicit section control (e.g. drop
+/// the in-adjacency for propagation-only images).
+StatusOr<SnapshotBuildStats> WriteDigraphSnapshot(
+    const Digraph& g, const std::string& path,
+    const SnapshotWriterOptions& options);
+
+}  // namespace store
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_STORE_SNAPSHOT_WRITER_H_

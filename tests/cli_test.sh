@@ -31,7 +31,25 @@ echo "$OUT" | grep -q "GraphJet"
 echo "$OUT" | grep -q "Bayes"
 echo "$OUT" | grep -q "CF"
 
+echo "== snapshot-write / snapshot-info =="
+"$CLI" snapshot-write --data "$TMP" --out "$TMP/graph.sgcs" \
+  | grep -q "wrote snapshot"
+test -s "$TMP/graph.sgcs"
+INFO="$("$CLI" snapshot-info --snapshot "$TMP/graph.sgcs" --verify-adjacency 1)"
+echo "$INFO" | grep -q "out_adjacency"
+echo "$INFO" | grep -q "in_adjacency"
+echo "$INFO" | grep -q "format version"
+
+echo "== snapshot-generate =="
+"$CLI" snapshot-generate --out "$TMP/streamed.sgcs" --users 2000 --seed 7 \
+  | grep -q "streamed snapshot"
+"$CLI" snapshot-info --snapshot "$TMP/streamed.sgcs" | grep -q "2000"
+
 echo "== error handling =="
+if "$CLI" snapshot-info --snapshot "$TMP/graph.txt" 2>/dev/null; then
+  echo "expected failure for a non-SGCS file" >&2
+  exit 1
+fi
 if "$CLI" stats --data /nonexistent/dir 2>/dev/null; then
   echo "expected failure for missing dataset" >&2
   exit 1

@@ -1,0 +1,169 @@
+#include "dataset/streaming_generator.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/config.h"
+#include "store/snapshot_reader.h"
+
+namespace simgraph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+DatasetConfig SmallConfig() {
+  DatasetConfig c = TinyConfig();
+  c.num_users = 600;
+  c.max_out_degree = 60;
+  return c;
+}
+
+TEST(StreamingGeneratorTest, OutputIsIdenticalForAnyThreadCount) {
+  const DatasetConfig config = SmallConfig();
+  const std::string one = TempPath("stream_t1.sgcs");
+  const std::string four = TempPath("stream_t4.sgcs");
+  StreamingGraphOptions opts;
+  opts.num_threads = 1;
+  ASSERT_TRUE(StreamSocialGraphSnapshot(config, one, opts).ok());
+  opts.num_threads = 4;
+  opts.chunk_users = 100;  // force many chunks and uneven strides
+  ASSERT_TRUE(StreamSocialGraphSnapshot(config, four, opts).ok());
+  EXPECT_EQ(ReadFile(one), ReadFile(four))
+      << "thread count changed the generated snapshot";
+  std::remove(one.c_str());
+  std::remove(four.c_str());
+}
+
+TEST(StreamingGeneratorTest, ImageValidatesAndHasPlausibleShape) {
+  const DatasetConfig config = SmallConfig();
+  const std::string path = TempPath("stream_shape.sgcs");
+  StatusOr<StreamingGraphStats> stats =
+      StreamSocialGraphSnapshot(config, path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->num_users, config.num_users);
+  EXPECT_GT(stats->num_edges, config.num_users);  // min degree is 3
+  EXPECT_GT(stats->reciprocal_edges, 0);
+
+  store::SnapshotOpenOptions open_opts;
+  open_opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const store::MappedSnapshot>> snap =
+      store::MappedSnapshot::Open(path, open_opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->num_nodes(), config.num_users);
+  EXPECT_EQ((*snap)->num_edges(), stats->num_edges);
+
+  // Degrees respect the configured cap, and some user hits a heavy tail.
+  int64_t max_degree = 0;
+  for (NodeId u = 0; u < (*snap)->num_nodes(); ++u) {
+    const int64_t d = (*snap)->OutDegree(u);
+    ASSERT_LE(d, config.max_out_degree);
+    max_degree = std::max(max_degree, d);
+  }
+  EXPECT_GT(max_degree, config.min_out_degree);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingGeneratorTest, TransposeMatchesMaterializedGraph) {
+  const DatasetConfig config = SmallConfig();
+  const std::string path = TempPath("stream_transpose.sgcs");
+  ASSERT_TRUE(StreamSocialGraphSnapshot(config, path).ok());
+  StatusOr<std::shared_ptr<const store::MappedSnapshot>> snap =
+      store::MappedSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  // Materialize rebuilds the Digraph from the out-lists alone, computing
+  // its own transpose; the image's in-sections must agree exactly.
+  StatusOr<Digraph> g = (*snap)->Materialize();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  std::vector<NodeId> scratch;
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    StatusOr<std::span<const NodeId>> in = (*snap)->InNeighbors(u, &scratch);
+    ASSERT_TRUE(in.ok());
+    const std::span<const NodeId> expect = g->InNeighbors(u);
+    ASSERT_TRUE(std::equal(in->begin(), in->end(), expect.begin(),
+                           expect.end()))
+        << "transpose differs at node " << u;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamingGeneratorTest, ReciprocalEdgesExist) {
+  const DatasetConfig config = SmallConfig();
+  const std::string path = TempPath("stream_recip.sgcs");
+  ASSERT_TRUE(StreamSocialGraphSnapshot(config, path).ok());
+  StatusOr<std::shared_ptr<const store::MappedSnapshot>> snap =
+      store::MappedSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok());
+  StatusOr<Digraph> g = (*snap)->Materialize();
+  ASSERT_TRUE(g.ok());
+  int64_t mutual = 0;
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (const NodeId v : g->OutNeighbors(u)) {
+      if (g->HasEdge(v, u)) ++mutual;
+    }
+  }
+  EXPECT_GT(mutual, 0) << "no reciprocal pairs in the generated graph";
+  std::remove(path.c_str());
+}
+
+TEST(StreamingGeneratorTest, RejectsInvalidConfig) {
+  DatasetConfig config = SmallConfig();
+  config.num_users = 1;  // too small
+  EXPECT_FALSE(
+      StreamSocialGraphSnapshot(config, TempPath("bad1.sgcs")).ok());
+}
+
+// --- DatasetConfig::Validate overflow guards (int64 widening) ----------
+
+TEST(DatasetConfigValidateTest, AcceptsDefaultsAndMillionUsers) {
+  EXPECT_TRUE(DatasetConfig{}.Validate().ok());
+  EXPECT_TRUE(TinyConfig().Validate().ok());
+  DatasetConfig big;
+  big.num_users = 1'000'000;
+  EXPECT_TRUE(big.Validate().ok());
+}
+
+TEST(DatasetConfigValidateTest, RejectsPopulationsBeyondNodeIdRange) {
+  DatasetConfig c;
+  c.num_users = 3'000'000'000LL;  // > 2^31 - 1: ids no longer fit int32
+  EXPECT_FALSE(c.Validate().ok());
+  c.num_users = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(DatasetConfigValidateTest, RejectsOverflowingDegreeProducts) {
+  DatasetConfig c;
+  c.num_users = 2'000'000'000LL;
+  c.max_out_degree = 1LL << 40;  // num_users * cap would wrap int64
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(DatasetConfigValidateTest, RejectsBadDegreeBoundsAndProbabilities) {
+  DatasetConfig c;
+  c.min_out_degree = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = DatasetConfig{};
+  c.max_out_degree = 2;  // < min_out_degree (3)
+  EXPECT_FALSE(c.Validate().ok());
+  c = DatasetConfig{};
+  c.reciprocity_prob = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = DatasetConfig{};
+  c.out_degree_alpha = 0.9;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace simgraph

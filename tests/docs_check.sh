@@ -6,10 +6,11 @@
 #      string literal somewhere under src/, bench/, or tools/;
 #   3. every SIMGRAPH_* environment variable documented there is consumed
 #      somewhere in the code;
-#   4. docs/ingest.md exists and the files and qualified C++ names it
-#      backticks still exist in the tree;
-#   5. every serve.ingest.delta.* metric emitted by the code is
-#      documented in docs/observability.md (the reverse of check 2).
+#   4. docs/ingest.md and docs/store.md exist and the files and
+#      qualified C++ names they backtick still exist in the tree;
+#   5. every serve.ingest.delta.* and store.snapshot.* metric emitted by
+#      the code is documented in docs/observability.md (the reverse of
+#      check 2).
 set -eu
 
 REPO="$1"
@@ -65,36 +66,39 @@ else
   done
 fi
 
-# --- 4. docs/ingest.md tracks the delta pipeline code ------------------
-ING="$REPO/docs/ingest.md"
-if [ ! -f "$ING" ]; then
-  echo "MISSING: docs/ingest.md"
-  status=1
-else
+# --- 4. subsystem docs track the code they describe --------------------
+for doc in ingest.md store.md; do
+  DOC_PATH="$REPO/docs/$doc"
+  if [ ! -f "$DOC_PATH" ]; then
+    echo "MISSING: docs/$doc"
+    status=1
+    continue
+  fi
   # Backticked source files must exist somewhere in the tree.
-  for name in $(grep -o '`[A-Za-z0-9_/.]*\.\(h\|cc\)`' "$ING" |
+  for name in $(grep -o '`[A-Za-z0-9_/.]*\.\(h\|cc\)`' "$DOC_PATH" |
                 sed 's/`//g' | sort -u); do
     base="$(basename "$name")"
     if ! find "$REPO/src" "$REPO/bench" "$REPO/tools" "$REPO/tests" \
          -name "$base" | grep -q .; then
-      echo "STALE FILE in ingest.md: $name"
+      echo "STALE FILE in $doc: $name"
       status=1
     fi
   done
   # Backticked qualified names (Foo::Bar) must mention a real identifier.
-  for sym in $(grep -o '`[A-Za-z_][A-Za-z0-9_]*::[A-Za-z0-9_]*`' "$ING" |
-               sed 's/`//g' | sort -u); do
+  for sym in $(grep -o '`[A-Za-z_][A-Za-z0-9_]*::[A-Za-z0-9_]*`' \
+               "$DOC_PATH" | sed 's/`//g' | sort -u); do
     tail_sym="${sym##*::}"
     if ! grep -rq "$tail_sym" "$REPO/src"; then
-      echo "STALE SYMBOL in ingest.md: $sym"
+      echo "STALE SYMBOL in $doc: $sym"
       status=1
     fi
   done
-fi
+done
 
-# --- 5. every delta-ingest metric the code emits is documented ---------
+# --- 5. every gated metric family the code emits is documented ---------
 if [ -f "$OBS" ]; then
-  for name in $(grep -rho '"serve\.ingest\.delta\.[A-Za-z0-9_.]*"' \
+  for name in $(grep -rho \
+                '"\(serve\.ingest\.delta\|store\.snapshot\)\.[A-Za-z0-9_.]*"' \
                 "$REPO/src" "$REPO/bench" | sed 's/"//g' | sort -u); do
     if ! grep -qF "\`$name\`" "$OBS"; then
       echo "UNDOCUMENTED METRIC: $name (add to docs/observability.md)"

@@ -111,6 +111,123 @@ TEST(GraphIoTest, EmptyGraphRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIoTest, DuplicateEdgesCollapseOnLoad) {
+  // Real crawl dumps repeat edges; the loader must fold them into one
+  // CSR entry rather than inflating degrees.
+  const std::string path = TempPath("duplicates.txt");
+  {
+    std::ofstream out(path);
+    out << "3 4 0\n0 1\n0 1\n1 2\n0 1\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_edges(), 2);
+  EXPECT_EQ(loaded->OutDegree(0), 1);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  EXPECT_TRUE(loaded->HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DuplicateWeightedEdgeKeepsLastWeight) {
+  const std::string path = TempPath("dup_weighted.txt");
+  {
+    std::ofstream out(path);
+    out << "2 2 1\n0 1 0.25\n0 1 0.75\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_edges(), 1);
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(0, 1), 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, HostileInputRoundTripsToCanonicalForm) {
+  // Loading a messy file and re-writing it must converge: the second
+  // write is byte-identical to the first (the canonical form is a fixed
+  // point of load->write).
+  const std::string path = TempPath("messy.txt");
+  {
+    std::ofstream out(path);
+    out << "4 5 0\n3 0\n0 1\n0 1\n2 3\n1 2\n";
+  }
+  StatusOr<Digraph> first = ReadEdgeList(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string canonical = TempPath("canonical.txt");
+  ASSERT_TRUE(WriteEdgeList(*first, canonical).ok());
+  StatusOr<Digraph> second = ReadEdgeList(canonical);
+  ASSERT_TRUE(second.ok());
+  const std::string canonical2 = TempPath("canonical2.txt");
+  ASSERT_TRUE(WriteEdgeList(*second, canonical2).ok());
+  std::ifstream a(canonical), b(canonical2);
+  std::string text_a((std::istreambuf_iterator<char>(a)),
+                     std::istreambuf_iterator<char>());
+  std::string text_b((std::istreambuf_iterator<char>(b)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(text_a, text_b);
+  EXPECT_EQ(second->num_edges(), 4);
+  std::remove(path.c_str());
+  std::remove(canonical.c_str());
+  std::remove(canonical2.c_str());
+}
+
+TEST(GraphIoTest, OverflowingNodeIdRejected) {
+  // An id that does not fit in int64 sets failbit mid-parse; the loader
+  // must surface that as an error, not wrap around into a valid id.
+  const std::string path = TempPath("overflow_id.txt");
+  {
+    std::ofstream out(path);
+    out << "3 1 0\n0 99999999999999999999999\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, OverflowingHeaderRejected) {
+  const std::string path = TempPath("overflow_header.txt");
+  {
+    std::ofstream out(path);
+    out << "99999999999999999999999 0 0\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, NegativeNodeIdRejected) {
+  const std::string path = TempPath("negative_id.txt");
+  {
+    std::ofstream out(path);
+    out << "3 1 0\n-1 2\n";
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingWeightColumnRejected) {
+  const std::string path = TempPath("missing_weight.txt");
+  {
+    std::ofstream out(path);
+    out << "2 1 1\n0 1\n";  // weighted header, no weight column
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeCountBeyondFileRejected) {
+  const std::string path = TempPath("short_count.txt");
+  {
+    std::ofstream out(path);
+    out << "3 100 0\n0 1\n";  // header promises 100 edges, file has 1
+  }
+  StatusOr<Digraph> loaded = ReadEdgeList(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
 TEST(BinaryGraphIoTest, RoundTripUnweighted) {
   GraphBuilder b(5);
   b.AddEdge(0, 1);
@@ -192,6 +309,48 @@ TEST(BinaryGraphIoTest, LargeGraphRoundTrip) {
       ASSERT_EQ(g.OutWeights(u)[i], loaded->OutWeights(u)[i]);
     }
   }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RejectsForgedHeaderCounts) {
+  // A forged num_edges far beyond what the file could hold must fail
+  // cleanly, not attempt a multi-exabyte vector resize.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("forged_header.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8 + 8);  // magic + num_nodes
+    const int64_t absurd = int64_t{1} << 60;
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryGraphIoTest, RejectsForgedSectionLength) {
+  // Same idea one level down: a forged per-section length prefix is
+  // capped by the header counts instead of trusted.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("forged_section.sg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8 + 8 + 8 + 1);  // magic + nodes + edges + weighted flag
+    const int64_t absurd = int64_t{1} << 59;  // degrees length prefix
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  StatusOr<Digraph> loaded = ReadBinaryGraph(path);
+  ASSERT_FALSE(loaded.ok());
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,524 @@
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "store/snapshot_format.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Digraph RandomGraph(NodeId n, int avg_degree, bool weighted, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  const int64_t edges = static_cast<int64_t>(n) * avg_degree;
+  for (int64_t i = 0; i < edges; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    b.AddEdge(u, v, 0.25 + 0.5 * static_cast<double>(i % 3));
+  }
+  return b.Build(weighted);
+}
+
+void ExpectImageMatchesGraph(const MappedSnapshot& snap, const Digraph& g) {
+  ASSERT_EQ(snap.num_nodes(), g.num_nodes());
+  ASSERT_EQ(snap.num_edges(), g.num_edges());
+  std::vector<NodeId> scratch;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(snap.OutDegree(u), g.OutDegree(u)) << "node " << u;
+    StatusOr<std::span<const NodeId>> out = snap.OutNeighbors(u, &scratch);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    const std::span<const NodeId> eout = g.OutNeighbors(u);
+    ASSERT_TRUE(
+        std::equal(out->begin(), out->end(), eout.begin(), eout.end()))
+        << "out-neighbours differ at node " << u;
+    if (g.has_weights()) {
+      const std::span<const double> w = snap.OutWeights(u);
+      const std::span<const double> ew = g.OutWeights(u);
+      ASSERT_TRUE(std::equal(w.begin(), w.end(), ew.begin(), ew.end()))
+          << "weights differ at node " << u;
+    }
+    if (snap.has_in()) {
+      ASSERT_EQ(snap.InDegree(u), g.InDegree(u)) << "node " << u;
+      StatusOr<std::span<const NodeId>> in = snap.InNeighbors(u, &scratch);
+      ASSERT_TRUE(in.ok()) << in.status().ToString();
+      const std::span<const NodeId> ein = g.InNeighbors(u);
+      ASSERT_TRUE(std::equal(in->begin(), in->end(), ein.begin(), ein.end()))
+          << "in-neighbours differ at node " << u;
+    }
+  }
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes a small valid weighted image and returns its bytes, ready for
+/// targeted corruption.
+std::string ValidImageBytes(const std::string& path) {
+  const Digraph g = RandomGraph(64, 6, /*weighted=*/true, 7);
+  EXPECT_TRUE(WriteDigraphSnapshot(g, path).ok());
+  return ReadFile(path);
+}
+
+Status OpenExpectingFailure(const std::string& path) {
+  SnapshotOpenOptions opts;
+  opts.verify_checksums = true;
+  opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path, opts);
+  EXPECT_FALSE(snap.ok()) << "hostile image was accepted: " << path;
+  return snap.ok() ? Status::Ok() : snap.status();
+}
+
+// ---------------------------------------------------------------------------
+// Varint unit tests.
+
+TEST(SnapshotVarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             (1ull << 63) - 1,
+                             ~0ull};
+  for (const uint64_t v : values) {
+    std::string buf;
+    AppendVarint(&buf, v);
+    ASSERT_LE(buf.size(), 10u);
+    uint64_t decoded = 0;
+    const uint8_t* begin = reinterpret_cast<const uint8_t*>(buf.data());
+    const uint8_t* p = DecodeVarint(begin, begin + buf.size(), &decoded);
+    ASSERT_EQ(p, begin + buf.size()) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(SnapshotVarintTest, RejectsTruncation) {
+  std::string buf;
+  AppendVarint(&buf, ~0ull);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    uint64_t decoded = 0;
+    const uint8_t* begin = reinterpret_cast<const uint8_t*>(buf.data());
+    EXPECT_EQ(DecodeVarint(begin, begin + len, &decoded), nullptr)
+        << "accepted " << len << " of " << buf.size() << " bytes";
+  }
+}
+
+TEST(SnapshotVarintTest, RejectsOverlongAndOverflowingEncodings) {
+  // Eleven continuation bytes: longer than any valid u64 varint.
+  const std::string overlong(11, '\x80');
+  uint64_t decoded = 0;
+  const uint8_t* begin = reinterpret_cast<const uint8_t*>(overlong.data());
+  EXPECT_EQ(DecodeVarint(begin, begin + overlong.size(), &decoded), nullptr);
+
+  // Ten bytes whose final byte carries bits beyond the 64th.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x02');
+  begin = reinterpret_cast<const uint8_t*>(overflow.data());
+  EXPECT_EQ(DecodeVarint(begin, begin + overflow.size(), &decoded), nullptr);
+
+  // Same length but in-range final byte decodes fine.
+  std::string max_ok(9, '\xFF');
+  max_ok.push_back('\x01');
+  begin = reinterpret_cast<const uint8_t*>(max_ok.data());
+  EXPECT_NE(DecodeVarint(begin, begin + max_ok.size(), &decoded), nullptr);
+  EXPECT_EQ(decoded, ~0ull);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+
+TEST(SnapshotRoundTripTest, UnweightedGraph) {
+  const Digraph g = RandomGraph(200, 8, /*weighted=*/false, 42);
+  const std::string path = TempPath("rt_unweighted.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, path).ok());
+  SnapshotOpenOptions opts;
+  opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path, opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE((*snap)->weighted());
+  EXPECT_TRUE((*snap)->has_in());
+  EXPECT_FALSE((*snap)->has_profiles());
+  ExpectImageMatchesGraph(**snap, g);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, WeightedGraphAndMaterialize) {
+  const Digraph g = RandomGraph(150, 10, /*weighted=*/true, 43);
+  const std::string path = TempPath("rt_weighted.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, path).ok());
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE((*snap)->weighted());
+  ExpectImageMatchesGraph(**snap, g);
+
+  StatusOr<Digraph> back = (*snap)->Materialize();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectImageMatchesGraph(**snap, *back);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, DroppingInAdjacencyShrinksTheFile) {
+  const Digraph g = RandomGraph(200, 8, /*weighted=*/false, 44);
+  const std::string with_in = TempPath("rt_with_in.sgcs");
+  const std::string no_in = TempPath("rt_no_in.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, with_in).ok());
+  SnapshotWriterOptions options;
+  options.include_in_adjacency = false;
+  ASSERT_TRUE(WriteDigraphSnapshot(g, no_in, options).ok());
+
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(no_in);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE((*snap)->has_in());
+  EXPECT_LT((*snap)->file_bytes(), ReadFile(with_in).size());
+  ExpectImageMatchesGraph(**snap, g);
+  std::vector<NodeId> scratch;
+  EXPECT_EQ((*snap)->InNeighbors(0, &scratch).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(with_in.c_str());
+  std::remove(no_in.c_str());
+}
+
+TEST(SnapshotRoundTripTest, ProfilesAndPopularity) {
+  const NodeId n = 40;
+  const int64_t num_tweets = 300;
+  const Digraph g = RandomGraph(n, 4, /*weighted=*/false, 45);
+  Rng rng(99);
+  std::vector<std::vector<int64_t>> profiles(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const int count = static_cast<int>(rng.NextBounded(12));
+    for (int i = 0; i < count; ++i) {
+      profiles[u].push_back(
+          static_cast<int64_t>(rng.NextBounded(num_tweets)));
+    }
+    std::sort(profiles[u].begin(), profiles[u].end());
+    profiles[u].erase(std::unique(profiles[u].begin(), profiles[u].end()),
+                      profiles[u].end());
+  }
+  std::vector<int32_t> popularity(num_tweets);
+  for (int64_t t = 0; t < num_tweets; ++t) {
+    popularity[t] = static_cast<int32_t>(rng.NextBounded(50));
+  }
+
+  const std::string path = TempPath("rt_profiles.sgcs");
+  SnapshotWriter writer(path, n);
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_TRUE(writer.AppendOutNode(u, g.OutNeighbors(u)).ok());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_TRUE(writer.AppendInNode(u, g.InNeighbors(u)).ok());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_TRUE(writer.AppendProfile(u, profiles[u]).ok());
+  }
+  ASSERT_TRUE(writer.SetPopularity(popularity).ok());
+  StatusOr<SnapshotBuildStats> stats = writer.Finalize();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->num_nodes, n);
+  EXPECT_EQ(stats->num_edges, g.num_edges());
+  EXPECT_GT(stats->file_bytes, 0u);
+
+  SnapshotOpenOptions opts;
+  opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path, opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_TRUE((*snap)->has_profiles());
+  EXPECT_EQ((*snap)->num_tweets(), num_tweets);
+  const std::span<const int32_t> pop = (*snap)->popularity();
+  ASSERT_TRUE(
+      std::equal(pop.begin(), pop.end(), popularity.begin(), popularity.end()));
+  std::vector<int64_t> scratch;
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ((*snap)->ProfileSize(u),
+              static_cast<int64_t>(profiles[u].size()));
+    StatusOr<std::span<const int64_t>> tweets =
+        (*snap)->ProfileTweets(u, &scratch);
+    ASSERT_TRUE(tweets.ok()) << tweets.status().ToString();
+    ASSERT_TRUE(std::equal(tweets->begin(), tweets->end(),
+                           profiles[u].begin(), profiles[u].end()));
+  }
+  ExpectImageMatchesGraph(**snap, g);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, EmptyGraph) {
+  GraphBuilder b(0);
+  const Digraph g = b.Build();
+  const std::string path = TempPath("rt_empty.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, path).ok());
+  SnapshotOpenOptions opts;
+  opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path, opts);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->num_nodes(), 0);
+  EXPECT_EQ((*snap)->num_edges(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTripTest, OutputIsByteDeterministic) {
+  const Digraph g = RandomGraph(100, 6, /*weighted=*/true, 46);
+  const std::string a = TempPath("det_a.sgcs");
+  const std::string b = TempPath("det_b.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, a).ok());
+  ASSERT_TRUE(WriteDigraphSnapshot(g, b).ok());
+  EXPECT_EQ(ReadFile(a), ReadFile(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(SnapshotRoundTripTest, SameFileOpensFromManyHandles) {
+  const Digraph g = RandomGraph(80, 5, /*weighted=*/false, 47);
+  const std::string path = TempPath("multi_open.sgcs");
+  ASSERT_TRUE(WriteDigraphSnapshot(g, path).ok());
+  StatusOr<std::shared_ptr<const MappedSnapshot>> one =
+      MappedSnapshot::Open(path);
+  StatusOr<std::shared_ptr<const MappedSnapshot>> two =
+      MappedSnapshot::Open(path);
+  ASSERT_TRUE(one.ok() && two.ok());
+  ExpectImageMatchesGraph(**one, g);
+  ExpectImageMatchesGraph(**two, g);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Writer misuse.
+
+TEST(SnapshotWriterTest, RejectsOutOfOrderAndUnsortedInput) {
+  const std::vector<NodeId> unsorted = {3, 1};
+  const std::vector<NodeId> self = {1};
+  {
+    SnapshotWriter w(TempPath("w_order.sgcs"), 4);
+    EXPECT_FALSE(w.AppendOutNode(1, {}).ok());  // must start at node 0
+  }
+  {
+    SnapshotWriter w(TempPath("w_sorted.sgcs"), 4);
+    EXPECT_FALSE(w.AppendOutNode(0, unsorted).ok());
+  }
+  {
+    SnapshotWriter w(TempPath("w_self.sgcs"), 4);
+    EXPECT_FALSE(w.AppendOutNode(1, self).ok());
+  }
+  {
+    SnapshotWriter w(TempPath("w_range.sgcs"), 4);
+    const std::vector<NodeId> oob = {7};
+    EXPECT_FALSE(w.AppendOutNode(0, oob).ok());
+  }
+}
+
+TEST(SnapshotWriterTest, RejectsIncompletePhases) {
+  {
+    SnapshotWriter w(TempPath("w_missing_out.sgcs"), 2);
+    ASSERT_TRUE(w.AppendOutNode(0, {}).ok());
+    EXPECT_FALSE(w.Finalize().ok());  // node 1 never appended
+  }
+  {
+    SnapshotWriter w(TempPath("w_missing_in.sgcs"), 1);
+    ASSERT_TRUE(w.AppendOutNode(0, {}).ok());
+    EXPECT_FALSE(w.Finalize().ok());  // in phase required by default
+  }
+  {
+    SnapshotWriter w(TempPath("w_missing_pop.sgcs"), 1);
+    ASSERT_TRUE(w.AppendOutNode(0, {}).ok());
+    ASSERT_TRUE(w.AppendInNode(0, {}).ok());
+    ASSERT_TRUE(w.AppendProfile(0, {}).ok());
+    EXPECT_FALSE(w.Finalize().ok());  // profiles without SetPopularity
+  }
+}
+
+TEST(SnapshotWriterTest, RejectsWeightMismatch) {
+  SnapshotWriter w(TempPath("w_weights.sgcs"), 4);  // NOT weighted
+  const std::vector<NodeId> targets = {1};
+  const std::vector<double> weights = {0.5};
+  EXPECT_FALSE(w.AppendOutNode(0, targets, weights).ok());
+}
+
+TEST(SnapshotWriterTest, RejectsProfileTweetBeyondPopularity) {
+  SnapshotWriter w(TempPath("w_tweet_oob.sgcs"), 1);
+  ASSERT_TRUE(w.AppendOutNode(0, {}).ok());
+  ASSERT_TRUE(w.AppendInNode(0, {}).ok());
+  const std::vector<int64_t> tweets = {5};
+  ASSERT_TRUE(w.AppendProfile(0, tweets).ok());
+  const std::vector<int32_t> popularity = {1, 2};  // ids only up to 1
+  ASSERT_TRUE(w.SetPopularity(popularity).ok());
+  EXPECT_FALSE(w.Finalize().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile images. Every mutation of a valid file must be rejected.
+
+TEST(SnapshotHostileTest, RejectsHeaderCorruption) {
+  const std::string path = TempPath("hostile_header.sgcs");
+  const std::string good = ValidImageBytes(path);
+
+  std::string bad = good;
+  bad[0] = 'X';  // magic
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  bad = good;
+  bad[4] = 99;  // version
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  bad = good;
+  bad[6] = static_cast<char>(0x80);  // unknown flag bit
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHostileTest, RejectsTruncationAndPadding) {
+  const std::string path = TempPath("hostile_size.sgcs");
+  const std::string good = ValidImageBytes(path);
+
+  WriteFile(path, good.substr(0, good.size() - 1));
+  OpenExpectingFailure(path);
+
+  WriteFile(path, good.substr(0, sizeof(FileHeader) - 8));
+  OpenExpectingFailure(path);
+
+  WriteFile(path, good + std::string(16, '\0'));
+  OpenExpectingFailure(path);
+
+  WriteFile(path, "");
+  OpenExpectingFailure(path);
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHostileTest, RejectsSectionTableAttacks) {
+  const std::string path = TempPath("hostile_table.sgcs");
+  const std::string good = ValidImageBytes(path);
+  const size_t table = sizeof(FileHeader);
+
+  // Unknown section id in the first entry.
+  std::string bad = good;
+  bad[table] = 77;
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  // Duplicate section id (second entry mirrors the first).
+  bad = good;
+  std::memcpy(&bad[table + sizeof(SectionEntry)], &bad[table],
+              sizeof(SectionEntry));
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  // Offset pointing past the end of the file.
+  bad = good;
+  const uint64_t huge = 1ull << 40;
+  std::memcpy(&bad[table + 8], &huge, sizeof(huge));
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  // Misaligned offset.
+  bad = good;
+  uint64_t offset = 0;
+  std::memcpy(&offset, &bad[table + 8], sizeof(offset));
+  offset += 4;
+  std::memcpy(&bad[table + 8], &offset, sizeof(offset));
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  // Section bytes ballooned so sections overlap.
+  bad = good;
+  uint64_t bytes = 0;
+  std::memcpy(&bytes, &bad[table + 16], sizeof(bytes));
+  bytes += 1 << 20;
+  std::memcpy(&bad[table + 16], &bytes, sizeof(bytes));
+  WriteFile(path, bad);
+  OpenExpectingFailure(path);
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHostileTest, RejectsPayloadCorruption) {
+  const std::string path = TempPath("hostile_payload.sgcs");
+  const std::string good = ValidImageBytes(path);
+
+  // Flip one byte inside every section payload (first and middle byte);
+  // each flip must trip that section's checksum. Bytes in the alignment
+  // padding between sections are deliberately NOT covered.
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, &good[8], sizeof(section_count));
+  ASSERT_GT(section_count, 0u);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, &good[sizeof(FileHeader) + i * sizeof(SectionEntry)],
+                sizeof(entry));
+    if (entry.bytes == 0) continue;
+    for (const uint64_t pos : {entry.offset, entry.offset + entry.bytes / 2}) {
+      std::string bad = good;
+      bad[pos] = static_cast<char>(bad[pos] ^ 0x5A);
+      WriteFile(path, bad);
+      const Status status = OpenExpectingFailure(path);
+      ASSERT_FALSE(status.ok())
+          << "flip at byte " << pos << " in section "
+          << SectionName(static_cast<SectionId>(entry.id)) << " was accepted";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHostileTest, ChecksumOffStillRejectsStructuralDamage) {
+  // With checksums disabled the full-decode pass must still catch
+  // adjacency bytes replaced by an overflowing varint.
+  const std::string path = TempPath("hostile_nochecksum.sgcs");
+  const std::string good = ValidImageBytes(path);
+  const size_t payload_begin = sizeof(FileHeader) + 11 * sizeof(SectionEntry);
+  std::string bad = good;
+  for (size_t i = 0; i < 11 && payload_begin + i < bad.size(); ++i) {
+    bad[payload_begin + i] = static_cast<char>(0x80);  // endless varint
+  }
+  WriteFile(path, bad);
+  SnapshotOpenOptions opts;
+  opts.verify_checksums = false;
+  opts.verify_adjacency = true;
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open(path, opts);
+  EXPECT_FALSE(snap.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotHostileTest, MissingFileIsIoError) {
+  StatusOr<std::shared_ptr<const MappedSnapshot>> snap =
+      MappedSnapshot::Open("/nonexistent/dir/image.sgcs");
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace simgraph

@@ -132,8 +132,7 @@ int Run(int argc, char** argv) {
     dataset = *std::move(loaded);
   } else {
     DatasetConfig config = TinyConfig();
-    config.num_users =
-        static_cast<int32_t>(FlagInt(flags, "users", config.num_users));
+    config.num_users = FlagInt(flags, "users", config.num_users);
     config.num_tweets = FlagInt(flags, "tweets", config.num_tweets);
     config.seed = static_cast<uint64_t>(
         FlagInt(flags, "seed", static_cast<int64_t>(config.seed)));
