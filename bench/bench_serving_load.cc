@@ -50,6 +50,21 @@
 //                                 never rewrites an in-tree baseline on
 //                                 its own) — diff two of these with
 //                                 tools/metrics_diff to gate regressions
+//   SIMGRAPH_BENCH_SERVE_SOAK_SECONDS  (or the --soak-seconds=N flag)
+//                                 > 0 switches to soak mode: a paced
+//                                 minute-scale run emitting a per-window
+//                                 drift series with a clean and a
+//                                 hostile hot-key leg, gated by
+//                                 tools/timeseries_diff. Soak knobs:
+//                                 SIMGRAPH_BENCH_SOAK_WINDOW_MS (1000),
+//                                 SIMGRAPH_BENCH_SOAK_REQ_PER_S (2000),
+//                                 SIMGRAPH_BENCH_SOAK_EVENTS_PER_S (200),
+//                                 SIMGRAPH_BENCH_SOAK_HOT_USERS (4),
+//                                 SIMGRAPH_BENCH_SOAK_TIME_SCALE (60
+//                                 simulated seconds per wall second for
+//                                 the synthetic event clock),
+//                                 SIMGRAPH_BENCH_SOAK_SNAPSHOT (path of
+//                                 BENCH_soak.json; empty = not written)
 // plus the usual --metrics-json= / --trace-json= flags. Without
 // --metrics-json the metrics snapshot is written to
 // /tmp/simgraph_serving_load_metrics.json.
@@ -200,15 +215,7 @@ struct LoadResult {
   double apply_per_event_us = 0;
 };
 
-/// Runs both load phases against a freshly built ShardedService and
-/// fills `out` from the (per-run; the caller resets it) metrics
-/// registry. Returns non-zero on setup failure.
-int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
-  const Dataset& dataset = config.dataset_override != nullptr
-                               ? *config.dataset_override
-                               : bench::BenchDataset();
-  const EvalProtocol& protocol = bench::BenchProtocol();
-
+std::unique_ptr<serve::ShardedService> MakeService(const LoadConfig& config) {
   serve::ServingSimGraphOptions rec_options;
   rec_options.graph = bench::BenchSimGraphOptions();
   rec_options.snapshot_refresh_events = config.refresh_events;
@@ -218,18 +225,27 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   options.shard_options.cache_ttl = config.cache_ttl;
   options.shard_options.deadline =
       std::chrono::microseconds(config.deadline_us);
-  std::unique_ptr<serve::ShardedService> service_ptr;
   if (config.delta_ingest) {
-    service_ptr =
-        std::make_unique<serve::ShardedService>(rec_options, options);
-  } else {
-    service_ptr = std::make_unique<serve::ShardedService>(
-        [&rec_options] {
-          return std::make_unique<serve::SimGraphServingRecommender>(
-              rec_options);
-        },
-        options);
+    return std::make_unique<serve::ShardedService>(rec_options, options);
   }
+  return std::make_unique<serve::ShardedService>(
+      [rec_options] {
+        return std::make_unique<serve::SimGraphServingRecommender>(
+            rec_options);
+      },
+      options);
+}
+
+/// Runs both load phases against a freshly built ShardedService and
+/// fills `out` from the (per-run; the caller resets it) metrics
+/// registry. Returns non-zero on setup failure.
+int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
+  const Dataset& dataset = config.dataset_override != nullptr
+                               ? *config.dataset_override
+                               : bench::BenchDataset();
+  const EvalProtocol& protocol = bench::BenchProtocol();
+
+  std::unique_ptr<serve::ShardedService> service_ptr = MakeService(config);
   serve::ShardedService& service = *service_ptr;
 
   std::cout << "training " << config.num_shards << " shard"
@@ -571,6 +587,380 @@ void WriteLegJson(std::ostream& out, const LoadResult& leg,
       << indent << "\"queue_depth_max\": " << leg.queue_depth_max;
 }
 
+// --- soak mode: minute-scale drift series with a hostile hot-key leg ---
+//
+// `--soak-seconds=N` (or SIMGRAPH_BENCH_SERVE_SOAK_SECONDS) switches the
+// bench from the two-phase saturation run to a paced soak: an open-loop
+// request schedule plus a paced event replay run for N wall seconds,
+// with a TimeseriesRecorder closing one telemetry window per
+// SIMGRAPH_BENCH_SOAK_WINDOW_MS. Two legs run back to back:
+//
+//   clean  — uniform panel requests the whole run: the steady-state
+//            reference series;
+//   hotkey — the middle third of the run degenerates into hot-key skew
+//            against the ResultCache (ROADMAP "hostile workloads"):
+//            requests concentrate on SIMGRAPH_BENCH_SOAK_HOT_USERS hot
+//            panel users while the producer publishes a burst of events
+//            authored by those same users, so their cache rows are
+//            invalidated as fast as they are refilled — a per-window
+//            hit-rate collapse and p99 excursion that cumulative
+//            since-start metrics would average away.
+//
+// The per-window series plus a post-warmup summary per leg is written to
+// SIMGRAPH_BENCH_SOAK_SNAPSHOT (BENCH_soak.json); tools/timeseries_diff
+// gates its shape (clean leg must pass, hotkey leg must trip).
+struct SoakParams {
+  int64_t soak_seconds = 0;
+  int64_t window_ms = 1000;
+  double req_per_s = 2000;
+  double events_per_s = 200;
+  int32_t hot_users = 4;
+  // Simulated seconds per wall second for the synthetic event clock.
+  double time_scale = 60;
+  std::string snapshot_path;
+};
+
+struct SoakWindowRow {
+  double t_s = 0;
+  double requests = 0;
+  double hit_rate = 0;
+  double degraded_rate = 0;
+  double p99_us = 0;
+  double apply_p99_us = 0;
+  double lag_events = 0;
+};
+
+struct SoakLegResult {
+  std::string name;
+  std::vector<SoakWindowRow> rows;
+  int64_t warmup = 0;        ///< leading windows excluded from the summary
+  int64_t post_windows = 0;  ///< windows the summary covers
+  double requests_total = 0;
+  double hit_rate_mean = 0;
+  double hit_rate_min = 0;
+  /// Largest fall of hit rate below its running post-warmup peak. A
+  /// warming cache has a tiny drawdown even though mean-minus-min is
+  /// large; a mid-run collapse (the hot-key storm) has a large one.
+  double hit_rate_drawdown = 0;
+  double hit_rate_slope = 0;  ///< least-squares, per window
+  double degraded_max = 0;
+  double p99_steady = 0;  ///< median post-warmup window p99 (us)
+  double p99_max = 0;
+  double p99_ratio = 0;       ///< p99_max / p99_steady
+  double apply_p99_max = 0;   ///< worst per-window ingest-apply p99 (us)
+  double lag_events_max = 0;  ///< worst per-window ingest backlog
+};
+
+int RunSoakLeg(const LoadConfig& config, const SoakParams& soak,
+               bool hostile, SoakLegResult* out) {
+  // Each leg reads per-window registry deltas, so it gets a clean epoch.
+  metrics::Registry::Global().Reset();
+  const Dataset& dataset = config.dataset_override != nullptr
+                               ? *config.dataset_override
+                               : bench::BenchDataset();
+  const EvalProtocol& protocol = bench::BenchProtocol();
+
+  std::unique_ptr<serve::ShardedService> service_ptr = MakeService(config);
+  serve::ShardedService& service = *service_ptr;
+  std::cout << "soak leg \"" << out->name << "\": training "
+            << config.num_shards << " shard"
+            << (config.num_shards == 1 ? "" : "s") << "...\n";
+  const Status trained = service.Train(dataset, protocol.train_end);
+  if (!trained.ok()) {
+    std::cerr << trained.ToString() << "\n";
+    return 1;
+  }
+  service.Start();
+
+  serve::WindowTelemetryPublisher publisher(&service);
+  timeseries::TimeseriesRecorder::Options rec_options =
+      publisher.RecorderOptions(soak.window_ms);
+  rec_options.ring_capacity = static_cast<int32_t>(
+      soak.soak_seconds * 1000 / std::max<int64_t>(soak.window_ms, 1) + 16);
+  timeseries::TimeseriesRecorder recorder(rec_options);
+  recorder.Start();
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::seconds(soak.soak_seconds);
+  const auto hostile_begin = start + (deadline - start) / 3;
+  const auto hostile_end = start + 2 * ((deadline - start) / 3);
+  const auto in_hostile =
+      [&](std::chrono::steady_clock::time_point now) {
+        return hostile && now >= hostile_begin && now < hostile_end;
+      };
+
+  std::vector<UserId> hot;
+  for (size_t i = 0;
+       i < std::min<size_t>(static_cast<size_t>(std::max(soak.hot_users, 1)),
+                            protocol.panel.size());
+       ++i) {
+    hot.push_back(protocol.panel[i]);
+  }
+
+  std::atomic<Timestamp> sim_now{protocol.split_time};
+  std::atomic<uint64_t> last_seq{0};
+  std::atomic<int64_t> failures{0};
+
+  // Paced event replay, cycling the test stream forever. Event times are
+  // re-stamped onto a synthetic simulated clock advancing `time_scale`
+  // simulated seconds per wall second: replaying raw event times at this
+  // pace would compress months of simulated time into seconds and
+  // TTL-expire every cache row many times per window, drowning the
+  // series in churn that no real deployment would see. The hostile phase
+  // publishes a 10x burst authored by the hot users, so propagation
+  // keeps invalidating cache rows across the hot keys' whole similarity
+  // neighborhood.
+  std::thread producer([&] {
+    const int64_t first = protocol.train_end;
+    const int64_t count = dataset.num_retweets() - first;
+    if (count <= 0) return;
+    auto next = std::chrono::steady_clock::now();
+    for (int64_t i = 0; std::chrono::steady_clock::now() < deadline; ++i) {
+      RetweetEvent e = dataset.retweets[static_cast<size_t>(first + i % count)];
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      e.time = protocol.split_time +
+               static_cast<Timestamp>(elapsed_s * soak.time_scale);
+      const bool hot_phase = in_hostile(std::chrono::steady_clock::now());
+      if (hot_phase && !hot.empty()) {
+        e.user = hot[static_cast<size_t>(i) % hot.size()];
+      }
+      last_seq.store(service.Publish(e), std::memory_order_relaxed);
+      sim_now.store(e.time, std::memory_order_relaxed);
+      const double rate =
+          hot_phase ? soak.events_per_s * 10 : soak.events_per_s;
+      next += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / std::max(rate, 1.0)));
+      std::this_thread::sleep_until(next);
+    }
+  });
+
+  // Open-loop paced workers (sojourn-style schedule): the request rate
+  // is held constant across phases, so per-window hit rate and p99 are
+  // comparable window to window — the whole point of the drift series.
+  std::vector<std::thread> workers;
+  for (int32_t t = 0; t < config.num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x50a7 + static_cast<uint64_t>(t));
+      const double interval_s = config.num_threads / soak.req_per_s;
+      auto next =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(t / soak.req_per_s));
+      while (std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_until(next);
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(interval_s));
+        const bool hot_phase = in_hostile(std::chrono::steady_clock::now());
+        // Hostile mix: half the requests hammer the hot keys, half keep
+        // sampling the panel — so the storm's collateral invalidation of
+        // panel rows shows up in the same windows as the skew itself.
+        const bool pick_hot =
+            hot_phase && !hot.empty() && rng.NextBounded(2) == 0;
+        const UserId user =
+            pick_hot
+                ? hot[static_cast<size_t>(rng.NextBounded(hot.size()))]
+                : protocol.panel[static_cast<size_t>(rng.NextBounded(
+                      static_cast<uint64_t>(protocol.panel.size())))];
+        const serve::RecommendResponse response =
+            service.Recommend({user, sim_now.load(std::memory_order_relaxed),
+                               30});
+        if (!response.status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  producer.join();
+  // Stop the recorder before draining the ingest backlog: the drain can
+  // take seconds after a burst, and its request-free windows are not
+  // part of the soak. No final Tick either — the partial tail window
+  // would skew the per-window rates, so the series ends on the last
+  // full window.
+  recorder.Stop();
+  service.WaitForApplied(last_seq.load(std::memory_order_relaxed));
+  service.Stop();
+
+  const std::vector<timeseries::TimeseriesRecorder::Record> records =
+      recorder.Recent(rec_options.ring_capacity);
+  double t_s = 0;
+  for (const auto& rec : records) {
+    SoakWindowRow row;
+    t_s += rec.dt_s;
+    row.t_s = t_s;
+    const auto gauge = [&rec](const char* name) {
+      const auto it = rec.gauges.find(name);
+      return it == rec.gauges.end() ? 0.0 : it->second;
+    };
+    row.requests = gauge("serve.window.requests");
+    row.hit_rate = gauge("serve.window.hit_rate");
+    row.degraded_rate = gauge("serve.window.degraded_rate");
+    row.apply_p99_us = gauge("serve.window.apply_p99_us");
+    row.lag_events = gauge("serve.window.lag_events");
+    const auto hist = rec.histograms.find("serve.request.seconds");
+    if (hist != rec.histograms.end() && hist->second.count > 0) {
+      row.p99_us = hist->second.p99 * 1e6;
+    }
+    out->rows.push_back(row);
+  }
+
+  const int64_t n = static_cast<int64_t>(out->rows.size());
+  out->warmup = std::min(n, std::max<int64_t>(3, n / 5));
+  out->post_windows = n - out->warmup;
+  if (out->post_windows <= 0) {
+    std::cerr << "soak leg \"" << out->name << "\": only " << n
+              << " windows — too short to summarize\n";
+    return 1;
+  }
+  // Windows without a single request (an overloaded run's stalls) carry
+  // no rate information; they stay in the series but not the summary.
+  std::vector<double> p99s;
+  std::vector<double> hits;
+  double hit_sum = 0;
+  double hit_peak = 0;
+  out->hit_rate_min = 1.0;
+  for (int64_t i = out->warmup; i < n; ++i) {
+    const SoakWindowRow& row = out->rows[static_cast<size_t>(i)];
+    if (row.requests <= 0) continue;
+    out->requests_total += row.requests;
+    hit_sum += row.hit_rate;
+    hits.push_back(row.hit_rate);
+    hit_peak = std::max(hit_peak, row.hit_rate);
+    out->hit_rate_drawdown =
+        std::max(out->hit_rate_drawdown, hit_peak - row.hit_rate);
+    out->hit_rate_min = std::min(out->hit_rate_min, row.hit_rate);
+    out->degraded_max = std::max(out->degraded_max, row.degraded_rate);
+    out->p99_max = std::max(out->p99_max, row.p99_us);
+    out->apply_p99_max = std::max(out->apply_p99_max, row.apply_p99_us);
+    out->lag_events_max = std::max(out->lag_events_max, row.lag_events);
+    p99s.push_back(row.p99_us);
+  }
+  out->post_windows = static_cast<int64_t>(p99s.size());
+  if (out->post_windows <= 0) {
+    std::cerr << "soak leg \"" << out->name
+              << "\": no post-warmup windows saw requests\n";
+    return 1;
+  }
+  const double m = static_cast<double>(out->post_windows);
+  out->hit_rate_mean = hit_sum / m;
+  // Least-squares slope of hit rate over the post-warmup window index —
+  // a steady leak shows up here even when no single window collapses.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < hits.size(); ++i) {
+    const double x = static_cast<double>(i);
+    const double y = hits[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = m * sxx - sx * sx;
+  out->hit_rate_slope = denom > 0 ? (m * sxy - sx * sy) / denom : 0.0;
+  std::nth_element(p99s.begin(), p99s.begin() + p99s.size() / 2, p99s.end());
+  out->p99_steady = p99s[p99s.size() / 2];
+  out->p99_ratio =
+      out->p99_steady > 0 ? out->p99_max / out->p99_steady : 0.0;
+
+  TableWriter table("Soak leg \"" + out->name + "\" (" +
+                    std::to_string(n) + " windows, " +
+                    std::to_string(out->warmup) + " warmup)");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"requests", TableWriter::Cell(out->requests_total)});
+  table.AddRow({"hit rate mean", TableWriter::Cell(out->hit_rate_mean)});
+  table.AddRow({"hit rate min", TableWriter::Cell(out->hit_rate_min)});
+  table.AddRow({"hit rate drawdown",
+                TableWriter::Cell(out->hit_rate_drawdown)});
+  table.AddRow({"hit rate slope/window",
+                TableWriter::Cell(out->hit_rate_slope)});
+  table.AddRow({"degraded rate max", TableWriter::Cell(out->degraded_max)});
+  table.AddRow({"p99 steady (us)", TableWriter::Cell(out->p99_steady)});
+  table.AddRow({"p99 max (us)", TableWriter::Cell(out->p99_max)});
+  table.AddRow({"p99 max/steady", TableWriter::Cell(out->p99_ratio)});
+  table.AddRow({"apply p99 max (us)", TableWriter::Cell(out->apply_p99_max)});
+  table.AddRow({"lag events max", TableWriter::Cell(out->lag_events_max)});
+  table.Print(std::cout);
+
+  return failures.load() > 0 ? 1 : 0;
+}
+
+void WriteSoakLegJson(std::ostream& snapshot, const SoakLegResult& leg) {
+  snapshot << "    \"" << leg.name << "\": {\n"
+           << "      \"warmup_windows\": " << leg.warmup << ",\n"
+           << "      \"summary\": {\n"
+           << "        \"windows\": " << leg.post_windows << ",\n"
+           << "        \"requests\": " << leg.requests_total << ",\n"
+           << "        \"hit_rate_mean\": " << leg.hit_rate_mean << ",\n"
+           << "        \"hit_rate_min\": " << leg.hit_rate_min << ",\n"
+           << "        \"hit_rate_max_drawdown\": " << leg.hit_rate_drawdown
+           << ",\n"
+           << "        \"hit_rate_slope_per_window\": " << leg.hit_rate_slope
+           << ",\n"
+           << "        \"degraded_rate_max\": " << leg.degraded_max << ",\n"
+           << "        \"p99_us\": {\"steady\": " << leg.p99_steady
+           << ", \"max\": " << leg.p99_max
+           << ", \"max_over_steady\": " << leg.p99_ratio << "},\n"
+           << "        \"apply_p99_us_max\": " << leg.apply_p99_max << ",\n"
+           << "        \"lag_events_max\": " << leg.lag_events_max << "\n"
+           << "      },\n"
+           << "      \"windows\": [\n";
+  for (size_t i = 0; i < leg.rows.size(); ++i) {
+    const SoakWindowRow& row = leg.rows[i];
+    snapshot << "        {\"t_s\": " << row.t_s
+             << ", \"requests\": " << row.requests
+             << ", \"hit_rate\": " << row.hit_rate
+             << ", \"degraded_rate\": " << row.degraded_rate
+             << ", \"p99_us\": " << row.p99_us
+             << ", \"apply_p99_us\": " << row.apply_p99_us
+             << ", \"lag_events\": " << row.lag_events << "}"
+             << (i + 1 < leg.rows.size() ? "," : "") << "\n";
+  }
+  snapshot << "      ]\n    }";
+}
+
+int RunSoak(const LoadConfig& config, const SoakParams& soak) {
+  // The flight recorder needs per-request stage timings even though
+  // tracing is off for the run.
+  trace::SetForceStageCollection(true);
+  SoakLegResult clean;
+  clean.name = "clean";
+  if (const int rc = RunSoakLeg(config, soak, /*hostile=*/false, &clean);
+      rc != 0) {
+    return rc;
+  }
+  SoakLegResult hotkey;
+  hotkey.name = "hotkey";
+  if (const int rc = RunSoakLeg(config, soak, /*hostile=*/true, &hotkey);
+      rc != 0) {
+    return rc;
+  }
+
+  if (!soak.snapshot_path.empty()) {
+    std::ofstream snapshot(soak.snapshot_path);
+    if (!snapshot) {
+      std::cerr << "cannot write " << soak.snapshot_path << "\n";
+      return 1;
+    }
+    snapshot << "{\n"
+             << "  \"bench\": \"serving_soak\",\n"
+             << "  \"soak_seconds\": " << soak.soak_seconds << ",\n"
+             << "  \"window_ms\": " << soak.window_ms << ",\n"
+             << "  \"num_shards\": " << config.num_shards << ",\n"
+             << "  \"req_per_s\": " << soak.req_per_s << ",\n"
+             << "  \"events_per_s\": " << soak.events_per_s << ",\n"
+             << "  \"hot_users\": " << soak.hot_users << ",\n"
+             << "  \"legs\": {\n";
+    WriteSoakLegJson(snapshot, clean);
+    snapshot << ",\n";
+    WriteSoakLegJson(snapshot, hotkey);
+    snapshot << "\n  }\n}\n";
+    std::cout << "soak snapshot written to " << soak.snapshot_path << "\n";
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const bench::ObservabilityGuard observability(argc, argv);
   // This bench reports through the metrics registry, so collection is
@@ -630,11 +1020,36 @@ int Run(int argc, char** argv) {
               << (*image)->file_bytes() << " bytes mapped)\n";
   }
 
+  SoakParams soak;
+  soak.soak_seconds = GetEnvInt64("SIMGRAPH_BENCH_SERVE_SOAK_SECONDS", 0);
+  soak.window_ms =
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SOAK_WINDOW_MS", 1000));
+  soak.req_per_s = std::max<double>(
+      1, static_cast<double>(GetEnvInt64("SIMGRAPH_BENCH_SOAK_REQ_PER_S",
+                                         2000)));
+  soak.events_per_s = std::max<double>(
+      1, static_cast<double>(GetEnvInt64("SIMGRAPH_BENCH_SOAK_EVENTS_PER_S",
+                                         200)));
+  soak.hot_users = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SOAK_HOT_USERS", 4)));
+  soak.time_scale = std::max<double>(
+      1, static_cast<double>(
+             GetEnvInt64("SIMGRAPH_BENCH_SOAK_TIME_SCALE", 60)));
+  soak.snapshot_path = GetEnvString("SIMGRAPH_BENCH_SOAK_SNAPSHOT", "");
+
   std::string sweep_spec = GetEnvString("SIMGRAPH_BENCH_SERVE_SHARD_SWEEP", "");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::string prefix = "--shard-sweep=";
     if (arg.rfind(prefix, 0) == 0) sweep_spec = arg.substr(prefix.size());
+    const std::string soak_prefix = "--soak-seconds=";
+    if (arg.rfind(soak_prefix, 0) == 0) {
+      soak.soak_seconds = std::stoll(arg.substr(soak_prefix.size()));
+    }
+  }
+  if (soak.soak_seconds > 0) {
+    bench::PrintPreamble("serving soak");
+    return RunSoak(config, soak);
   }
   std::vector<int32_t> shard_counts = ParseShardSweep(sweep_spec);
   const bool sweeping = shard_counts.size() > 1;

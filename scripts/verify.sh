@@ -16,6 +16,11 @@
 #       # tools/metrics_diff
 #   SIMGRAPH_VERIFY_INGEST_REQUESTS=N scripts/verify.sh
 #       # request count for the ingest smoke sweep (default: 6000)
+#   SIMGRAPH_VERIFY_SOAK_SECONDS=N scripts/verify.sh
+#       # per-leg duration of the soak drift gate run with
+#       # SIMGRAPH_VERIFY_BENCH=1 (default: 30). The clean leg must pass
+#       # tools/timeseries_diff and the hostile hot-key leg must trip it
+#       # — the gate is validated in both directions every run.
 #
 # Exit codes (so CI can tell the failure stages apart):
 #   0  everything passed
@@ -90,8 +95,11 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
     ./build/bench/bench_serving_load \
     || fail 3 "serving load bench failed"
   if [[ -f BENCH_serving.json ]]; then
+    # --allow-missing-keys: the committed baseline also carries
+    # shard-sweep legs this default run does not produce; candidate-only
+    # keys still fail (a new metric means the baseline needs refreshing).
     ./build/tools/metrics_diff BENCH_serving.json "$bench_snapshot" \
-      --threshold=0.5 \
+      --threshold=0.5 --allow-missing-keys \
       || fail 4 "serving bench regressed against BENCH_serving.json"
   else
     echo "no committed BENCH_serving.json baseline; skipping diff"
@@ -117,13 +125,45 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
     ./build/bench/bench_serving_load --shard-sweep=1,4 \
     || fail 3 "ingest delta smoke bench failed"
   if [[ -f BENCH_serving.json ]]; then
+    # --allow-missing-keys: the smoke sweeps fewer shard counts than the
+    # committed full-size baseline, so baseline-only shard keys are fine;
+    # candidate-only keys still fail.
     ./build/tools/metrics_diff BENCH_serving.json "$ingest_snapshot" \
       --threshold=9 \
       --threshold=ingest:1.0 \
       --threshold=scaling.ingest:0.75 \
+      --allow-missing-keys \
       || fail 4 "ingest delta smoke regressed against BENCH_serving.json"
   else
     echo "no committed BENCH_serving.json baseline; skipping diff"
+  fi
+  endgroup
+
+  group "soak drift gate"
+  # A paced minute-scale run per leg (docs/observability.md): the clean
+  # leg's window series must pass tools/timeseries_diff, and the hostile
+  # hot-key leg must trip it — a drift gate that cannot detect a planted
+  # anomaly is not a gate. The committed BENCH_soak.json (written at 60s
+  # legs) additionally bounds the clean leg's steady-state p99 and mean
+  # hit rate; the loose 0.75 threshold absorbs the duration difference
+  # when SIMGRAPH_VERIFY_SOAK_SECONDS is shorter than the baseline run.
+  soak_snapshot="$selfcheck_dir/BENCH_soak.json"
+  SIMGRAPH_BENCH_SOAK_SNAPSHOT="$soak_snapshot" \
+    ./build/bench/bench_serving_load \
+    --soak-seconds="${SIMGRAPH_VERIFY_SOAK_SECONDS:-30}" \
+    || fail 3 "soak bench failed"
+  soak_baseline=()
+  if [[ -f BENCH_soak.json ]]; then
+    soak_baseline=(--baseline=BENCH_soak.json --threshold=0.75)
+  else
+    echo "no committed BENCH_soak.json baseline; in-series gates only"
+  fi
+  ./build/tools/timeseries_diff "$soak_snapshot" --leg=clean \
+    "${soak_baseline[@]}" \
+    || fail 4 "clean soak leg tripped the drift gate"
+  if ./build/tools/timeseries_diff "$soak_snapshot" --leg=hotkey \
+      2>/dev/null; then
+    fail 4 "hot-key soak leg did NOT trip the drift gate"
   fi
   endgroup
 

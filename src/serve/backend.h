@@ -6,7 +6,9 @@
 
 #include "core/recommender.h"
 #include "dataset/types.h"
+#include "serve/flight_recorder.h"
 #include "util/status.h"
+#include "util/timeseries.h"
 
 namespace simgraph {
 namespace serve {
@@ -51,6 +53,18 @@ struct BackendStats {
   std::vector<ShardStats> shards;
 };
 
+/// One shard's slice of a just-closed telemetry window (see
+/// RotateWindows). Counts come from the shard's per-window RateMeters,
+/// apply_us from its windowed apply-latency histogram (microseconds).
+struct ShardWindow {
+  int32_t shard = -1;  ///< -1 for an unsharded backend
+  int64_t window = 0;  ///< the closed window's index
+  int64_t requests = 0;
+  int64_t hits = 0;
+  int64_t degraded = 0;
+  timeseries::WindowStats apply_us;
+};
+
 /// The request-facing contract of a recommendation backend, implemented
 /// by both the single RecommendationService and the per-core
 /// ShardedService. The TCP front-end (tcp_server.h) and the load bench
@@ -78,6 +92,25 @@ class ServingBackend {
 
   /// Aggregated counters for the wire protocol's `stats` op.
   virtual BackendStats Stats() const = 0;
+
+  /// Closes telemetry window `window` on every shard: rotates the
+  /// per-window meters and the flight recorder (single rotator — the
+  /// TimeseriesRecorder tick) and appends one ShardWindow per shard to
+  /// `out` (when non-null). Backends without windowed instruments keep
+  /// this default no-op.
+  virtual void RotateWindows(int64_t window, std::vector<ShardWindow>* out) {
+    (void)window;
+    (void)out;
+  }
+
+  /// Appends up to `max` of the flight recorder's slowest retained
+  /// requests (current + previous window, slowest first, shard field
+  /// filled in) — the `slow-log` wire op. Default: none.
+  virtual void CollectSlowRequests(int32_t max,
+                                   std::vector<SlowRequestEntry>* out) const {
+    (void)max;
+    (void)out;
+  }
 };
 
 }  // namespace serve

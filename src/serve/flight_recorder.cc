@@ -1,0 +1,122 @@
+#include "serve/flight_recorder.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace simgraph {
+namespace serve {
+
+FlightRecorder::FlightRecorder(int32_t capacity, int32_t stripes) {
+  if (capacity <= 0) return;
+  stripes = std::clamp(stripes, 1, capacity);
+  per_stripe_ = std::max(1, capacity / stripes);
+  stripes_.reserve(static_cast<size_t>(stripes));
+  for (int32_t i = 0; i < stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->slots.resize(static_cast<size_t>(per_stripe_));
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+void FlightRecorder::Record(const trace::RequestScope& scope, UserId user,
+                            int64_t total_us, bool cache_hit, bool degraded) {
+  if (per_stripe_ == 0) return;
+  const int64_t cur = window_.load(std::memory_order_relaxed);
+  Stripe& s = *stripes_[static_cast<size_t>(scope.request_id() %
+                                            stripes_.size())];
+  // Fast path: the stripe is full of current-window entries at least
+  // this slow — nothing to do, and no lock taken.
+  if (s.floor_window.load(std::memory_order_relaxed) == cur &&
+      total_us <= s.floor.load(std::memory_order_relaxed)) {
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(s.mu);
+  // Victim selection: a never-written slot or one older than the
+  // previous window is free (rotation never clears, it just outdates).
+  // Otherwise evict the oldest, then fastest, retained entry — so
+  // previous-window entries (which Snapshot still reports) age out
+  // before any current-window entry, and a current-window entry only
+  // falls to a slower one.
+  int victim = -1;
+  bool victim_free = false;
+  int64_t victim_window = std::numeric_limits<int64_t>::max();
+  int64_t victim_total = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < per_stripe_; ++i) {
+    const SlowRequestEntry& e = s.slots[static_cast<size_t>(i)];
+    if (e.request_id == 0 || e.window < cur - 1) {
+      victim = i;
+      victim_free = true;
+      break;
+    }
+    if (e.window < victim_window ||
+        (e.window == victim_window && e.total_us < victim_total)) {
+      victim = i;
+      victim_window = e.window;
+      victim_total = e.total_us;
+    }
+  }
+  if (!victim_free && victim_window >= cur && total_us <= victim_total) {
+    return;
+  }
+
+  SlowRequestEntry& e = s.slots[static_cast<size_t>(victim)];
+  e.request_id = scope.request_id();
+  e.shard = -1;
+  e.window = cur;
+  e.user = user;
+  e.total_us = total_us;
+  e.cache_hit = cache_hit;
+  e.degraded = degraded;
+  e.num_stages =
+      std::min(scope.num_stages(), trace::RequestScope::kMaxStages);
+  for (int i = 0; i < e.num_stages; ++i) e.stages[i] = scope.stage(i);
+
+  int64_t floor = std::numeric_limits<int64_t>::max();
+  bool all_current = true;
+  for (int i = 0; i < per_stripe_; ++i) {
+    const SlowRequestEntry& slot = s.slots[static_cast<size_t>(i)];
+    if (slot.window != cur) {
+      all_current = false;
+      break;
+    }
+    floor = std::min(floor, slot.total_us);
+  }
+  if (all_current) {
+    s.floor.store(floor, std::memory_order_relaxed);
+    s.floor_window.store(cur, std::memory_order_relaxed);
+  } else {
+    s.floor_window.store(-1, std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::AdvanceTo(int64_t window) {
+  int64_t cur = window_.load(std::memory_order_relaxed);
+  while (window > cur &&
+         !window_.compare_exchange_weak(cur, window,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<SlowRequestEntry> FlightRecorder::Snapshot(int32_t max) const {
+  std::vector<SlowRequestEntry> out;
+  if (per_stripe_ == 0 || max <= 0) return out;
+  const int64_t cur = window_.load(std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const SlowRequestEntry& e : stripe->slots) {
+      if (e.window >= cur - 1 && e.window >= 0) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowRequestEntry& a, const SlowRequestEntry& b) {
+              return a.total_us > b.total_us;
+            });
+  if (static_cast<int32_t>(out.size()) > max) {
+    out.resize(static_cast<size_t>(max));
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,98 @@
+#ifndef SIMGRAPH_SERVE_FLIGHT_RECORDER_H_
+#define SIMGRAPH_SERVE_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dataset/types.h"
+#include "util/trace.h"
+
+namespace simgraph {
+namespace serve {
+
+/// One retained slow request, with the per-stage breakdown its
+/// trace::RequestScope collected (stage names are string literals, so
+/// entries are safely copyable).
+struct SlowRequestEntry {
+  uint64_t request_id = 0;
+  /// Shard that served the request; -1 for an unsharded service. Filled
+  /// in at collection time, not on the request path.
+  int32_t shard = -1;
+  /// Telemetry window (TimeseriesRecorder tick index) the request
+  /// completed in; -1 marks an empty slot.
+  int64_t window = -1;
+  UserId user = -1;
+  int64_t total_us = 0;
+  bool cache_hit = false;
+  bool degraded = false;
+  int32_t num_stages = 0;
+  trace::StageLatency stages[trace::RequestScope::kMaxStages] = {};
+};
+
+/// A lock-striped ring of the K slowest requests of the current
+/// telemetry window.
+///
+/// Requests hash to a stripe by request id; each stripe keeps its K/S
+/// slowest current-window entries under its own mutex. The request-path
+/// fast path is one relaxed load: once a stripe holds K/S current-window
+/// entries, its slowest-retained floor is published and anything at or
+/// below it returns without touching the lock. Window rotation is O(1)
+/// — a single atomic bump, in the epoch style of util/timeseries: stale
+/// entries are not cleared, they simply become replaceable because
+/// their window stamp is behind.
+///
+/// AdvanceTo() follows the single-rotator contract of util/timeseries
+/// (the TimeseriesRecorder tick drives it); Record() and Snapshot() are
+/// thread-safe.
+class FlightRecorder {
+ public:
+  /// `capacity` is the total entry budget (0 disables recording
+  /// entirely); it is split across `stripes` locks.
+  explicit FlightRecorder(int32_t capacity = 16, int32_t stripes = 4);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return per_stripe_ > 0; }
+  int32_t capacity() const {
+    return per_stripe_ * static_cast<int32_t>(stripes_.size());
+  }
+
+  /// Offers one completed request for retention. Cheap when the request
+  /// is not among the window's slowest.
+  void Record(const trace::RequestScope& scope, UserId user, int64_t total_us,
+              bool cache_hit, bool degraded);
+
+  /// Opens telemetry window `window`; entries from windows before
+  /// `window - 1` stop being reported. Single rotator.
+  void AdvanceTo(int64_t window);
+  int64_t current_window() const {
+    return window_.load(std::memory_order_relaxed);
+  }
+
+  /// The slowest retained requests of the current and previous window
+  /// (so a dump issued right after a rotation is not empty), slowest
+  /// first, at most `max` entries.
+  std::vector<SlowRequestEntry> Snapshot(int32_t max) const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<SlowRequestEntry> slots;
+    /// Slowest retained total_us once every slot holds an entry from
+    /// `floor_window`; requests at or below it skip the lock.
+    std::atomic<int64_t> floor{0};
+    std::atomic<int64_t> floor_window{-1};
+  };
+
+  int32_t per_stripe_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<int64_t> window_{0};
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_FLIGHT_RECORDER_H_

@@ -15,6 +15,7 @@ RecommendationService::RecommendationService(
     std::unique_ptr<ServingRecommender> recommender, ServiceOptions options)
     : recommender_(std::move(recommender)),
       options_(options),
+      flight_recorder_(options.flight_recorder_capacity),
       queue_(options.ingest_queue_capacity) {
   SIMGRAPH_CHECK(recommender_ != nullptr);
   if (options_.shard >= 0) {
@@ -123,7 +124,11 @@ void RecommendationService::ApplierLoop() {
     AffectedUsers affected;
     {
       SIMGRAPH_TRACE_SPAN("request/apply_event", "serve");
-      SIMGRAPH_SCOPED_LATENCY("serve.ingest.apply_seconds");
+      // Timed explicitly (not SIMGRAPH_SCOPED_LATENCY) so one clock pair
+      // feeds both the cumulative histogram and the per-window one.
+      const bool collect = metrics::Enabled();
+      std::chrono::steady_clock::time_point apply_start;
+      if (collect) apply_start = std::chrono::steady_clock::now();
       if (item->delta != nullptr) {
         // Delta-applying shard (docs/ingest.md): replay the builder's
         // recorded ops instead of re-running the incremental update.
@@ -133,6 +138,17 @@ void RecommendationService::ApplierLoop() {
       } else {
         std::lock_guard<std::mutex> lock(serial_mu_);
         affected = recommender_->ObserveAffected(item->event);
+      }
+      if (collect) {
+        static metrics::LatencyHistogram& apply_hist =
+            metrics::Registry::Global().histogram(
+                "serve.ingest.apply_seconds");
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          apply_start)
+                .count();
+        apply_hist.Record(seconds);
+        window_apply_us_.Add(seconds * 1e6);
       }
     }
     SIMGRAPH_COUNTER_ADD(
@@ -236,9 +252,41 @@ RecommendResponse RecommendationService::RecommendLocked(
   trace::RequestScope request_scope("request/recommend");
   request_scope.SetAttribute("user", request.user);
   SIMGRAPH_TRACE_SPAN("RecommendationService::Recommend", "serve");
-  SIMGRAPH_SCOPED_LATENCY("serve.request.seconds");
+  if (!metrics::Enabled()) return RecommendImpl(request, deadline);
+
+  // One clock pair feeds the cumulative serve.request.seconds histogram
+  // (what SIMGRAPH_SCOPED_LATENCY recorded before), the per-window
+  // meters, and the flight recorder — the cache-hit path is ~100ns, so
+  // every extra clock read here would show up in the bench.
+  static metrics::LatencyHistogram& request_hist =
+      metrics::Registry::Global().histogram("serve.request.seconds");
   SIMGRAPH_COUNTER_ADD("serve.requests", 1);
   if (shard_requests_ != nullptr) shard_requests_->Add(1);
+  const auto start = std::chrono::steady_clock::now();
+  RecommendResponse response = RecommendImpl(request, deadline);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  request_hist.Record(seconds);
+  window_requests_.Add(1);
+  if (response.cache_hit) window_hits_.Add(1);
+  if (response.degraded) window_degraded_.Add(1);
+  if (flight_recorder_.enabled()) {
+    // The owning scope (ours, or the TCP front-end's) accumulates the
+    // per-stage breakdown; retain from it so the slow-log shows stages.
+    if (trace::RequestScope* scope = trace::CurrentScope();
+        scope != nullptr) {
+      flight_recorder_.Record(*scope, request.user,
+                              static_cast<int64_t>(seconds * 1e6),
+                              response.cache_hit, response.degraded);
+    }
+  }
+  return response;
+}
+
+RecommendResponse RecommendationService::RecommendImpl(
+    const RecommendRequest& request,
+    std::chrono::steady_clock::time_point deadline) {
   RecommendResponse response;
   response.applied_seq = AppliedSeq();
   if (request.user < 0 || request.user >= num_users_) {
@@ -280,6 +328,35 @@ RecommendResponse RecommendationService::RecommendLocked(
   }
   response.tweets = std::move(outcome.tweets);
   return response;
+}
+
+void RecommendationService::RotateWindows(int64_t window,
+                                          std::vector<ShardWindow>* out) {
+  // `window` is the index being closed; the meters move on to the next.
+  window_requests_.AdvanceTo(window + 1);
+  window_hits_.AdvanceTo(window + 1);
+  window_degraded_.AdvanceTo(window + 1);
+  window_apply_us_.AdvanceTo(window + 1);
+  flight_recorder_.AdvanceTo(window + 1);
+  if (out == nullptr || window < 0) return;
+  ShardWindow w;
+  w.shard = options_.shard;
+  w.window = window;
+  w.requests = window_requests_.Count(window);
+  w.hits = window_hits_.Count(window);
+  w.degraded = window_degraded_.Count(window);
+  w.apply_us = window_apply_us_.Window(window);
+  out->push_back(w);
+}
+
+void RecommendationService::CollectSlowRequests(
+    int32_t max, std::vector<SlowRequestEntry>* out) const {
+  if (out == nullptr) return;
+  std::vector<SlowRequestEntry> entries = flight_recorder_.Snapshot(max);
+  for (SlowRequestEntry& e : entries) {
+    e.shard = options_.shard;
+    out->push_back(e);
+  }
 }
 
 }  // namespace serve

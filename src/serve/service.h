@@ -13,11 +13,13 @@
 #include "core/simgraph_delta.h"
 #include "dataset/dataset.h"
 #include "serve/backend.h"
+#include "serve/flight_recorder.h"
 #include "serve/result_cache.h"
 #include "serve/serving_recommender.h"
 #include "util/metrics.h"
 #include "util/mpmc_queue.h"
 #include "util/status.h"
+#include "util/timeseries.h"
 
 namespace simgraph {
 namespace serve {
@@ -41,6 +43,11 @@ struct ServiceOptions {
   /// under metrics::ShardMetricName(base, shard); -1 (the default,
   /// standalone service) records only the unlabelled names.
   int32_t shard = -1;
+  /// Entry budget of the slow-request flight recorder
+  /// (serve/flight_recorder.h); 0 disables retention entirely. The
+  /// request-path cost is one relaxed load per request, so the recorder
+  /// stays on by default.
+  int32_t flight_recorder_capacity = 16;
 };
 
 /// One entry of the ingestion queue: the work unit (a raw event, or a
@@ -138,6 +145,16 @@ class RecommendationService : public ServingBackend {
   std::vector<RecommendResponse> RecommendBatch(
       const std::vector<RecommendRequest>& requests);
 
+  /// Closes telemetry window `window`: rotates the per-window request/
+  /// hit/degraded meters, the windowed apply-latency histogram and the
+  /// flight recorder, and appends the closed window's aggregates.
+  void RotateWindows(int64_t window, std::vector<ShardWindow>* out) override;
+
+  /// Slowest retained requests of the current + previous telemetry
+  /// window (see serve/flight_recorder.h).
+  void CollectSlowRequests(int32_t max,
+                           std::vector<SlowRequestEntry>* out) const override;
+
   ServingRecommender& recommender() { return *recommender_; }
   const ServingRecommender& recommender() const { return *recommender_; }
   /// Null until Train, or when caching is disabled (cache_ttl < 0).
@@ -146,6 +163,9 @@ class RecommendationService : public ServingBackend {
  private:
   void ApplierLoop();
   RecommendResponse RecommendLocked(
+      const RecommendRequest& request,
+      std::chrono::steady_clock::time_point deadline);
+  RecommendResponse RecommendImpl(
       const RecommendRequest& request,
       std::chrono::steady_clock::time_point deadline);
 
@@ -158,6 +178,14 @@ class RecommendationService : public ServingBackend {
   metrics::Counter* shard_requests_ = nullptr;
   metrics::Gauge* shard_applied_seq_ = nullptr;
   metrics::Gauge* shard_queue_depth_max_ = nullptr;
+
+  /// Windowed telemetry (rotated by RotateWindows; docs/observability.md
+  /// "Windowed telemetry & flight recorder").
+  timeseries::RateMeter window_requests_;
+  timeseries::RateMeter window_hits_;
+  timeseries::RateMeter window_degraded_;
+  timeseries::WindowedHistogram window_apply_us_;
+  FlightRecorder flight_recorder_;
 
   BoundedMpmcQueue<IngestItem> queue_;
   /// High-water mark of the ingestion queue depth, exported as the gauge

@@ -176,5 +176,25 @@ BackendStats ShardedService::Stats() const {
   return stats;
 }
 
+void ShardedService::RotateWindows(int64_t window,
+                                   std::vector<ShardWindow>* out) {
+  for (auto& shard : shards_) shard->RotateWindows(window, out);
+}
+
+void ShardedService::CollectSlowRequests(
+    int32_t max, std::vector<SlowRequestEntry>* out) const {
+  if (out == nullptr || max <= 0) return;
+  std::vector<SlowRequestEntry> merged;
+  for (const auto& shard : shards_) shard->CollectSlowRequests(max, &merged);
+  std::sort(merged.begin(), merged.end(),
+            [](const SlowRequestEntry& a, const SlowRequestEntry& b) {
+              return a.total_us > b.total_us;
+            });
+  if (static_cast<int32_t>(merged.size()) > max) {
+    merged.resize(static_cast<size_t>(max));
+  }
+  out->insert(out->end(), merged.begin(), merged.end());
+}
+
 }  // namespace serve
 }  // namespace simgraph

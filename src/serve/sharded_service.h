@@ -118,6 +118,11 @@ class ShardedService : public ServingBackend {
   void WaitForApplied(uint64_t seq) override;
   RecommendResponse Recommend(const RecommendRequest& request) override;
   BackendStats Stats() const override;
+  /// Rotates every shard's windowed telemetry; one ShardWindow each.
+  void RotateWindows(int64_t window, std::vector<ShardWindow>* out) override;
+  /// Merges every shard's flight recorder, slowest first.
+  void CollectSlowRequests(int32_t max,
+                           std::vector<SlowRequestEntry>* out) const override;
 
   const ShardRouter& router() const { return router_; }
   int32_t num_shards() const { return router_.num_shards(); }

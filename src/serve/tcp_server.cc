@@ -207,6 +207,24 @@ void TcpServer::ServeConnection(int fd) {
             reply = FormatStats(service_->Stats(), metrics_json.str());
             break;
           }
+          case WireRequest::Op::kStatsWindow: {
+            scope.set_op("request/stats_window");
+            if (recorder_ == nullptr) {
+              reply = FormatError(
+                  "no timeseries recorder (start simgraph_served with "
+                  "--stats-window-ms)");
+            } else {
+              reply = FormatStatsWindow(recorder_->RecentJson(request.limit));
+            }
+            break;
+          }
+          case WireRequest::Op::kSlowLog: {
+            scope.set_op("request/slow_log");
+            std::vector<SlowRequestEntry> entries;
+            service_->CollectSlowRequests(request.limit, &entries);
+            reply = FormatSlowLog(entries);
+            break;
+          }
           case WireRequest::Op::kMetrics: {
             scope.set_op("request/metrics");
             // Prometheus text exposition, streamed verbatim; the

@@ -9,6 +9,7 @@
 
 #include "serve/backend.h"
 #include "util/status.h"
+#include "util/timeseries.h"
 
 namespace simgraph {
 namespace serve {
@@ -52,11 +53,19 @@ class TcpServer {
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
 
+  /// Attaches the recorder behind the "stats-window" op. Optional —
+  /// without one the op answers with a structured error. Must be set
+  /// before Start(); `recorder` must outlive the server.
+  void set_timeseries_recorder(timeseries::TimeseriesRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
 
   ServingBackend* service_;
+  timeseries::TimeseriesRecorder* recorder_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,156 @@
+#include "serve/window_telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "serve/wire_protocol.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+double MedianOf(const std::deque<double>& values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  const size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(mid),
+                   sorted.end());
+  return sorted[mid];
+}
+
+void SetGauge(const std::string& name, double value) {
+  metrics::Registry::Global().gauge(name).Set(value);
+}
+
+}  // namespace
+
+WindowTelemetryPublisher::WindowTelemetryPublisher(
+    ServingBackend* backend, WindowTelemetryOptions options)
+    : backend_(backend), options_(options) {}
+
+timeseries::TimeseriesRecorder::Options
+WindowTelemetryPublisher::RecorderOptions(int64_t interval_ms,
+                                          const std::string& ndjson_path) {
+  timeseries::TimeseriesRecorder::Options options;
+  options.interval_ms = interval_ms;
+  options.ndjson_path = ndjson_path;
+  options.on_rotate = [this](int64_t window, double dt_s) {
+    OnRotate(window, dt_s);
+  };
+  options.on_record = [this](const timeseries::TimeseriesRecorder::Record& r) {
+    OnRecord(r);
+  };
+  return options;
+}
+
+void WindowTelemetryPublisher::OnRotate(int64_t window, double dt_s) {
+  (void)dt_s;  // rates stay per-window; the record carries dt_s
+  std::vector<ShardWindow> windows;
+  backend_->RotateWindows(window, &windows);
+
+  int64_t requests = 0;
+  int64_t hits = 0;
+  int64_t degraded = 0;
+  double apply_p99_us = 0.0;
+  for (const ShardWindow& w : windows) {
+    requests += w.requests;
+    hits += w.hits;
+    degraded += w.degraded;
+    apply_p99_us = std::max(apply_p99_us, w.apply_us.p99);
+    if (w.shard >= 0) {
+      SetGauge(metrics::ShardMetricName("serve.window.requests", w.shard),
+               static_cast<double>(w.requests));
+      SetGauge(metrics::ShardMetricName("serve.window.hit_rate", w.shard),
+               w.requests > 0
+                   ? static_cast<double>(w.hits) /
+                         static_cast<double>(w.requests)
+                   : 0.0);
+      SetGauge(
+          metrics::ShardMetricName("serve.window.degraded_rate", w.shard),
+          w.requests > 0 ? static_cast<double>(w.degraded) /
+                               static_cast<double>(w.requests)
+                         : 0.0);
+      SetGauge(metrics::ShardMetricName("serve.window.apply_p99_us", w.shard),
+               w.apply_us.p99);
+    }
+  }
+  SetGauge("serve.window.seq", static_cast<double>(window));
+  SetGauge("serve.window.requests", static_cast<double>(requests));
+  SetGauge("serve.window.hit_rate",
+           requests > 0
+               ? static_cast<double>(hits) / static_cast<double>(requests)
+               : 0.0);
+  SetGauge("serve.window.degraded_rate",
+           requests > 0
+               ? static_cast<double>(degraded) / static_cast<double>(requests)
+               : 0.0);
+  SetGauge("serve.window.apply_p99_us", apply_p99_us);
+
+  // Stats() refreshes serve.ingest.delta.lag_events as a side effect
+  // (sharded_service.cc); mirror it into the window family so the drift
+  // series carries ingest backlog per window.
+  backend_->Stats();
+  SetGauge("serve.window.lag_events",
+           metrics::Registry::Global()
+               .gauge("serve.ingest.delta.lag_events")
+               .value());
+}
+
+void WindowTelemetryPublisher::OnRecord(
+    const timeseries::TimeseriesRecorder::Record& record) {
+  const auto it = record.histograms.find("serve.request.seconds");
+  if (it == record.histograms.end() ||
+      it->second.count < options_.min_requests) {
+    return;
+  }
+  const double p99_us = it->second.p99 * 1e6;
+  SetGauge("serve.window.request_p99_us", p99_us);
+
+  const bool armed =
+      options_.p99_spike_multiplier > 0.0 &&
+      static_cast<int32_t>(trailing_p99_us_.size()) >=
+          std::max(options_.min_baseline_windows, 1);
+  if (armed) {
+    const double median = MedianOf(trailing_p99_us_);
+    if (median > 0.0 && p99_us > options_.p99_spike_multiplier * median) {
+      ++p99_spikes_;
+      SIMGRAPH_COUNTER_ADD("serve.window.p99_spikes", 1);
+      std::vector<SlowRequestEntry> entries;
+      backend_->CollectSlowRequests(options_.dump_max, &entries);
+      std::string line =
+          "{\"flight_recorder_dump\":{\"window\":" +
+          std::to_string(record.window) + ",\"p99_us\":";
+      {
+        std::ostringstream value;
+        value << p99_us;
+        line += value.str();
+        line += ",\"trailing_median_us\":";
+        std::ostringstream med;
+        med << median;
+        line += med.str();
+      }
+      line += ",\"entries\":[";
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i > 0) line += ",";
+        AppendSlowRequestJson(&line, entries[i]);
+      }
+      line += "]}}";
+      SIMGRAPH_LOG(Warning) << line;
+    }
+  }
+
+  // The spiking window itself is excluded from its own baseline, but
+  // feeds the next windows' — a sustained shift re-baselines after
+  // `trailing_windows` windows instead of alerting forever.
+  trailing_p99_us_.push_back(p99_us);
+  while (static_cast<int32_t>(trailing_p99_us_.size()) >
+         std::max(options_.trailing_windows, 1)) {
+    trailing_p99_us_.pop_front();
+  }
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,76 @@
+#ifndef SIMGRAPH_SERVE_WINDOW_TELEMETRY_H_
+#define SIMGRAPH_SERVE_WINDOW_TELEMETRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/backend.h"
+#include "util/timeseries.h"
+
+namespace simgraph {
+namespace serve {
+
+struct WindowTelemetryOptions {
+  /// A window whose request p99 exceeds `p99_spike_multiplier` times the
+  /// trailing median of recent windows triggers an automatic flight-
+  /// recorder dump (one structured log line) and bumps
+  /// serve.window.p99_spikes. <= 0 disables spike detection.
+  double p99_spike_multiplier = 4.0;
+  /// How many recent window p99s form the trailing median baseline.
+  int32_t trailing_windows = 8;
+  /// Windows with fewer requests than this neither trigger spikes nor
+  /// enter the baseline (sparse windows have garbage percentiles).
+  int64_t min_requests = 64;
+  /// Baseline windows required before spike detection arms.
+  int32_t min_baseline_windows = 3;
+  /// Max flight-recorder entries per automatic dump.
+  int32_t dump_max = 16;
+};
+
+/// Glue between a timeseries::TimeseriesRecorder and a ServingBackend —
+/// the serving side of "Windowed telemetry & flight recorder"
+/// (docs/observability.md).
+///
+///   * OnRotate (the recorder's on_rotate hook) closes the backend's
+///     per-shard windows and publishes the serve.window.* gauge family,
+///     aggregated and per shard, so the gauges land in the very record
+///     the recorder is about to build.
+///   * OnRecord (the recorder's on_record hook) reads the finished
+///     record's per-window request p99 and runs the spike rule: p99 >
+///     multiplier x trailing median ==> dump the flight recorder's
+///     slowest requests as one JSON log line and count the spike.
+///
+/// Both hooks run on the recorder thread; construct one publisher per
+/// recorder.
+class WindowTelemetryPublisher {
+ public:
+  explicit WindowTelemetryPublisher(ServingBackend* backend,
+                                    WindowTelemetryOptions options = {});
+
+  /// Recorder Options pre-wired to this publisher (interval, sinks and
+  /// hooks); the caller may still override fields before constructing
+  /// the recorder. The publisher must outlive the recorder.
+  timeseries::TimeseriesRecorder::Options RecorderOptions(
+      int64_t interval_ms, const std::string& ndjson_path = "");
+
+  void OnRotate(int64_t window, double dt_s);
+  void OnRecord(const timeseries::TimeseriesRecorder::Record& record);
+
+  /// Spike count so far (also exported as serve.window.p99_spikes).
+  int64_t p99_spikes() const { return p99_spikes_; }
+
+ private:
+  ServingBackend* backend_;
+  WindowTelemetryOptions options_;
+  /// Trailing per-window request p99s (microseconds) of qualifying
+  /// windows, newest last.
+  std::deque<double> trailing_p99_us_;
+  int64_t p99_spikes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_WINDOW_TELEMETRY_H_

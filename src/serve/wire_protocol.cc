@@ -188,6 +188,12 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
     request.seq = static_cast<uint64_t>(GetInt(numbers, "seq", 0));
   } else if (op == "stats") {
     request.op = WireRequest::Op::kStats;
+  } else if (op == "stats-window") {
+    request.op = WireRequest::Op::kStatsWindow;
+    request.limit = static_cast<int32_t>(GetInt(numbers, "n", 16));
+  } else if (op == "slow-log") {
+    request.op = WireRequest::Op::kSlowLog;
+    request.limit = static_cast<int32_t>(GetInt(numbers, "n", 16));
   } else if (op == "metrics") {
     request.op = WireRequest::Op::kMetrics;
   } else if (op == "ping") {
@@ -259,6 +265,47 @@ std::string FormatStats(const BackendStats& stats,
     out += ",\"metrics\":" + metrics_json;
   }
   out += "}";
+  return out;
+}
+
+std::string FormatStatsWindow(const std::vector<std::string>& records) {
+  std::string out = "{\"ok\":true,\"op\":\"stats-window\",\"windows\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    // Each record is a complete JSON object serialized by the
+    // TimeseriesRecorder; embedded verbatim like FormatStats' metrics.
+    out += records[i];
+  }
+  out += "]}";
+  return out;
+}
+
+void AppendSlowRequestJson(std::string* out, const SlowRequestEntry& entry) {
+  *out += "{\"request_id\":" + std::to_string(entry.request_id) +
+          ",\"shard\":" + std::to_string(entry.shard) +
+          ",\"window\":" + std::to_string(entry.window) +
+          ",\"user\":" + std::to_string(entry.user) +
+          ",\"total_us\":" + std::to_string(entry.total_us) +
+          ",\"cache_hit\":" + (entry.cache_hit ? "true" : "false") +
+          ",\"degraded\":" + (entry.degraded ? "true" : "false") +
+          ",\"stages\":{";
+  for (int i = 0; i < entry.num_stages; ++i) {
+    if (i > 0) *out += ",";
+    *out += "\"";
+    *out += EscapeJson(entry.stages[i].name);
+    *out += "\":";
+    *out += std::to_string(entry.stages[i].micros);
+  }
+  *out += "}}";
+}
+
+std::string FormatSlowLog(const std::vector<SlowRequestEntry>& entries) {
+  std::string out = "{\"ok\":true,\"op\":\"slow-log\",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendSlowRequestJson(&out, entries[i]);
+  }
+  out += "]}";
   return out;
 }
 

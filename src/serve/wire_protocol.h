@@ -23,10 +23,21 @@ namespace serve {
 ///   {"op":"recommend","user":7,"now":100500,"k":10}
 ///   {"op":"wait_applied","seq":12}
 ///   {"op":"stats"}
+///   {"op":"stats-window","n":16}
+///   {"op":"slow-log","n":16}
 ///   {"op":"metrics"}
 ///   {"op":"ping"}
 struct WireRequest {
-  enum class Op { kRecommend, kEvent, kWaitApplied, kStats, kMetrics, kPing };
+  enum class Op {
+    kRecommend,
+    kEvent,
+    kWaitApplied,
+    kStats,
+    kStatsWindow,
+    kSlowLog,
+    kMetrics,
+    kPing
+  };
   Op op = Op::kPing;
   // event
   TweetId tweet = 0;
@@ -37,6 +48,8 @@ struct WireRequest {
   int32_t k = 10;
   // wait_applied
   uint64_t seq = 0;
+  // stats-window / slow-log: max entries to return
+  int32_t limit = 16;
 };
 
 /// Parses one request line. Strict about structure (must be a flat JSON
@@ -72,6 +85,22 @@ std::string FormatWaitAppliedAck(uint64_t seq);
 /// when empty the "metrics" key is omitted.
 std::string FormatStats(const BackendStats& stats,
                         const std::string& metrics_json = "");
+
+/// {"ok":true,"op":"stats-window","windows":[{...}, ...]} — each array
+/// element is one TimeseriesRecorder window record (the versioned
+/// NDJSON object, docs/observability.md), embedded verbatim, oldest
+/// first.
+std::string FormatStatsWindow(const std::vector<std::string>& records);
+
+/// {"ok":true,"op":"slow-log","entries":[{...}, ...]} — the flight
+/// recorder's retained slowest requests, slowest first.
+std::string FormatSlowLog(const std::vector<SlowRequestEntry>& entries);
+
+/// Appends one slow-request entry as a JSON object:
+/// {"request_id":9,"shard":0,"window":3,"user":7,"total_us":1234,
+///  "cache_hit":false,"degraded":false,"stages":{"cache_lookup":2,...}}
+/// Shared by FormatSlowLog and the automatic flight-recorder dump.
+void AppendSlowRequestJson(std::string* out, const SlowRequestEntry& entry);
 
 /// {"ok":true,"op":"ping"}
 std::string FormatPong();

@@ -62,6 +62,7 @@
 #include "serve/sharded_service.h"
 #include "serve/simgraph_serving_recommender.h"
 #include "serve/tcp_server.h"
+#include "serve/window_telemetry.h"
 #include "serve/wire_protocol.h"
 #include "solver/iterative_solvers.h"
 #include "solver/sparse_matrix.h"
@@ -80,6 +81,7 @@
 #include "util/table_writer.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/timeseries.h"
 #include "util/trace.h"
 
 #endif  // SIMGRAPH_SIMGRAPH_SIMGRAPH_H_

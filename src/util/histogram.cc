@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -31,7 +32,10 @@ double Histogram::Max() const {
 }
 
 double Histogram::Percentile(double p) const {
-  SIMGRAPH_CHECK(!samples_.empty());
+  // Empty histograms are common at reporting time (a stage that never
+  // ran, a window that saw no samples); a quiet NaN lets callers print
+  // or skip the cell instead of crashing the whole report.
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   SIMGRAPH_CHECK_GE(p, 0.0);
   SIMGRAPH_CHECK_LE(p, 100.0);
   SortIfNeeded();

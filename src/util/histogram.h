@@ -22,7 +22,9 @@ class Histogram {
   double Mean() const;
   double Min() const;
   double Max() const;
-  /// p in [0, 100]; nearest-rank percentile. Precondition: count() > 0.
+  /// p in [0, 100]; rank-interpolated percentile. Returns a quiet NaN
+  /// when the histogram is empty — callers that cannot tolerate NaN
+  /// should check count() first. Min()/Max() still require samples.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -318,6 +319,17 @@ Status Registry::WriteJsonFile(const std::string& path) const {
   return Status::Ok();
 }
 
+Status Registry::WriteJsonFileAtomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  const Status written = WriteJsonFile(tmp);
+  if (!written.ok()) return written;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
 void Registry::Reset() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
@@ -362,7 +374,9 @@ void PeriodicFlusher::Loop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait_for(lock, interval_, [this] { return stopping_; });
     }
-    const Status written = Registry::Global().WriteJsonFile(path_);
+    // Atomic temp-file + rename: a collector tailing the snapshot must
+    // never read a half-written JSON object mid-flush.
+    const Status written = Registry::Global().WriteJsonFileAtomic(path_);
     if (written.ok()) {
       flushes_.fetch_add(1);
     } else if (!warned_) {

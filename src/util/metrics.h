@@ -187,6 +187,12 @@ class Registry {
   /// be opened.
   Status WriteJsonFile(const std::string& path) const;
 
+  /// WriteJson to `path` via a `path + ".tmp"` sibling and an atomic
+  /// rename, so a reader tailing the file never observes a torn
+  /// (partially written) snapshot. The temp file lands in the same
+  /// directory, which keeps the rename atomic on POSIX filesystems.
+  Status WriteJsonFileAtomic(const std::string& path) const;
+
   /// Visits every registered metric (sorted by name) under the registry
   /// lock; callbacks must not call back into the registry. Null
   /// callbacks skip that section. This is the export hook behind

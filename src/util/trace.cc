@@ -30,6 +30,7 @@ namespace {
 std::atomic<uint64_t> g_next_request_id{1};
 std::atomic<int64_t> g_slow_request_threshold_us{
     GetEnvInt64("SIMGRAPH_SLOW_REQUEST_US", 0)};
+std::atomic<bool> g_force_stage_collection{false};
 
 // The RequestScope currently governing this thread (nullptr outside any
 // request). TraceSpan reads it to attach to the request id and feed the
@@ -170,6 +171,14 @@ int64_t SlowRequestThresholdUs() {
   return g_slow_request_threshold_us.load(std::memory_order_relaxed);
 }
 
+bool SetForceStageCollection(bool force) {
+  return g_force_stage_collection.exchange(force, std::memory_order_relaxed);
+}
+
+bool ForceStageCollection() {
+  return g_force_stage_collection.load(std::memory_order_relaxed);
+}
+
 void Instant(const char* name, const char* category) {
   if (!Enabled()) return;
   BufferEvent(TraceEvent{name, category, 'i', NowMicros(), 0, 0, false});
@@ -276,7 +285,8 @@ RequestScope::RequestScope(const char* op, uint64_t adopt_id,
     owner_ = true;
     recording_ = Enabled();
   }
-  collecting_ = recording_ || (owner_ && SlowRequestThresholdUs() > 0);
+  collecting_ = recording_ || (owner_ && (SlowRequestThresholdUs() > 0 ||
+                                          ForceStageCollection()));
   if (collecting_) start_us_ = NowMicros();
   t_current_scope = this;
 }

@@ -123,6 +123,13 @@ RequestScope* CurrentScope();
 int64_t SetSlowRequestThresholdUs(int64_t threshold_us);
 int64_t SlowRequestThresholdUs();
 
+/// Forces owning RequestScopes to collect per-stage breakdowns (and take
+/// the scope clock) even while tracing and the slow-request log are both
+/// off — the hook behind the serving flight recorder, which wants stage
+/// data for every request it might retain. Returns the previous value.
+bool SetForceStageCollection(bool force);
+bool ForceStageCollection();
+
 /// Records a span with explicit timing attached to `request_id` — for
 /// stages measured across threads, e.g. the queue-wait between a
 /// producer's enqueue and the applier's dequeue. A no-op while tracing

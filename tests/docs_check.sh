@@ -8,9 +8,9 @@
 #      somewhere in the code;
 #   4. docs/ingest.md and docs/store.md exist and the files and
 #      qualified C++ names they backtick still exist in the tree;
-#   5. every serve.ingest.delta.* and store.snapshot.* metric emitted by
-#      the code is documented in docs/observability.md (the reverse of
-#      check 2).
+#   5. every serve.ingest.delta.*, store.snapshot.*, and serve.window.*
+#      metric emitted by the code is documented in
+#      docs/observability.md (the reverse of check 2).
 set -eu
 
 REPO="$1"
@@ -56,10 +56,11 @@ else
   done
 
   # --- 3. documented env vars are consumed somewhere -------------------
+  # scripts/ counts: the SIMGRAPH_VERIFY_* knobs live in verify.sh.
   for var in $(grep -o '`SIMGRAPH_[A-Z_]*`' "$OBS" | sed 's/`//g' |
                sort -u); do
     if ! grep -rq "$var" "$REPO/src" "$REPO/bench" "$REPO/tools" \
-         "$REPO/examples" 2>/dev/null; then
+         "$REPO/examples" "$REPO/scripts" 2>/dev/null; then
       echo "STALE ENV VAR in observability.md: $var"
       status=1
     fi
@@ -98,7 +99,7 @@ done
 # --- 5. every gated metric family the code emits is documented ---------
 if [ -f "$OBS" ]; then
   for name in $(grep -rho \
-                '"\(serve\.ingest\.delta\|store\.snapshot\)\.[A-Za-z0-9_.]*"' \
+                '"\(serve\.ingest\.delta\|store\.snapshot\|serve\.window\)\.[A-Za-z0-9_.]*"' \
                 "$REPO/src" "$REPO/bench" | sed 's/"//g' | sort -u); do
     if ! grep -qF "\`$name\`" "$OBS"; then
       echo "UNDOCUMENTED METRIC: $name (add to docs/observability.md)"

@@ -59,6 +59,28 @@ if "$DIFF" "$TMP/base.json" "$TMP/slow.json" --threshold=0.5 \
   exit 1
 fi
 
+echo "== vanished metric fails, and every difference is reported =="
+sed -e 's/"hit_rate": 0.5,//' -e 's/"queue_depth_max": 32/"queue_depth_max": 32, "new_counter": 7/' \
+    "$TMP/base.json" > "$TMP/keys.json"
+set +e
+"$DIFF" "$TMP/base.json" "$TMP/keys.json" 2> "$TMP/keys.err"
+RC=$?
+set -e
+[ "$RC" = "1" ] || { echo "key-set mismatch not flagged (rc=$RC)" >&2; exit 1; }
+grep -q "MISSING hit_rate" "$TMP/keys.err" || {
+  echo "missing key not reported" >&2; exit 1; }
+grep -q "NEW new_counter" "$TMP/keys.err" || {
+  echo "new key not reported" >&2; exit 1; }
+
+echo "== --allow-new-keys / --allow-missing-keys waive them =="
+"$DIFF" "$TMP/base.json" "$TMP/keys.json" --allow-new-keys \
+    --allow-missing-keys
+if "$DIFF" "$TMP/base.json" "$TMP/keys.json" --allow-new-keys 2>/dev/null
+then
+  echo "missing key passed with only --allow-new-keys" >&2
+  exit 1
+fi
+
 echo "== parse errors exit 2 =="
 echo "not json" > "$TMP/broken.json"
 set +e

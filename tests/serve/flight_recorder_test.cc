@@ -1,0 +1,147 @@
+#include "serve/flight_recorder.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/trace.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+/// Builds an owning RequestScope with stage data and offers it to the
+/// recorder. ForceStageCollection makes the scope collect stages even
+/// with tracing off, exactly like the serving request path does.
+void OfferRequest(FlightRecorder* recorder, UserId user, int64_t total_us,
+                  bool cache_hit = false) {
+  trace::RequestScope scope("test/request");
+  {
+    trace::TraceSpan stage("test/stage", "serve");
+  }
+  recorder->Record(scope, user, total_us, cache_hit, /*degraded=*/false);
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { was_forced_ = trace::SetForceStageCollection(true); }
+  void TearDown() override { trace::SetForceStageCollection(was_forced_); }
+
+ private:
+  bool was_forced_ = false;
+};
+
+TEST_F(FlightRecorderTest, KeepsTheSlowestRequests) {
+  FlightRecorder recorder(/*capacity=*/4, /*stripes=*/1);
+  for (int i = 0; i < 32; ++i) {
+    OfferRequest(&recorder, /*user=*/i, /*total_us=*/100 + i);
+  }
+  const std::vector<SlowRequestEntry> slow = recorder.Snapshot(16);
+  ASSERT_EQ(slow.size(), 4u);
+  // Slowest first, and exactly the top four by total_us.
+  EXPECT_EQ(slow[0].total_us, 131);
+  EXPECT_EQ(slow[1].total_us, 130);
+  EXPECT_EQ(slow[2].total_us, 129);
+  EXPECT_EQ(slow[3].total_us, 128);
+  EXPECT_EQ(slow[0].user, 31);
+}
+
+TEST_F(FlightRecorderTest, SnapshotCarriesStagesAndFlags) {
+  FlightRecorder recorder(/*capacity=*/4, /*stripes=*/1);
+  OfferRequest(&recorder, /*user=*/7, /*total_us=*/500, /*cache_hit=*/true);
+  const std::vector<SlowRequestEntry> slow = recorder.Snapshot(4);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].user, 7);
+  EXPECT_TRUE(slow[0].cache_hit);
+  EXPECT_FALSE(slow[0].degraded);
+  EXPECT_GT(slow[0].request_id, 0u);
+  ASSERT_GE(slow[0].num_stages, 1);
+  EXPECT_STREQ(slow[0].stages[0].name, "test/stage");
+}
+
+TEST_F(FlightRecorderTest, RotationRetainsCurrentAndPreviousWindow) {
+  FlightRecorder recorder(/*capacity=*/4, /*stripes=*/1);
+  OfferRequest(&recorder, /*user=*/1, /*total_us=*/1000);
+  recorder.AdvanceTo(1);
+  OfferRequest(&recorder, /*user=*/2, /*total_us=*/10);
+  // Window 0's entry is still reportable one rotation later...
+  std::vector<SlowRequestEntry> slow = recorder.Snapshot(4);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].user, 1);
+  EXPECT_EQ(slow[1].user, 2);
+  // ...but two rotations later only the fresh window remains.
+  recorder.AdvanceTo(2);
+  slow = recorder.Snapshot(4);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].user, 2);
+  EXPECT_EQ(slow[0].window, 1);
+}
+
+TEST_F(FlightRecorderTest, StaleEntriesAreReplacedAfterRotation) {
+  FlightRecorder recorder(/*capacity=*/2, /*stripes=*/1);
+  OfferRequest(&recorder, /*user=*/1, /*total_us=*/5000);
+  OfferRequest(&recorder, /*user=*/2, /*total_us=*/4000);
+  recorder.AdvanceTo(1);
+  recorder.AdvanceTo(2);
+  // The old giants are stale; a modest current-window request must be
+  // retained even though its total_us is far below theirs.
+  OfferRequest(&recorder, /*user=*/3, /*total_us=*/10);
+  const std::vector<SlowRequestEntry> slow = recorder.Snapshot(4);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].user, 3);
+}
+
+TEST_F(FlightRecorderTest, ZeroCapacityDisables) {
+  FlightRecorder recorder(/*capacity=*/0);
+  EXPECT_FALSE(recorder.enabled());
+  OfferRequest(&recorder, /*user=*/1, /*total_us=*/1000000);
+  EXPECT_TRUE(recorder.Snapshot(4).empty());
+}
+
+TEST_F(FlightRecorderTest, SnapshotMaxTruncatesSlowestFirst) {
+  FlightRecorder recorder(/*capacity=*/8, /*stripes=*/2);
+  for (int i = 0; i < 8; ++i) {
+    OfferRequest(&recorder, /*user=*/i, /*total_us=*/100 * (i + 1));
+  }
+  const std::vector<SlowRequestEntry> slow = recorder.Snapshot(3);
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_GE(slow[0].total_us, slow[1].total_us);
+  EXPECT_GE(slow[1].total_us, slow[2].total_us);
+  EXPECT_EQ(slow[0].total_us, 800);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentRecordAndSnapshot) {
+  FlightRecorder recorder(/*capacity=*/16, /*stripes=*/4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < 2000; ++i) {
+        OfferRequest(&recorder, /*user=*/t * 10000 + i,
+                     /*total_us=*/i % 997);
+      }
+    });
+  }
+  std::thread rotator([&recorder, &stop] {
+    int64_t w = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      recorder.AdvanceTo(w++);
+      (void)recorder.Snapshot(16);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  rotator.join();
+  // Sanity only: entries are well-formed and sorted.
+  const std::vector<SlowRequestEntry> slow = recorder.Snapshot(16);
+  for (size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i - 1].total_us, slow[i].total_us);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

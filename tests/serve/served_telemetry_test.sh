@@ -21,6 +21,7 @@ mkfifo "$TMP/stdin"
 "$SERVED" --users 200 --tweets 1500 --seed 5 --port 0 \
   --metrics-json "$TMP/metrics.json" --metrics-flush-ms 200 \
   --slow-request-us 1 \
+  --stats-window-ms 100 --flight-recorder-k 8 \
   < "$TMP/stdin" > "$TMP/served.out" 2> "$TMP/served.err" &
 SERVED_PID=$!
 exec 9> "$TMP/stdin"   # hold the write end so stdin stays open
@@ -108,6 +109,41 @@ for _ in $(seq 1 20); do
 done
 [ "$SLOW" = "1" ] || { echo "no slow-request log line" >&2; exit 1; }
 grep -q '"stages":{' "$TMP/served.err"
+
+echo "== stats-window returns versioned window records =="
+# Windows rotate every 100ms; poll until at least one closed window with
+# traffic shows up in the in-memory ring.
+WINDOWED=0
+for _ in $(seq 1 50); do
+  WREPLY="$(roundtrip '{"op":"stats-window","n":8}')"
+  if printf '%s' "$WREPLY" | grep -q '"ok":true,"op":"stats-window"' &&
+     printf '%s' "$WREPLY" | grep -q '"v":1' &&
+     printf '%s' "$WREPLY" | grep -q '"window":'; then
+    WINDOWED=1
+    break
+  fi
+  roundtrip '{"op":"recommend","user":5,"now":100000,"k":5}' > /dev/null
+  sleep 0.1
+done
+[ "$WINDOWED" = "1" ] || { echo "no stats-window records" >&2; exit 1; }
+
+echo "== slow-log returns flight-recorder entries with stages =="
+# Recent recommends were slower than the 1us threshold floor, so the
+# recorder (k=8) must hold at least one of them for the current or
+# previous window.
+LOGGED=0
+for _ in $(seq 1 50); do
+  roundtrip '{"op":"recommend","user":6,"now":100000,"k":5}' > /dev/null
+  LREPLY="$(roundtrip '{"op":"slow-log","n":8}')"
+  if printf '%s' "$LREPLY" | grep -q '"ok":true,"op":"slow-log"' &&
+     printf '%s' "$LREPLY" | grep -q '"total_us":' &&
+     printf '%s' "$LREPLY" | grep -q '"stages":{'; then
+    LOGGED=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$LOGGED" = "1" ] || { echo "no slow-log entries" >&2; exit 1; }
 
 echo "== clean shutdown =="
 exec 9>&-

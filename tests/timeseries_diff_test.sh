@@ -1,0 +1,116 @@
+#!/bin/sh
+# Contract of the soak drift gate: a healthy leg passes, each drift
+# signature (p99 excursion, degradation, hit-rate sag, applier
+# saturation, short series) trips the gate, and baseline comparison
+# flags steady-state regressions.
+set -eu
+
+DIFF="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Minimal BENCH_soak.json with one healthy leg and one degenerate leg.
+cat > "$TMP/soak.json" <<'EOF'
+{
+  "bench": "serving_soak",
+  "legs": {
+    "clean": {
+      "warmup_windows": 3,
+      "summary": {
+        "windows": 16,
+        "requests": 32000,
+        "hit_rate_mean": 0.5,
+        "hit_rate_min": 0.45,
+        "hit_rate_max_drawdown": 0.05,
+        "hit_rate_slope_per_window": 0.001,
+        "degraded_rate_max": 0.0,
+        "p99_us": {"steady": 100.0, "max": 180.0, "max_over_steady": 1.8},
+        "apply_p99_us_max": 2000.0,
+        "lag_events_max": 1
+      },
+      "windows": []
+    },
+    "hotkey": {
+      "warmup_windows": 3,
+      "summary": {
+        "windows": 16,
+        "requests": 32000,
+        "hit_rate_mean": 0.4,
+        "hit_rate_min": 0.05,
+        "hit_rate_max_drawdown": 0.45,
+        "hit_rate_slope_per_window": -0.03,
+        "degraded_rate_max": 0.2,
+        "p99_us": {"steady": 100.0, "max": 900.0, "max_over_steady": 9.0},
+        "apply_p99_us_max": 50000.0,
+        "lag_events_max": 16
+      },
+      "windows": []
+    }
+  }
+}
+EOF
+
+echo "== healthy leg passes =="
+"$DIFF" "$TMP/soak.json" --leg=clean
+
+echo "== hostile leg trips =="
+set +e
+"$DIFF" "$TMP/soak.json" --leg=hotkey 2> "$TMP/hot.err"
+RC=$?
+set -e
+[ "$RC" = "1" ] || { echo "hostile leg not flagged (rc=$RC)" >&2; exit 1; }
+grep -q "DRIFT" "$TMP/hot.err" || { echo "no DRIFT line" >&2; exit 1; }
+
+echo "== each signature trips on its own =="
+for flag in \
+    "--max-p99-ratio=1.5" \
+    "--max-hit-rate-drop=0.01" \
+    "--max-apply-p99-us=1000" \
+    "--max-lag-events=0" \
+    "--min-windows=20"; do
+  if "$DIFF" "$TMP/soak.json" --leg=clean "$flag" 2>/dev/null; then
+    echo "clean leg should trip with $flag" >&2
+    exit 1
+  fi
+done
+
+echo "== identity baseline passes =="
+"$DIFF" "$TMP/soak.json" --leg=clean --baseline="$TMP/soak.json"
+
+echo "== steady p99 regression vs baseline trips =="
+sed 's/"steady": 100.0, "max": 180.0/"steady": 400.0, "max": 420.0/' \
+    "$TMP/soak.json" > "$TMP/slow.json"
+if "$DIFF" "$TMP/slow.json" --leg=clean --baseline="$TMP/soak.json" \
+    2>/dev/null; then
+  echo "steady p99 regression not flagged" >&2
+  exit 1
+fi
+
+echo "== hit-rate collapse vs baseline trips =="
+sed 's/"hit_rate_mean": 0.5/"hit_rate_mean": 0.1/' "$TMP/soak.json" \
+  > "$TMP/cold.json"
+if "$DIFF" "$TMP/cold.json" --leg=clean --baseline="$TMP/soak.json" \
+    2>/dev/null; then
+  echo "hit-rate collapse not flagged" >&2
+  exit 1
+fi
+
+echo "== unknown leg and bad JSON exit 2 =="
+set +e
+"$DIFF" "$TMP/soak.json" --leg=nope 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = "2" ] || { echo "expected exit 2 for unknown leg, got $RC" >&2; exit 1; }
+echo "not json" > "$TMP/broken.json"
+set +e
+"$DIFF" "$TMP/broken.json" --leg=clean 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = "2" ] || { echo "expected exit 2 for bad JSON, got $RC" >&2; exit 1; }
+set +e
+"$DIFF" --leg=clean 2>/dev/null
+RC=$?
+set -e
+[ "$RC" = "2" ] || { echo "expected exit 2 for usage error, got $RC" >&2; exit 1; }
+
+echo "timeseries_diff_test: OK"

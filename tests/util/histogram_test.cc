@@ -1,5 +1,7 @@
 #include "util/histogram.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace simgraph {
@@ -19,6 +21,15 @@ TEST(HistogramTest, BasicStats) {
   EXPECT_DOUBLE_EQ(h.Min(), 1.0);
   EXPECT_DOUBLE_EQ(h.Max(), 5.0);
   EXPECT_DOUBLE_EQ(h.Median(), 3.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsNaN) {
+  Histogram h;
+  EXPECT_TRUE(std::isnan(h.Percentile(50.0)));
+  EXPECT_TRUE(std::isnan(h.Median()));
+  // Adding a sample makes the percentile well-defined again.
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 7.0);
 }
 
 TEST(HistogramTest, PercentileInterpolates) {

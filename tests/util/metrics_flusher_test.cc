@@ -1,0 +1,98 @@
+// PeriodicFlusher end-to-end: the snapshot file is produced on a
+// background thread via temp-file + atomic rename, so a reader polling
+// the path must always see a complete JSON object (never a torn write,
+// never the temp file itself).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace simgraph {
+namespace metrics {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool LooksLikeCompleteSnapshot(const std::string& text) {
+  const size_t first = text.find_first_not_of(" \t\r\n");
+  const size_t last = text.find_last_not_of(" \t\r\n");
+  return first != std::string::npos && text[first] == '{' &&
+         text[last] == '}' && text.find("\"counters\"") != std::string::npos;
+}
+
+TEST(PeriodicFlusherTest, AtomicSnapshotsWhilePolling) {
+  SetEnabled(true);
+  Registry::Global().counter("test.flusher.polls").Add(1);
+  const std::string path =
+      ::testing::TempDir() + "/metrics_flusher_test.json";
+  std::remove(path.c_str());
+  const std::string tmp = path + ".tmp";
+
+  PeriodicFlusher flusher(path, std::chrono::milliseconds(1));
+  flusher.Start();
+  // Poll the file like an external collector: every observed content
+  // must be a complete snapshot. With 1ms flushes this overlaps many
+  // writes, so a non-atomic WriteJsonFile would be caught here.
+  int observed = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((observed < 20 || flusher.flushes() < 5) &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::string text = ReadAll(path);
+    if (!text.empty()) {
+      EXPECT_TRUE(LooksLikeCompleteSnapshot(text)) << "torn read: " << text;
+      ++observed;
+    }
+    std::this_thread::yield();
+  }
+  flusher.Stop();
+  EXPECT_GE(flusher.flushes(), 5);
+  EXPECT_GE(observed, 20);
+
+  // Stop() performed a final flush; the published file is complete and
+  // no temp file is left behind.
+  EXPECT_TRUE(LooksLikeCompleteSnapshot(ReadAll(path)));
+  std::ifstream leftover(tmp);
+  EXPECT_FALSE(leftover.is_open()) << tmp << " not cleaned up";
+  std::remove(path.c_str());
+}
+
+TEST(PeriodicFlusherTest, WriteJsonFileAtomicReplacesExistingFile) {
+  SetEnabled(true);
+  Registry::Global().counter("test.flusher.atomic").Add(1);
+  const std::string path =
+      ::testing::TempDir() + "/metrics_atomic_write_test.json";
+  {
+    std::ofstream out(path);
+    out << "stale";
+  }
+  ASSERT_TRUE(Registry::Global().WriteJsonFileAtomic(path).ok());
+  const std::string text = ReadAll(path);
+  EXPECT_TRUE(LooksLikeCompleteSnapshot(text));
+  EXPECT_EQ(text.find("stale"), std::string::npos);
+  std::ifstream leftover(path + ".tmp");
+  EXPECT_FALSE(leftover.is_open());
+  std::remove(path.c_str());
+}
+
+TEST(PeriodicFlusherTest, AtomicWriteFailsCleanlyOnBadPath) {
+  const Status status = Registry::Global().WriteJsonFileAtomic(
+      "/nonexistent-simgraph-dir/metrics.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace simgraph

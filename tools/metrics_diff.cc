@@ -2,6 +2,7 @@
 //
 //   metrics_diff BASELINE.json CANDIDATE.json [--threshold=0.10]
 //                [--threshold=METRIC_SUBSTR:0.05 ...]
+//                [--allow-new-keys] [--allow-missing-keys]
 //
 // Both files are registry snapshots (metrics::Registry::WriteJson) or
 // bench summaries (bench_serving_load's BENCH_serving.json): arbitrary
@@ -10,6 +11,15 @@
 // both snapshots is compared by relative change; a change past the
 // metric's threshold in its *bad* direction is a regression.
 //
+// The key sets must match: every baseline key missing from the
+// candidate and every candidate key absent from the baseline is
+// reported (all of them, in one pass — not just the first) and fails
+// the gate, because a silently vanished metric is how a regression gate
+// rots. `--allow-missing-keys` waives baseline-only keys (e.g. a
+// candidate that swept fewer shard counts than the committed baseline);
+// `--allow-new-keys` waives candidate-only keys (a candidate from a
+// newer build that grew metrics the baseline predates).
+//
 // Direction is inferred from the metric name:
 //   * lower is better:  latency/duration quantiles and sums
 //     (.p50/.p95/.p99/.max/.mean, *seconds*, *latency*, *_us)
@@ -17,156 +27,20 @@
 //   * everything else is neutral — reported informationally, never a
 //     regression (counters like requests served depend on run length).
 //
-// Exit codes: 0 no regression, 1 at least one regression, 2 usage or
-// parse error. scripts/verify.sh runs the identity diff as a self-check
-// and CI can diff a fresh bench snapshot against the committed baseline.
-#include <cctype>
+// Exit codes: 0 no regression, 1 at least one regression or key-set
+// mismatch, 2 usage or parse error. scripts/verify.sh runs the identity
+// diff as a self-check and CI diffs fresh bench snapshots against the
+// committed baselines.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "json_flatten.h"
+
 namespace {
-
-// Minimal recursive-descent JSON reader, sufficient for the snapshots we
-// produce ourselves: objects, arrays, numbers, strings, literals. Only
-// numeric leaves are kept, flattened to dotted paths (array elements
-// index as .0, .1, ...).
-class FlattenParser {
- public:
-  explicit FlattenParser(std::string text) : text_(std::move(text)) {}
-
-  bool Parse(std::map<std::string, double>* out) {
-    out_ = out;
-    SkipSpace();
-    if (!ParseValue("")) return false;
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  bool Consume(char c) {
-    if (Peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool ParseValue(const std::string& path) {
-    SkipSpace();
-    const char c = Peek();
-    if (c == '{') return ParseObject(path);
-    if (c == '[') return ParseArray(path);
-    if (c == '"') {
-      std::string ignored;
-      return ParseString(&ignored);
-    }
-    if (c == 't') return ConsumeWord("true");
-    if (c == 'f') return ConsumeWord("false");
-    if (c == 'n') return ConsumeWord("null");
-    return ParseNumber(path);
-  }
-
-  bool ParseObject(const std::string& path) {
-    if (!Consume('{')) return false;
-    SkipSpace();
-    if (Consume('}')) return true;
-    while (true) {
-      SkipSpace();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipSpace();
-      if (!Consume(':')) return false;
-      const std::string child = path.empty() ? key : path + "." + key;
-      if (!ParseValue(child)) return false;
-      SkipSpace();
-      if (Consume(',')) continue;
-      return Consume('}');
-    }
-  }
-
-  bool ParseArray(const std::string& path) {
-    if (!Consume('[')) return false;
-    SkipSpace();
-    if (Consume(']')) return true;
-    int index = 0;
-    while (true) {
-      if (!ParseValue(path + "." + std::to_string(index++))) return false;
-      SkipSpace();
-      if (Consume(',')) continue;
-      return Consume(']');
-    }
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'u':
-            // Snapshot producers never emit \u escapes; skip the four
-            // digits and substitute '?' so parsing can continue.
-            if (pos_ + 4 > text_.size()) return false;
-            pos_ += 4;
-            out->push_back('?');
-            break;
-          default: return false;
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;
-  }
-
-  bool ParseNumber(const std::string& path) {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return false;
-    (*out_)[path] = value;
-    return true;
-  }
-
-  bool ConsumeWord(const char* word) {
-    const size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  std::string text_;
-  size_t pos_ = 0;
-  std::map<std::string, double>* out_ = nullptr;
-};
 
 enum class Direction { kLowerIsBetter, kHigherIsBetter, kNeutral };
 
@@ -219,20 +93,12 @@ double ThresholdFor(const std::string& name,
   return threshold;
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
-}
-
 int Usage() {
   std::fprintf(
       stderr,
       "usage: metrics_diff BASELINE.json CANDIDATE.json\n"
-      "       [--threshold=REL] [--threshold=METRIC_SUBSTR:REL ...]\n");
+      "       [--threshold=REL] [--threshold=METRIC_SUBSTR:REL ...]\n"
+      "       [--allow-new-keys] [--allow-missing-keys]\n");
   return 2;
 }
 
@@ -242,6 +108,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::vector<ThresholdRule> rules;
   double default_threshold = 0.10;
+  bool allow_new_keys = false;
+  bool allow_missing_keys = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0) {
@@ -263,6 +131,10 @@ int main(int argc, char** argv) {
         }
         rules.push_back(std::move(rule));
       }
+    } else if (arg == "--allow-new-keys") {
+      allow_new_keys = true;
+    } else if (arg == "--allow-missing-keys") {
+      allow_missing_keys = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -273,18 +145,31 @@ int main(int argc, char** argv) {
 
   std::map<std::string, double> baseline;
   std::map<std::string, double> candidate;
-  for (int i = 0; i < 2; ++i) {
-    std::string text;
-    if (!ReadFile(paths[static_cast<size_t>(i)], &text)) {
-      std::fprintf(stderr, "metrics_diff: cannot read %s\n",
-                   paths[static_cast<size_t>(i)].c_str());
-      return 2;
+  if (!jsonflat::LoadFlattened("metrics_diff", paths[0], &baseline) ||
+      !jsonflat::LoadFlattened("metrics_diff", paths[1], &candidate)) {
+    return 2;
+  }
+
+  // One pass over each snapshot reports every key-set difference at
+  // once, so a rename that drops ten metrics shows all ten.
+  int missing = 0;
+  int extra = 0;
+  for (const auto& [name, value] : baseline) {
+    (void)value;
+    if (candidate.find(name) == candidate.end()) {
+      ++missing;
+      std::fprintf(stderr, "%s %s: in baseline only\n",
+                   allow_missing_keys ? "missing (allowed)" : "MISSING",
+                   name.c_str());
     }
-    FlattenParser parser(std::move(text));
-    if (!parser.Parse(i == 0 ? &baseline : &candidate)) {
-      std::fprintf(stderr, "metrics_diff: %s is not valid JSON\n",
-                   paths[static_cast<size_t>(i)].c_str());
-      return 2;
+  }
+  for (const auto& [name, value] : candidate) {
+    (void)value;
+    if (baseline.find(name) == baseline.end()) {
+      ++extra;
+      std::fprintf(stderr, "%s %s: in candidate only\n",
+                   allow_new_keys ? "new (allowed)" : "NEW",
+                   name.c_str());
     }
   }
 
@@ -317,12 +202,16 @@ int main(int argc, char** argv) {
                                                           : "higher");
     }
   }
-  std::fprintf(stderr, "metrics_diff: %d metric(s) compared, %d regression(s)\n",
-               compared, regressions);
+  const int key_failures = (allow_missing_keys ? 0 : missing) +
+                           (allow_new_keys ? 0 : extra);
+  std::fprintf(stderr,
+               "metrics_diff: %d metric(s) compared, %d regression(s), "
+               "%d missing, %d new\n",
+               compared, regressions, missing, extra);
   if (compared == 0) {
     std::fprintf(stderr,
                  "metrics_diff: snapshots share no numeric metrics\n");
     return 2;
   }
-  return regressions > 0 ? 1 : 0;
+  return regressions > 0 || key_failures > 0 ? 1 : 0;
 }

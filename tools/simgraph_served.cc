@@ -29,6 +29,21 @@
 //                   [--slow-request-us N] log requests slower than N us as
 //                                        one structured JSON line (default
 //                                        0: off; see docs/observability.md)
+//                   [--stats-window-ms N] windowed telemetry: rotate the
+//                                        serve.window.* gauges, record one
+//                                        timeseries window every N ms, and
+//                                        serve the recent ring via the
+//                                        "stats-window" wire op (default 0:
+//                                        off; docs/observability.md)
+//                   [--stats-window-ndjson PATH] also append each window
+//                                        record as one NDJSON line
+//                   [--flight-recorder-k N] slowest requests retained per
+//                                        shard per window, dumpable via
+//                                        "slow-log" (default 16; 0 disables)
+//                   [--p99-spike-mult M] auto-dump the flight recorder when
+//                                        a window's request p99 exceeds M x
+//                                        the trailing median (default 4;
+//                                        0 disables)
 //
 // Prints "listening on port P" once ready — harnesses parse this line to
 // find an ephemeral port.
@@ -109,6 +124,13 @@ int Run(int argc, char** argv) {
   if (!trace_path.empty()) trace::SetEnabled(true);
   const int64_t slow_request_us = FlagInt(flags, "slow-request-us", 0);
   if (slow_request_us > 0) trace::SetSlowRequestThresholdUs(slow_request_us);
+  const int64_t stats_window_ms = FlagInt(flags, "stats-window-ms", 0);
+  if (stats_window_ms > 0) {
+    // Windowed telemetry needs the registry live and per-request stage
+    // timings for the flight recorder, even with tracing off.
+    metrics::SetEnabled(true);
+    trace::SetForceStageCollection(true);
+  }
   const int64_t metrics_flush_ms = FlagInt(flags, "metrics-flush-ms", 0);
   std::unique_ptr<metrics::PeriodicFlusher> flusher;
   if (metrics_flush_ms > 0) {
@@ -163,6 +185,8 @@ int Run(int argc, char** argv) {
   options.shard_options.cache_ttl = FlagInt(flags, "ttl", kSecondsPerDay);
   options.shard_options.deadline =
       std::chrono::microseconds(FlagInt(flags, "deadline-us", 0));
+  options.shard_options.flight_recorder_capacity =
+      static_cast<int32_t>(FlagInt(flags, "flight-recorder-k", 16));
   std::unique_ptr<serve::ShardedService> service;
   if (method == "simgraph" && ingest == "delta") {
     // Delta-shipping ingest: one builder recommender, cheap
@@ -182,7 +206,22 @@ int Run(int argc, char** argv) {
   }
   service->Start();
 
+  std::unique_ptr<serve::WindowTelemetryPublisher> publisher;
+  std::unique_ptr<timeseries::TimeseriesRecorder> recorder;
+  if (stats_window_ms > 0) {
+    serve::WindowTelemetryOptions telemetry_options;
+    telemetry_options.p99_spike_multiplier =
+        FlagDouble(flags, "p99-spike-mult", 4.0);
+    publisher = std::make_unique<serve::WindowTelemetryPublisher>(
+        service.get(), telemetry_options);
+    recorder = std::make_unique<timeseries::TimeseriesRecorder>(
+        publisher->RecorderOptions(stats_window_ms,
+                                   FlagString(flags, "stats-window-ndjson")));
+    recorder->Start();
+  }
+
   serve::TcpServer server(service.get());
+  if (recorder != nullptr) server.set_timeseries_recorder(recorder.get());
   const Status started =
       server.Start(static_cast<uint16_t>(FlagInt(flags, "port", 0)));
   if (!started.ok()) {
@@ -205,6 +244,10 @@ int Run(int argc, char** argv) {
   // then answers their final acks before closing.
   service->Stop();
   server.Stop();
+  if (recorder != nullptr) {
+    recorder->Stop();
+    recorder->Tick();  // close the tail window into the NDJSON stream
+  }
   if (flusher != nullptr) flusher->Stop();
 
   int rc = 0;

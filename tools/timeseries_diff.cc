@@ -1,0 +1,225 @@
+// timeseries_diff: drift gate over a BENCH_soak.json window series.
+//
+//   timeseries_diff SOAK.json --leg=clean
+//                   [--baseline=BASELINE_SOAK.json] [--threshold=0.5]
+//                   [--max-p99-ratio=4] [--max-degraded-rate=0.05]
+//                   [--max-hit-rate-drop=0.3] [--max-hit-rate-slope=0.02]
+//                   [--min-windows=8]
+//
+// The input is the soak summary written by
+// `bench_serving_load --soak-seconds=N` (docs/observability.md): per leg
+// a drift series of per-window telemetry (hit rate, degradation rate,
+// request p99, ingest lag) plus a post-warmup summary. Unlike
+// metrics_diff — which compares two point-in-time snapshots — this gate
+// judges the *shape over time* of one run:
+//
+//   * p99 stability:  summary.p99_us.max_over_steady (max window p99
+//     over the steady-state median) must stay under --max-p99-ratio —
+//     a latency excursion inside an otherwise healthy-looking run is
+//     exactly what averages hide;
+//   * degradation ceiling: summary.degraded_rate_max under
+//     --max-degraded-rate in every window;
+//   * ingest health:  summary.apply_p99_us_max under --max-apply-p99-us
+//     and summary.lag_events_max under --max-lag-events — an
+//     invalidation storm shows up as applier saturation (per-window
+//     apply p99 in the tens of milliseconds, a standing event backlog)
+//     well before the request path itself degrades;
+//   * hit-rate sag:   summary.hit_rate_max_drawdown — the largest fall
+//     below the running post-warmup peak — under --max-hit-rate-drop (a
+//     mid-run collapse; a cache still warming up has a near-zero
+//     drawdown even though its mean-minus-min is large), and the
+//     per-window linear-fit slope not below -max-hit-rate-slope (a
+//     steady leak);
+//   * enough signal:  at least --min-windows post-warmup windows, so a
+//     truncated run cannot pass by having nothing to judge.
+//
+// With --baseline, the leg's steady-state p99 (lower is better) and
+// hit_rate_mean (higher is better) are additionally compared against
+// the same leg of a committed baseline within --threshold relative
+// drift, like metrics_diff would.
+//
+// Exit codes: 0 leg healthy, 1 at least one gate tripped, 2 usage or
+// parse error. scripts/verify.sh runs the clean leg expecting 0 and the
+// hostile hot-key leg expecting 1 — the anomaly MUST trip the gate.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json_flatten.h"
+
+namespace {
+
+struct Gates {
+  double max_p99_ratio = 4.0;
+  double max_degraded_rate = 0.05;
+  double max_hit_rate_drop = 0.2;
+  double max_hit_rate_slope = 0.02;
+  double max_apply_p99_us = 10000;
+  double max_lag_events = 8;
+  int64_t min_windows = 8;
+  double baseline_threshold = 0.5;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: timeseries_diff SOAK.json --leg=NAME\n"
+      "       [--baseline=BASELINE_SOAK.json] [--threshold=REL]\n"
+      "       [--max-p99-ratio=R] [--max-degraded-rate=R]\n"
+      "       [--max-hit-rate-drop=R] [--max-hit-rate-slope=R]\n"
+      "       [--max-apply-p99-us=US] [--max-lag-events=N]\n"
+      "       [--min-windows=N]\n");
+  return 2;
+}
+
+bool ParseDoubleFlag(const std::string& arg, const char* name, double* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end == value.c_str() + value.size();
+}
+
+/// Looks up `legs.<leg>.summary.<key>` in the flattened soak snapshot.
+bool SummaryValue(const std::map<std::string, double>& flat,
+                  const std::string& leg, const std::string& key,
+                  double* out) {
+  const auto it = flat.find("legs." + leg + ".summary." + key);
+  if (it == flat.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string soak_path;
+  std::string baseline_path;
+  std::string leg;
+  Gates gates;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    double value = 0;
+    if (arg.rfind("--leg=", 0) == 0) {
+      leg = arg.substr(std::strlen("--leg="));
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else if (ParseDoubleFlag(arg, "--threshold", &value)) {
+      gates.baseline_threshold = value;
+    } else if (ParseDoubleFlag(arg, "--max-p99-ratio", &value)) {
+      gates.max_p99_ratio = value;
+    } else if (ParseDoubleFlag(arg, "--max-degraded-rate", &value)) {
+      gates.max_degraded_rate = value;
+    } else if (ParseDoubleFlag(arg, "--max-hit-rate-drop", &value)) {
+      gates.max_hit_rate_drop = value;
+    } else if (ParseDoubleFlag(arg, "--max-hit-rate-slope", &value)) {
+      gates.max_hit_rate_slope = value;
+    } else if (ParseDoubleFlag(arg, "--max-apply-p99-us", &value)) {
+      gates.max_apply_p99_us = value;
+    } else if (ParseDoubleFlag(arg, "--max-lag-events", &value)) {
+      gates.max_lag_events = value;
+    } else if (ParseDoubleFlag(arg, "--min-windows", &value)) {
+      gates.min_windows = static_cast<int64_t>(value);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (soak_path.empty()) {
+      soak_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (soak_path.empty() || leg.empty()) return Usage();
+
+  std::map<std::string, double> flat;
+  if (!jsonflat::LoadFlattened("timeseries_diff", soak_path, &flat)) {
+    return 2;
+  }
+
+  double windows = 0;
+  double p99_steady = 0, p99_max = 0, p99_ratio = 0;
+  double hit_mean = 0, hit_drawdown = 0, hit_slope = 0;
+  double degraded_max = 0, apply_p99_max = 0, lag_max = 0;
+  const bool complete =
+      SummaryValue(flat, leg, "windows", &windows) &&
+      SummaryValue(flat, leg, "p99_us.steady", &p99_steady) &&
+      SummaryValue(flat, leg, "p99_us.max", &p99_max) &&
+      SummaryValue(flat, leg, "p99_us.max_over_steady", &p99_ratio) &&
+      SummaryValue(flat, leg, "hit_rate_mean", &hit_mean) &&
+      SummaryValue(flat, leg, "hit_rate_max_drawdown", &hit_drawdown) &&
+      SummaryValue(flat, leg, "hit_rate_slope_per_window", &hit_slope) &&
+      SummaryValue(flat, leg, "degraded_rate_max", &degraded_max) &&
+      SummaryValue(flat, leg, "apply_p99_us_max", &apply_p99_max) &&
+      SummaryValue(flat, leg, "lag_events_max", &lag_max);
+  if (!complete) {
+    std::fprintf(stderr,
+                 "timeseries_diff: %s has no complete summary for leg "
+                 "\"%s\"\n",
+                 soak_path.c_str(), leg.c_str());
+    return 2;
+  }
+
+  int tripped = 0;
+  const auto gate = [&tripped](bool bad, const char* what, double actual,
+                               double limit) {
+    if (bad) {
+      ++tripped;
+      std::fprintf(stderr, "DRIFT %s: %.6g (limit %.6g)\n", what, actual,
+                   limit);
+    } else {
+      std::fprintf(stderr, "ok    %s: %.6g (limit %.6g)\n", what, actual,
+                   limit);
+    }
+  };
+  gate(windows < static_cast<double>(gates.min_windows), "windows", windows,
+       static_cast<double>(gates.min_windows));
+  gate(gates.max_p99_ratio > 0 && p99_ratio > gates.max_p99_ratio,
+       "p99 max/steady ratio", p99_ratio, gates.max_p99_ratio);
+  gate(degraded_max > gates.max_degraded_rate, "degraded rate (worst window)",
+       degraded_max, gates.max_degraded_rate);
+  gate(hit_drawdown > gates.max_hit_rate_drop,
+       "hit-rate drawdown (fall below running peak)", hit_drawdown,
+       gates.max_hit_rate_drop);
+  gate(hit_slope < -gates.max_hit_rate_slope, "hit-rate slope per window",
+       hit_slope, -gates.max_hit_rate_slope);
+  gate(gates.max_apply_p99_us > 0 && apply_p99_max > gates.max_apply_p99_us,
+       "ingest apply p99 (worst window, us)", apply_p99_max,
+       gates.max_apply_p99_us);
+  gate(lag_max > gates.max_lag_events, "ingest lag events (worst window)",
+       lag_max, gates.max_lag_events);
+
+  if (!baseline_path.empty()) {
+    std::map<std::string, double> base;
+    if (!jsonflat::LoadFlattened("timeseries_diff", baseline_path, &base)) {
+      return 2;
+    }
+    double base_p99 = 0, base_hit = 0;
+    if (!SummaryValue(base, leg, "p99_us.steady", &base_p99) ||
+        !SummaryValue(base, leg, "hit_rate_mean", &base_hit)) {
+      std::fprintf(stderr,
+                   "timeseries_diff: baseline %s has no summary for leg "
+                   "\"%s\"\n",
+                   baseline_path.c_str(), leg.c_str());
+      return 2;
+    }
+    if (base_p99 > 0) {
+      const double rel = (p99_steady - base_p99) / base_p99;
+      gate(rel > gates.baseline_threshold, "steady p99 vs baseline (rel)",
+           rel, gates.baseline_threshold);
+    }
+    if (base_hit > 0) {
+      const double rel = (hit_mean - base_hit) / base_hit;
+      gate(rel < -gates.baseline_threshold,
+           "hit-rate mean vs baseline (rel)", rel,
+           -gates.baseline_threshold);
+    }
+  }
+
+  std::fprintf(stderr, "timeseries_diff: leg \"%s\", %d gate(s) tripped\n",
+               leg.c_str(), tripped);
+  return tripped > 0 ? 1 : 0;
+}
