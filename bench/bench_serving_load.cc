@@ -38,6 +38,18 @@
 //                                 TCP front-end instead of in-process calls,
 //                                 exercising the full parse->serialize
 //                                 request path (0)
+//   SIMGRAPH_BENCH_SERVE_REMOTE_SHARDS  (or --remote-shards=N) > 0 appends
+//                                 a replication leg (docs/replication.md):
+//                                 N remote replicas — each the full
+//                                 simgraph_shard_server stack, fed SGDL
+//                                 frames over a real loopback socket —
+//                                 attach to the builder via
+//                                 ReplicationFanout; the leg replays the
+//                                 test stream and reports events/s to
+//                                 full remote acknowledgement, the drain
+//                                 tail, and wire throughput, plus a
+//                                 bit-identity spot check, as a "remote"
+//                                 section of the bench snapshot (0)
 //   SIMGRAPH_BENCH_SERVE_GRAPH_IMAGE  path of an SGCS graph image
 //                                 (docs/store.md): the bench writes the
 //                                 dataset's follow graph there, mmaps it
@@ -545,6 +557,182 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
   return 0;
 }
 
+// --- remote replica leg: replication fan-out over real sockets ---------
+//
+// Attaches N in-process remote replicas — each the stack that
+// tools/simgraph_shard_server runs (a ReplicationClient pumping SGDL
+// frames from a real loopback socket into its own RecommendationService),
+// minus the process boundary — to a builder ShardedService through a
+// ReplicationFanout, replays the whole test stream flat-out, and stops
+// the clock only when every remote replica has ACKed the last event. A
+// post-drain spot check asserts a replica answers bit-identically to
+// the builder; mismatches count as request failures and fail the run.
+struct RemoteLegResult {
+  int32_t replicas = 0;
+  int64_t events = 0;
+  double events_per_s = 0;      ///< publish-to-remote-ack throughput
+  double drain_seconds = 0;     ///< tail after the last Publish returned
+  double wire_mb = 0;           ///< SGDL bytes shipped, summed over replicas
+  double wire_mb_per_s = 0;
+  int64_t deltas_sent = 0;
+  int64_t degraded = 0;
+  int64_t check_failures = 0;
+};
+
+int RunRemoteLeg(const LoadConfig& config, int32_t num_remote,
+                 RemoteLegResult* out) {
+  // Same per-leg registry epoch discipline as the other legs.
+  metrics::Registry::Global().Reset();
+  const Dataset& dataset = config.dataset_override != nullptr
+                               ? *config.dataset_override
+                               : bench::BenchDataset();
+  const EvalProtocol& protocol = bench::BenchProtocol();
+
+  serve::ReplicationFanout fanout;
+  if (const Status started = fanout.Start(); !started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  serve::ServingSimGraphOptions rec_options;
+  rec_options.graph = bench::BenchSimGraphOptions();
+  rec_options.snapshot_refresh_events = config.refresh_events;
+  rec_options.graph_image = config.graph_image;
+  serve::ShardedServiceOptions options;
+  options.num_shards = config.num_shards;
+  options.shard_options.cache_ttl = config.cache_ttl;
+  options.replication = &fanout;
+  serve::ShardedService service(rec_options, options);
+  std::cout << "remote leg: training builder (" << config.num_shards
+            << " local shard" << (config.num_shards == 1 ? "" : "s")
+            << ") + " << num_remote << " socket-fed replicas...\n";
+  if (const Status trained = service.Train(dataset, protocol.train_end);
+      !trained.ok()) {
+    std::cerr << trained.ToString() << "\n";
+    return 1;
+  }
+  service.Start();
+
+  struct Replica {
+    std::unique_ptr<serve::ReplicationClient> client;
+    std::unique_ptr<serve::RecommendationService> service;
+  };
+  std::vector<Replica> replicas(static_cast<size_t>(num_remote));
+  for (int32_t i = 0; i < num_remote; ++i) {
+    Replica& replica = replicas[static_cast<size_t>(i)];
+    serve::ReplicationClientOptions client_options;
+    client_options.port = fanout.port();
+    client_options.name = "bench-replica-" + std::to_string(i);
+    replica.client =
+        std::make_unique<serve::ReplicationClient>(client_options);
+    serve::ReplicationBootstrap bootstrap;
+    if (const Status connected =
+            replica.client->Connect(/*applied_seq=*/0, &bootstrap);
+        !connected.ok()) {
+      std::cerr << connected.ToString() << "\n";
+      return 1;
+    }
+    serve::DeltaApplierOptions applier_options;
+    applier_options.graph_image = config.graph_image;
+    auto applier =
+        std::make_unique<serve::DeltaApplierRecommender>(applier_options);
+    serve::DeltaApplierRecommender* applier_ptr = applier.get();
+    serve::ServiceOptions service_options;
+    service_options.cache_ttl = config.cache_ttl;
+    replica.service = std::make_unique<serve::RecommendationService>(
+        std::move(applier), service_options);
+    if (const Status trained =
+            replica.service->Train(dataset, protocol.train_end);
+        !trained.ok()) {
+      std::cerr << trained.ToString() << "\n";
+      return 1;
+    }
+    applier_ptr->SeedRemoteGraphStats(bootstrap.graph_epoch,
+                                      bootstrap.graph_edges);
+    replica.service->Start();
+    replica.client->Start(replica.service.get());
+  }
+  if (!fanout.WaitForReplicas(num_remote, std::chrono::seconds(10))) {
+    std::cerr << "remote leg: replicas failed to register\n";
+    return 1;
+  }
+
+  const int64_t num_events = dataset.num_retweets() - protocol.train_end;
+  const auto replay_start = std::chrono::steady_clock::now();
+  uint64_t last_seq = 0;
+  for (int64_t i = protocol.train_end; i < dataset.num_retweets(); ++i) {
+    last_seq = service.Publish(dataset.retweets[static_cast<size_t>(i)]);
+  }
+  const auto publish_end = std::chrono::steady_clock::now();
+  // Waits on local shards AND every remote replica's acks.
+  service.WaitForApplied(last_seq);
+  const auto acked_end = std::chrono::steady_clock::now();
+  const double total_seconds =
+      std::chrono::duration<double>(acked_end - replay_start).count();
+  const double drain_seconds =
+      std::chrono::duration<double>(acked_end - publish_end).count();
+
+  // Spot check: a socket-fed replica must answer exactly like the
+  // builder it mirrors (the full claim is tests/serve/replication_test).
+  const Timestamp now = dataset.retweets.back().time;
+  int64_t check_failures = 0;
+  const size_t check_users = std::min<size_t>(protocol.panel.size(), 32);
+  for (size_t i = 0; i < check_users; ++i) {
+    const UserId user = protocol.panel[i];
+    const serve::RecommendResponse local = service.Recommend({user, now, 30});
+    const serve::RecommendResponse remote =
+        replicas.front().service->Recommend({user, now, 30});
+    bool same = local.status.ok() && remote.status.ok() &&
+                local.tweets.size() == remote.tweets.size();
+    for (size_t j = 0; same && j < local.tweets.size(); ++j) {
+      same = local.tweets[j].tweet == remote.tweets[j].tweet &&
+             local.tweets[j].score == remote.tweets[j].score;
+    }
+    if (!same) ++check_failures;
+  }
+  if (check_failures > 0) {
+    std::cerr << "remote leg: " << check_failures << "/" << check_users
+              << " spot-checked users diverged from the builder\n";
+  }
+
+  auto& registry = metrics::Registry::Global();
+  const double wire_bytes = static_cast<double>(
+      registry.counter("serve.replication.bytes_sent").value());
+  out->replicas = num_remote;
+  out->events = num_events;
+  out->events_per_s = num_events / std::max(total_seconds, 1e-9);
+  out->drain_seconds = drain_seconds;
+  out->wire_mb = wire_bytes / 1e6;
+  out->wire_mb_per_s = out->wire_mb / std::max(total_seconds, 1e-9);
+  out->deltas_sent =
+      registry.counter("serve.replication.deltas_sent").value();
+  out->degraded = fanout.num_degraded();
+  out->check_failures = check_failures;
+
+  // The client first (its ack thread waits on its service), then the
+  // replica service; the builder drains before the fanout closes.
+  for (Replica& replica : replicas) {
+    replica.client->Stop();
+    replica.service->Stop();
+  }
+  service.Stop();
+  fanout.Stop();
+
+  TableWriter table("Remote replication leg (" + std::to_string(num_remote) +
+                    " socket-fed replicas, " + std::to_string(num_events) +
+                    " events)");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"events/s to remote ack", TableWriter::Cell(out->events_per_s)});
+  table.AddRow({"drain tail (s)", TableWriter::Cell(out->drain_seconds)});
+  table.AddRow({"wire MB shipped", TableWriter::Cell(out->wire_mb)});
+  table.AddRow({"wire MB/s", TableWriter::Cell(out->wire_mb_per_s)});
+  table.AddRow({"deltas sent", TableWriter::Cell(out->deltas_sent)});
+  table.AddRow({"degraded replicas", TableWriter::Cell(out->degraded)});
+  table.AddRow({"spot-check divergences", TableWriter::Cell(check_failures)});
+  table.Print(std::cout);
+  return 0;
+}
+
 std::vector<int32_t> ParseShardSweep(const std::string& spec) {
   std::vector<int32_t> counts;
   std::stringstream stream(spec);
@@ -1037,6 +1225,8 @@ int Run(int argc, char** argv) {
              GetEnvInt64("SIMGRAPH_BENCH_SOAK_TIME_SCALE", 60)));
   soak.snapshot_path = GetEnvString("SIMGRAPH_BENCH_SOAK_SNAPSHOT", "");
 
+  int32_t remote_shards = static_cast<int32_t>(std::max<int64_t>(
+      0, GetEnvInt64("SIMGRAPH_BENCH_SERVE_REMOTE_SHARDS", 0)));
   std::string sweep_spec = GetEnvString("SIMGRAPH_BENCH_SERVE_SHARD_SWEEP", "");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1045,6 +1235,11 @@ int Run(int argc, char** argv) {
     const std::string soak_prefix = "--soak-seconds=";
     if (arg.rfind(soak_prefix, 0) == 0) {
       soak.soak_seconds = std::stoll(arg.substr(soak_prefix.size()));
+    }
+    const std::string remote_prefix = "--remote-shards=";
+    if (arg.rfind(remote_prefix, 0) == 0) {
+      remote_shards = static_cast<int32_t>(
+          std::max<int64_t>(0, std::stoll(arg.substr(remote_prefix.size()))));
     }
   }
   if (soak.soak_seconds > 0) {
@@ -1135,8 +1330,18 @@ int Run(int argc, char** argv) {
               << "-shard baseline\n";
   }
 
+  RemoteLegResult remote;
+  const bool has_remote = remote_shards > 0;
+  if (has_remote) {
+    if (const int rc = RunRemoteLeg(config, remote_shards, &remote);
+        rc != 0) {
+      return rc;
+    }
+  }
+
   int64_t failures = 0;
   for (const LoadResult& leg : legs) failures += leg.total.failures;
+  if (has_remote) failures += remote.check_failures;
 
   if (!snapshot_path.empty()) {
     // Machine-readable summary for tools/metrics_diff: numeric leaves
@@ -1183,6 +1388,21 @@ int Run(int argc, char** argv) {
                  << top.apply_per_event_us /
                         std::max(base.apply_per_event_us, 1e-9)
                  << "}\n  }";
+      }
+      if (has_remote) {
+        // events_per_s / wire_mb_per_s flatten to higher-is-better gates
+        // in tools/metrics_diff; the rest is informational.
+        snapshot << ",\n  \"remote\": {\n"
+                 << "    \"replicas\": " << remote.replicas << ",\n"
+                 << "    \"events\": " << remote.events << ",\n"
+                 << "    \"events_per_s\": " << remote.events_per_s << ",\n"
+                 << "    \"drain_seconds\": " << remote.drain_seconds
+                 << ",\n"
+                 << "    \"wire_mb\": " << remote.wire_mb << ",\n"
+                 << "    \"wire_mb_per_s\": " << remote.wire_mb_per_s
+                 << ",\n"
+                 << "    \"deltas_sent\": " << remote.deltas_sent << ",\n"
+                 << "    \"degraded\": " << remote.degraded << "\n  }";
       }
       snapshot << "\n}\n";
       std::cout << "bench snapshot written to " << snapshot_path << "\n";

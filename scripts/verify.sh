@@ -21,6 +21,13 @@
 #       # SIMGRAPH_VERIFY_BENCH=1 (default: 30). The clean leg must pass
 #       # tools/timeseries_diff and the hostile hot-key leg must trip it
 #       # — the gate is validated in both directions every run.
+#   SIMGRAPH_VERIFY_REPLICATION=1 scripts/verify.sh
+#       # additionally run the multi-process replication smoke
+#       # (scripts/replication_smoke.sh: builder + two shard-server
+#       # replicas over localhost — snapshot bootstrap, bit-identity,
+#       # SIGSTOP lag cutoff) and a remote-shards bench leg gated
+#       # against the committed BENCH_serving.json "remote" section
+#       # (docs/replication.md)
 #
 # Exit codes (so CI can tell the failure stages apart):
 #   0  everything passed
@@ -180,6 +187,34 @@ if [[ "${SIMGRAPH_VERIFY_BENCH:-0}" == "1" ]]; then
       || fail 4 "propagation bench regressed against BENCH_propagation.json"
   else
     echo "no committed BENCH_propagation.json baseline; skipping diff"
+  fi
+  endgroup
+fi
+
+if [[ "${SIMGRAPH_VERIFY_REPLICATION:-0}" == "1" ]]; then
+  group "replication smoke (multi-process)"
+  SMOKE_OUT="$selfcheck_dir/replication_smoke" \
+    scripts/replication_smoke.sh \
+    ./build/tools/simgraph_served ./build/tools/simgraph_shard_server \
+    || fail 3 "replication smoke failed"
+  endgroup
+
+  group "replication bench gate (remote shards)"
+  # Reduced-request run: only the remote section's keys are gated (the
+  # last matching threshold rule wins), at a loose bound — loopback
+  # replication throughput is noisy on shared runners; the gate exists
+  # to catch the pipeline collapsing, not a few percent of drift.
+  remote_snapshot="$selfcheck_dir/BENCH_remote.json"
+  SIMGRAPH_BENCH_SERVE_SNAPSHOT="$remote_snapshot" \
+    SIMGRAPH_BENCH_SERVE_REQUESTS=6000 \
+    ./build/bench/bench_serving_load --remote-shards=2 \
+    || fail 3 "remote-shards bench leg failed"
+  if [[ -f BENCH_serving.json ]]; then
+    ./build/tools/metrics_diff BENCH_serving.json "$remote_snapshot" \
+      --threshold=9 --threshold=remote:0.75 --allow-missing-keys \
+      || fail 4 "remote replication bench regressed against BENCH_serving.json"
+  else
+    echo "no committed BENCH_serving.json baseline; skipping diff"
   fi
   endgroup
 fi

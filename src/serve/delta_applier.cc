@@ -32,6 +32,14 @@ void DeltaApplierRecommender::SeedSnapshot(
   graph_epoch_ = epoch;
 }
 
+void DeltaApplierRecommender::SeedRemoteGraphStats(uint64_t epoch,
+                                                   int64_t edges) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  remote_stats_ = true;
+  remote_edges_ = edges;
+  graph_epoch_ = epoch;
+}
+
 AffectedUsers DeltaApplierRecommender::ObserveAffected(
     const RetweetEvent& event) {
   (void)event;
@@ -59,10 +67,13 @@ AffectedUsers DeltaApplierRecommender::ApplyDelta(const SimGraphDelta& delta) {
   // update it stands in for.
   state_.ReplayDeltaOps(delta);
   if (delta.evict_before > 0) state_.EvictStale(delta.evict_before);
-  if (delta.has_flag(SimGraphDelta::kFlagSnapshotRefresh) &&
-      delta.snapshot != nullptr) {
+  if (delta.has_flag(SimGraphDelta::kFlagSnapshotRefresh)) {
+    // In-process shards receive the new snapshot object alongside the
+    // flag; a remote replica gets the flag only (SGDL never serializes
+    // the pointer) and still must advance its reported epoch so epoch
+    // swaps stay observable across the wire (docs/replication.md).
     std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot_ = delta.snapshot;
+    if (delta.snapshot != nullptr) snapshot_ = delta.snapshot;
     graph_epoch_ = delta.snapshot_epoch;
   }
   if (delta.seq_end > applied_delta_seq_) applied_delta_seq_ = delta.seq_end;
@@ -109,10 +120,17 @@ uint64_t DeltaApplierRecommender::graph_epoch() const {
 bool DeltaApplierRecommender::GraphStats(uint64_t* epoch,
                                          int64_t* edges) const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (snapshot_ == nullptr) return false;
-  *epoch = graph_epoch_;
-  *edges = snapshot_->graph.num_edges();
-  return true;
+  if (snapshot_ != nullptr) {
+    *epoch = graph_epoch_;
+    *edges = snapshot_->graph.num_edges();
+    return true;
+  }
+  if (remote_stats_) {
+    *epoch = graph_epoch_;
+    *edges = remote_edges_;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace serve

@@ -62,6 +62,12 @@ class DeltaApplierRecommender final : public ServingRecommender {
   void SeedSnapshot(std::shared_ptr<const SimGraph> snapshot,
                     uint64_t epoch);
 
+  /// Remote replicas (docs/replication.md) never hold the builder's
+  /// snapshot object: seed the stats the handshake reported instead.
+  /// Refresh deltas then carry graph_epoch_ forward on their own; the
+  /// edge count stays the handshake's last-known value.
+  void SeedRemoteGraphStats(uint64_t epoch, int64_t edges);
+
   AffectedUsers ObserveAffected(const RetweetEvent& event) override;
   AffectedUsers ApplyDelta(const SimGraphDelta& delta) override;
   void BindShard(int32_t shard) override;
@@ -89,6 +95,10 @@ class DeltaApplierRecommender final : public ServingRecommender {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const SimGraph> snapshot_;
   uint64_t graph_epoch_ = 0;
+  /// Remote-seeded stats (SeedRemoteGraphStats): GraphStats falls back
+  /// to these when no snapshot object is held.
+  bool remote_stats_ = false;
+  int64_t remote_edges_ = 0;
 
   // Shard-qualified delta-apply histogram, cached by BindShard; null
   // outside sharded deployments.

@@ -62,6 +62,20 @@ void ShardedService::BuildPipeline() {
   builder_options.queue_capacity = options_.ingest_queue_capacity;
   builder_options.max_batch_events = options_.max_batch_events;
   builder_options.delta_observer = options_.delta_observer;
+  if (options_.replication != nullptr) {
+    SIMGRAPH_CHECK(source_ != nullptr)
+        << "replication fanout requires delta-shipping mode";
+    // Chain the fanout onto the builder tap: remote replicas see the
+    // exact delta the in-process shards receive, in the same order.
+    ReplicationFanout* fanout = options_.replication;
+    std::function<void(const SimGraphDelta&)> observer =
+        options_.delta_observer;
+    builder_options.delta_observer =
+        [fanout, observer](const SimGraphDelta& delta) {
+          if (observer) observer(delta);
+          fanout->ShipDelta(delta);
+        };
+  }
   pipeline_ = std::make_unique<DeltaBuilder>(
       source_.get(), std::move(shard_ptrs), std::move(builder_options));
 }
@@ -96,6 +110,13 @@ Status ShardedService::Train(const Dataset& dataset, int64_t train_end) {
     for (DeltaApplierRecommender* applier : appliers_) {
       applier->SeedSnapshot(source_->GraphSnapshot(), source_->graph_epoch());
     }
+    if (options_.replication != nullptr) {
+      const std::shared_ptr<const SimGraph> snapshot =
+          source_->GraphSnapshot();
+      options_.replication->SeedGraphStats(
+          source_->graph_epoch(),
+          snapshot != nullptr ? snapshot->graph.num_edges() : 0);
+    }
   }
   return Status::Ok();
 }
@@ -129,11 +150,23 @@ uint64_t ShardedService::AppliedSeq() const {
     const uint64_t seq = shards_[i]->AppliedSeq();
     if (i == 0 || seq < min_seq) min_seq = seq;
   }
+  if (options_.replication != nullptr) {
+    // Deployment-wide applied prefix: the slowest LIVE remote replica
+    // counts too; degraded replicas are already out of the live set.
+    min_seq = std::min(min_seq, options_.replication->MinAckedSeq());
+  }
   return min_seq;
 }
 
 void ShardedService::WaitForApplied(uint64_t seq) {
   for (const auto& shard : shards_) shard->WaitForApplied(seq);
+  if (options_.replication != nullptr) {
+    // Local shards first: once they applied `seq` the builder has
+    // certainly built it, so the remote wait can only be satisfied (or
+    // resolved by degrading a stalled replica) — never wait forever on
+    // a sequence that was never shipped.
+    options_.replication->WaitForAcked(seq);
+  }
 }
 
 RecommendResponse ShardedService::Recommend(const RecommendRequest& request) {
@@ -165,8 +198,13 @@ BackendStats ShardedService::Stats() const {
       stats.applied_seq = entry.applied_seq;
     }
   }
+  if (options_.replication != nullptr) {
+    const uint64_t remote = options_.replication->MinAckedSeq();
+    if (remote < stats.applied_seq) stats.applied_seq = remote;
+  }
   if (source_ != nullptr) {
-    // How far the slowest shard trails the builder, in events.
+    // How far the slowest shard — local or live remote replica —
+    // trails the builder, in events.
     const uint64_t built = pipeline_->built_seq();
     const uint64_t lag =
         built > stats.applied_seq ? built - stats.applied_seq : 0;

@@ -10,6 +10,7 @@
 #include "serve/backend.h"
 #include "serve/delta_applier.h"
 #include "serve/delta_builder.h"
+#include "serve/replication_fanout.h"
 #include "serve/service.h"
 #include "serve/shard_router.h"
 #include "serve/simgraph_serving_recommender.h"
@@ -34,6 +35,13 @@ struct ShardedServiceOptions {
   /// Optional tap called on the builder thread with every finalised
   /// delta before fan-out (tests, wire-format replication).
   std::function<void(const SimGraphDelta&)> delta_observer;
+  /// Optional multi-process replication (docs/replication.md): when
+  /// set, every finalised delta is also shipped to the fanout's remote
+  /// replicas (after delta_observer), remote acks fold into
+  /// AppliedSeq/WaitForApplied, and Stats' lag gauge covers the slowest
+  /// live replica. Not owned; must be Started by the caller and outlive
+  /// this service. Delta-shipping mode only.
+  ReplicationFanout* replication = nullptr;
 };
 
 /// The recommendation service partitioned into per-core shards behind a

@@ -14,6 +14,7 @@
 #include "serve/wire_protocol.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/net.h"
 #include "util/prom_export.h"
 #include "util/trace.h"
 
@@ -45,37 +46,11 @@ TcpServer::TcpServer(ServingBackend* service) : service_(service) {
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError("socket: " + std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("bind: " + std::string(std::strerror(errno)));
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("listen: " + std::string(std::strerror(errno)));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("getsockname: " +
-                           std::string(std::strerror(errno)));
-  }
-  port_ = ntohs(bound.sin_port);
+  // Shared loopback listener (util/net.h): ephemeral-port readback for
+  // port 0, EADDRINUSE retry for explicit ports on busy CI runners.
+  StatusOr<int> fd = net::ListenLoopback(port, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }

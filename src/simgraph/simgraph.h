@@ -55,6 +55,9 @@
 #include "serve/candidate_state.h"
 #include "serve/delta_applier.h"
 #include "serve/delta_builder.h"
+#include "serve/replication_client.h"
+#include "serve/replication_fanout.h"
+#include "serve/replication_wire.h"
 #include "serve/result_cache.h"
 #include "serve/service.h"
 #include "serve/serving_recommender.h"

@@ -1,0 +1,138 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace simgraph {
+namespace net {
+namespace {
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<int> ListenLoopback(uint16_t port, uint16_t* bound_port,
+                             int max_attempts) {
+  if (max_attempts < 1) max_attempts = 1;
+  for (int attempt = 1;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = LoopbackAddr(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      // Ephemeral binds (port 0) never collide; an explicit port can,
+      // when another process on a busy runner grabbed it between pick
+      // and bind. Back off briefly and retry before failing the test.
+      if (saved == EADDRINUSE && port != 0 && attempt < max_attempts) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50 * attempt));
+        continue;
+      }
+      errno = saved;
+      return Errno(saved == EADDRINUSE ? "bind (EADDRINUSE)" : "bind/listen");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return Errno("getsockname");
+    }
+    if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+    return fd;
+  }
+}
+
+StatusOr<int> ConnectLoopback(uint16_t port, int64_t retry_timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    sockaddr_in addr = LoopbackAddr(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    const int saved = errno;
+    ::close(fd);
+    if (saved == ECONNREFUSED && retry_timeout_ms > 0 &&
+        std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    errno = saved;
+    return Errno("connect");
+  }
+}
+
+bool SendAll(int fd, const void* data, size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, void* data, size_t size) {
+  char* bytes = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, bytes + got, size - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SetRecvTimeout(int fd, int64_t millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetSendTimeout(int fd, int64_t millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool LastErrorWasTimeout() {
+  return errno == EAGAIN || errno == EWOULDBLOCK;
+}
+
+}  // namespace net
+}  // namespace simgraph

@@ -1,0 +1,51 @@
+#ifndef SIMGRAPH_UTIL_NET_H_
+#define SIMGRAPH_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace simgraph {
+namespace net {
+
+/// Shared loopback-socket plumbing for every TCP front door in the tree
+/// (serve::TcpServer, the replication fanout/client, tests). Everything
+/// binds 127.0.0.1 only — nothing in this repo listens on external
+/// interfaces.
+
+/// Creates a listening TCP socket on 127.0.0.1:port and returns its fd.
+/// port 0 asks the kernel for an ephemeral port; `*bound_port` always
+/// receives the port actually bound (read back via getsockname), which
+/// is how every test and smoke discovers where to connect. A non-zero
+/// port that races another process (busy CI runners) is retried on
+/// EADDRINUSE with a short backoff before giving up.
+StatusOr<int> ListenLoopback(uint16_t port, uint16_t* bound_port,
+                             int max_attempts = 5);
+
+/// Connects to 127.0.0.1:port. When retry_timeout_ms > 0, ECONNREFUSED
+/// is retried with a short backoff until the deadline — a just-forked
+/// server may not have reached listen() yet.
+StatusOr<int> ConnectLoopback(uint16_t port, int64_t retry_timeout_ms = 0);
+
+/// Sends the whole buffer (EINTR-safe, MSG_NOSIGNAL). False on any
+/// other error — including a send timeout if SO_SNDTIMEO is set.
+bool SendAll(int fd, const void* data, size_t size);
+
+/// Receives exactly `size` bytes. False on EOF or any error — including
+/// a receive timeout if SO_RCVTIMEO is set.
+bool RecvAll(int fd, void* data, size_t size);
+
+/// Sets SO_RCVTIMEO / SO_SNDTIMEO (0 = blocking forever).
+void SetRecvTimeout(int fd, int64_t millis);
+void SetSendTimeout(int fd, int64_t millis);
+
+/// True when the last failed send/recv was a timeout (EAGAIN /
+/// EWOULDBLOCK) rather than a dead peer. Callers that set socket
+/// timeouts use this to tell "slow" from "gone".
+bool LastErrorWasTimeout();
+
+}  // namespace net
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_UTIL_NET_H_

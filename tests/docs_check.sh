@@ -6,10 +6,11 @@
 #      string literal somewhere under src/, bench/, or tools/;
 #   3. every SIMGRAPH_* environment variable documented there is consumed
 #      somewhere in the code;
-#   4. docs/ingest.md and docs/store.md exist and the files and
-#      qualified C++ names they backtick still exist in the tree;
-#   5. every serve.ingest.delta.*, store.snapshot.*, and serve.window.*
-#      metric emitted by the code is documented in
+#   4. docs/ingest.md, docs/store.md, and docs/replication.md exist and
+#      the files and qualified C++ names they backtick still exist in
+#      the tree;
+#   5. every serve.ingest.delta.*, store.snapshot.*, serve.window.*, and
+#      serve.replication.* metric emitted by the code is documented in
 #      docs/observability.md (the reverse of check 2).
 set -eu
 
@@ -68,7 +69,7 @@ else
 fi
 
 # --- 4. subsystem docs track the code they describe --------------------
-for doc in ingest.md store.md; do
+for doc in ingest.md store.md replication.md; do
   DOC_PATH="$REPO/docs/$doc"
   if [ ! -f "$DOC_PATH" ]; then
     echo "MISSING: docs/$doc"
@@ -99,7 +100,7 @@ done
 # --- 5. every gated metric family the code emits is documented ---------
 if [ -f "$OBS" ]; then
   for name in $(grep -rho \
-                '"\(serve\.ingest\.delta\|store\.snapshot\|serve\.window\)\.[A-Za-z0-9_.]*"' \
+                '"\(serve\.ingest\.delta\|store\.snapshot\|serve\.window\|serve\.replication\)\.[A-Za-z0-9_.]*"' \
                 "$REPO/src" "$REPO/bench" | sed 's/"//g' | sort -u); do
     if ! grep -qF "\`$name\`" "$OBS"; then
       echo "UNDOCUMENTED METRIC: $name (add to docs/observability.md)"

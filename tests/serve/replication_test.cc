@@ -1,0 +1,565 @@
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simgraph_delta.h"
+#include "dataset/config.h"
+#include "dataset/generator.h"
+#include "eval/protocol.h"
+#include "serve/delta_applier.h"
+#include "serve/replication_client.h"
+#include "serve/replication_fanout.h"
+#include "serve/replication_wire.h"
+#include "serve/service.h"
+#include "serve/sharded_service.h"
+#include "store/graph_image.h"
+#include "store/snapshot_writer.h"
+#include "util/net.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------------
+// SGRP frame codec: round trips plus hostile-input vetting. A
+// socketpair stands in for the TCP connection — the codec only sees
+// fds.
+
+class ReplicationWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer_ = fds[0];
+    reader_ = fds[1];
+  }
+  void TearDown() override {
+    ::close(writer_);
+    ::close(reader_);
+  }
+  int writer_ = -1;
+  int reader_ = -1;
+};
+
+TEST_F(ReplicationWireTest, FrameRoundTrip) {
+  const std::string payload = "delta bytes \x00\x01\x02";
+  ASSERT_TRUE(WriteReplicationFrame(writer_, ReplicationFrameType::kDelta,
+                                    payload)
+                  .ok());
+  ReplicationFrameType type;
+  std::string got;
+  ASSERT_TRUE(ReadReplicationFrame(reader_, &type, &got).ok());
+  EXPECT_EQ(type, ReplicationFrameType::kDelta);
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(ReplicationWireTest, RejectsUnknownFrameType) {
+  const char raw[] = {0, 0, 0, 0, 99};  // zero length, bogus type 99
+  ASSERT_TRUE(net::SendAll(writer_, raw, sizeof(raw)));
+  ReplicationFrameType type;
+  std::string payload;
+  const Status status = ReadReplicationFrame(reader_, &type, &payload);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(ReplicationWireTest, RejectsFramePastSizeCap) {
+  // A hostile 3 GiB length prefix must fail before any allocation.
+  const uint32_t length = 3u << 30;
+  char raw[5];
+  std::memcpy(raw, &length, 4);
+  raw[4] = static_cast<char>(ReplicationFrameType::kDelta);
+  ASSERT_TRUE(net::SendAll(writer_, raw, sizeof(raw)));
+  ReplicationFrameType type;
+  std::string payload;
+  EXPECT_FALSE(ReadReplicationFrame(reader_, &type, &payload).ok());
+  // And a caller-tightened cap applies too.
+  ASSERT_TRUE(
+      WriteReplicationFrame(writer_, ReplicationFrameType::kDelta,
+                            std::string(1024, 'x'))
+          .ok());
+  EXPECT_FALSE(
+      ReadReplicationFrame(reader_, &type, &payload, /*max_bytes=*/512)
+          .ok());
+}
+
+TEST_F(ReplicationWireTest, TruncatedFrameIsAnIoError) {
+  const char raw[] = {16, 0, 0, 0,
+                      static_cast<char>(ReplicationFrameType::kDelta),
+                      'h', 'a', 'l', 'f'};
+  ASSERT_TRUE(net::SendAll(writer_, raw, sizeof(raw)));
+  ::shutdown(writer_, SHUT_WR);  // EOF mid-payload
+  ReplicationFrameType type;
+  std::string payload;
+  EXPECT_FALSE(ReadReplicationFrame(reader_, &type, &payload).ok());
+}
+
+TEST(ReplicationHandshakeCodecTest, HelloRoundTrip) {
+  ReplicaHello hello;
+  hello.want_snapshot = true;
+  hello.applied_seq = 12345;
+  hello.name = "replica-7";
+  std::string bytes;
+  hello.SerializeTo(&bytes);
+  ReplicaHello parsed;
+  ASSERT_TRUE(ReplicaHello::Parse(bytes, &parsed).ok());
+  EXPECT_EQ(parsed.version, kReplicationVersion);
+  EXPECT_TRUE(parsed.want_snapshot);
+  EXPECT_EQ(parsed.applied_seq, 12345u);
+  EXPECT_EQ(parsed.name, "replica-7");
+}
+
+TEST(ReplicationHandshakeCodecTest, HelloRejectsHostileInput) {
+  ReplicaHello hello;
+  hello.name = "x";
+  std::string bytes;
+  hello.SerializeTo(&bytes);
+  ReplicaHello parsed;
+  // Truncations at every boundary.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        ReplicaHello::Parse(std::string_view(bytes.data(), cut), &parsed)
+            .ok())
+        << "cut at " << cut;
+  }
+  // Wrong magic.
+  std::string bad = bytes;
+  bad[0] ^= 0x5a;
+  EXPECT_FALSE(ReplicaHello::Parse(bad, &parsed).ok());
+  // Unsupported version.
+  bad = bytes;
+  bad[4] = 99;
+  EXPECT_FALSE(ReplicaHello::Parse(bad, &parsed).ok());
+  // Name length pointing past the buffer.
+  bad = bytes;
+  bad[bad.size() - 2] = 0x7f;
+  EXPECT_FALSE(ReplicaHello::Parse(bad, &parsed).ok());
+  // Trailing garbage is not ignored.
+  bad = bytes + "tail";
+  EXPECT_FALSE(ReplicaHello::Parse(bad, &parsed).ok());
+}
+
+TEST(ReplicationHandshakeCodecTest, HelloAckRoundTripAndAck) {
+  ReplicaHelloAck ack;
+  ack.snapshot_follows = true;
+  ack.built_seq = 77;
+  ack.graph_epoch = 3;
+  ack.graph_edges = 4242;
+  std::string bytes;
+  ack.SerializeTo(&bytes);
+  ReplicaHelloAck parsed;
+  ASSERT_TRUE(ReplicaHelloAck::Parse(bytes, &parsed).ok());
+  EXPECT_TRUE(parsed.snapshot_follows);
+  EXPECT_EQ(parsed.built_seq, 77u);
+  EXPECT_EQ(parsed.graph_epoch, 3u);
+  EXPECT_EQ(parsed.graph_edges, 4242);
+  EXPECT_FALSE(ReplicaHelloAck::Parse("short", &parsed).ok());
+
+  uint64_t seq = 0;
+  ASSERT_TRUE(
+      DecodeReplicationAck(EncodeReplicationAck(987654321), &seq).ok());
+  EXPECT_EQ(seq, 987654321u);
+  EXPECT_FALSE(DecodeReplicationAck("bad", &seq).ok());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end replication over real sockets.
+
+/// One in-process remote replica: its own RecommendationService around a
+/// DeltaApplierRecommender, fed by a ReplicationClient over TCP —
+/// exactly what tools/simgraph_shard_server runs, minus the process
+/// boundary (scripts/replication_smoke.sh covers that).
+struct RemoteReplica {
+  std::unique_ptr<RecommendationService> service;
+  DeltaApplierRecommender* applier = nullptr;
+  std::unique_ptr<ReplicationClient> client;
+  ReplicationBootstrap bootstrap;
+
+  void Shutdown() {
+    if (client != nullptr) client->Stop();
+    if (service != nullptr) service->Stop();
+  }
+};
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetConfig config = TinyConfig();
+    config.seed = 60809;
+    dataset_ = GenerateDataset(config);
+    protocol_ = MakeProtocol(dataset_, ProtocolOptions{});
+    num_test_ = dataset_.num_retweets() - protocol_.train_end;
+    ASSERT_GT(num_test_, 10);
+    sample_.assign(protocol_.panel.begin(),
+                   protocol_.panel.begin() +
+                       std::min<size_t>(protocol_.panel.size(), 32));
+  }
+
+  const RetweetEvent& TestEvent(int64_t i) const {
+    return dataset_.retweets[static_cast<size_t>(protocol_.train_end + i)];
+  }
+
+  /// Connects, trains, and starts one remote replica against `fanout`'s
+  /// port. `applied_seq` is the HELLO resume position.
+  void StartRemote(const ReplicationFanout& fanout, RemoteReplica* remote,
+                   const std::string& name, uint64_t applied_seq = 0,
+                   bool want_snapshot = false,
+                   const std::string& snapshot_save_path = "") {
+    ReplicationClientOptions client_options;
+    client_options.port = fanout.port();
+    client_options.name = name;
+    client_options.want_snapshot = want_snapshot;
+    client_options.snapshot_save_path = snapshot_save_path;
+    remote->client =
+        std::make_unique<ReplicationClient>(client_options);
+    ASSERT_TRUE(
+        remote->client->Connect(applied_seq, &remote->bootstrap).ok());
+
+    DeltaApplierOptions applier_options;  // defaults mirror the builder
+    if (want_snapshot) {
+      StatusOr<std::shared_ptr<const store::GraphImage>> image =
+          store::GraphImage::Load(snapshot_save_path);
+      ASSERT_TRUE(image.ok()) << image.status().ToString();
+      applier_options.graph_image = *std::move(image);
+    }
+    auto applier =
+        std::make_unique<DeltaApplierRecommender>(applier_options);
+    remote->applier = applier.get();
+    ServiceOptions service_options;
+    service_options.cache_ttl = 0;
+    remote->service = std::make_unique<RecommendationService>(
+        std::move(applier), service_options);
+    ASSERT_TRUE(
+        remote->service->Train(dataset_, protocol_.train_end).ok());
+    remote->applier->SeedRemoteGraphStats(remote->bootstrap.graph_epoch,
+                                          remote->bootstrap.graph_edges);
+    remote->service->Start();
+    remote->client->Start(remote->service.get());
+  }
+
+  static void ExpectBitIdentical(const std::vector<ScoredTweet>& actual,
+                                 const std::vector<ScoredTweet>& expected,
+                                 UserId user) {
+    ASSERT_EQ(actual.size(), expected.size()) << "user " << user;
+    for (size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(actual[j].tweet, expected[j].tweet) << "user " << user;
+      // Exact equality: the replica replays the very doubles the
+      // builder computed, across a real socket.
+      EXPECT_EQ(actual[j].score, expected[j].score) << "user " << user;
+    }
+  }
+
+  void ExpectRemoteMatchesService(ShardedService* service,
+                                  RemoteReplica* remote, Timestamp now) {
+    for (const UserId user : sample_) {
+      const RecommendResponse served = service->Recommend({user, now, 10});
+      const RecommendResponse replica =
+          remote->service->Recommend({user, now, 10});
+      ASSERT_TRUE(served.status.ok());
+      ASSERT_TRUE(replica.status.ok());
+      ExpectBitIdentical(replica.tweets, served.tweets, user);
+    }
+  }
+
+  Dataset dataset_;
+  EvalProtocol protocol_;
+  std::vector<UserId> sample_;
+  int64_t num_test_ = 0;
+};
+
+// The tentpole equivalence claim: a replica fed SGDL frames over a real
+// TCP socket — through the fanout's backlog/outbox machinery, the
+// client pump, and PublishItem — answers bit-identically to the
+// in-process shards at every checkpoint, INCLUDING across epoch
+// snapshot swaps (refresh deltas cross the wire without a snapshot
+// pointer and must still advance the replica's epoch).
+TEST_F(ReplicationTest, SocketFedReplicaMatchesShardsAcrossEpochSwaps) {
+  ReplicationFanout fanout;
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ServingSimGraphOptions simgraph_options;
+  simgraph_options.snapshot_refresh_events = 16;  // force epoch swaps
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(simgraph_options, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  RemoteReplica remote;
+  StartRemote(fanout, &remote, "epoch-swap-replica");
+  ASSERT_TRUE(fanout.WaitForReplicas(1, std::chrono::milliseconds(5000)));
+
+  std::vector<int64_t> checkpoints;
+  for (int i = 1; i <= 3; ++i) checkpoints.push_back(num_test_ * i / 3);
+  int64_t published = 0;
+  for (const int64_t checkpoint : checkpoints) {
+    uint64_t seq = 0;
+    while (published < checkpoint) {
+      seq = service.Publish(TestEvent(published));
+      ++published;
+    }
+    // Waits on local shards AND the remote replica's acks.
+    service.WaitForApplied(seq);
+    EXPECT_EQ(service.AppliedSeq(), seq);
+    ExpectRemoteMatchesService(&service, &remote,
+                               TestEvent(published - 1).time);
+    // The epoch swap crossed the wire: the remote replica reports the
+    // same epoch as the builder's shards despite never holding a
+    // snapshot object.
+    EXPECT_EQ(remote.applier->graph_epoch(), service.Stats().graph_epoch);
+  }
+  EXPECT_GT(remote.applier->graph_epoch(), 1u);  // swaps happened
+  EXPECT_EQ(fanout.num_degraded(), 0);
+
+  remote.Shutdown();
+  service.Stop();
+  fanout.Stop();
+}
+
+// Late join + snapshot bootstrap: a replica that shows up mid-stream
+// requests the SGCS image, receives the retained delta backlog since
+// seq 0, and converges bit-identically; the fetched image is
+// byte-identical to the builder's file and Load-validates.
+TEST_F(ReplicationTest, LateJoinerBootstrapsSnapshotAndBacklog) {
+  const std::string image_path =
+      ::testing::TempDir() + "/replication_builder.sgcs";
+  const std::string fetched_path =
+      ::testing::TempDir() + "/replication_fetched.sgcs";
+  ASSERT_TRUE(
+      store::WriteDigraphSnapshot(dataset_.follow_graph, image_path).ok());
+
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.snapshot_path = image_path;
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  // First half of the stream ships with no replica attached: these
+  // deltas exist only in the fanout's retained log.
+  const int64_t half = num_test_ / 2;
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < half; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+
+  RemoteReplica remote;
+  StartRemote(fanout, &remote, "late-joiner", /*applied_seq=*/0,
+              /*want_snapshot=*/true, fetched_path);
+  EXPECT_TRUE(remote.bootstrap.snapshot_received);
+  EXPECT_EQ(ReadFileBytes(fetched_path), ReadFileBytes(image_path));
+
+  // The backlog replay must drain into the replica before new deltas.
+  for (int64_t i = half; i < num_test_; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  service.WaitForApplied(seq);
+  EXPECT_EQ(seq, static_cast<uint64_t>(num_test_));
+  ExpectRemoteMatchesService(&service, &remote,
+                             TestEvent(num_test_ - 1).time);
+  EXPECT_EQ(fanout.num_degraded(), 0);
+
+  remote.Shutdown();
+  service.Stop();
+  fanout.Stop();
+}
+
+// Kill-and-rejoin: a replica disconnects mid-stream (its client stops),
+// the pipeline keeps going without it, and a rejoin at its old applied
+// position receives exactly the missed tail from the retained log and
+// converges bit-identically.
+TEST_F(ReplicationTest, KillAndRejoinConverges) {
+  ReplicationFanout fanout;
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  RemoteReplica remote;
+  StartRemote(fanout, &remote, "doomed");
+  ASSERT_TRUE(fanout.WaitForReplicas(1, std::chrono::milliseconds(5000)));
+
+  const int64_t third = num_test_ / 3;
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < third; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+  const uint64_t applied_at_kill = remote.service->AppliedSeq();
+  EXPECT_EQ(applied_at_kill, seq);
+
+  // Kill the connection. The fanout drops the replica from the live
+  // set; publishing continues unimpeded.
+  remote.client->Stop();
+  for (int64_t i = third; i < 2 * third; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  service.WaitForApplied(seq);  // remote is gone; must not block
+
+  // Rejoin from the old position: only the missed deltas replay.
+  ReplicationClientOptions rejoin_options;
+  rejoin_options.port = fanout.port();
+  rejoin_options.name = "reborn";
+  auto rejoin = std::make_unique<ReplicationClient>(rejoin_options);
+  ReplicationBootstrap bootstrap;
+  ASSERT_TRUE(rejoin->Connect(applied_at_kill, &bootstrap).ok());
+  remote.client = std::move(rejoin);
+  remote.client->Start(remote.service.get());
+
+  for (int64_t i = 2 * third; i < num_test_; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  service.WaitForApplied(seq);
+  EXPECT_EQ(remote.service->AppliedSeq(), seq);
+  ExpectRemoteMatchesService(&service, &remote,
+                             TestEvent(num_test_ - 1).time);
+  EXPECT_EQ(fanout.num_degraded(), 0);
+
+  remote.Shutdown();
+  service.Stop();
+  fanout.Stop();
+}
+
+// The bounded-lag cutoff: a replica that handshakes and then never acks
+// is degraded once the builder runs ahead by more than max_lag_events —
+// and WaitForApplied returns instead of hanging on it.
+TEST_F(ReplicationTest, StalledReplicaTripsLagCutoffWithoutBlocking) {
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.max_lag_events = 32;
+  // Park the wall-clock backstop out of the way: this test pins the
+  // event-lag trigger specifically.
+  fanout_options.ack_stall_timeout_ms = 3600 * 1000;
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  // A raw peer that speaks just enough SGRP to register, then goes
+  // silent — the socket stays open (that is what distinguishes a stall
+  // from a disconnect).
+  StatusOr<int> peer = net::ConnectLoopback(fanout.port(), 2000);
+  ASSERT_TRUE(peer.ok()) << peer.status().ToString();
+  ReplicaHello hello;
+  hello.name = "stalled";
+  std::string payload;
+  hello.SerializeTo(&payload);
+  ASSERT_TRUE(
+      WriteReplicationFrame(*peer, ReplicationFrameType::kHello, payload)
+          .ok());
+  ReplicationFrameType type;
+  ASSERT_TRUE(ReadReplicationFrame(*peer, &type, &payload).ok());
+  ASSERT_EQ(type, ReplicationFrameType::kHelloAck);
+  ASSERT_TRUE(fanout.WaitForReplicas(1, std::chrono::milliseconds(5000)));
+
+  const int64_t to_publish =
+      std::min<int64_t>(num_test_, 2 * fanout_options.max_lag_events + 16);
+  ASSERT_GT(to_publish, fanout_options.max_lag_events);
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < to_publish; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  // Must return: the stalled peer is degraded out of the live set by
+  // the cutoff, never waited on. (A hang here is the bug this guards.)
+  service.WaitForApplied(seq);
+  EXPECT_EQ(service.AppliedSeq(), seq);
+  EXPECT_EQ(fanout.num_degraded(), 1);
+  EXPECT_EQ(fanout.num_live(), 0);
+
+  ::close(*peer);
+  service.Stop();
+  fanout.Stop();
+}
+
+// A peer that is not a replica at all: bad magic in HELLO gets an ERROR
+// frame and no session; the fanout stays healthy for real replicas.
+TEST_F(ReplicationTest, HostileHelloIsRejectedWithoutHarm) {
+  ReplicationFanout fanout;
+  ASSERT_TRUE(fanout.Start().ok());
+
+  StatusOr<int> peer = net::ConnectLoopback(fanout.port(), 2000);
+  ASSERT_TRUE(peer.ok());
+  // Valid framing, garbage payload.
+  ASSERT_TRUE(WriteReplicationFrame(*peer, ReplicationFrameType::kHello,
+                                    "not a hello")
+                  .ok());
+  ReplicationFrameType type;
+  std::string payload;
+  ASSERT_TRUE(ReadReplicationFrame(*peer, &type, &payload).ok());
+  EXPECT_EQ(type, ReplicationFrameType::kError);
+  ::close(*peer);
+
+  EXPECT_EQ(fanout.num_live(), 0);
+  fanout.Stop();
+}
+
+// A replica whose resume position predates the retained delta log is
+// told to bootstrap from a snapshot instead of silently diverging.
+TEST_F(ReplicationTest, BootstrapGapIsRejected) {
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.delta_log_capacity = 2;  // force trimming immediately
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 1;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < 16; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+
+  ReplicationClientOptions client_options;
+  client_options.port = fanout.port();
+  client_options.name = "too-late";
+  ReplicationClient client(client_options);
+  ReplicationBootstrap bootstrap;
+  const Status status = client.Connect(/*applied_seq=*/0, &bootstrap);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bootstrap gap"), std::string::npos)
+      << status.ToString();
+
+  service.Stop();
+  fanout.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

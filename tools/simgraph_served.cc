@@ -44,9 +44,23 @@
 //                                        a window's request p99 exceeds M x
 //                                        the trailing median (default 4;
 //                                        0 disables)
+//                   [--replication-port P] accept remote shard replicas
+//                                        (tools/simgraph_shard_server) on
+//                                        this SGRP port; 0 picks ephemeral.
+//                                        Requires simgraph + delta ingest
+//                                        (docs/replication.md)
+//                   [--replication-image PATH] write the follow graph as an
+//                                        SGCS image to PATH and serve it to
+//                                        replicas that bootstrap with
+//                                        want_snapshot
+//                   [--replication-max-lag N] bounded-lag cutoff in events
+//                                        (default 65536)
+//                   [--replication-stall-ms N] ack-stall degrade backstop
+//                                        (default 10000)
 //
 // Prints "listening on port P" once ready — harnesses parse this line to
-// find an ephemeral port.
+// find an ephemeral port. With --replication-port it also prints
+// "replication on port R".
 
 #include <chrono>
 #include <iostream>
@@ -187,6 +201,35 @@ int Run(int argc, char** argv) {
       std::chrono::microseconds(FlagInt(flags, "deadline-us", 0));
   options.shard_options.flight_recorder_capacity =
       static_cast<int32_t>(FlagInt(flags, "flight-recorder-k", 16));
+
+  std::unique_ptr<serve::ReplicationFanout> fanout;
+  if (flags.count("replication-port") > 0) {
+    if (method != "simgraph" || ingest != "delta") {
+      std::cerr << "--replication-port requires --method simgraph "
+                   "--ingest delta (docs/replication.md)\n";
+      return 2;
+    }
+    serve::ReplicationFanoutOptions fanout_options;
+    fanout_options.port =
+        static_cast<uint16_t>(FlagInt(flags, "replication-port", 0));
+    fanout_options.max_lag_events =
+        FlagInt(flags, "replication-max-lag", 65536);
+    fanout_options.ack_stall_timeout_ms =
+        FlagInt(flags, "replication-stall-ms", 10000);
+    fanout_options.snapshot_path = FlagString(flags, "replication-image");
+    if (!fanout_options.snapshot_path.empty()) {
+      const StatusOr<store::SnapshotBuildStats> written =
+          store::WriteDigraphSnapshot(dataset.follow_graph,
+                                      fanout_options.snapshot_path);
+      if (!written.ok()) {
+        std::cerr << written.status().ToString() << "\n";
+        return 1;
+      }
+    }
+    fanout = std::make_unique<serve::ReplicationFanout>(fanout_options);
+    options.replication = fanout.get();
+  }
+
   std::unique_ptr<serve::ShardedService> service;
   if (method == "simgraph" && ingest == "delta") {
     // Delta-shipping ingest: one builder recommender, cheap
@@ -203,6 +246,15 @@ int Run(int argc, char** argv) {
   if (!trained.ok()) {
     std::cerr << trained.ToString() << "\n";
     return 1;
+  }
+  if (fanout != nullptr) {
+    // After Train (so the handshake reports the trained graph stats),
+    // before Start (so no delta can ship before the fanout listens).
+    const Status started = fanout->Start();
+    if (!started.ok()) {
+      std::cerr << started.ToString() << "\n";
+      return 1;
+    }
   }
   service->Start();
 
@@ -233,6 +285,9 @@ int Run(int argc, char** argv) {
             << service->num_shards() << " shard"
             << (service->num_shards() == 1 ? "" : "s") << ")\n"
             << "listening on port " << server.port() << std::endl;
+  if (fanout != nullptr) {
+    std::cout << "replication on port " << fanout->port() << std::endl;
+  }
 
   // Park until the parent closes stdin (the conventional way to stop a
   // child service without signal handling).
@@ -241,9 +296,12 @@ int Run(int argc, char** argv) {
   }
 
   // Stop the service first so wait_applied clients unblock; the server
-  // then answers their final acks before closing.
+  // then answers their final acks before closing. The fanout goes last:
+  // its BYE tells replicas the builder is done, after every buffered
+  // delta was shipped.
   service->Stop();
   server.Stop();
+  if (fanout != nullptr) fanout->Stop();
   if (recorder != nullptr) {
     recorder->Stop();
     recorder->Tick();  // close the tail window into the NDJSON stream
