@@ -27,6 +27,9 @@ Status ReplicationClient::Connect(uint64_t applied_seq,
       net::ConnectLoopback(options_.port, options_.connect_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
+  // Handshake under a receive deadline: without it a peer that accepts
+  // but never responds wedges the replica process inside Connect.
+  net::SetRecvTimeout(fd_, options_.handshake_timeout_ms);
 
   ReplicaHello hello;
   hello.want_snapshot = options_.want_snapshot;
@@ -79,6 +82,7 @@ Status ReplicationClient::Connect(uint64_t applied_seq,
     fd_ = -1;
     return status;
   }
+  net::SetRecvTimeout(fd_, 0);
   if (bootstrap != nullptr) {
     bootstrap->built_seq = ack.built_seq;
     bootstrap->graph_epoch = ack.graph_epoch;

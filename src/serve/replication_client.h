@@ -27,6 +27,13 @@ struct ReplicationClientOptions {
   std::string snapshot_save_path;
   /// ECONNREFUSED retry budget (a builder mid-startup).
   int64_t connect_timeout_ms = 10000;
+  /// Receive deadline covering the handshake reads (HELLO_ACK and the
+  /// optional SNAPSHOT): a peer that accepts the connection but never
+  /// answers fails Connect instead of blocking the replica forever —
+  /// mirroring the fanout's handshake_timeout_ms. Cleared before the
+  /// pump threads take over (deltas may legitimately pause for long).
+  /// 0 disables.
+  int64_t handshake_timeout_ms = 30000;
 };
 
 /// What the handshake learned; feeds replica construction (graph stats)

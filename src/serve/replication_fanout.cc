@@ -18,7 +18,9 @@ namespace simgraph {
 namespace serve {
 
 ReplicationFanout::ReplicationFanout(ReplicationFanoutOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      snapshot_path_(options_.snapshot_path),
+      snapshot_seq_(options_.snapshot_seq) {
   SIMGRAPH_CHECK_GT(options_.max_lag_events, 0);
   SIMGRAPH_CHECK_GT(options_.delta_log_capacity, 0);
 }
@@ -48,13 +50,13 @@ void ReplicationFanout::Stop() {
     }
     ack_cv_.notify_all();
   }
-  std::vector<std::thread> sessions;
+  std::vector<Session> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions.swap(sessions_);
   }
-  for (std::thread& t : sessions) {
-    if (t.joinable()) t.join();
+  for (Session& session : sessions) {
+    if (session.thread.joinable()) session.thread.join();
   }
   listen_fd_ = -1;
 }
@@ -65,6 +67,14 @@ void ReplicationFanout::SeedGraphStats(uint64_t epoch, int64_t edges) {
   seed_graph_edges_ = edges;
 }
 
+void ReplicationFanout::UpdateSnapshot(const std::string& path,
+                                       uint64_t seq) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_path_ = path;
+  snapshot_seq_ = seq;
+  snapshot_cache_ = nullptr;
+}
+
 void ReplicationFanout::ShipDelta(const SimGraphDelta& delta) {
   std::string payload;
   delta.SerializeTo(&payload);
@@ -72,20 +82,26 @@ void ReplicationFanout::ShipDelta(const SimGraphDelta& delta) {
       BuildReplicationFrame(ReplicationFrameType::kDelta, payload));
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (delta.seq_end > built_seq_.load()) built_seq_.store(delta.seq_end);
+  const uint64_t prev_built = built_seq_.load();
+  if (delta.seq_end > prev_built) built_seq_.store(delta.seq_end);
   log_.push_back(LogEntry{delta.seq_begin, delta.seq_end, framed});
   while (static_cast<int64_t>(log_.size()) > options_.delta_log_capacity) {
     trimmed_through_seq_ = log_.front().seq_end;
     log_.pop_front();
   }
   const uint64_t built = built_seq_.load();
+  const auto now = std::chrono::steady_clock::now();
   for (const auto& replica : replicas_) {
     if (!replica->live) continue;
+    // A replica with nothing outstanding was healthy right up to this
+    // delta: restart its stall clock here. Without this, a publish-idle
+    // gap longer than ack_stall_timeout_ms would read as an ack stall
+    // the instant the stream resumes.
+    if (replica->acked >= prev_built) replica->last_progress = now;
     // The bounded-lag cutoff: a replica that trails the builder by more
     // than max_lag_events is degraded here, on the builder's tap, so
     // ingest never waits on it (docs/replication.md).
-    const uint64_t lag = built > replica->acked ? built - replica->acked : 0;
-    if (lag > static_cast<uint64_t>(options_.max_lag_events)) {
+    if (LagCutoffLocked(*replica, built)) {
       DegradeLocked(replica.get(), "lag cutoff exceeded");
       continue;
     }
@@ -116,9 +132,11 @@ void ReplicationFanout::WaitForAcked(uint64_t seq) {
       if (!replica->live || replica->acked >= seq) continue;
       // The wall-clock backstop: lag in events cannot grow while the
       // stream is paused, so a replica that stalls right before the
-      // pause would otherwise pin this wait forever.
+      // pause would otherwise pin this wait forever. last_progress is
+      // refreshed whenever the replica is caught up, so only time spent
+      // sitting on outstanding work counts toward the stall.
       if (options_.ack_stall_timeout_ms > 0 &&
-          now - replica->last_ack >= stall) {
+          now - replica->last_progress >= stall) {
         DegradeLocked(replica.get(), "ack stall timeout");
         UpdateGaugesLocked();
         continue;
@@ -161,6 +179,11 @@ int64_t ReplicationFanout::num_degraded() const {
   return degraded_total_;
 }
 
+int64_t ReplicationFanout::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
 void ReplicationFanout::AcceptLoop() {
   while (!stopping_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -170,7 +193,28 @@ void ReplicationFanout::AcceptLoop() {
       break;
     }
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions_.emplace_back([this, fd] { RunSession(fd); });
+    // Reap finished sessions before tracking a new one: a long-running
+    // builder sees endless handshake rejects, disconnects, and rejoins,
+    // and deferring every join to Stop would leak a thread per each.
+    ReapSessionsLocked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, fd, done] {
+      RunSession(fd);
+      done->store(true);
+    });
+    sessions_.push_back(Session{std::move(thread), std::move(done)});
+  }
+}
+
+void ReplicationFanout::ReapSessionsLocked() {
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -195,6 +239,28 @@ void ReplicationFanout::RunSession(int fd) {
   }
   net::SetRecvTimeout(fd, 0);
 
+  // Pin the bootstrap image before registering: the resume position
+  // derived from it and the bytes shipped later must come from the same
+  // image generation even if UpdateSnapshot runs concurrently. An
+  // offered-but-unreadable image is a handshake reject, not a
+  // mid-session surprise.
+  std::shared_ptr<const SnapshotImage> snap;
+  if (hello.want_snapshot && SnapshotOffered()) {
+    snap = Snapshot();
+    if (snap == nullptr) {
+      SIMGRAPH_COUNTER_ADD("serve.replication.handshake_rejects", 1);
+      WriteReplicationFrame(fd, ReplicationFrameType::kError,
+                            "snapshot image unreadable");
+      ::close(fd);
+      return;
+    }
+  }
+  // A snapshot bootstrapper restarts from the image, so it resumes at
+  // the sequence the image covers, not at its HELLO position.
+  const uint64_t resume_seq =
+      snap != nullptr ? std::max(hello.applied_seq, snap->seq)
+                      : hello.applied_seq;
+
   auto replica = std::make_shared<Replica>();
   replica->fd = fd;
   replica->name = hello.name.empty() ? "replica" : hello.name;
@@ -206,31 +272,47 @@ void ReplicationFanout::RunSession(int fd) {
       ::close(fd);
       return;
     }
-    if (trimmed_through_seq_ > hello.applied_seq) {
-      // The retained log no longer covers this replica's position; it
-      // must restart from a fresh snapshot (want_snapshot, applied 0).
+    if (trimmed_through_seq_ > resume_seq) {
+      // The retained log no longer covers this replica's position. Be
+      // honest about whether a retry can succeed: a snapshot bootstrap
+      // only helps if the offered image covers the trimmed prefix.
       SIMGRAPH_COUNTER_ADD("serve.replication.handshake_rejects", 1);
-      WriteReplicationFrame(
-          fd, ReplicationFrameType::kError,
-          "bootstrap gap: replica position predates the retained delta "
-          "log; rejoin with a snapshot bootstrap");
+      std::ostringstream msg;
+      msg << "bootstrap gap: resume position " << resume_seq
+          << " predates the retained delta log (trimmed through "
+          << trimmed_through_seq_ << "); ";
+      uint64_t snapshot_seq = 0;
+      if (!SnapshotOffered(&snapshot_seq)) {
+        msg << "no snapshot bootstrap is offered, so this replica "
+               "cannot join until the builder restarts or serves an "
+               "image";
+      } else if (snapshot_seq < trimmed_through_seq_) {
+        msg << "the offered bootstrap image covers only seq "
+            << snapshot_seq
+            << ", which the log has also outrun — cold join cannot "
+               "succeed until the builder refreshes its replication "
+               "image";
+      } else {
+        msg << "rejoin with a snapshot bootstrap (want_snapshot)";
+      }
+      WriteReplicationFrame(fd, ReplicationFrameType::kError, msg.str());
       ::close(fd);
       return;
     }
-    replica->acked = hello.applied_seq;
-    replica->last_ack = std::chrono::steady_clock::now();
+    replica->acked = resume_seq;
+    replica->last_progress = std::chrono::steady_clock::now();
+    replica->join_built_seq = built_seq_.load();
     replica->live = true;
     ack.built_seq = built_seq_.load();
     ack.graph_epoch = seed_graph_epoch_;
     ack.graph_edges = seed_graph_edges_;
-    ack.snapshot_follows =
-        hello.want_snapshot && !options_.snapshot_path.empty();
+    ack.snapshot_follows = snap != nullptr;
     // Registration and backlog replay under one lock hold: every delta
     // shipped before this point with seq_end past the replica's
     // position is replayed from the log, every later one lands in the
     // outbox — no gap, no duplicate.
     for (const LogEntry& entry : log_) {
-      if (entry.seq_end <= hello.applied_seq) continue;
+      if (entry.seq_end <= resume_seq) continue;
       replica->outbox.push_back(entry.framed);
       ++backlog;
     }
@@ -244,7 +326,7 @@ void ReplicationFanout::RunSession(int fd) {
                          static_cast<double>(backlog));
   }
   SIMGRAPH_LOG(Info) << "replication: replica '" << replica->name
-                     << "' joined at seq " << hello.applied_seq << " ("
+                     << "' joined at seq " << resume_seq << " ("
                      << backlog << " backlog deltas"
                      << (ack.snapshot_follows ? ", snapshot bootstrap" : "")
                      << ")";
@@ -256,21 +338,13 @@ void ReplicationFanout::RunSession(int fd) {
       SendFrameChecked(replica, BuildReplicationFrame(
                                     ReplicationFrameType::kHelloAck,
                                     ack_payload));
-  if (session_ok && ack.snapshot_follows) {
-    std::shared_ptr<const std::string> image = SnapshotBytes();
-    if (image == nullptr) {
-      SendFrameChecked(replica,
-                       BuildReplicationFrame(ReplicationFrameType::kError,
-                                             "snapshot image unreadable"));
-      session_ok = false;
-    } else {
-      session_ok = SendFrameChecked(
-          replica,
-          BuildReplicationFrame(ReplicationFrameType::kSnapshot, *image));
-      if (session_ok) {
-        SIMGRAPH_COUNTER_ADD("serve.replication.snapshot_bytes_sent",
-                             static_cast<double>(image->size()));
-      }
+  if (session_ok && snap != nullptr) {
+    session_ok = SendFrameChecked(
+        replica, BuildReplicationFrame(ReplicationFrameType::kSnapshot,
+                                       *snap->bytes));
+    if (session_ok) {
+      SIMGRAPH_COUNTER_ADD("serve.replication.snapshot_bytes_sent",
+                           static_cast<double>(snap->bytes->size()));
     }
   }
 
@@ -334,7 +408,7 @@ void ReplicationFanout::ReadAcks(const std::shared_ptr<Replica>& replica) {
     std::lock_guard<std::mutex> lock(mu_);
     if (acked > replica->acked) {
       replica->acked = acked;
-      replica->last_ack = std::chrono::steady_clock::now();
+      replica->last_progress = std::chrono::steady_clock::now();
       UpdateGaugesLocked();
       ack_cv_.notify_all();
     }
@@ -369,10 +443,7 @@ bool ReplicationFanout::SendFrameChecked(
       if (stopping_.load() || replica->degraded || !replica->live) {
         return false;
       }
-      const uint64_t built = built_seq_.load();
-      const uint64_t lag =
-          built > replica->acked ? built - replica->acked : 0;
-      if (lag > static_cast<uint64_t>(options_.max_lag_events)) {
+      if (LagCutoffLocked(*replica, built_seq_.load())) {
         DegradeLocked(replica.get(), "lag cutoff exceeded (send stalled)");
         UpdateGaugesLocked();
         return false;
@@ -382,6 +453,18 @@ bool ReplicationFanout::SendFrameChecked(
     return false;
   }
   return true;
+}
+
+bool ReplicationFanout::LagCutoffLocked(const Replica& replica,
+                                        uint64_t built) const {
+  // A joiner still draining its handshake backlog is exempt: its lag IS
+  // the join gap by construction and shrinks as it drains, so degrading
+  // it would make bootstrap of a far-behind replica impossible while
+  // the stream is live. The ack-stall backstop still covers a drainer
+  // that stops making progress.
+  if (replica.acked < replica.join_built_seq) return false;
+  const uint64_t lag = built > replica.acked ? built - replica.acked : 0;
+  return lag > static_cast<uint64_t>(options_.max_lag_events);
 }
 
 void ReplicationFanout::DegradeLocked(Replica* replica, const char* reason) {
@@ -422,16 +505,27 @@ void ReplicationFanout::UpdateGaugesLocked() {
   }
 }
 
-std::shared_ptr<const std::string> ReplicationFanout::SnapshotBytes() {
+std::shared_ptr<const ReplicationFanout::SnapshotImage>
+ReplicationFanout::Snapshot() {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (snapshot_bytes_ != nullptr) return snapshot_bytes_;
-  std::ifstream in(options_.snapshot_path, std::ios::binary);
+  if (snapshot_path_.empty()) return nullptr;
+  if (snapshot_cache_ != nullptr) return snapshot_cache_;
+  std::ifstream in(snapshot_path_, std::ios::binary);
   if (!in) return nullptr;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!in.good() && !in.eof()) return nullptr;
-  snapshot_bytes_ = std::make_shared<const std::string>(buffer.str());
-  return snapshot_bytes_;
+  auto image = std::make_shared<SnapshotImage>();
+  image->bytes = std::make_shared<const std::string>(buffer.str());
+  image->seq = snapshot_seq_;
+  snapshot_cache_ = std::move(image);
+  return snapshot_cache_;
+}
+
+bool ReplicationFanout::SnapshotOffered(uint64_t* seq) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (seq != nullptr) *seq = snapshot_seq_;
+  return !snapshot_path_.empty();
 }
 
 }  // namespace serve

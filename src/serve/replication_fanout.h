@@ -44,8 +44,14 @@ struct ReplicationFanoutOptions {
   /// ERROR frame ("bootstrap gap") and must restart from a snapshot.
   int64_t delta_log_capacity = 65536;
   /// SGCS image served to replicas that HELLO with want_snapshot; empty
-  /// means snapshot bootstrap is not offered.
+  /// means snapshot bootstrap is not offered. The image must represent
+  /// replica state as of `snapshot_seq` (the startup image is seq 0).
   std::string snapshot_path;
+  /// Sequence the snapshot image corresponds to: a want_snapshot joiner
+  /// resumes from here, and the bootstrap-gap check is made against it
+  /// rather than the joiner's own position. Refresh both together with
+  /// UpdateSnapshot when the builder regenerates its image.
+  uint64_t snapshot_seq = 0;
 };
 
 /// Builder-side replication: streams every delta the DeltaBuilder
@@ -85,6 +91,14 @@ class ReplicationFanout {
   /// the builder source trained, before serving).
   void SeedGraphStats(uint64_t epoch, int64_t edges);
 
+  /// Replaces the bootstrap image served to want_snapshot joiners.
+  /// `seq` is the sequence the new image represents state through;
+  /// joiners bootstrapping from it resume there, so a builder that
+  /// refreshes its image as the delta log trims keeps cold joins
+  /// possible indefinitely. The cached bytes are invalidated and
+  /// re-read lazily on the next bootstrap.
+  void UpdateSnapshot(const std::string& path, uint64_t seq);
+
   /// Builder-thread tap: serialize, append to the retained log, enqueue
   /// on every live replica, and apply the lag cutoff.
   void ShipDelta(const SimGraphDelta& delta);
@@ -105,18 +119,46 @@ class ReplicationFanout {
   int32_t num_live() const;
   int64_t num_degraded() const;
   uint64_t built_seq() const { return built_seq_.load(); }
+  /// Session threads currently tracked (live plus not-yet-reaped).
+  /// Finished sessions are reaped on each accept; for tests.
+  int64_t num_sessions() const;
 
  private:
   struct Replica {
     int fd = -1;
     std::string name;
     uint64_t acked = 0;
-    std::chrono::steady_clock::time_point last_ack{};
+    /// Last moment this replica was known healthy: its acked seq
+    /// advanced, it joined, or a delta shipped while it had nothing
+    /// outstanding. The ack-stall backstop measures from here — NOT
+    /// from the last ack alone, which goes stale across publish-idle
+    /// gaps even on a perfectly healthy replica.
+    std::chrono::steady_clock::time_point last_progress{};
+    /// built_seq at handshake: while acked is still below this, the
+    /// replica is draining its join backlog and the event-lag cutoff
+    /// does not apply (the ack-stall backstop still does).
+    uint64_t join_built_seq = 0;
     bool live = false;
     bool degraded = false;
     /// Framed byte buffers awaiting this replica's sender thread.
     std::deque<std::shared_ptr<const std::string>> outbox;
     std::condition_variable cv;
+  };
+
+  /// One accepted connection's thread plus its completion flag, so the
+  /// acceptor can reap finished sessions instead of holding every
+  /// thread object until Stop.
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  /// The bootstrap image pinned together with the sequence it covers,
+  /// so a handshake cannot see one generation's seq and ship another
+  /// generation's bytes across a concurrent UpdateSnapshot.
+  struct SnapshotImage {
+    std::shared_ptr<const std::string> bytes;
+    uint64_t seq = 0;
   };
 
   struct LogEntry {
@@ -132,12 +174,20 @@ class ReplicationFanout {
   /// send-timeout tick. False when the session must end.
   bool SendFrameChecked(const std::shared_ptr<Replica>& replica,
                         const std::string& frame);
+  /// True when the replica's event lag is past max_lag_events AND the
+  /// cutoff applies (join-backlog drain is exempt). mu_ held.
+  bool LagCutoffLocked(const Replica& replica, uint64_t built) const;
   /// Marks the replica degraded and severs its socket. mu_ held.
   void DegradeLocked(Replica* replica, const char* reason);
   void UpdateGaugesLocked();
-  /// Loads (and caches) the snapshot image served to bootstrapping
-  /// replicas. Empty string on read failure.
-  std::shared_ptr<const std::string> SnapshotBytes();
+  /// Joins and erases finished session threads. sessions_mu_ held.
+  void ReapSessionsLocked();
+  /// Loads (and caches) the snapshot image + its covered sequence.
+  /// nullptr when no image is configured or the file is unreadable.
+  std::shared_ptr<const SnapshotImage> Snapshot();
+  /// Whether a bootstrap image is offered; `*seq` (optional) receives
+  /// the sequence the current image covers.
+  bool SnapshotOffered(uint64_t* seq = nullptr) const;
 
   ReplicationFanoutOptions options_;
   std::atomic<bool> stopping_{false};
@@ -157,11 +207,13 @@ class ReplicationFanout {
   int64_t seed_graph_edges_ = 0;
   int64_t degraded_total_ = 0;
 
-  std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
+  mutable std::mutex sessions_mu_;
+  std::vector<Session> sessions_;
 
-  std::mutex snapshot_mu_;
-  std::shared_ptr<const std::string> snapshot_bytes_;
+  mutable std::mutex snapshot_mu_;
+  std::string snapshot_path_;
+  uint64_t snapshot_seq_ = 0;
+  std::shared_ptr<const SnapshotImage> snapshot_cache_;
 };
 
 }  // namespace serve

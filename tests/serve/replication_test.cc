@@ -3,11 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/simgraph_delta.h"
@@ -526,6 +528,98 @@ TEST_F(ReplicationTest, HostileHelloIsRejectedWithoutHarm) {
   fanout.Stop();
 }
 
+// The ack-stall backstop must not misfire across publish-idle gaps: a
+// healthy, fully caught-up replica sits through a pause longer than
+// ack_stall_timeout_ms, the stream resumes, and the replica stays live
+// (its stall clock restarts when the new delta ships — time with
+// nothing outstanding never counts as a stall).
+TEST_F(ReplicationTest, IdlePublishGapDoesNotTripAckStallBackstop) {
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.ack_stall_timeout_ms = 200;
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  RemoteReplica remote;
+  StartRemote(fanout, &remote, "patient");
+  ASSERT_TRUE(fanout.WaitForReplicas(1, std::chrono::milliseconds(5000)));
+
+  const int64_t half = num_test_ / 2;
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < half; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+
+  // Idle gap well past the stall timeout; nothing is outstanding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  for (int64_t i = half; i < num_test_; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  service.WaitForApplied(seq);
+  EXPECT_EQ(fanout.num_degraded(), 0);
+  EXPECT_EQ(fanout.num_live(), 1);
+  ExpectRemoteMatchesService(&service, &remote,
+                             TestEvent(num_test_ - 1).time);
+
+  remote.Shutdown();
+  service.Stop();
+  fanout.Stop();
+}
+
+// A late joiner whose join gap already exceeds max_lag_events must be
+// allowed to drain its handshake backlog: the event-lag cutoff is
+// exempt until its acks pass the join-time built_seq, so bootstrap of
+// a far-behind replica succeeds while the stream is live.
+TEST_F(ReplicationTest, LateJoinerBacklogBeyondLagCutoffStillDrains) {
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.max_lag_events = 8;
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 4;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+
+  // Run far past the cutoff with no replica attached.
+  const int64_t half = num_test_ / 2;
+  ASSERT_GT(half, fanout_options.max_lag_events);
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < half; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+
+  // Join at seq 0: the gap (~half events) dwarfs max_lag_events, and a
+  // few live deltas ship while the backlog is still draining — the
+  // cutoff must not fire on either.
+  RemoteReplica remote;
+  StartRemote(fanout, &remote, "far-behind");
+  for (int64_t i = half; i < half + fanout_options.max_lag_events; ++i) {
+    seq = service.Publish(TestEvent(i));
+  }
+  service.WaitForApplied(seq);
+  EXPECT_EQ(fanout.num_degraded(), 0);
+  EXPECT_EQ(fanout.num_live(), 1);
+  ExpectRemoteMatchesService(
+      &service, &remote,
+      TestEvent(half + fanout_options.max_lag_events - 1).time);
+
+  remote.Shutdown();
+  service.Stop();
+  fanout.Stop();
+}
+
 // A replica whose resume position predates the retained delta log is
 // told to bootstrap from a snapshot instead of silently diverging.
 TEST_F(ReplicationTest, BootstrapGapIsRejected) {
@@ -558,6 +652,145 @@ TEST_F(ReplicationTest, BootstrapGapIsRejected) {
 
   service.Stop();
   fanout.Stop();
+}
+
+// Once the log has trimmed past what the startup image covers, a cold
+// want_snapshot joiner is rejected with an HONEST message — not advice
+// to retry a bootstrap that resumes from the same stale image and is
+// rejected identically.
+TEST_F(ReplicationTest, TrimmedLogColdJoinRejectionIsHonest) {
+  const std::string image_path =
+      ::testing::TempDir() + "/replication_trim_honest.sgcs";
+  ASSERT_TRUE(
+      store::WriteDigraphSnapshot(dataset_.follow_graph, image_path).ok());
+
+  ReplicationFanoutOptions fanout_options;
+  fanout_options.delta_log_capacity = 2;  // force trimming immediately
+  fanout_options.snapshot_path = image_path;  // startup image: seq 0
+  ReplicationFanout fanout(fanout_options);
+  ASSERT_TRUE(fanout.Start().ok());
+
+  ShardedServiceOptions options;
+  options.num_shards = 1;
+  options.shard_options.cache_ttl = 0;
+  options.max_batch_events = 1;
+  options.replication = &fanout;
+  ShardedService service(ServingSimGraphOptions{}, options);
+  ASSERT_TRUE(service.Train(dataset_, protocol_.train_end).ok());
+  service.Start();
+  uint64_t seq = 0;
+  for (int64_t i = 0; i < 16; ++i) seq = service.Publish(TestEvent(i));
+  service.WaitForApplied(seq);
+
+  ReplicationClientOptions client_options;
+  client_options.port = fanout.port();
+  client_options.name = "cold";
+  client_options.want_snapshot = true;
+  client_options.snapshot_save_path =
+      ::testing::TempDir() + "/replication_trim_honest_fetched.sgcs";
+  ReplicationClient client(client_options);
+  ReplicationBootstrap bootstrap;
+  const Status status = client.Connect(/*applied_seq=*/0, &bootstrap);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cold join cannot succeed"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(status.message().find("rejoin with a snapshot bootstrap"),
+            std::string::npos)
+      << status.ToString();
+
+  // After the builder refreshes its image to the current sequence, a
+  // cold want_snapshot joiner is accepted again: it resumes from the
+  // image's sequence, past the trimmed prefix.
+  fanout.UpdateSnapshot(image_path, fanout.built_seq());
+  StatusOr<int> peer = net::ConnectLoopback(fanout.port(), 2000);
+  ASSERT_TRUE(peer.ok());
+  ReplicaHello hello;
+  hello.name = "refreshed";
+  hello.want_snapshot = true;
+  std::string payload;
+  hello.SerializeTo(&payload);
+  ASSERT_TRUE(
+      WriteReplicationFrame(*peer, ReplicationFrameType::kHello, payload)
+          .ok());
+  ReplicationFrameType type;
+  ASSERT_TRUE(ReadReplicationFrame(*peer, &type, &payload).ok());
+  ASSERT_EQ(type, ReplicationFrameType::kHelloAck);
+  ReplicaHelloAck ack;
+  ASSERT_TRUE(ReplicaHelloAck::Parse(payload, &ack).ok());
+  EXPECT_TRUE(ack.snapshot_follows);
+  ASSERT_TRUE(ReadReplicationFrame(*peer, &type, &payload).ok());
+  EXPECT_EQ(type, ReplicationFrameType::kSnapshot);
+  EXPECT_EQ(payload, ReadFileBytes(image_path));
+  ASSERT_TRUE(fanout.WaitForReplicas(1, std::chrono::milliseconds(5000)));
+  // Resumed at the image's sequence: no backlog owed below it.
+  EXPECT_EQ(fanout.MinAckedSeq(), fanout.built_seq());
+
+  ::close(*peer);
+  service.Stop();
+  fanout.Stop();
+}
+
+// Finished session threads (handshake rejects, closed probes) are
+// reaped as later connections arrive, not hoarded until Stop.
+TEST_F(ReplicationTest, FinishedSessionsAreReaped) {
+  ReplicationFanout fanout;
+  ASSERT_TRUE(fanout.Start().ok());
+
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<int> peer = net::ConnectLoopback(fanout.port(), 2000);
+    ASSERT_TRUE(peer.ok());
+    ASSERT_TRUE(WriteReplicationFrame(*peer, ReplicationFrameType::kHello,
+                                      "not a hello")
+                    .ok());
+    ReplicationFrameType type;
+    std::string payload;
+    ASSERT_TRUE(ReadReplicationFrame(*peer, &type, &payload).ok());
+    EXPECT_EQ(type, ReplicationFrameType::kError);
+    ::close(*peer);
+  }
+
+  // Each probe connection triggers a reap on accept and then finishes
+  // immediately (EOF before HELLO); the tracked set must settle to the
+  // most recent probes only, not all 5 rejects plus every probe.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int64_t sessions = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    StatusOr<int> probe = net::ConnectLoopback(fanout.port(), 2000);
+    ASSERT_TRUE(probe.ok());
+    ::close(*probe);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sessions = fanout.num_sessions();
+    if (sessions <= 2) break;
+  }
+  EXPECT_LE(sessions, 2) << "finished sessions were not reaped";
+
+  fanout.Stop();
+}
+
+// A peer that accepts the connection but never answers the handshake
+// must fail Connect via the receive deadline instead of blocking the
+// replica process forever.
+TEST(ReplicationClientTimeoutTest, HandshakeTimesOutAgainstSilentPeer) {
+  uint16_t port = 0;
+  StatusOr<int> listener = net::ListenLoopback(0, &port);
+  ASSERT_TRUE(listener.ok());
+
+  ReplicationClientOptions options;
+  options.port = port;
+  options.name = "impatient";
+  options.connect_timeout_ms = 2000;
+  options.handshake_timeout_ms = 200;
+  ReplicationClient client(options);
+  ReplicationBootstrap bootstrap;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = client.Connect(/*applied_seq=*/0, &bootstrap);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(status.ok());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  ::close(*listener);
 }
 
 }  // namespace
