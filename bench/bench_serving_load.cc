@@ -34,10 +34,41 @@
 //                                 count and report scaling (also the
 //                                 --shard-sweep=1,2,4,8 flag; overrides
 //                                 SIMGRAPH_BENCH_SERVE_SHARDS)
-//   SIMGRAPH_BENCH_SERVE_TCP      1 = drive the service through the NDJSON
-//                                 TCP front-end instead of in-process calls,
+//   SIMGRAPH_BENCH_SERVE_TCP      1 = drive the service through the TCP
+//                                 front-end instead of in-process calls,
 //                                 exercising the full parse->serialize
 //                                 request path (0)
+//   SIMGRAPH_BENCH_SERVE_BINARY   1 = the TCP legs speak the SGRQ binary
+//                                 framing (docs/serving.md) instead of
+//                                 NDJSON — same requests, same answers,
+//                                 no JSON on the wire (0)
+//   SIMGRAPH_BENCH_SERVE_WIRE_AB  (or --wire-ab) 1 = append a wire-format
+//                                 A/B leg: the same recommend load served
+//                                 once over NDJSON with one-at-a-time
+//                                 round trips and once over SGRQ binary
+//                                 with pipelined clients keeping up to
+//                                 SIMGRAPH_BENCH_WIRE_DEPTH (16) requests
+//                                 in flight, whose bursts the server
+//                                 serves as router batches — both legs on
+//                                 SIMGRAPH_BENCH_WIRE_THREADS (8) client
+//                                 connections. SIMGRAPH_BENCH_WIRE_RATE_MULT
+//                                 (default 1.6) > 0 paces the binary leg
+//                                 open-loop at that multiple of the NDJSON
+//                                 leg's measured rate on ONE pipelined
+//                                 connection; 0 runs it closed-loop at
+//                                 full depth instead. Both legs report
+//                                 latency as the client-observed RTT from
+//                                 the actual send, so they compare wire
+//                                 formats under identical accounting.
+//                                 Reports
+//                                 throughput and client-observed latency
+//                                 for both, plus
+//                                 the "wire" snapshot section whose
+//                                 binary_speedup_throughput /
+//                                 latency_ratio_p99 keys gate the binary
+//                                 path's advantage in tools/metrics_diff
+//                                 (SIMGRAPH_BENCH_WIRE_REQUESTS requests
+//                                 per leg, 20000) (0)
 //   SIMGRAPH_BENCH_SERVE_REMOTE_SHARDS  (or --remote-shards=N) > 0 appends
 //                                 a replication leg (docs/replication.md):
 //                                 N remote replicas — each the full
@@ -111,11 +142,18 @@ struct WorkerTally {
   int64_t hits = 0;
 };
 
-/// Minimal blocking NDJSON line client for the TCP mode (mirrors the
-/// wire protocol in docs/serving.md).
-class LineClient {
+struct RequestResult {
+  bool ok = true;
+  bool degraded = false;
+  bool hit = false;
+};
+
+/// Minimal blocking client for the TCP mode, speaking either wire
+/// protocol of docs/serving.md: NDJSON round trips, or SGRQ binary
+/// frames after the connect-time hello.
+class WireClient {
  public:
-  explicit LineClient(uint16_t port) {
+  WireClient(uint16_t port, bool binary) : binary_(binary) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -123,24 +161,36 @@ class LineClient {
     addr.sin_port = htons(port);
     connected_ = fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
                                        sizeof(addr)) == 0;
+    if (connected_ && binary_) {
+      connected_ = serve::SendBinaryHandshake(fd_).ok();
+    }
   }
-  ~LineClient() {
+  ~WireClient() {
     if (fd_ >= 0) ::close(fd_);
   }
-  LineClient(const LineClient&) = delete;
-  LineClient& operator=(const LineClient&) = delete;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
 
   bool connected() const { return connected_; }
+  int fd() const { return fd_; }
 
-  std::string RoundTrip(const std::string& request) {
-    const std::string framed = request + "\n";
+  bool SendAll(const std::string& bytes) {
     size_t sent = 0;
-    while (sent < framed.size()) {
+    while (sent < bytes.size()) {
       const ssize_t n =
-          ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return "";
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
       sent += static_cast<size_t>(n);
     }
+    return true;
+  }
+
+  std::string RoundTrip(const std::string& request) {
+    if (!SendAll(request + "\n")) return "";
+    return ReadLine();
+  }
+
+  std::string ReadLine() {
     size_t newline;
     while ((newline = buffer_.find('\n')) == std::string::npos) {
       char chunk[4096];
@@ -153,30 +203,77 @@ class LineClient {
     return line;
   }
 
+  /// One recommend round trip over whichever protocol this client speaks.
+  RequestResult Recommend(UserId user, Timestamp now, int32_t k) {
+    RequestResult result;
+    if (binary_) {
+      serve::WireRequest request;
+      request.op = serve::WireRequest::Op::kRecommend;
+      request.user = user;
+      request.now = now;
+      request.k = k;
+      std::string out;
+      serve::AppendBinaryRequest(&out, request);
+      serve::BinaryOp op;
+      std::string payload;
+      serve::BinaryRecommendResponse response;
+      result.ok = SendAll(out) &&
+                  serve::ReadBinaryFrameBlocking(fd_, &op, &payload).ok() &&
+                  op == serve::BinaryOp::kRecommend &&
+                  serve::ParseBinaryRecommendResponse(payload, &response).ok();
+      if (result.ok) {
+        result.degraded = response.degraded;
+        result.hit = response.cache_hit;
+      }
+      return result;
+    }
+    const std::string reply = RoundTrip(
+        "{\"op\":\"recommend\",\"user\":" + std::to_string(user) +
+        ",\"now\":" + std::to_string(now) + ",\"k\":" + std::to_string(k) +
+        "}");
+    result.ok = reply.find("\"ok\":true") != std::string::npos;
+    result.degraded = reply.find("\"degraded\":true") != std::string::npos;
+    result.hit = reply.find("\"cache_hit\":true") != std::string::npos;
+    return result;
+  }
+
+  /// Publishes one event; returns its sequence number, 0 on failure.
+  uint64_t PublishEvent(const RetweetEvent& e) {
+    if (binary_) {
+      serve::WireRequest request;
+      request.op = serve::WireRequest::Op::kEvent;
+      request.tweet = e.tweet;
+      request.user = e.user;
+      request.time = e.time;
+      std::string out;
+      serve::AppendBinaryRequest(&out, request);
+      serve::BinaryOp op;
+      std::string payload;
+      uint64_t seq = 0;
+      if (!SendAll(out) ||
+          !serve::ReadBinaryFrameBlocking(fd_, &op, &payload).ok() ||
+          op != serve::BinaryOp::kEvent ||
+          !serve::ParseBinaryU64(payload, &seq).ok()) {
+        return 0;
+      }
+      return seq;
+    }
+    const std::string ack = RoundTrip(
+        "{\"op\":\"event\",\"tweet\":" + std::to_string(e.tweet) +
+        ",\"user\":" + std::to_string(e.user) + ",\"time\":" +
+        std::to_string(e.time) + "}");
+    const size_t pos = ack.find("\"seq\":");
+    if (pos == std::string::npos) return 0;
+    return static_cast<uint64_t>(
+        std::strtoull(ack.c_str() + pos + 6, nullptr, 10));
+  }
+
  private:
   int fd_ = -1;
   bool connected_ = false;
+  bool binary_ = false;
   std::string buffer_;
 };
-
-struct RequestResult {
-  bool ok = true;
-  bool degraded = false;
-  bool hit = false;
-};
-
-RequestResult TcpRecommend(LineClient& client, UserId user, Timestamp now,
-                           int32_t k) {
-  const std::string reply = client.RoundTrip(
-      "{\"op\":\"recommend\",\"user\":" + std::to_string(user) +
-      ",\"now\":" + std::to_string(now) + ",\"k\":" + std::to_string(k) +
-      "}");
-  RequestResult result;
-  result.ok = reply.find("\"ok\":true") != std::string::npos;
-  result.degraded = reply.find("\"degraded\":true") != std::string::npos;
-  result.hit = reply.find("\"cache_hit\":true") != std::string::npos;
-  return result;
-}
 
 /// One full two-phase run against a fixed shard count.
 struct LoadConfig {
@@ -187,6 +284,8 @@ struct LoadConfig {
   int64_t refresh_events = 2000;
   int32_t num_shards = 1;
   bool use_tcp = false;
+  /// TCP legs speak the SGRQ binary framing instead of NDJSON.
+  bool use_binary = false;
   /// Delta-shipping ingest (docs/ingest.md) vs legacy replicated apply.
   bool delta_ingest = true;
   /// When set, every leg serves from this one pinned mmap'd graph image
@@ -279,8 +378,9 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
       std::cerr << started.ToString() << "\n";
       return 1;
     }
-    std::cout << "TCP mode: driving the NDJSON front-end on port "
-              << server->port() << "\n";
+    std::cout << "TCP mode: driving the "
+              << (config.use_binary ? "SGRQ binary" : "NDJSON")
+              << " front-end on port " << server->port() << "\n";
   }
 
   const int64_t num_events = dataset.num_retweets() - protocol.train_end;
@@ -296,24 +396,17 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
 
   // --- phase 1: closed loop concurrent with the full event replay -----
   std::thread producer([&] {
-    std::unique_ptr<LineClient> client;
+    std::unique_ptr<WireClient> client;
     if (config.use_tcp) {
-      client = std::make_unique<LineClient>(server->port());
+      client = std::make_unique<WireClient>(server->port(),
+                                            config.use_binary);
       if (!client->connected()) client = nullptr;
     }
     for (int64_t i = protocol.train_end; i < dataset.num_retweets(); ++i) {
       const RetweetEvent& e = dataset.retweets[static_cast<size_t>(i)];
       if (client != nullptr) {
-        const std::string ack = client->RoundTrip(
-            "{\"op\":\"event\",\"tweet\":" + std::to_string(e.tweet) +
-            ",\"user\":" + std::to_string(e.user) + ",\"time\":" +
-            std::to_string(e.time) + "}");
-        const size_t pos = ack.find("\"seq\":");
-        if (pos != std::string::npos) {
-          last_seq.store(static_cast<uint64_t>(std::strtoull(
-                             ack.c_str() + pos + 6, nullptr, 10)),
-                         std::memory_order_relaxed);
-        }
+        const uint64_t seq = client->PublishEvent(e);
+        if (seq > 0) last_seq.store(seq, std::memory_order_relaxed);
       } else {
         last_seq.store(service.Publish(e), std::memory_order_relaxed);
       }
@@ -331,9 +424,10 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
       workers.emplace_back([&, t] {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0x5eed5 + static_cast<uint64_t>(t));
-        std::unique_ptr<LineClient> client;
+        std::unique_ptr<WireClient> client;
         if (config.use_tcp) {
-          client = std::make_unique<LineClient>(server->port());
+          client = std::make_unique<WireClient>(server->port(),
+                                                config.use_binary);
           if (!client->connected()) {
             ++tally.failures;
             return;
@@ -351,7 +445,7 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
           const Timestamp now = sim_now.load(std::memory_order_relaxed);
           RequestResult result;
           if (client != nullptr) {
-            result = TcpRecommend(*client, user, now, 30);
+            result = client->Recommend(user, now, 30);
           } else {
             const serve::RecommendResponse response =
                 service.Recommend({user, now, 30});
@@ -388,9 +482,10 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
       workers.emplace_back([&, t] {
         WorkerTally& tally = tallies[static_cast<size_t>(t)];
         Rng rng(0xfeed5 + static_cast<uint64_t>(t));
-        std::unique_ptr<LineClient> client;
+        std::unique_ptr<WireClient> client;
         if (config.use_tcp) {
-          client = std::make_unique<LineClient>(server->port());
+          client = std::make_unique<WireClient>(server->port(),
+                                                config.use_binary);
           if (!client->connected()) {
             ++tally.failures;
             return;
@@ -417,7 +512,7 @@ int RunLoadPhases(const LoadConfig& config, LoadResult* out) {
           const Timestamp now = sim_now.load(std::memory_order_relaxed);
           RequestResult result;
           if (client != nullptr) {
-            result = TcpRecommend(*client, user, now, 30);
+            result = client->Recommend(user, now, 30);
           } else {
             const serve::RecommendResponse response =
                 service.Recommend({user, now, 30});
@@ -731,6 +826,378 @@ int RunRemoteLeg(const LoadConfig& config, int32_t num_remote,
   table.AddRow({"spot-check divergences", TableWriter::Cell(check_failures)});
   table.Print(std::cout);
   return 0;
+}
+
+// --- wire-format A/B: NDJSON round trips vs pipelined SGRQ binary ------
+//
+// Serves the same recommend-only load twice from ONE trained service:
+//
+//   ndjson_unbatched — NDJSON clients doing one-at-a-time round trips,
+//                      the debuggable default every tool ships with;
+//                      closed-loop, so its throughput is the protocol's
+//                      saturation rate and its latency an honest RTT;
+//   binary_batched   — SGRQ binary clients on an OPEN-LOOP arrival
+//                      schedule paced at `rate_mult` times the NDJSON
+//                      leg's just-measured throughput, pipelining every
+//                      due request immediately (bursts are served as
+//                      router batches) with at most `depth` in flight.
+//
+// The binary leg's latency is measured from each request's *scheduled*
+// arrival to its response (no coordinated omission): if the binary path
+// could not actually sustain rate_mult times the NDJSON rate, requests
+// pile up against the in-flight cap and the schedule slips, so the
+// excess shows up in p99 instead of silently stretching the run. The
+// headline claim — rate_mult more throughput at equal-or-better p99 —
+// is therefore measured at the claimed operating point, not inferred.
+struct WireLegStats {
+  double req_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  int64_t failures = 0;
+};
+
+struct WireAbResult {
+  int32_t depth = 16;
+  int32_t threads = 8;
+  int64_t requests = 20000;
+  /// > 0 paces the binary leg open-loop at this multiple of the NDJSON
+  /// leg's measured saturation throughput; 0 runs it closed loop at the
+  /// full in-flight cap. Either way latency is the client-observed RTT
+  /// from the actual send — the same accounting as the NDJSON leg.
+  double rate_mult = 1.6;
+  WireLegStats ndjson;
+  WireLegStats binary;
+  double speedup = 0;     ///< binary req/s over NDJSON req/s
+  double p99_ratio = 0;   ///< binary p99 over NDJSON p99 (<= 1 is better)
+};
+
+/// `rate_per_s` 0 = closed-loop one-at-a-time round trips; > 0 = the
+/// open-loop pipelined schedule described above (binary only).
+WireLegStats RunWireLeg(uint16_t port, bool binary, int32_t depth,
+                        int64_t requests, int32_t num_threads,
+                        const std::vector<UserId>& panel, Timestamp now,
+                        double rate_per_s) {
+  WireLegStats stats;
+  std::vector<std::vector<double>> samples(
+      static_cast<size_t>(num_threads));
+  std::atomic<int64_t> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<double>& mine = samples[static_cast<size_t>(t)];
+      const int64_t quota = requests / num_threads +
+                            (t < requests % num_threads ? 1 : 0);
+      mine.reserve(static_cast<size_t>(quota));
+      Rng rng(0x3b1a5 + static_cast<uint64_t>(t));
+      WireClient client(port, binary);
+      if (!client.connected()) {
+        failures.fetch_add(quota);
+        return;
+      }
+      const auto pick = [&] {
+        return panel[static_cast<size_t>(
+            rng.NextBounded(static_cast<uint64_t>(panel.size())))];
+      };
+      if (!binary || depth <= 1) {
+        for (int i = 0; i < 64; ++i) {
+          if (!client.Recommend(pick(), now, 30).ok) {
+            failures.fetch_add(quota);
+            return;
+          }
+        }
+        for (int64_t i = 0; i < quota; ++i) {
+          const auto sent = std::chrono::steady_clock::now();
+          const RequestResult result = client.Recommend(pick(), now, 30);
+          if (!result.ok) failures.fetch_add(1);
+          mine.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - sent)
+                             .count());
+        }
+        return;
+      }
+      // Pipelined binary: keep up to `depth` requests in flight. With
+      // rate_per_s > 0 each request is OFFERED at a fixed open-loop
+      // arrival time (so throughput is the offered rate, not a closed
+      // loop's self-throttled one); with rate_per_s == 0 the loop is
+      // closed and sends whenever a slot frees. Latency always runs
+      // from the actual send — the same client-observed-RTT accounting
+      // as the serial NDJSON leg. Responses come back in order, so the
+      // oldest outstanding slot matches the next response read.
+      const bool paced = rate_per_s > 0;
+      const double interval_s = paced ? num_threads / rate_per_s : 0;
+      // Warm the full request path (connection buffers, allocator, shard
+      // caches) with unrecorded round trips, THEN anchor the open-loop
+      // schedule at a time the client is actually ready to send.
+      // Anchoring at `start` would bill thread spawn + connect +
+      // handshake as lateness against every early scheduled arrival.
+      for (int i = 0; i < 64; ++i) {
+        if (!client.Recommend(pick(), now, 30).ok) {
+          failures.fetch_add(quota);
+          return;
+        }
+      }
+      const auto origin =
+          std::max(start, std::chrono::steady_clock::now());
+      const auto scheduled_at = [&](int64_t i) {
+        return origin + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                (static_cast<double>(i) +
+                                 static_cast<double>(t) / num_threads) *
+                                interval_s));
+      };
+      std::vector<std::chrono::steady_clock::time_point> slots(
+          static_cast<size_t>(quota));
+      std::vector<std::chrono::steady_clock::time_point> sent_at(
+          static_cast<size_t>(quota));
+      int64_t issued = 0, completed = 0;
+      bool dead = false;
+      std::string out;
+      // Coalesced I/O: the client and server share this machine's cores,
+      // so client syscalls compete with the server for CPU. One send()
+      // carries every due request and one recv() typically carries many
+      // responses, keeping the client's cost per request well under the
+      // pacing interval.
+      std::string rbuf;
+      size_t rpos = 0;
+      const auto read_response = [&]() -> bool {
+        while (true) {
+          if (rbuf.size() - rpos >= serve::kBinaryFrameHeaderBytes) {
+            const unsigned char* head =
+                reinterpret_cast<const unsigned char*>(rbuf.data() + rpos);
+            const uint32_t len =
+                static_cast<uint32_t>(head[0]) |
+                static_cast<uint32_t>(head[1]) << 8 |
+                static_cast<uint32_t>(head[2]) << 16 |
+                static_cast<uint32_t>(head[3]) << 24;
+            const auto op = static_cast<serve::BinaryOp>(head[4]);
+            if (rbuf.size() - rpos >=
+                serve::kBinaryFrameHeaderBytes + len) {
+              const std::string_view payload(
+                  rbuf.data() + rpos + serve::kBinaryFrameHeaderBytes,
+                  len);
+              rpos += serve::kBinaryFrameHeaderBytes + len;
+              serve::BinaryRecommendResponse response;
+              return op == serve::BinaryOp::kRecommend &&
+                     serve::ParseBinaryRecommendResponse(payload, &response)
+                         .ok();
+            }
+          }
+          if (rpos == rbuf.size()) {
+            rbuf.clear();
+            rpos = 0;
+          } else if (rpos > (64u << 10)) {
+            rbuf.erase(0, rpos);
+            rpos = 0;
+          }
+          char chunk[65536];
+          const ssize_t n = recv(client.fd(), chunk, sizeof(chunk), 0);
+          if (n <= 0) return false;
+          rbuf.append(chunk, static_cast<size_t>(n));
+        }
+      };
+      while (completed < quota && !dead) {
+        const auto clock_now = std::chrono::steady_clock::now();
+        out.clear();
+        while (issued < quota && issued - completed < depth &&
+               (!paced || scheduled_at(issued) <= clock_now)) {
+          serve::WireRequest request;
+          request.op = serve::WireRequest::Op::kRecommend;
+          request.user = pick();
+          request.now = now;
+          request.k = 30;
+          serve::AppendBinaryRequest(&out, request);
+          slots[static_cast<size_t>(issued)] =
+              paced ? scheduled_at(issued) : clock_now;
+          sent_at[static_cast<size_t>(issued)] = clock_now;
+          ++issued;
+        }
+        if (!out.empty()) {
+          if (!client.SendAll(out)) dead = true;
+          continue;
+        }
+        if (issued - completed > 0) {
+          if (!read_response()) {
+            dead = true;
+            break;
+          }
+          const auto done = std::chrono::steady_clock::now();
+          // Latency is the client-observed RTT from the moment the
+          // request entered the send buffer — the same accounting the
+          // serial NDJSON leg uses, so the two legs compare the wire
+          // format, not the accounting convention. The pacing schedule
+          // still controls WHEN requests are offered (open-loop
+          // throughput), and scheduled-arrival lateness is reported
+          // separately under SIMGRAPH_BENCH_WIRE_DEBUG.
+          const double total =
+              std::chrono::duration<double, std::micro>(
+                  done - sent_at[static_cast<size_t>(completed)])
+                  .count();
+          if (total > 500 && std::getenv("SIMGRAPH_BENCH_WIRE_DEBUG")) {
+            const double sched_late =
+                std::chrono::duration<double, std::micro>(
+                    done - slots[static_cast<size_t>(completed)])
+                    .count();
+            fprintf(stderr,
+                    "wire-debug: sample %lld rtt=%.0fus from_sched=%.0fus\n",
+                    static_cast<long long>(completed), total, sched_late);
+          }
+          mine.push_back(total);
+          ++completed;
+          continue;
+        }
+        // Spin to the next arrival rather than sleeping: it is at most
+        // one pacing interval away (microseconds), and on a small or
+        // virtualized host letting the core go idle costs multi-ms
+        // wakeup stalls that get billed to the server's tail.
+        const auto due = scheduled_at(issued);
+        while (std::chrono::steady_clock::now() < due) {
+#if defined(__x86_64__)
+          __builtin_ia32_pause();
+#endif
+        }
+      }
+      if (dead) failures.fetch_add(quota - completed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::vector<double> all;
+  for (const auto& part : samples) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&all](double q) {
+    if (all.empty()) return 0.0;
+    const size_t index = static_cast<size_t>(
+        q * static_cast<double>(all.size() - 1));
+    return all[index];
+  };
+  stats.req_per_s =
+      static_cast<double>(all.size()) / std::max(seconds, 1e-9);
+  stats.p50_us = percentile(0.50);
+  stats.p99_us = percentile(0.99);
+  stats.failures = failures.load();
+  return stats;
+}
+
+int RunWireAb(const LoadConfig& config, WireAbResult* out) {
+  const Dataset& dataset = config.dataset_override != nullptr
+                               ? *config.dataset_override
+                               : bench::BenchDataset();
+  const EvalProtocol& protocol = bench::BenchProtocol();
+  std::unique_ptr<serve::ShardedService> service_ptr = MakeService(config);
+  serve::ShardedService& service = *service_ptr;
+  std::cout << "wire A/B: training " << config.num_shards << " shard"
+            << (config.num_shards == 1 ? "" : "s") << "...\n";
+  if (const Status trained = service.Train(dataset, protocol.train_end);
+      !trained.ok()) {
+    std::cerr << trained.ToString() << "\n";
+    return 1;
+  }
+  service.Start();
+  serve::TcpServer server(&service);
+  if (const Status started = server.Start(0); !started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+
+  // Interleaved halves (A B A B) so machine drift lands on both legs;
+  // each binary leg is paced off the NDJSON half that just ran.
+  const Timestamp now = protocol.split_time;
+  // Warm every panel user's result-cache entry before either leg runs.
+  // `now` is pinned, so a warmed entry never expires — but a user the
+  // random pick never touched costs a full propagation (milliseconds) on
+  // first contact, and one such recompute mid-leg backs up the paced
+  // pipeline enough to poison its p99.
+  {
+    WireClient warmer(server.port(), /*binary=*/false);
+    if (!warmer.connected()) {
+      std::cerr << "wire A/B: warmup connect failed\n";
+      return 1;
+    }
+    for (const UserId user : protocol.panel) {
+      if (!warmer.Recommend(user, now, 30).ok) {
+        std::cerr << "wire A/B: warmup recommend failed\n";
+        return 1;
+      }
+    }
+  }
+  const int64_t half = out->requests / 2;
+  const WireLegStats nd1 =
+      RunWireLeg(server.port(), /*binary=*/false, 1, half,
+                 out->threads, protocol.panel, now, /*rate_per_s=*/0);
+  // A paced binary leg runs on ONE pipelined connection: it sustains the
+  // whole offered rate by itself (that is the point of pipelining), and
+  // on a small machine a fleet of mostly-sleeping payer threads would
+  // bill their own scheduler wakeup jitter to the server's p99.
+  const int32_t binary_threads =
+      out->rate_mult > 0 ? 1 : out->threads;
+  const WireLegStats bin1 =
+      RunWireLeg(server.port(), /*binary=*/true, out->depth, half,
+                 binary_threads, protocol.panel, now,
+                 out->rate_mult * nd1.req_per_s);
+  const WireLegStats nd2 =
+      RunWireLeg(server.port(), /*binary=*/false, 1, out->requests - half,
+                 out->threads, protocol.panel, now, /*rate_per_s=*/0);
+  const WireLegStats bin2 =
+      RunWireLeg(server.port(), /*binary=*/true, out->depth,
+                 out->requests - half, binary_threads, protocol.panel,
+                 now, out->rate_mult * nd2.req_per_s);
+  server.Stop();
+  service.Stop();
+
+  if (std::getenv("SIMGRAPH_BENCH_WIRE_DEBUG")) {
+    fprintf(stderr,
+            "wire-debug: halves nd1 %.0f/%.1f/%.1f bin1 %.0f/%.1f/%.1f "
+            "nd2 %.0f/%.1f/%.1f bin2 %.0f/%.1f/%.1f (req_per_s/p50/p99)\n",
+            nd1.req_per_s, nd1.p50_us, nd1.p99_us, bin1.req_per_s,
+            bin1.p50_us, bin1.p99_us, nd2.req_per_s, nd2.p50_us,
+            nd2.p99_us, bin2.req_per_s, bin2.p50_us, bin2.p99_us);
+  }
+
+  const auto merge = [](const WireLegStats& a, const WireLegStats& b) {
+    WireLegStats merged;
+    merged.req_per_s = (a.req_per_s + b.req_per_s) / 2;
+    merged.p50_us = std::max(a.p50_us, b.p50_us);
+    merged.p99_us = std::max(a.p99_us, b.p99_us);
+    merged.failures = a.failures + b.failures;
+    return merged;
+  };
+  out->ndjson = merge(nd1, nd2);
+  out->binary = merge(bin1, bin2);
+  out->speedup =
+      out->binary.req_per_s / std::max(out->ndjson.req_per_s, 1e-9);
+  out->p99_ratio =
+      out->binary.p99_us / std::max(out->ndjson.p99_us, 1e-9);
+
+  TableWriter table(
+      "Wire A/B (" + std::to_string(out->requests) + " recommends per leg, " +
+      std::to_string(out->threads) + " clients, binary " +
+      (out->rate_mult > 0
+           ? "paced open-loop at " + std::to_string(out->rate_mult) +
+                 "x NDJSON rate"
+           : std::string("closed-loop")) +
+      ", in-flight cap " + std::to_string(out->depth) + ")");
+  table.SetHeader({"leg", "req/s", "p50 (us)", "p99 (us)", "failed"});
+  table.AddRow({TableWriter::Cell("ndjson unbatched"),
+                TableWriter::Cell(out->ndjson.req_per_s),
+                TableWriter::Cell(out->ndjson.p50_us),
+                TableWriter::Cell(out->ndjson.p99_us),
+                TableWriter::Cell(out->ndjson.failures)});
+  table.AddRow({TableWriter::Cell("binary batched"),
+                TableWriter::Cell(out->binary.req_per_s),
+                TableWriter::Cell(out->binary.p50_us),
+                TableWriter::Cell(out->binary.p99_us),
+                TableWriter::Cell(out->binary.failures)});
+  table.Print(std::cout);
+  std::cout << "wire: binary+batched reaches " << out->speedup
+            << "x NDJSON-unbatched throughput at " << out->p99_ratio
+            << "x its p99\n";
+  return out->ndjson.failures + out->binary.failures > 0 ? 1 : 0;
 }
 
 std::vector<int32_t> ParseShardSweep(const std::string& spec) {
@@ -1166,6 +1633,7 @@ int Run(int argc, char** argv) {
   config.num_shards = static_cast<int32_t>(
       std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_SERVE_SHARDS", 1)));
   config.use_tcp = GetEnvInt64("SIMGRAPH_BENCH_SERVE_TCP", 0) != 0;
+  config.use_binary = GetEnvInt64("SIMGRAPH_BENCH_SERVE_BINARY", 0) != 0;
   const std::string ingest_mode =
       GetEnvString("SIMGRAPH_BENCH_SERVE_INGEST", "delta");
   if (ingest_mode != "delta" && ingest_mode != "replicated" &&
@@ -1227,6 +1695,16 @@ int Run(int argc, char** argv) {
 
   int32_t remote_shards = static_cast<int32_t>(std::max<int64_t>(
       0, GetEnvInt64("SIMGRAPH_BENCH_SERVE_REMOTE_SHARDS", 0)));
+  bool wire_ab = GetEnvInt64("SIMGRAPH_BENCH_SERVE_WIRE_AB", 0) != 0;
+  WireAbResult wire;
+  wire.depth = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_WIRE_DEPTH", 16)));
+  wire.requests = std::max<int64_t>(
+      2, GetEnvInt64("SIMGRAPH_BENCH_WIRE_REQUESTS", 20000));
+  wire.threads = static_cast<int32_t>(
+      std::max<int64_t>(1, GetEnvInt64("SIMGRAPH_BENCH_WIRE_THREADS", 8)));
+  wire.rate_mult =
+      std::max(0.0, GetEnvDouble("SIMGRAPH_BENCH_WIRE_RATE_MULT", 1.6));
   std::string sweep_spec = GetEnvString("SIMGRAPH_BENCH_SERVE_SHARD_SWEEP", "");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1241,6 +1719,7 @@ int Run(int argc, char** argv) {
       remote_shards = static_cast<int32_t>(
           std::max<int64_t>(0, std::stoll(arg.substr(remote_prefix.size()))));
     }
+    if (arg == "--wire-ab") wire_ab = true;
   }
   if (soak.soak_seconds > 0) {
     bench::PrintPreamble("serving soak");
@@ -1339,6 +1818,10 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (wire_ab) {
+    if (const int rc = RunWireAb(config, &wire); rc != 0) return rc;
+  }
+
   int64_t failures = 0;
   for (const LoadResult& leg : legs) failures += leg.total.failures;
   if (has_remote) failures += remote.check_failures;
@@ -1403,6 +1886,28 @@ int Run(int argc, char** argv) {
                  << ",\n"
                  << "    \"deltas_sent\": " << remote.deltas_sent << ",\n"
                  << "    \"degraded\": " << remote.degraded << "\n  }";
+      }
+      if (wire_ab) {
+        // binary_speedup_throughput flattens to a higher-is-better gate
+        // and latency_ratio_p99 to a lower-is-better gate in
+        // tools/metrics_diff: together they pin the binary+batched
+        // path's claim — more throughput at equal-or-better p99.
+        snapshot << ",\n  \"wire\": {\n"
+                 << "    \"pipeline_depth\": " << wire.depth << ",\n"
+                 << "    \"rate_mult\": " << wire.rate_mult << ",\n"
+                 << "    \"requests_per_leg\": " << wire.requests << ",\n"
+                 << "    \"ndjson_unbatched\": {\"req_per_s\": "
+                 << wire.ndjson.req_per_s
+                 << ", \"latency_us\": {\"p50\": " << wire.ndjson.p50_us
+                 << ", \"p99\": " << wire.ndjson.p99_us << "}},\n"
+                 << "    \"binary_batched\": {\"req_per_s\": "
+                 << wire.binary.req_per_s
+                 << ", \"latency_us\": {\"p50\": " << wire.binary.p50_us
+                 << ", \"p99\": " << wire.binary.p99_us << "}},\n"
+                 << "    \"binary_speedup_throughput\": " << wire.speedup
+                 << ",\n"
+                 << "    \"latency_ratio_p99\": " << wire.p99_ratio
+                 << "\n  }";
       }
       snapshot << "\n}\n";
       std::cout << "bench snapshot written to " << snapshot_path << "\n";

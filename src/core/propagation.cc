@@ -4,6 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SIMGRAPH_PROPAGATION_X86_GATHER 1
+#include <immintrin.h>
+#endif
+
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -11,6 +16,87 @@
 #include "util/trace.h"
 
 namespace simgraph {
+namespace {
+
+// ---- AccumulateMode::kLanes inner loop --------------------------------
+//
+// Four partial sums, lane j owning elements i ≡ j (mod 4), combined as
+// (l0+l1)+(l2+l3). The scalar and vector bodies implement the same lane
+// assignment, so switching between them only moves results within
+// floating-point rounding of the same reassociated reduction. kExact (the
+// sequential loop in PropagateInto) stays the default and is bit-identical
+// to ReferencePropagate.
+
+double DotGatherLanesScalar(const double* value, const NodeId* nbrs,
+                            const double* weights, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += value[nbrs[i + 0]] * weights[i + 0];
+    l1 += value[nbrs[i + 1]] * weights[i + 1];
+    l2 += value[nbrs[i + 2]] * weights[i + 2];
+    l3 += value[nbrs[i + 3]] * weights[i + 3];
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) acc += value[nbrs[i]] * weights[i];
+  return acc;
+}
+
+#ifdef SIMGRAPH_PROPAGATION_X86_GATHER
+__attribute__((target("avx2,fma"))) double DotGatherLanesAvx2(
+    const double* value, const NodeId* nbrs, const double* weights,
+    size_t n) {
+  __m256d lanes = _mm256_setzero_pd();
+  // The masked gather with a zero source and an all-ones mask is the
+  // plain gather; the unmasked intrinsic's wrapper trips GCC's
+  // maybe-uninitialized diagnostic on its pass-through operand.
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nbrs + i));
+    const __m256d v = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), value,
+                                               idx, all, sizeof(double));
+    const __m256d w = _mm256_loadu_pd(weights + i);
+    lanes = _mm256_fmadd_pd(v, w, lanes);
+  }
+  alignas(32) double l[4];
+  _mm256_store_pd(l, lanes);
+  double acc = (l[0] + l[1]) + (l[2] + l[3]);
+  for (; i < n; ++i) acc += value[nbrs[i]] * weights[i];
+  return acc;
+}
+
+bool DetectAvx2Fma() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+#endif  // SIMGRAPH_PROPAGATION_X86_GATHER
+
+using DotGatherFn = double (*)(const double*, const NodeId*, const double*,
+                               size_t);
+
+// Runtime CPU dispatch, resolved once per process.
+DotGatherFn ResolveDotGatherLanes() {
+#ifdef SIMGRAPH_PROPAGATION_X86_GATHER
+  if (DetectAvx2Fma()) return &DotGatherLanesAvx2;
+#endif
+  return &DotGatherLanesScalar;
+}
+
+const DotGatherFn kDotGatherLanes = ResolveDotGatherLanes();
+
+}  // namespace
+
+namespace internal {
+bool LanesUseVectorGather() {
+#ifdef SIMGRAPH_PROPAGATION_X86_GATHER
+  return kDotGatherLanes == &DotGatherLanesAvx2;
+#else
+  return false;
+#endif
+}
+}  // namespace internal
 
 double DynamicThreshold::Evaluate(int64_t m) const {
   if (m <= 0) return 0.0;
@@ -22,6 +108,7 @@ void PropagationScratch::Reserve(NodeId num_nodes) {
   const size_t n = static_cast<size_t>(num_nodes);
   if (score_.size() >= n) return;
   score_.resize(n, 0.0);
+  value_.resize(n, 0.0);
   score_stamp_.resize(n, 0);
   seed_stamp_.resize(n, 0);
   gen_stamp_.resize(n, 0);
@@ -36,10 +123,10 @@ int64_t PropagationScratch::MemoryBytes() const {
     return static_cast<int64_t>(
         v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type));
   };
-  return bytes(score_) + bytes(score_stamp_) + bytes(seed_stamp_) +
-         bytes(gen_stamp_) + bytes(row_) + bytes(frontier_) +
-         bytes(next_frontier_) + bytes(affected_) + bytes(update_) +
-         bytes(touched_);
+  return bytes(score_) + bytes(value_) + bytes(score_stamp_) +
+         bytes(seed_stamp_) + bytes(gen_stamp_) + bytes(row_) +
+         bytes(frontier_) + bytes(next_frontier_) + bytes(affected_) +
+         bytes(seeds_) + bytes(update_) + bytes(touched_);
 }
 
 void PropagationScratch::BeginRun(NodeId num_nodes) {
@@ -99,6 +186,7 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
   auto& frontier = scratch.frontier_;
   auto& next_frontier = scratch.next_frontier_;
   auto& affected = scratch.affected_;
+  auto& seed_list = scratch.seeds_;
   auto& update = scratch.update_;
   auto& touched = scratch.touched_;
   frontier.clear();
@@ -117,6 +205,13 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
     return;
   }
   std::sort(frontier.begin(), frontier.end());
+  // The frontier vector is consumed by the iteration loop; keep the deduped
+  // seed list around for per-iteration gen pre-stamping and the value_
+  // cleanup at the end of the run.
+  seed_list.assign(frontier.begin(), frontier.end());
+  // value_ is all-zero here (the invariant this function re-establishes on
+  // every exit path below); pin the seeds at 1.0 for the gather loop.
+  for (UserId s : seed_list) scratch.value_[static_cast<size_t>(s)] = 1.0;
 
   const double propagation_threshold =
       options.dynamic.enabled
@@ -139,11 +234,15 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
     // Affected users: those influenced by a frontier member, i.e. the
     // in-neighbours in the SimGraph (edge u->v means v influences u).
     // Deduplicated by generation stamp; one generation per iteration.
+    // Pre-stamping the seeds folds the seed exclusion into the same stamp
+    // test, so the per-edge body is one load + one branch.
     const uint32_t gen = scratch.BeginGeneration();
+    for (UserId s : seed_list) {
+      scratch.gen_stamp_[static_cast<size_t>(s)] = gen;
+    }
     affected.clear();
     for (UserId v : frontier) {
       for (UserId u : g.InNeighbors(v)) {
-        if (scratch.IsSeed(u)) continue;
         uint32_t& stamp = scratch.gen_stamp_[static_cast<size_t>(u)];
         if (stamp == gen) continue;
         stamp = gen;
@@ -154,16 +253,30 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
     // Jacobi-style round: evaluate all affected users against the scores
     // of the previous round (Algorithm 1 line 10). The per-round values
     // do not depend on the enumeration order of `affected` because reads
-    // go through ScoreOf, which is only written in the apply loop below.
+    // go through value_, which is only written in the apply loop below.
+    // value_ holds every node's effective score densely, so the gather is
+    // branch-free; kExact keeps the sequential add order (bit-identical
+    // to the reference), kLanes reassociates into four partial sums.
     update.clear();
-    for (UserId u : affected) {
-      const auto nbrs = g.OutNeighbors(u);
-      const auto weights = g.OutWeights(u);
-      double acc = 0.0;
-      for (size_t i = 0; i < nbrs.size(); ++i) {
-        acc += scratch.ScoreOf(nbrs[i]) * weights[i];
+    const double* const value = scratch.value_.data();
+    if (options.accumulate == AccumulateMode::kLanes) {
+      for (UserId u : affected) {
+        const auto nbrs = g.OutNeighbors(u);
+        const auto weights = g.OutWeights(u);
+        const double acc =
+            kDotGatherLanes(value, nbrs.data(), weights.data(), nbrs.size());
+        update.push_back(acc / static_cast<double>(nbrs.size()));
       }
-      update.push_back(acc / static_cast<double>(nbrs.size()));
+    } else {
+      for (UserId u : affected) {
+        const auto nbrs = g.OutNeighbors(u);
+        const auto weights = g.OutWeights(u);
+        double acc = 0.0;
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          acc += value[nbrs[i]] * weights[i];
+        }
+        update.push_back(acc / static_cast<double>(nbrs.size()));
+      }
     }
 
     next_frontier.clear();
@@ -171,7 +284,8 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
     for (size_t k = 0; k < affected.size(); ++k) {
       const UserId u = affected[k];
       const double p_new = update[k];
-      const double p_old = scratch.ScoreOf(u);
+      // Affected users are never seeds, so value_ is their ScoreOf.
+      const double p_old = scratch.value_[static_cast<size_t>(u)];
       const double delta = std::abs(p_new - p_old);
       residual = std::max(residual, delta);
       if (delta <= options.epsilon) continue;
@@ -180,6 +294,7 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
         touched.push_back(u);
       }
       scratch.score_[static_cast<size_t>(u)] = p_new;
+      scratch.value_[static_cast<size_t>(u)] = p_new;
       ++result->updates;
       // The static/dynamic threshold gates further propagation, not the
       // score update itself (Section 5.4).
@@ -212,6 +327,10 @@ void Propagator::PropagateInto(const std::vector<UserId>& seeds,
     const double p = scratch.score_[static_cast<size_t>(u)];
     if (p > 0.0) result->scores.push_back(UserScore{u, p});
   }
+  // Re-establish the all-zero value_ invariant: exactly the seeds and the
+  // scored users were written above.
+  for (UserId s : seed_list) scratch.value_[static_cast<size_t>(s)] = 0.0;
+  for (UserId u : touched) scratch.value_[static_cast<size_t>(u)] = 0.0;
 }
 
 std::vector<PropagationResult> Propagator::PropagateBatch(

@@ -90,6 +90,21 @@ class ServingBackend {
   /// Thread-safe recommendation entry point.
   virtual RecommendResponse Recommend(const RecommendRequest& request) = 0;
 
+  /// Serves an ordered batch: responses[i] answers requests[i]. The
+  /// default loops Recommend; backends with a cheaper bulk path override
+  /// it (RecommendationService takes its serial lock once per batch, the
+  /// ShardedService crosses the router hop once per owning shard —
+  /// docs/serving.md "Request batching").
+  virtual std::vector<RecommendResponse> RecommendBatch(
+      const std::vector<RecommendRequest>& requests) {
+    std::vector<RecommendResponse> responses;
+    responses.reserve(requests.size());
+    for (const RecommendRequest& request : requests) {
+      responses.push_back(Recommend(request));
+    }
+    return responses;
+  }
+
   /// Aggregated counters for the wire protocol's `stats` op.
   virtual BackendStats Stats() const = 0;
 

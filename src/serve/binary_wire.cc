@@ -1,0 +1,344 @@
+#include "serve/binary_wire.h"
+
+#include <sys/socket.h>
+
+#include <cstring>
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(b[0]) | static_cast<uint16_t>(b[1]) << 8;
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+void PutHeader(std::string* out, BinaryOp op, size_t payload_len) {
+  PutU32(out, static_cast<uint32_t>(payload_len));
+  out->push_back(static_cast<char>(op));
+}
+
+/// Overwrites the length field of a header written with a placeholder
+/// once the payload size is known (saves a payload-sized copy).
+void PatchLength(std::string* out, size_t header_pos, size_t payload_len) {
+  const uint32_t v = static_cast<uint32_t>(payload_len);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[header_pos + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace
+
+void AppendBinaryHello(std::string* out) {
+  PutU32(out, kBinaryWireMagic);
+  PutU16(out, kBinaryWireVersion);
+  PutU16(out, 0);  // flags, reserved
+}
+
+Status ParseBinaryHello(std::string_view bytes) {
+  if (bytes.size() < kBinaryHelloBytes) {
+    return Status::InvalidArgument("binary wire: short hello");
+  }
+  if (GetU32(bytes.data()) != kBinaryWireMagic) {
+    return Status::InvalidArgument("binary wire: bad magic (want \"SGRQ\")");
+  }
+  const uint16_t version = GetU16(bytes.data() + 4);
+  if (version != kBinaryWireVersion) {
+    return Status::InvalidArgument("binary wire: unsupported version " +
+                                   std::to_string(version));
+  }
+  return Status::Ok();
+}
+
+BinaryDecodeResult DecodeBinaryFrame(std::string_view buffer,
+                                     uint32_t max_payload) {
+  BinaryDecodeResult result;
+  if (buffer.size() < kBinaryFrameHeaderBytes) return result;  // kNeedMore
+  const uint32_t payload_len = GetU32(buffer.data());
+  if (payload_len > max_payload) {
+    result.status = BinaryDecodeStatus::kOversized;
+    result.oversized_payload = payload_len;
+    return result;
+  }
+  const size_t total = kBinaryFrameHeaderBytes + payload_len;
+  if (buffer.size() < total) return result;  // kNeedMore
+  result.status = BinaryDecodeStatus::kFrame;
+  result.frame.op = static_cast<BinaryOp>(
+      static_cast<uint8_t>(buffer[kBinaryFrameHeaderBytes - 1]));
+  result.frame.payload =
+      buffer.substr(kBinaryFrameHeaderBytes, payload_len);
+  result.frame.frame_bytes = total;
+  return result;
+}
+
+StatusOr<WireRequest> ParseBinaryRequest(BinaryOp op,
+                                         std::string_view payload) {
+  const auto need = [&](size_t bytes) {
+    return payload.size() == bytes
+               ? Status::Ok()
+               : Status::InvalidArgument(
+                     "binary wire: payload size " +
+                     std::to_string(payload.size()) + " (want " +
+                     std::to_string(bytes) + ")");
+  };
+  WireRequest request;
+  switch (op) {
+    case BinaryOp::kPing:
+      SIMGRAPH_RETURN_IF_ERROR(need(0));
+      request.op = WireRequest::Op::kPing;
+      return request;
+    case BinaryOp::kEvent:
+      SIMGRAPH_RETURN_IF_ERROR(need(20));
+      request.op = WireRequest::Op::kEvent;
+      request.tweet = static_cast<TweetId>(GetU64(payload.data()));
+      request.user = static_cast<UserId>(GetU32(payload.data() + 8));
+      request.time = static_cast<Timestamp>(GetU64(payload.data() + 12));
+      if (request.tweet < 0) {
+        return Status::InvalidArgument("binary wire: event needs tweet >= 0");
+      }
+      if (request.user < 0) {
+        return Status::InvalidArgument("binary wire: event needs user >= 0");
+      }
+      return request;
+    case BinaryOp::kRecommend:
+      SIMGRAPH_RETURN_IF_ERROR(need(16));
+      request.op = WireRequest::Op::kRecommend;
+      request.user = static_cast<UserId>(GetU32(payload.data()));
+      request.now = static_cast<Timestamp>(GetU64(payload.data() + 4));
+      request.k = static_cast<int32_t>(GetU32(payload.data() + 12));
+      return request;
+    case BinaryOp::kWaitApplied:
+      SIMGRAPH_RETURN_IF_ERROR(need(8));
+      request.op = WireRequest::Op::kWaitApplied;
+      request.seq = GetU64(payload.data());
+      return request;
+    case BinaryOp::kStats:
+      SIMGRAPH_RETURN_IF_ERROR(need(0));
+      request.op = WireRequest::Op::kStats;
+      return request;
+    case BinaryOp::kStatsWindow:
+      SIMGRAPH_RETURN_IF_ERROR(need(4));
+      request.op = WireRequest::Op::kStatsWindow;
+      request.limit = static_cast<int32_t>(GetU32(payload.data()));
+      return request;
+    case BinaryOp::kSlowLog:
+      SIMGRAPH_RETURN_IF_ERROR(need(4));
+      request.op = WireRequest::Op::kSlowLog;
+      request.limit = static_cast<int32_t>(GetU32(payload.data()));
+      return request;
+    case BinaryOp::kMetrics:
+      SIMGRAPH_RETURN_IF_ERROR(need(0));
+      request.op = WireRequest::Op::kMetrics;
+      return request;
+    case BinaryOp::kError:
+      break;  // response-only; fall through to the unknown-op error
+  }
+  return Status::InvalidArgument(
+      "binary wire: unknown op " +
+      std::to_string(static_cast<unsigned>(op)));
+}
+
+void AppendBinaryRequest(std::string* out, const WireRequest& request) {
+  switch (request.op) {
+    case WireRequest::Op::kPing:
+      PutHeader(out, BinaryOp::kPing, 0);
+      return;
+    case WireRequest::Op::kEvent:
+      PutHeader(out, BinaryOp::kEvent, 20);
+      PutU64(out, static_cast<uint64_t>(request.tweet));
+      PutU32(out, static_cast<uint32_t>(request.user));
+      PutU64(out, static_cast<uint64_t>(request.time));
+      return;
+    case WireRequest::Op::kRecommend:
+      PutHeader(out, BinaryOp::kRecommend, 16);
+      PutU32(out, static_cast<uint32_t>(request.user));
+      PutU64(out, static_cast<uint64_t>(request.now));
+      PutU32(out, static_cast<uint32_t>(request.k));
+      return;
+    case WireRequest::Op::kWaitApplied:
+      PutHeader(out, BinaryOp::kWaitApplied, 8);
+      PutU64(out, request.seq);
+      return;
+    case WireRequest::Op::kStats:
+      PutHeader(out, BinaryOp::kStats, 0);
+      return;
+    case WireRequest::Op::kStatsWindow:
+      PutHeader(out, BinaryOp::kStatsWindow, 4);
+      PutU32(out, static_cast<uint32_t>(request.limit));
+      return;
+    case WireRequest::Op::kSlowLog:
+      PutHeader(out, BinaryOp::kSlowLog, 4);
+      PutU32(out, static_cast<uint32_t>(request.limit));
+      return;
+    case WireRequest::Op::kMetrics:
+      PutHeader(out, BinaryOp::kMetrics, 0);
+      return;
+  }
+}
+
+void AppendBinaryErrorFrame(std::string* out, std::string_view message) {
+  PutHeader(out, BinaryOp::kError, message.size());
+  out->append(message.data(), message.size());
+}
+
+void AppendBinaryEventAck(std::string* out, uint64_t seq) {
+  PutHeader(out, BinaryOp::kEvent, 8);
+  PutU64(out, seq);
+}
+
+void AppendBinaryWaitAppliedAck(std::string* out, uint64_t seq) {
+  PutHeader(out, BinaryOp::kWaitApplied, 8);
+  PutU64(out, seq);
+}
+
+void AppendBinaryPong(std::string* out) {
+  PutHeader(out, BinaryOp::kPing, 0);
+}
+
+void AppendBinaryTextFrame(std::string* out, BinaryOp op,
+                           std::string_view text) {
+  PutHeader(out, op, text.size());
+  out->append(text.data(), text.size());
+}
+
+void AppendBinaryRecommendResponse(std::string* out, UserId user,
+                                   uint64_t request_id,
+                                   const std::vector<ScoredTweet>& tweets,
+                                   bool cache_hit, bool degraded,
+                                   uint64_t applied_seq) {
+  const size_t header_pos = out->size();
+  PutHeader(out, BinaryOp::kRecommend, 0);  // length patched below
+  const size_t payload_pos = out->size();
+  PutU32(out, static_cast<uint32_t>(user));
+  PutU64(out, request_id);
+  PutU64(out, applied_seq);
+  out->push_back(static_cast<char>((cache_hit ? 1 : 0) |
+                                   (degraded ? 2 : 0)));
+  PutU32(out, static_cast<uint32_t>(tweets.size()));
+  for (const ScoredTweet& t : tweets) {
+    PutU64(out, static_cast<uint64_t>(t.tweet));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(t.score));
+    std::memcpy(&bits, &t.score, sizeof(bits));
+    PutU64(out, bits);  // raw IEEE-754 bits: scores survive bit-exactly
+  }
+  PatchLength(out, header_pos, out->size() - payload_pos);
+}
+
+Status ParseBinaryRecommendResponse(std::string_view payload,
+                                    BinaryRecommendResponse* out) {
+  constexpr size_t kFixed = 4 + 8 + 8 + 1 + 4;
+  if (payload.size() < kFixed) {
+    return Status::InvalidArgument("binary wire: short recommend response");
+  }
+  out->user = static_cast<UserId>(GetU32(payload.data()));
+  out->request_id = GetU64(payload.data() + 4);
+  out->applied_seq = GetU64(payload.data() + 12);
+  const uint8_t flags = static_cast<uint8_t>(payload[20]);
+  out->cache_hit = (flags & 1) != 0;
+  out->degraded = (flags & 2) != 0;
+  const uint32_t count = GetU32(payload.data() + 21);
+  if (payload.size() != kFixed + static_cast<size_t>(count) * 16) {
+    return Status::InvalidArgument(
+        "binary wire: recommend response size mismatch");
+  }
+  out->tweets.clear();
+  out->tweets.reserve(count);
+  const char* p = payload.data() + kFixed;
+  for (uint32_t i = 0; i < count; ++i, p += 16) {
+    ScoredTweet t;
+    t.tweet = static_cast<TweetId>(GetU64(p));
+    const uint64_t bits = GetU64(p + 8);
+    std::memcpy(&t.score, &bits, sizeof(t.score));
+    out->tweets.push_back(t);
+  }
+  return Status::Ok();
+}
+
+Status ParseBinaryU64(std::string_view payload, uint64_t* value) {
+  if (payload.size() != 8) {
+    return Status::InvalidArgument("binary wire: want a u64 payload");
+  }
+  *value = GetU64(payload.data());
+  return Status::Ok();
+}
+
+Status SendBinaryHandshake(int fd) {
+  std::string hello;
+  AppendBinaryHello(&hello);
+  size_t sent = 0;
+  while (sent < hello.size()) {
+    const ssize_t n = ::send(fd, hello.data() + sent, hello.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Status::IoError("binary wire: hello send failed");
+    sent += static_cast<size_t>(n);
+  }
+  char ack[kBinaryHelloBytes];
+  size_t got = 0;
+  while (got < sizeof(ack)) {
+    const ssize_t n = ::recv(fd, ack + got, sizeof(ack) - got, 0);
+    if (n <= 0) return Status::IoError("binary wire: hello ack EOF");
+    got += static_cast<size_t>(n);
+  }
+  return ParseBinaryHello(std::string_view(ack, sizeof(ack)));
+}
+
+Status ReadBinaryFrameBlocking(int fd, BinaryOp* op, std::string* payload,
+                               uint64_t max_payload) {
+  char header[kBinaryFrameHeaderBytes];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::recv(fd, header + got, sizeof(header) - got, 0);
+    if (n <= 0) return Status::IoError("binary wire: frame header EOF");
+    got += static_cast<size_t>(n);
+  }
+  const uint32_t len = GetU32(header);
+  if (len > max_payload) {
+    return Status::InvalidArgument("binary wire: frame payload " +
+                                   std::to_string(len) + " exceeds cap");
+  }
+  *op = static_cast<BinaryOp>(static_cast<uint8_t>(header[4]));
+  payload->resize(len);
+  size_t read = 0;
+  while (read < len) {
+    const ssize_t n = ::recv(fd, payload->data() + read, len - read, 0);
+    if (n <= 0) return Status::IoError("binary wire: frame payload EOF");
+    read += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace simgraph

@@ -1,0 +1,155 @@
+#ifndef SIMGRAPH_SERVE_BINARY_WIRE_H_
+#define SIMGRAPH_SERVE_BINARY_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/recommender.h"
+#include "dataset/types.h"
+#include "serve/wire_protocol.h"
+#include "util/status.h"
+
+namespace simgraph {
+namespace serve {
+
+/// SGRQ — the binary request/response encoding of the serving front-end
+/// (docs/serving.md has the full wire reference). It carries the exact
+/// op set of the NDJSON protocol in length-prefixed frames with the same
+/// layout as the SGDL/SGRP formats:
+///
+///   u32 LE payload length | u8 op | payload bytes
+///
+/// A connection opts in by leading with an 8-byte hello
+/// (u32 magic "SGRQ" | u16 version | u16 flags); the server echoes its
+/// own hello and both sides speak frames from then on. Any other first
+/// byte keeps the connection in NDJSON mode — no NDJSON request can
+/// start with 'S' (a line must open with '{' or whitespace to parse), so
+/// the first byte is an unambiguous discriminator. NDJSON stays the
+/// debuggable fallback; SGRQ exists for raw request throughput (no JSON
+/// parse/format, one memcpy-shaped decode per request).
+///
+/// Like SGRP, every decoder treats the peer as hostile: lengths are
+/// capped (an oversized frame is discarded deterministically, answered
+/// with one error frame, and counted — mirroring the NDJSON
+/// oversized-line handling), magic/version are vetted before any frame
+/// is parsed, and a malformed payload answers with an error frame
+/// instead of crashing or desyncing the stream.
+enum class BinaryOp : uint8_t {
+  kError = 0,        // response only: utf8 reason
+  kPing = 1,         // request: empty            response: empty
+  kEvent = 2,        // request: i64 tweet, i32 user, i64 time
+                     // response: u64 seq
+  kRecommend = 3,    // request: i32 user, i64 now, i32 k
+                     // response: see BinaryRecommendResponse
+  kWaitApplied = 4,  // request: u64 seq          response: u64 seq
+  kStats = 5,        // request: empty            response: utf8 JSON
+  kStatsWindow = 6,  // request: i32 n            response: utf8 JSON
+  kSlowLog = 7,      // request: i32 n            response: utf8 JSON
+  kMetrics = 8,      // request: empty  response: Prometheus text
+};
+
+/// "SGRQ" little-endian, leading the connection hello.
+inline constexpr uint32_t kBinaryWireMagic = 0x51524753;
+inline constexpr uint16_t kBinaryWireVersion = 1;
+
+/// The 8-byte connection hello: u32 magic | u16 version | u16 flags.
+inline constexpr size_t kBinaryHelloBytes = 8;
+
+/// Longest accepted *request* payload — the binary twin of
+/// TcpServer::kMaxLineBytes. Responses (stats with an embedded metrics
+/// snapshot, Prometheus text) may be longer; requests never are.
+inline constexpr uint32_t kMaxBinaryRequestPayload = 64 * 1024;
+
+/// Frame header: u32 LE payload length + u8 op.
+inline constexpr size_t kBinaryFrameHeaderBytes = 5;
+
+/// Serializes the hello / validates a received one. Parse fails on a
+/// wrong magic or an unsupported version (flags are reserved, ignored).
+void AppendBinaryHello(std::string* out);
+Status ParseBinaryHello(std::string_view bytes);
+
+/// Incremental frame decoder over a connection buffer.
+struct BinaryFrameView {
+  BinaryOp op = BinaryOp::kError;
+  /// Payload bytes, viewing into the buffer passed to DecodeBinaryFrame
+  /// — invalidated by any mutation of that buffer.
+  std::string_view payload;
+  /// Total frame size (header + payload) to consume from the buffer.
+  size_t frame_bytes = 0;
+};
+
+enum class BinaryDecodeStatus {
+  kNeedMore,   ///< incomplete header or payload; read more bytes
+  kFrame,      ///< one complete frame decoded into the view
+  kOversized,  ///< length prefix exceeds `max_payload`; skip the frame
+};
+
+struct BinaryDecodeResult {
+  BinaryDecodeStatus status = BinaryDecodeStatus::kNeedMore;
+  BinaryFrameView frame;           // kFrame only
+  uint64_t oversized_payload = 0;  // kOversized: payload bytes to skip
+};
+
+/// Examines the front of `buffer` for one frame. Never consumes bytes —
+/// the caller erases frame_bytes (kFrame) or streams past the header +
+/// oversized_payload bytes (kOversized). The op byte is NOT validated
+/// here; unknown ops surface from ParseBinaryRequest so the stream stays
+/// framed (mirroring how an unknown NDJSON op is an error, not a
+/// disconnect).
+BinaryDecodeResult DecodeBinaryFrame(
+    std::string_view buffer, uint32_t max_payload = kMaxBinaryRequestPayload);
+
+/// Decodes a request frame's payload into the protocol-neutral
+/// WireRequest (the same struct the NDJSON parser produces, so the
+/// server dispatches both protocols through one switch). Fails on an
+/// unknown op or a payload whose size does not match the op's layout.
+StatusOr<WireRequest> ParseBinaryRequest(BinaryOp op,
+                                         std::string_view payload);
+
+/// Encoders: each appends one complete frame (header + payload) to *out
+/// WITHOUT clearing it, so a per-connection reply buffer accumulates a
+/// whole batch of responses and hits the socket in one send.
+void AppendBinaryRequest(std::string* out, const WireRequest& request);
+void AppendBinaryErrorFrame(std::string* out, std::string_view message);
+void AppendBinaryEventAck(std::string* out, uint64_t seq);
+void AppendBinaryWaitAppliedAck(std::string* out, uint64_t seq);
+void AppendBinaryPong(std::string* out);
+/// stats / stats-window / slow-log (JSON bodies, byte-identical to the
+/// NDJSON reply) and metrics (Prometheus text) travel as opaque text.
+void AppendBinaryTextFrame(std::string* out, BinaryOp op,
+                           std::string_view text);
+void AppendBinaryRecommendResponse(std::string* out, UserId user,
+                                   uint64_t request_id,
+                                   const std::vector<ScoredTweet>& tweets,
+                                   bool cache_hit, bool degraded,
+                                   uint64_t applied_seq);
+
+/// Client-side decode of a kRecommend response payload.
+struct BinaryRecommendResponse {
+  UserId user = 0;
+  uint64_t request_id = 0;
+  uint64_t applied_seq = 0;
+  bool cache_hit = false;
+  bool degraded = false;
+  std::vector<ScoredTweet> tweets;
+};
+Status ParseBinaryRecommendResponse(std::string_view payload,
+                                    BinaryRecommendResponse* out);
+
+/// u64 LE payload of event acks / wait_applied acks.
+Status ParseBinaryU64(std::string_view payload, uint64_t* value);
+
+/// Blocking client helpers over a connected socket (bench + tests; the
+/// server never blocks on a frame). SendBinaryHandshake sends the hello
+/// and vets the echoed one; ReadBinaryFrameBlocking reads exactly one
+/// frame, rejecting payloads beyond `max_payload`. IoError on EOF.
+Status SendBinaryHandshake(int fd);
+Status ReadBinaryFrameBlocking(int fd, BinaryOp* op, std::string* payload,
+                               uint64_t max_payload = 64ull << 20);
+
+}  // namespace serve
+}  // namespace simgraph
+
+#endif  // SIMGRAPH_SERVE_BINARY_WIRE_H_

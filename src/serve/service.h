@@ -143,7 +143,7 @@ class RecommendationService : public ServingBackend {
   /// cumulative (request i gets budget * (i + 1) from batch start), so
   /// early finishers donate slack to later requests.
   std::vector<RecommendResponse> RecommendBatch(
-      const std::vector<RecommendRequest>& requests);
+      const std::vector<RecommendRequest>& requests) override;
 
   /// Closes telemetry window `window`: rotates the per-window request/
   /// hit/degraded meters, the windowed apply-latency histogram and the

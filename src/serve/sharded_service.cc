@@ -184,6 +184,53 @@ RecommendResponse ShardedService::Recommend(const RecommendRequest& request) {
   return shards_[static_cast<size_t>(shard)]->Recommend(request);
 }
 
+std::vector<RecommendResponse> ShardedService::RecommendBatch(
+    const std::vector<RecommendRequest>& requests) {
+  if (requests.size() <= 1) {
+    // A batch of one routes like a single request (keeps its route span
+    // and serve.router.requests accounting).
+    return ServingBackend::RecommendBatch(requests);
+  }
+  // One scope per batch: the shards' per-request recommend spans nest
+  // under it, so a trace shows the whole batch as one connected tree.
+  trace::RequestScope scope("request/recommend_batch");
+  scope.SetAttribute("batch", static_cast<int64_t>(requests.size()));
+  const size_t n = requests.size();
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<size_t>> by_shard(num_shards);
+  {
+    SIMGRAPH_TRACE_SPAN("request/route_batch", "serve");
+    for (size_t i = 0; i < n; ++i) {
+      by_shard[static_cast<size_t>(router_.ShardOf(requests[i].user))]
+          .push_back(i);
+    }
+  }
+  std::vector<RecommendResponse> responses(n);
+  std::vector<RecommendRequest> sub;
+  int64_t shards_hit = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::vector<size_t>& indices = by_shard[s];
+    if (indices.empty()) continue;
+    ++shards_hit;
+    sub.clear();
+    sub.reserve(indices.size());
+    for (const size_t i : indices) sub.push_back(requests[i]);
+    std::vector<RecommendResponse> shard_responses =
+        shards_[s]->RecommendBatch(sub);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      responses[indices[j]] = std::move(shard_responses[j]);
+    }
+  }
+  SIMGRAPH_COUNTER_ADD("serve.router.batch.requests",
+                       static_cast<int64_t>(n));
+  SIMGRAPH_COUNTER_ADD("serve.router.batch.flushes", shards_hit);
+  SIMGRAPH_HISTOGRAM_RECORD("serve.router.batch.size",
+                            static_cast<double>(n));
+  SIMGRAPH_HISTOGRAM_RECORD("serve.router.batch.shards",
+                            static_cast<double>(shards_hit));
+  return responses;
+}
+
 BackendStats ShardedService::Stats() const {
   BackendStats stats;
   stats.shards.reserve(shards_.size());

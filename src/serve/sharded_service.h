@@ -125,6 +125,12 @@ class ShardedService : public ServingBackend {
   uint64_t AppliedSeq() const override;
   void WaitForApplied(uint64_t seq) override;
   RecommendResponse Recommend(const RecommendRequest& request) override;
+  /// Groups the batch by owning shard and crosses the router hop once
+  /// per shard (each shard serves its sub-batch under one lock), then
+  /// reassembles responses in request order. serve.router.batch.*
+  /// metrics + a request/route_batch span per batch.
+  std::vector<RecommendResponse> RecommendBatch(
+      const std::vector<RecommendRequest>& requests) override;
   BackendStats Stats() const override;
   /// Rotates every shard's windowed telemetry; one ShardWindow each.
   void RotateWindows(int64_t window, std::vector<ShardWindow>* out) override;

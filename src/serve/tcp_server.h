@@ -14,25 +14,46 @@
 namespace simgraph {
 namespace serve {
 
-/// Newline-delimited-JSON front-end of a ServingBackend — a single
+/// Dual-protocol front-end of a ServingBackend — a single
 /// RecommendationService or a ShardedService — over a loopback TCP
-/// socket (wire_protocol.h defines the line format). One thread per
-/// connection; connections are independent, so a client blocked in
-/// wait_applied never stalls another client's recommends.
+/// socket. Each connection speaks either newline-delimited JSON
+/// (wire_protocol.h, the debuggable default) or the SGRQ binary framing
+/// (binary_wire.h, for raw throughput); the first byte decides: an SGRQ
+/// hello opts the connection into binary frames, anything else stays
+/// NDJSON. One thread per connection; connections are independent, so a
+/// client blocked in wait_applied never stalls another client's
+/// recommends.
+///
+/// Each recv pass decodes every complete request it delivered and
+/// serves them as one unit: maximal contiguous runs of recommends
+/// (pipelined clients) cross the backend as ONE RecommendBatch call —
+/// on a ShardedService that is one router hop and one shard lock per
+/// shard touched, not per request — and all responses of the pass leave
+/// in a single send from one reused reply buffer. The batch window is
+/// exactly what the pass delivered: the server never waits for more
+/// requests, so an unpipelined client's latency is unchanged.
 ///
 /// A request line longer than kMaxLineBytes gets exactly one structured
 /// error and the connection continues: the overflow is discarded as it
 /// streams in (holding at most kMaxLineBytes + one recv chunk in
 /// memory) and the error is sent once the line's terminating newline
 /// arrives, so framing survives regardless of how the bytes were
-/// chunked in transit.
+/// chunked in transit. A binary frame whose length prefix exceeds
+/// kMaxLineBytes gets the same treatment (deterministic streamed
+/// discard, one error frame, serve.tcp.oversized_frames).
 ///
 /// Binds 127.0.0.1 only: this is an in-process serving harness for
 /// benchmarks and tools, not a hardened network daemon.
 class TcpServer {
  public:
-  /// Longest accepted request line (bytes, excluding the newline).
+  /// Longest accepted request line (bytes, excluding the newline), and
+  /// equally the largest accepted binary request payload.
   static constexpr size_t kMaxLineBytes = 64 * 1024;
+
+  /// Most requests one backend batch call absorbs; a longer pipelined
+  /// run is simply served as several batches. Bounds per-batch latency
+  /// (and the shard sub-batch fan-out) without ever delaying a flush.
+  static constexpr size_t kMaxBatchRequests = 64;
 
   /// `service` must outlive the server and must already be trained and
   /// started.

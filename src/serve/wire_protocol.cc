@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "util/metrics.h"
+
 namespace simgraph {
 namespace serve {
 namespace {
@@ -205,78 +207,119 @@ StatusOr<WireRequest> ParseRequestLine(std::string_view line) {
   return request;
 }
 
+void AppendEventAck(std::string* out, uint64_t seq) {
+  *out += "{\"ok\":true,\"op\":\"event\",\"seq\":";
+  *out += std::to_string(seq);
+  *out += "}";
+}
+
 std::string FormatEventAck(uint64_t seq) {
-  return "{\"ok\":true,\"op\":\"event\",\"seq\":" + std::to_string(seq) + "}";
+  std::string out;
+  AppendEventAck(&out, seq);
+  return out;
+}
+
+void AppendRecommendResponse(std::string* out, UserId user,
+                             uint64_t request_id,
+                             const std::vector<ScoredTweet>& tweets,
+                             bool cache_hit, bool degraded,
+                             uint64_t applied_seq) {
+  *out += "{\"ok\":true,\"op\":\"recommend\",\"user\":";
+  *out += std::to_string(user);
+  *out += ",\"request_id\":";
+  *out += std::to_string(request_id);
+  *out += ",\"cache_hit\":";
+  *out += cache_hit ? "true" : "false";
+  *out += ",\"degraded\":";
+  *out += degraded ? "true" : "false";
+  *out += ",\"applied_seq\":";
+  *out += std::to_string(applied_seq);
+  *out += ",\"tweets\":[";
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "{\"id\":";
+    *out += std::to_string(tweets[i].tweet);
+    *out += ",\"score\":";
+    AppendDouble(out, tweets[i].score);
+    *out += "}";
+  }
+  *out += "]}";
 }
 
 std::string FormatRecommendResponse(UserId user, uint64_t request_id,
                                     const std::vector<ScoredTweet>& tweets,
                                     bool cache_hit, bool degraded,
                                     uint64_t applied_seq) {
-  std::string out = "{\"ok\":true,\"op\":\"recommend\",\"user\":";
-  out += std::to_string(user);
-  out += ",\"request_id\":";
-  out += std::to_string(request_id);
-  out += ",\"cache_hit\":";
-  out += cache_hit ? "true" : "false";
-  out += ",\"degraded\":";
-  out += degraded ? "true" : "false";
-  out += ",\"applied_seq\":";
-  out += std::to_string(applied_seq);
-  out += ",\"tweets\":[";
-  for (size_t i = 0; i < tweets.size(); ++i) {
-    if (i > 0) out += ",";
-    out += "{\"id\":";
-    out += std::to_string(tweets[i].tweet);
-    out += ",\"score\":";
-    AppendDouble(&out, tweets[i].score);
-    out += "}";
-  }
-  out += "]}";
+  std::string out;
+  AppendRecommendResponse(&out, user, request_id, tweets, cache_hit,
+                          degraded, applied_seq);
   return out;
 }
 
+void AppendWaitAppliedAck(std::string* out, uint64_t seq) {
+  *out += "{\"ok\":true,\"op\":\"wait_applied\",\"seq\":";
+  *out += std::to_string(seq);
+  *out += "}";
+}
+
 std::string FormatWaitAppliedAck(uint64_t seq) {
-  return "{\"ok\":true,\"op\":\"wait_applied\",\"seq\":" +
-         std::to_string(seq) + "}";
+  std::string out;
+  AppendWaitAppliedAck(&out, seq);
+  return out;
+}
+
+void AppendStats(std::string* out, const BackendStats& stats,
+                 const std::string& metrics_json) {
+  *out += "{\"ok\":true,\"op\":\"stats\",\"applied_seq\":";
+  *out += std::to_string(stats.applied_seq);
+  *out += ",\"cached_entries\":";
+  *out += std::to_string(stats.cached_entries);
+  *out += ",\"graph_epoch\":";
+  *out += std::to_string(stats.graph_epoch);
+  *out += ",\"graph_edges\":";
+  *out += std::to_string(stats.graph_edges);
+  *out += ",\"num_shards\":";
+  *out += std::to_string(stats.shards.size());
+  *out += ",\"shards\":[";
+  for (size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& shard = stats.shards[i];
+    if (i > 0) *out += ",";
+    *out += "{\"applied_seq\":" + std::to_string(shard.applied_seq) +
+            ",\"cached_entries\":" + std::to_string(shard.cached_entries) +
+            ",\"graph_epoch\":" + std::to_string(shard.graph_epoch) +
+            ",\"graph_edges\":" + std::to_string(shard.graph_edges) + "}";
+  }
+  *out += "]";
+  if (!metrics_json.empty()) {
+    // Embedded verbatim: the compact registry snapshot is already JSON.
+    *out += ",\"metrics\":";
+    *out += metrics_json;
+  }
+  *out += "}";
 }
 
 std::string FormatStats(const BackendStats& stats,
                         const std::string& metrics_json) {
-  std::string out = "{\"ok\":true,\"op\":\"stats\",\"applied_seq\":" +
-                    std::to_string(stats.applied_seq) +
-                    ",\"cached_entries\":" +
-                    std::to_string(stats.cached_entries) +
-                    ",\"graph_epoch\":" + std::to_string(stats.graph_epoch) +
-                    ",\"graph_edges\":" + std::to_string(stats.graph_edges) +
-                    ",\"num_shards\":" + std::to_string(stats.shards.size()) +
-                    ",\"shards\":[";
-  for (size_t i = 0; i < stats.shards.size(); ++i) {
-    const ShardStats& shard = stats.shards[i];
-    if (i > 0) out += ",";
-    out += "{\"applied_seq\":" + std::to_string(shard.applied_seq) +
-           ",\"cached_entries\":" + std::to_string(shard.cached_entries) +
-           ",\"graph_epoch\":" + std::to_string(shard.graph_epoch) +
-           ",\"graph_edges\":" + std::to_string(shard.graph_edges) + "}";
-  }
-  out += "]";
-  if (!metrics_json.empty()) {
-    // Embedded verbatim: the compact registry snapshot is already JSON.
-    out += ",\"metrics\":" + metrics_json;
-  }
-  out += "}";
+  std::string out;
+  AppendStats(&out, stats, metrics_json);
   return out;
 }
 
-std::string FormatStatsWindow(const std::vector<std::string>& records) {
-  std::string out = "{\"ok\":true,\"op\":\"stats-window\",\"windows\":[";
+void AppendStatsWindow(std::string* out,
+                       const std::vector<std::string>& records) {
+  *out += "{\"ok\":true,\"op\":\"stats-window\",\"windows\":[";
   for (size_t i = 0; i < records.size(); ++i) {
-    if (i > 0) out += ",";
+    if (i > 0) *out += ",";
     // Each record is a complete JSON object serialized by the
     // TimeseriesRecorder; embedded verbatim like FormatStats' metrics.
-    out += records[i];
+    *out += records[i];
   }
-  out += "]}";
+  *out += "]}";
+}
+
+std::string FormatStatsWindow(const std::vector<std::string>& records) {
+  std::string out;
+  AppendStatsWindow(&out, records);
   return out;
 }
 
@@ -299,20 +342,51 @@ void AppendSlowRequestJson(std::string* out, const SlowRequestEntry& entry) {
   *out += "}}";
 }
 
-std::string FormatSlowLog(const std::vector<SlowRequestEntry>& entries) {
-  std::string out = "{\"ok\":true,\"op\":\"slow-log\",\"entries\":[";
+void AppendSlowLog(std::string* out,
+                   const std::vector<SlowRequestEntry>& entries) {
+  *out += "{\"ok\":true,\"op\":\"slow-log\",\"entries\":[";
   for (size_t i = 0; i < entries.size(); ++i) {
-    if (i > 0) out += ",";
-    AppendSlowRequestJson(&out, entries[i]);
+    if (i > 0) *out += ",";
+    AppendSlowRequestJson(out, entries[i]);
   }
-  out += "]}";
+  *out += "]}";
+}
+
+std::string FormatSlowLog(const std::vector<SlowRequestEntry>& entries) {
+  std::string out;
+  AppendSlowLog(&out, entries);
   return out;
 }
 
-std::string FormatPong() { return "{\"ok\":true,\"op\":\"ping\"}"; }
+void AppendPong(std::string* out) { *out += "{\"ok\":true,\"op\":\"ping\"}"; }
+
+std::string FormatPong() {
+  std::string out;
+  AppendPong(&out);
+  return out;
+}
+
+void AppendError(std::string* out, std::string_view message) {
+  *out += "{\"ok\":false,\"error\":\"";
+  *out += EscapeJson(message);
+  *out += "\"}";
+}
 
 std::string FormatError(std::string_view message) {
-  return "{\"ok\":false,\"error\":\"" + EscapeJson(message) + "\"}";
+  std::string out;
+  AppendError(&out, message);
+  return out;
+}
+
+void NoteReplyBufferUse(size_t capacity_before, const std::string& after) {
+  // A fresh std::string per response (the pre-reuse scheme) paid at
+  // least one allocation every pass; a pass that fit inside storage the
+  // buffer already owned paid none.
+  if (capacity_before > 0 && after.size() <= capacity_before) {
+    SIMGRAPH_COUNTER_ADD("serve.wire.buffer.reuses", 1);
+  } else {
+    SIMGRAPH_COUNTER_ADD("serve.wire.buffer.grows", 1);
+  }
 }
 
 }  // namespace serve

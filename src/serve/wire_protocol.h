@@ -108,6 +108,35 @@ std::string FormatPong();
 /// {"ok":false,"error":"..."} — `message` is JSON-escaped.
 std::string FormatError(std::string_view message);
 
+/// Append* twins of the Format* functions above: each appends the same
+/// bytes to *out WITHOUT clearing it, so a per-connection reply buffer
+/// (reserved once, reused every pass) accumulates a batch of responses
+/// with no per-request string churn. The Format* functions are thin
+/// wrappers over these.
+void AppendEventAck(std::string* out, uint64_t seq);
+void AppendRecommendResponse(std::string* out, UserId user,
+                             uint64_t request_id,
+                             const std::vector<ScoredTweet>& tweets,
+                             bool cache_hit, bool degraded,
+                             uint64_t applied_seq);
+void AppendWaitAppliedAck(std::string* out, uint64_t seq);
+void AppendStats(std::string* out, const BackendStats& stats,
+                 const std::string& metrics_json = "");
+void AppendStatsWindow(std::string* out,
+                       const std::vector<std::string>& records);
+void AppendSlowLog(std::string* out,
+                   const std::vector<SlowRequestEntry>& entries);
+void AppendPong(std::string* out);
+void AppendError(std::string* out, std::string_view message);
+
+/// Buffer-reuse accounting for the per-connection encode/decode buffers:
+/// call with the buffer's capacity before an encode pass and the buffer
+/// after it. Counts serve.wire.buffer.reuses when the pass fit in
+/// storage the buffer already owned (allocations a fresh string per
+/// response would have paid) and serve.wire.buffer.grows when the pass
+/// had to (re)allocate.
+void NoteReplyBufferUse(size_t capacity_before, const std::string& after);
+
 }  // namespace serve
 }  // namespace simgraph
 

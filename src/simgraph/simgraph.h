@@ -52,6 +52,7 @@
 #include "graph/graph_stats.h"
 #include "graph/union_find.h"
 #include "serve/backend.h"
+#include "serve/binary_wire.h"
 #include "serve/candidate_state.h"
 #include "serve/delta_applier.h"
 #include "serve/delta_builder.h"

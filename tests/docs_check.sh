@@ -9,8 +9,9 @@
 #   4. docs/ingest.md, docs/store.md, and docs/replication.md exist and
 #      the files and qualified C++ names they backtick still exist in
 #      the tree;
-#   5. every serve.ingest.delta.*, store.snapshot.*, serve.window.*, and
-#      serve.replication.* metric emitted by the code is documented in
+#   5. every serve.ingest.delta.*, store.snapshot.*, serve.window.*,
+#      serve.replication.*, serve.router.batch.*, and serve.wire.*
+#      metric emitted by the code is documented in
 #      docs/observability.md (the reverse of check 2).
 set -eu
 
@@ -100,7 +101,7 @@ done
 # --- 5. every gated metric family the code emits is documented ---------
 if [ -f "$OBS" ]; then
   for name in $(grep -rho \
-                '"\(serve\.ingest\.delta\|store\.snapshot\|serve\.window\|serve\.replication\)\.[A-Za-z0-9_.]*"' \
+                '"\(serve\.ingest\.delta\|store\.snapshot\|serve\.window\|serve\.replication\|serve\.router\.batch\|serve\.wire\)\.[A-Za-z0-9_.]*"' \
                 "$REPO/src" "$REPO/bench" | sed 's/"//g' | sort -u); do
     if ! grep -qF "\`$name\`" "$OBS"; then
       echo "UNDOCUMENTED METRIC: $name (add to docs/observability.md)"

@@ -1,0 +1,314 @@
+// SGRQ binary wire codec: hello negotiation, request/response framing
+// round-trips, and the hostile-input boundaries — truncated length
+// prefixes, the oversize cap, bad magic/version, unknown ops, wrong
+// payload sizes — plus a deterministic garbage-stream fuzz pass. The
+// decoder must never crash, never desync, and surface every malformed
+// input as a Status (the server turns those into error frames).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/binary_wire.h"
+#include "util/random.h"
+
+namespace simgraph {
+namespace serve {
+namespace {
+
+TEST(BinaryWireTest, HelloRoundTrips) {
+  std::string hello;
+  AppendBinaryHello(&hello);
+  ASSERT_EQ(hello.size(), kBinaryHelloBytes);
+  // Leads with 'S': the negotiation discriminator against NDJSON.
+  EXPECT_EQ(hello[0], 'S');
+  EXPECT_EQ(hello.substr(0, 4), "SGRQ");
+  EXPECT_TRUE(ParseBinaryHello(hello).ok());
+}
+
+TEST(BinaryWireTest, HelloRejectsBadMagicVersionAndTruncation) {
+  std::string hello;
+  AppendBinaryHello(&hello);
+  for (size_t len = 0; len < kBinaryHelloBytes; ++len) {
+    EXPECT_FALSE(ParseBinaryHello(hello.substr(0, len)).ok()) << len;
+  }
+  std::string bad_magic = hello;
+  bad_magic[1] = 'X';
+  EXPECT_FALSE(ParseBinaryHello(bad_magic).ok());
+  std::string bad_version = hello;
+  bad_version[4] = static_cast<char>(0x7f);
+  EXPECT_FALSE(ParseBinaryHello(bad_version).ok());
+  // Reserved flags are ignored, not rejected: a future client setting
+  // them still talks to this server.
+  std::string flags = hello;
+  flags[6] = 1;
+  flags[7] = static_cast<char>(0x80);
+  EXPECT_TRUE(ParseBinaryHello(flags).ok());
+}
+
+std::vector<WireRequest> AllRequestOps() {
+  std::vector<WireRequest> requests;
+  WireRequest ping;
+  ping.op = WireRequest::Op::kPing;
+  requests.push_back(ping);
+  WireRequest event;
+  event.op = WireRequest::Op::kEvent;
+  event.tweet = 123456789012345;
+  event.user = 4242;
+  event.time = 1700000000;
+  requests.push_back(event);
+  WireRequest recommend;
+  recommend.op = WireRequest::Op::kRecommend;
+  recommend.user = 7;
+  recommend.now = 100500;
+  recommend.k = 10;
+  requests.push_back(recommend);
+  WireRequest wait;
+  wait.op = WireRequest::Op::kWaitApplied;
+  wait.seq = 0xdeadbeefcafe;
+  requests.push_back(wait);
+  WireRequest stats;
+  stats.op = WireRequest::Op::kStats;
+  requests.push_back(stats);
+  WireRequest window;
+  window.op = WireRequest::Op::kStatsWindow;
+  window.limit = 16;
+  requests.push_back(window);
+  WireRequest slow;
+  slow.op = WireRequest::Op::kSlowLog;
+  slow.limit = 8;
+  requests.push_back(slow);
+  WireRequest metrics;
+  metrics.op = WireRequest::Op::kMetrics;
+  requests.push_back(metrics);
+  return requests;
+}
+
+TEST(BinaryWireTest, EveryRequestOpRoundTripsThroughOneBuffer) {
+  // All ops encoded back-to-back into one buffer, decoded in order —
+  // exactly how a pipelined client's bytes hit the server.
+  const std::vector<WireRequest> requests = AllRequestOps();
+  std::string buffer;
+  for (const WireRequest& request : requests) {
+    AppendBinaryRequest(&buffer, request);
+  }
+  size_t decoded = 0;
+  while (!buffer.empty()) {
+    const BinaryDecodeResult result = DecodeBinaryFrame(buffer);
+    ASSERT_EQ(result.status, BinaryDecodeStatus::kFrame);
+    StatusOr<WireRequest> parsed =
+        ParseBinaryRequest(result.frame.op, result.frame.payload);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const WireRequest& want = requests[decoded];
+    EXPECT_EQ(parsed->op, want.op);
+    EXPECT_EQ(parsed->tweet, want.op == WireRequest::Op::kEvent ? want.tweet
+                                                                : 0);
+    if (want.op == WireRequest::Op::kEvent) {
+      EXPECT_EQ(parsed->user, want.user);
+      EXPECT_EQ(parsed->time, want.time);
+    }
+    if (want.op == WireRequest::Op::kRecommend) {
+      EXPECT_EQ(parsed->user, want.user);
+      EXPECT_EQ(parsed->now, want.now);
+      EXPECT_EQ(parsed->k, want.k);
+    }
+    if (want.op == WireRequest::Op::kWaitApplied) {
+      EXPECT_EQ(parsed->seq, want.seq);
+    }
+    if (want.op == WireRequest::Op::kStatsWindow ||
+        want.op == WireRequest::Op::kSlowLog) {
+      EXPECT_EQ(parsed->limit, want.limit);
+    }
+    buffer.erase(0, result.frame.frame_bytes);
+    ++decoded;
+  }
+  EXPECT_EQ(decoded, requests.size());
+}
+
+TEST(BinaryWireTest, TruncatedPrefixesNeedMoreAtEveryLength) {
+  // Byte-at-a-time delivery: every strict prefix of a frame must come
+  // back kNeedMore — never a frame, never a crash, never kOversized.
+  WireRequest event;
+  event.op = WireRequest::Op::kEvent;
+  event.tweet = 42;
+  event.user = 7;
+  event.time = 100000;
+  std::string frame;
+  AppendBinaryRequest(&frame, event);
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const BinaryDecodeResult result =
+        DecodeBinaryFrame(std::string_view(frame).substr(0, len));
+    EXPECT_EQ(result.status, BinaryDecodeStatus::kNeedMore) << len;
+  }
+  EXPECT_EQ(DecodeBinaryFrame(frame).status, BinaryDecodeStatus::kFrame);
+}
+
+TEST(BinaryWireTest, OversizedLengthPrefixReportsSkipCount) {
+  std::string buffer;
+  // A length prefix just past the cap, no payload behind it.
+  const uint32_t huge = kMaxBinaryRequestPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  buffer.push_back(static_cast<char>(BinaryOp::kPing));
+  const BinaryDecodeResult result = DecodeBinaryFrame(buffer);
+  ASSERT_EQ(result.status, BinaryDecodeStatus::kOversized);
+  EXPECT_EQ(result.oversized_payload, huge);
+  // At the cap exactly: a legal (if silly) frame, once complete.
+  std::string capped;
+  const uint32_t cap = kMaxBinaryRequestPayload;
+  for (int i = 0; i < 4; ++i) {
+    capped.push_back(static_cast<char>((cap >> (8 * i)) & 0xff));
+  }
+  capped.push_back(static_cast<char>(BinaryOp::kPing));
+  EXPECT_EQ(DecodeBinaryFrame(capped).status, BinaryDecodeStatus::kNeedMore);
+  capped.append(cap, 'z');
+  EXPECT_EQ(DecodeBinaryFrame(capped).status, BinaryDecodeStatus::kFrame);
+}
+
+TEST(BinaryWireTest, UnknownOpIsAnErrorButKeepsTheStreamFramed) {
+  // DecodeBinaryFrame accepts any op byte (framing only); the parse
+  // rejects it — so one unknown op costs one error, not the connection.
+  std::string buffer;
+  buffer.append(4, '\0');  // length 0
+  buffer.push_back(static_cast<char>(0xee));
+  const BinaryDecodeResult result = DecodeBinaryFrame(buffer);
+  ASSERT_EQ(result.status, BinaryDecodeStatus::kFrame);
+  EXPECT_FALSE(ParseBinaryRequest(result.frame.op, result.frame.payload).ok());
+  // kError is response-only: a client sending it gets an error too.
+  EXPECT_FALSE(ParseBinaryRequest(BinaryOp::kError, "").ok());
+}
+
+TEST(BinaryWireTest, WrongPayloadSizesAreRejectedPerOp) {
+  const struct {
+    BinaryOp op;
+    size_t want;
+  } layouts[] = {
+      {BinaryOp::kPing, 0},       {BinaryOp::kEvent, 20},
+      {BinaryOp::kRecommend, 16}, {BinaryOp::kWaitApplied, 8},
+      {BinaryOp::kStats, 0},      {BinaryOp::kStatsWindow, 4},
+      {BinaryOp::kSlowLog, 4},    {BinaryOp::kMetrics, 0},
+  };
+  for (const auto& layout : layouts) {
+    const std::string exact(layout.want, '\0');
+    EXPECT_TRUE(ParseBinaryRequest(layout.op, exact).ok() ||
+                layout.op == BinaryOp::kEvent)  // zeros are a valid event
+        << static_cast<int>(layout.op);
+    EXPECT_FALSE(
+        ParseBinaryRequest(layout.op, exact + std::string(1, '\0')).ok())
+        << static_cast<int>(layout.op);
+    if (layout.want > 0) {
+      EXPECT_FALSE(
+          ParseBinaryRequest(layout.op, exact.substr(0, layout.want - 1))
+              .ok())
+          << static_cast<int>(layout.op);
+    }
+  }
+}
+
+TEST(BinaryWireTest, EventValidationMatchesNdjson) {
+  // A u64 tweet id with the sign bit set decodes to a negative TweetId
+  // — rejected exactly like the NDJSON parser rejects "tweet":-1.
+  std::string payload;
+  for (int i = 0; i < 8; ++i) payload.push_back(static_cast<char>(0xff));
+  for (int i = 0; i < 4; ++i) payload.push_back('\0');  // user 0
+  for (int i = 0; i < 8; ++i) payload.push_back('\0');  // time 0
+  EXPECT_FALSE(ParseBinaryRequest(BinaryOp::kEvent, payload).ok());
+}
+
+TEST(BinaryWireTest, RecommendResponseRoundTripsScoresBitExactly) {
+  std::vector<ScoredTweet> tweets;
+  tweets.push_back(ScoredTweet{101, 0.625});
+  tweets.push_back(ScoredTweet{202, 1e-300});  // subnormal-adjacent
+  tweets.push_back(ScoredTweet{303, std::nextafter(0.1, 1.0)});
+  std::string out;
+  AppendBinaryRecommendResponse(&out, /*user=*/7, /*request_id=*/99, tweets,
+                                /*cache_hit=*/true, /*degraded=*/false,
+                                /*applied_seq=*/12);
+  const BinaryDecodeResult decoded = DecodeBinaryFrame(out);
+  ASSERT_EQ(decoded.status, BinaryDecodeStatus::kFrame);
+  ASSERT_EQ(decoded.frame.op, BinaryOp::kRecommend);
+  BinaryRecommendResponse response;
+  ASSERT_TRUE(
+      ParseBinaryRecommendResponse(decoded.frame.payload, &response).ok());
+  EXPECT_EQ(response.user, 7);
+  EXPECT_EQ(response.request_id, 99u);
+  EXPECT_EQ(response.applied_seq, 12u);
+  EXPECT_TRUE(response.cache_hit);
+  EXPECT_FALSE(response.degraded);
+  ASSERT_EQ(response.tweets.size(), tweets.size());
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    EXPECT_EQ(response.tweets[i].tweet, tweets[i].tweet);
+    // Bit-exact, not approximately equal: the score travels as raw
+    // IEEE-754 bits.
+    uint64_t got, want;
+    std::memcpy(&got, &response.tweets[i].score, sizeof(got));
+    std::memcpy(&want, &tweets[i].score, sizeof(want));
+    EXPECT_EQ(got, want) << i;
+  }
+}
+
+TEST(BinaryWireTest, RecommendResponseRejectsSizeMismatch) {
+  std::string out;
+  AppendBinaryRecommendResponse(&out, 1, 2, {ScoredTweet{3, 0.5}}, false,
+                                false, 4);
+  const BinaryDecodeResult decoded = DecodeBinaryFrame(out);
+  ASSERT_EQ(decoded.status, BinaryDecodeStatus::kFrame);
+  BinaryRecommendResponse response;
+  // Truncated payload, extended payload, and a count field lying about
+  // the tail must all fail — never read out of bounds.
+  for (size_t cut = 0; cut < decoded.frame.payload.size(); ++cut) {
+    EXPECT_FALSE(ParseBinaryRecommendResponse(
+                     decoded.frame.payload.substr(0, cut), &response)
+                     .ok())
+        << cut;
+  }
+  std::string extended(decoded.frame.payload);
+  extended.push_back('\0');
+  EXPECT_FALSE(ParseBinaryRecommendResponse(extended, &response).ok());
+  uint64_t seq;
+  EXPECT_FALSE(ParseBinaryU64("1234567", &seq).ok());
+  EXPECT_FALSE(ParseBinaryU64("123456789", &seq).ok());
+}
+
+TEST(BinaryWireTest, GarbageStreamsNeverCrashTheDecoder) {
+  // Deterministic fuzz: random byte soup through the incremental
+  // decoder, consuming frames/oversize skips exactly as the server
+  // does. Every outcome is fine except a crash or an infinite loop.
+  Rng rng(20260808);
+  for (int round = 0; round < 200; ++round) {
+    std::string buffer;
+    const int64_t len = 1 + rng.NextInt(0, 512);
+    for (int64_t i = 0; i < len; ++i) {
+      buffer.push_back(static_cast<char>(rng.NextInt(0, 255)));
+    }
+    int guard = 0;
+    while (!buffer.empty() && guard++ < 2048) {
+      const BinaryDecodeResult result = DecodeBinaryFrame(buffer);
+      if (result.status == BinaryDecodeStatus::kNeedMore) break;
+      if (result.status == BinaryDecodeStatus::kOversized) {
+        const size_t eat =
+            std::min<uint64_t>(buffer.size(),
+                               kBinaryFrameHeaderBytes +
+                                   result.oversized_payload);
+        buffer.erase(0, eat);
+        continue;
+      }
+      // Parsed or not, the stream must stay framed.
+      ParseBinaryRequest(result.frame.op, result.frame.payload)
+          .status()
+          .ok();
+      buffer.erase(0, result.frame.frame_bytes);
+    }
+    ASSERT_LT(guard, 2048) << "decoder failed to make progress";
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace simgraph

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/metrics.h"
+
 namespace simgraph {
 namespace serve {
 namespace {
@@ -101,6 +103,67 @@ TEST(WireProtocolTest, FormatRecommendResponseRoundsTripsScores) {
       FormatRecommendResponse(1, 0, {}, false, true, 0);
   EXPECT_NE(empty.find("\"tweets\":[]"), std::string::npos);
   EXPECT_NE(empty.find("\"degraded\":true"), std::string::npos);
+}
+
+TEST(WireProtocolTest, AppendTwinsMatchFormatByteForByte) {
+  // The Append* family is the zero-copy path the TCP server uses to
+  // build one reply buffer per recv pass; each must produce exactly the
+  // bytes of its Format* twin, appended after existing content.
+  BackendStats stats;
+  stats.applied_seq = 3;
+  stats.cached_entries = 2;
+  stats.graph_epoch = 1;
+  stats.graph_edges = 99;
+  stats.shards = {{3, 2, 1, 99}};
+  SlowRequestEntry slow;
+  slow.request_id = 9;
+  slow.user = 5;
+  slow.total_us = 1234;
+  const std::vector<ScoredTweet> tweets = {{3, 0.5}, {9, 1.0 / 3.0}};
+  const std::vector<std::string> windows = {R"({"w":1})", R"({"w":2})"};
+
+  std::string out = "prefix|";
+  std::string expected = "prefix|";
+
+  AppendEventAck(&out, 12);
+  expected += FormatEventAck(12);
+  AppendRecommendResponse(&out, 7, 21, tweets, true, false, 4);
+  expected += FormatRecommendResponse(7, 21, tweets, true, false, 4);
+  AppendWaitAppliedAck(&out, 5);
+  expected += FormatWaitAppliedAck(5);
+  AppendStats(&out, stats, R"({"counters":{}})");
+  expected += FormatStats(stats, R"({"counters":{}})");
+  AppendStatsWindow(&out, windows);
+  expected += FormatStatsWindow(windows);
+  AppendSlowLog(&out, {slow});
+  expected += FormatSlowLog({slow});
+  AppendPong(&out);
+  expected += FormatPong();
+  AppendError(&out, "bad \"stuff\"\n");
+  expected += FormatError("bad \"stuff\"\n");
+
+  EXPECT_EQ(out, expected);
+}
+
+TEST(WireProtocolTest, NoteReplyBufferUseCountsReusesAndGrows) {
+  metrics::SetEnabled(true);
+  metrics::Registry::Global().Reset();
+  std::string reply;
+  reply.reserve(64);
+  reply.assign(32, 'x');
+  // Fits in the pre-pass capacity: a reuse (no allocation happened).
+  NoteReplyBufferUse(/*capacity_before=*/64, reply);
+  // Outgrew the pre-pass capacity: a grow (the buffer reallocated).
+  reply.assign(128, 'y');
+  NoteReplyBufferUse(/*capacity_before=*/64, reply);
+  // First pass of a fresh connection (capacity 0) never counts as a
+  // reuse, even for an empty reply.
+  reply.clear();
+  NoteReplyBufferUse(/*capacity_before=*/0, reply);
+  auto& registry = metrics::Registry::Global();
+  EXPECT_EQ(registry.counter("serve.wire.buffer.reuses").value(), 1);
+  EXPECT_EQ(registry.counter("serve.wire.buffer.grows").value(), 2);
+  metrics::SetEnabled(false);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 // simgraph_served — online recommendation service front-end.
 //
 // Trains a serving recommender, starts the in-process
-// RecommendationService, and exposes it as newline-delimited JSON over a
-// loopback TCP socket (wire protocol: docs/serving.md). Runs until stdin
+// RecommendationService, and exposes it over a loopback TCP socket.
+// Each connection auto-negotiates its protocol (docs/serving.md): the
+// debuggable newline-delimited JSON wire format by default, or the SGRQ
+// binary framing when the client leads with an SGRQ hello — same op
+// set, same answers, no JSON cost on the hot path. Runs until stdin
 // reaches EOF, then shuts down cleanly.
 //
 //   simgraph_served [--data DIR | --users N --tweets N --seed S]
@@ -283,7 +286,8 @@ int Run(int argc, char** argv) {
   std::cout << "serving " << method << " over " << dataset.num_users()
             << " users (" << train_end << " train events, "
             << service->num_shards() << " shard"
-            << (service->num_shards() == 1 ? "" : "s") << ")\n"
+            << (service->num_shards() == 1 ? "" : "s")
+            << ", NDJSON + SGRQ binary)\n"
             << "listening on port " << server.port() << std::endl;
   if (fanout != nullptr) {
     std::cout << "replication on port " << fanout->port() << std::endl;
